@@ -1,0 +1,67 @@
+"""Ablation A1 — choosing k (§4.4's manual inspection, quantified).
+
+Paper: for CS1, "k = 4 generated two dimensions which were almost
+identical, indicating an overfit.  Using k = 2 seemed to not separate the
+courses as well as k = 3."  The automated rule combines two overfit
+signatures: near-duplicate H rows (the paper's) and single-course
+dimensions (the small-n degenerate mode, which is how the overfit
+manifests on the synthetic corpus); the selected k lands on the paper's 3.
+"""
+
+from conftest import report
+
+from repro.analysis import k_sweep, select_k
+from repro.util.tables import format_table
+
+
+def _print_sweep(entries):
+    print("\n" + format_table(
+        [
+            (e.k, f"{e.reconstruction_err:.3f}", f"{e.duplicate_score:.3f}",
+             f"{e.singleton_score:.2f}", f"{e.stability:.3f}")
+            for e in entries
+        ],
+        header=["k", "reconstruction", "duplicate", "singleton", "stability"],
+    ))
+
+
+def test_ksweep_cs1(benchmark, matrix, cs1_courses):
+    sub = matrix.subset([c.id for c in cs1_courses])
+    entries = benchmark(lambda: k_sweep(sub, range(2, 7), seed=0))
+    _print_sweep(entries)
+
+    chosen = select_k(entries)
+    by_k = {e.k: e for e in entries}
+    report("Ablation A1 (CS1 k selection)", [
+        ("paper's choice (manual)", "k=3", f"k={chosen} (automated rule)"),
+        ("k=5 overfits", "dimensions duplicate/degenerate",
+         f"singleton fraction {by_k[5].singleton_score:.2f}"),
+        ("k=6 reconstructs exactly", "degenerate (k = n)",
+         f"err {by_k[6].reconstruction_err:.3f}"),
+    ])
+
+    # Reconstruction error decreases with k (more rank = better fit).
+    errs = [e.reconstruction_err for e in entries]
+    assert all(a >= b - 1e-6 for a, b in zip(errs, errs[1:]))
+    # Degeneracy grows with k: beyond the paper's k=3..4 band most
+    # dimensions collapse onto single courses, and k = n is fully
+    # degenerate with exact reconstruction.
+    assert by_k[5].singleton_score > by_k[3].singleton_score
+    assert by_k[6].singleton_score == 1.0
+    assert by_k[6].reconstruction_err < 1e-6
+    # The automated rule lands in the paper's k=3..4 neighborhood.
+    assert chosen in (3, 4)
+
+
+def test_ksweep_all_courses(benchmark, matrix):
+    entries = benchmark(lambda: k_sweep(matrix, range(2, 9), seed=0))
+    _print_sweep(entries)
+    chosen = select_k(entries)
+    report("Ablation A1 (all-course k selection)", [
+        ("paper's choice", "k=4", f"k={chosen}"),
+    ])
+    errs = [e.reconstruction_err for e in entries]
+    assert all(a >= b - 1e-6 for a, b in zip(errs, errs[1:]))
+    # The 20-course corpus supports at least the paper's k=4 before
+    # degenerating.
+    assert chosen >= 4

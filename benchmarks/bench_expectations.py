@@ -1,0 +1,64 @@
+"""Expectations E1 — student-expectation levels across course families.
+
+The introduction motivates understanding "the level of student
+expectations"; CS2013 expresses it as outcome mastery and PDC12 as Bloom
+levels.  This bench profiles the canonical corpus plus the dual-classified
+PDC courses.
+"""
+
+from conftest import report
+
+from repro.analysis.mastery import expectation_profile
+from repro.corpus import generate_corpus
+from repro.curriculum import load_cs2013, load_pdc12
+from repro.materials.course import CourseLabel
+from repro.util.tables import format_table
+
+
+def test_expectation_profiles(benchmark, courses, tree):
+    def run():
+        return {c.id: expectation_profile(c, tree) for c in courses}
+
+    profiles = benchmark(run)
+    rows = [
+        (cid, p.n_outcomes, f"{p.mean_mastery:.2f}", f"{p.assessment_share:.0%}")
+        for cid, p in sorted(profiles.items())
+    ]
+    print("\n" + format_table(
+        rows, header=["course", "outcomes", "mean mastery", "assessment share"],
+    ))
+
+    means = [p.mean_mastery for p in profiles.values() if p.n_outcomes]
+    report("Expectations E1 (CS2013 mastery)", [
+        ("outcome mastery range", "familiarity(1)..assessment(3)",
+         f"{min(means):.2f}..{max(means):.2f}"),
+    ])
+    assert all(1.0 <= m <= 3.0 for m in means)
+
+
+def test_pdc_bloom_profiles(benchmark):
+    cs, pdc = load_cs2013(), load_pdc12()
+
+    def run():
+        courses = generate_corpus(cs, seed=44, pdc_tree=pdc)
+        return {
+            c.id: expectation_profile(c, pdc)
+            for c in courses
+            if CourseLabel.PDC in c.labels
+        }
+
+    profiles = benchmark(run)
+    rows = [
+        (cid, sum(p.bloom_counts.values()), f"{p.mean_bloom:.2f}")
+        for cid, p in sorted(profiles.items())
+    ]
+    print("\n" + format_table(rows, header=["course", "PDC12 topics", "mean Bloom"]))
+
+    report("Expectations E1 (PDC12 Bloom)", [
+        ("PDC courses carry Bloom-leveled PDC12 topics", "know/comprehend/apply",
+         str({cid: f"{p.mean_bloom:.2f}" for cid, p in profiles.items()})),
+    ])
+    assert len(profiles) == 3
+    for p in profiles.values():
+        assert p.bloom_counts
+        assert 1.0 <= p.mean_bloom <= 3.0

@@ -1,0 +1,50 @@
+"""Figure 1 — the course roster table.
+
+Regenerates the dataset table: 20 retained courses with their name-derived
+category flags, out of 31 classified at the simulated workshops (11
+excluded for technical reasons, §3.2).
+"""
+
+from conftest import report
+
+from repro.corpus.roster import EXCLUDED_ROSTER, ROSTER
+from repro.curriculum import load_cs2013
+from repro.materials.course import CourseLabel
+from repro.util.tables import format_table
+from repro.workshops import WorkshopSeries, simulate_workshop_series
+
+
+def test_fig1_roster_table(benchmark, courses):
+    result = benchmark(
+        lambda: simulate_workshop_series(WorkshopSeries(load_cs2013()), seed=44)
+    )
+
+    flags = [CourseLabel.CS1, CourseLabel.OOP, CourseLabel.DS,
+             CourseLabel.ALGO, CourseLabel.SOFTENG, CourseLabel.PDC]
+    rows = []
+    for entry in ROSTER:
+        marks = ["X" if f in entry.labels else "" for f in flags]
+        rows.append((entry.display_name, *marks))
+    print("\n" + format_table(
+        rows, header=["Class Name", "CS1", "OOP", "DS", "Algo", "SoftEng", "PDC"]
+    ))
+
+    def count(label):
+        return sum(1 for e in ROSTER if label in e.labels)
+
+    report("Figure 1 (roster shape)", [
+        ("courses classified", "31", str(result.n_classified)),
+        ("courses excluded", "11", str(len(result.excluded))),
+        ("courses retained", "20", str(len(result.retained))),
+        ("CS1 courses", "6", str(count(CourseLabel.CS1))),
+        ("DS courses", "5", str(count(CourseLabel.DS))),
+        ("Algo courses", "2", str(count(CourseLabel.ALGO))),
+        ("SoftEng courses", "2", str(count(CourseLabel.SOFTENG))),
+        ("PDC courses", "3", str(count(CourseLabel.PDC))),
+    ])
+
+    assert result.n_classified == len(ROSTER) + len(EXCLUDED_ROSTER) == 31
+    assert len(result.retained) == 20
+    assert count(CourseLabel.CS1) == 6
+    assert count(CourseLabel.DS) == 5
+    assert count(CourseLabel.PDC) == 3

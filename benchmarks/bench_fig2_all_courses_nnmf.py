@@ -1,0 +1,50 @@
+"""Figure 2 — NNMF of all courses, k=4, W-matrix heat map.
+
+Paper reading: the four dimensions align with data structures, software
+engineering, parallel computing, and CS1 courses respectively (§4.2).
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.analysis import type_courses
+from repro.canonical import FIG2_NMF_SEED
+from repro.materials.course import CourseLabel
+from repro.viz import ascii_heatmap
+
+
+def test_fig2_all_course_typing(benchmark, matrix, courses):
+    typing = benchmark(lambda: type_courses(matrix, 4, seed=FIG2_NMF_SEED))
+
+    print("\n" + ascii_heatmap(
+        typing.w_normalized,
+        row_labels=list(matrix.course_ids),
+        col_labels=[f"d{i + 1}" for i in range(4)],
+        normalize="global",
+    ))
+
+    label_dims = typing.label_to_type(courses)
+    ds_dim = label_dims.get(CourseLabel.DS, label_dims.get(CourseLabel.ALGO))
+    rows = [
+        ("one dimension per category", "DS, SE, PDC, CS1", ""),
+        ("DS/Algo dimension", "yes", str(ds_dim is not None)),
+        ("SE dimension", "yes", str(CourseLabel.SOFTENG in label_dims)),
+        ("PDC dimension", "yes", str(CourseLabel.PDC in label_dims)),
+        ("CS1 dimension", "yes", str(CourseLabel.CS1 in label_dims)),
+    ]
+    report("Figure 2 (k=4 course types)", rows)
+
+    dims = {
+        ds_dim,
+        label_dims.get(CourseLabel.SOFTENG),
+        label_dims.get(CourseLabel.PDC),
+        label_dims.get(CourseLabel.CS1),
+    }
+    assert None not in dims, f"a category failed to claim a dimension: {label_dims}"
+    assert len(dims) == 4, f"categories share dimensions: {label_dims}"
+
+    # Per-category affinity peaks on its own dimension (the heat-map reading).
+    affinity = typing.label_affinity(courses)
+    for label in (CourseLabel.PDC, CourseLabel.SOFTENG):
+        vec = affinity[label]
+        assert int(np.argmax(vec)) == label_dims[label]

@@ -1,0 +1,63 @@
+"""Figure 3 — agreement distributions for CS1 (3a) and Data Structures (3b).
+
+Paper: CS1 maps to 200+ tags with only ~50 in >=2 courses and ~25 in >=3
+(§4.3); DS maps to ~250 tags with ~120 in >=2 and ~50 in >=4 — "a higher
+agreement on the content of Data Structures than there was on CS1" (§4.5).
+"""
+
+from conftest import report
+
+from repro.analysis import agreement
+from repro.viz import ascii_histogram
+
+
+def test_fig3a_cs1_agreement(benchmark, cs1_courses, tree):
+    res = benchmark(lambda: agreement(cs1_courses, tree=tree))
+    print("\n" + ascii_histogram(res.distribution, label="CS1  "))
+    report("Figure 3a (CS1 agreement)", [
+        ("CS1 courses", "6", str(res.n_courses)),
+        ("distinct tags", ">200", str(res.n_tags)),
+        ("tags in >=2 courses", "~50", str(res.at_least[2])),
+        ("tags in >=3 courses", "~25", str(res.at_least[3])),
+        ("tags in >=4 courses", "13", str(res.at_least[4])),
+    ])
+    assert res.n_courses == 6
+    assert res.n_tags > 180
+    assert 20 <= res.at_least[3] <= 45
+    assert 8 <= res.at_least[4] <= 18
+
+
+def test_fig3b_ds_agreement(benchmark, ds_courses, tree):
+    res = benchmark(lambda: agreement(ds_courses, tree=tree))
+    print("\n" + ascii_histogram(res.distribution, label="DS   "))
+    report("Figure 3b (DS agreement)", [
+        ("DS courses", "5", str(res.n_courses)),
+        ("distinct tags", "~250", str(res.n_tags)),
+        ("tags in >=2 courses", "~120", str(res.at_least[2])),
+        ("tags in >=4 courses", "~50", str(res.at_least[4])),
+    ])
+    assert res.n_courses == 5
+    assert res.n_tags >= 170
+    assert 85 <= res.at_least[2] <= 150
+    assert 25 <= res.at_least[4] <= 60
+
+
+def test_fig3_ds_agrees_more_than_cs1(benchmark, cs1_courses, ds_courses, tree):
+    """The crossover claim: DS agreement dominates CS1 at every threshold."""
+
+    def shares():
+        cs1 = agreement(cs1_courses, tree=tree)
+        ds = agreement(ds_courses, tree=tree)
+        return cs1, ds
+
+    cs1, ds = benchmark(shares)
+    cs1_share2 = cs1.at_least[2] / cs1.n_tags
+    ds_share2 = ds.at_least[2] / ds.n_tags
+    report("Figure 3 (relative agreement)", [
+        ("share of tags in >=2, CS1", "~25%", f"{cs1_share2:.0%}"),
+        ("share of tags in >=2, DS", "~48%", f"{ds_share2:.0%}"),
+        ("DS > CS1", "yes", str(ds_share2 > cs1_share2)),
+    ])
+    assert ds_share2 > cs1_share2
+    # Despite one fewer course, DS has at least as many >=4 tags.
+    assert ds.at_least[4] >= cs1.at_least[4]

@@ -1,0 +1,50 @@
+"""Figure 4 — CS1 agreement trees at thresholds 2, 3, 4.
+
+Paper: tags shared by >=2 courses span 4 knowledge areas (SDF, Algo, Arch,
+PL); only 13 tags appear in >=4 courses and they all fall within SDF, 12 of
+them inside Fundamental Programming Concepts (§4.3).
+"""
+
+from conftest import report
+
+from repro.analysis import agreement, agreement_tree
+from repro.viz import render_radial_svg, render_tree_text
+from repro.materials.hittree import HitTree
+
+
+def test_fig4_cs1_agreement_trees(benchmark, cs1_courses, tree, tmp_path):
+    trees = benchmark(
+        lambda: {t: agreement_tree(cs1_courses, tree, t) for t in (2, 3, 4)}
+    )
+    res = agreement(cs1_courses, tree=tree)
+
+    def areas_at(threshold):
+        return set(res.areas_at_least(threshold, tree))
+
+    a2, a3, a4 = areas_at(2), areas_at(3), areas_at(4)
+    units4 = {t.split("/")[-2] for t in res.tags_at_least(4)}
+
+    for t, sub in trees.items():
+        svg = render_radial_svg(HitTree(sub, {n: res.counts.get(n, 1) for n in sub.node_ids()}))
+        path = tmp_path / f"fig4_cs1_agreement_{t}.svg"
+        path.write_text(svg)
+        print(f"\nthreshold {t}: {len(sub)} nodes -> {path}")
+
+    print("\nthreshold 4 tree:")
+    print(render_tree_text(trees[4]))
+
+    report("Figure 4 (CS1 agreement trees)", [
+        ("areas at >=2", ">=4 areas (SDF,Algo,Arch,PL)", f"{len(a2)}: {sorted(a2)}"),
+        ("areas at >=4", "SDF only", str(sorted(a4))),
+        (">=4 tags in FPC unit", "12 of 13", f"{sum(1 for t in res.tags_at_least(4) if '/FPC/' in t)} of {res.at_least[4]}"),
+    ])
+
+    assert len(a2) >= 4
+    assert a4 == {"SDF"}
+    assert a3 >= a4  # nesting: higher threshold only removes areas
+    assert "FPC" in units4
+    # FPC carries the majority of the deepest agreement.
+    fpc = sum(1 for t in res.tags_at_least(4) if "/FPC/" in t)
+    assert fpc >= res.at_least[4] * 0.6
+    # Structural sanity: every tree prunes monotonically with the threshold.
+    assert len(trees[2]) >= len(trees[3]) >= len(trees[4])

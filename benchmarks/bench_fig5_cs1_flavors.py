@@ -1,0 +1,66 @@
+"""Figure 5 — NNMF of CS1 courses, k=3: W and H matrices.
+
+Paper reading (§4.4): Type 1 is algorithmic (AL-heavy), Type 2 is
+imperative programming plus data representation (SDF + AR), Type 3 is OOP
+(PL-heavy, almost no algorithm content).  Singh falls strongly in the OOP
+type, Kerney in the imperative type, Ahmed in the algorithmic type; Kerney
+and Kurdia are both imperative; Bourke and Toups blend imperative and
+algorithmic.
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.analysis import analyze_flavors
+from repro.canonical import FIG5_NMF_SEED
+from repro.viz import ascii_heatmap
+
+
+def test_fig5_cs1_flavors(benchmark, matrix, cs1_courses, tree):
+    ids = [c.id for c in cs1_courses]
+    sub = matrix.subset(ids)
+    fa = benchmark(lambda: analyze_flavors(sub, tree, 3, seed=FIG5_NMF_SEED))
+
+    print("\nW matrix (normalized):")
+    print(ascii_heatmap(
+        fa.typing.w_normalized,
+        row_labels=ids,
+        col_labels=[f"T{i + 1}" for i in range(3)],
+        normalize="global",
+    ))
+    print("\nH area mass per type:")
+    for p in fa.profiles:
+        areas = ", ".join(
+            f"{a}:{v:.2f}" for a, v in sorted(p.area_mass.items(), key=lambda x: -x[1])[:4]
+        )
+        print(f"  T{p.index + 1}: {areas}")
+
+    mem = {cid.split("-")[-1]: int(np.argmax(fa.course_memberships(cid))) for cid in ids}
+    t_singh, t_kerney, t_ahmed = mem["singh"], mem["kerney"], mem["ahmed"]
+
+    def top_area(t):
+        return max(fa.profiles[t].area_mass, key=fa.profiles[t].area_mass.get)
+
+    report("Figure 5 (CS1 flavors, k=3)", [
+        ("Singh / Kerney / Ahmed types", "3 distinct types",
+         f"{t_singh}/{t_kerney}/{t_ahmed}"),
+        ("Singh's type top area", "PL (OOP)", top_area(t_singh)),
+        ("Kerney's type has AR mass", "yes (data representation)",
+         f"{fa.profiles[t_kerney].area_mass.get('AR', 0.0):.3f}"),
+        ("Ahmed's type AL mass", "high (algorithms)",
+         f"{fa.profiles[t_ahmed].area_mass.get('AL', 0.0):.2f}"),
+        ("Kerney and Kurdia same type", "yes (both imperative)",
+         str(mem["kerney"] == mem["kurdia"])),
+    ])
+
+    assert len({t_singh, t_kerney, t_ahmed}) == 3
+    assert top_area(t_singh) == "PL"
+    assert mem["kerney"] == mem["kurdia"]
+    # The imperative type carries the data-representation signature that
+    # makes reduction-ordering anchorable (§5.2); the others carry less.
+    ar_imperative = fa.profiles[t_kerney].area_mass.get("AR", 0.0)
+    ar_oop = fa.profiles[t_singh].area_mass.get("AR", 0.0)
+    assert ar_imperative > ar_oop
+    # The algorithmic type out-weighs the OOP type on AL.
+    assert fa.profiles[t_ahmed].area_mass.get("AL", 0.0) > \
+        fa.profiles[t_singh].area_mass.get("AL", 0.0)

@@ -1,0 +1,51 @@
+"""Figure 6 — Data Structures agreement trees at thresholds 2, 3, 4.
+
+Paper (§4.5): entries shared by >=3 courses span 5 knowledge areas (Algo,
+SDF, DS, CS, PL); >=4 drops PL; the >=4 agreement covers the traditional
+data-structures canon (Big-Oh, linear structures, trees/graphs/hashing,
+searching and sorting).
+"""
+
+from conftest import report
+
+from repro.analysis import agreement, agreement_tree
+from repro.materials.hittree import HitTree
+from repro.viz import render_radial_svg, render_tree_text
+
+
+def test_fig6_ds_agreement_trees(benchmark, ds_courses, tree, tmp_path):
+    trees = benchmark(
+        lambda: {t: agreement_tree(ds_courses, tree, t) for t in (2, 3, 4)}
+    )
+    res = agreement(ds_courses, tree=tree)
+
+    a2 = set(res.areas_at_least(2, tree))
+    a3 = set(res.areas_at_least(3, tree))
+    a4 = set(res.areas_at_least(4, tree))
+
+    for t, sub in trees.items():
+        path = tmp_path / f"fig6_ds_agreement_{t}.svg"
+        path.write_text(render_radial_svg(
+            HitTree(sub, {n: res.counts.get(n, 1) for n in sub.node_ids()})
+        ))
+        print(f"\nthreshold {t}: {len(sub)} nodes -> {path}")
+
+    print("\nthreshold 4 tree:")
+    print(render_tree_text(trees[4]))
+
+    units4 = sorted({t.split("/")[-2] for t in res.tags_at_least(4)})
+    report("Figure 6 (DS agreement trees)", [
+        ("areas at >=2", "many", f"{len(a2)}: {sorted(a2)}"),
+        ("areas at >=3", "~5 (Algo,SDF,DS,CS,PL)", f"{len(a3)}: {sorted(a3)}"),
+        ("areas at >=4", "drops PL", str(sorted(a4))),
+        ("units at >=4", "DS canon", str(units4)),
+    ])
+
+    assert len(trees[2]) >= len(trees[3]) >= len(trees[4])
+    # The >=4 consensus is the traditional DS canon.
+    assert {"AL", "SDF"} <= a4
+    canon = {"BA", "FDSA", "FDS", "GT", "AD", "AS"}
+    assert canon & set(units4), f"no canon units in {units4}"
+    # Deep agreement concentrates into fewer areas than shallow agreement.
+    assert a4 <= a3 <= a2
+    assert len(a4) < len(a2)

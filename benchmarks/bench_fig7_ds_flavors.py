@@ -1,0 +1,62 @@
+"""Figure 7 — NNMF of DS + Algorithms courses, k=3.
+
+Paper reading (§4.6): all three types share the core data structures; Type
+2 adds OOP topics (PL/SDF), Type 3 adds combinatorial algorithms, Type 1
+adds problem-solving/datasets/APIs/visualization.  The courses named
+"Algorithms" (Wahl, UNCC 2215) plus BSC/Wagner map to the combinatorial
+type; VCU/Duke maps firmly to the OOP type; the two UNCC 2214 sections map
+to the applications type; UCF/Ahmed hits all three evenly.
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.analysis import analyze_flavors
+from repro.canonical import FIG7_NMF_SEED
+from repro.viz import ascii_heatmap
+
+
+def test_fig7_ds_flavors(benchmark, matrix, ds_algo_courses, tree):
+    ids = [c.id for c in ds_algo_courses]
+    sub = matrix.subset(ids)
+    fa = benchmark(lambda: analyze_flavors(sub, tree, 3, seed=FIG7_NMF_SEED))
+
+    print("\nW matrix (normalized):")
+    print(ascii_heatmap(
+        fa.typing.w_normalized,
+        row_labels=ids,
+        col_labels=[f"T{i + 1}" for i in range(3)],
+        normalize="global",
+    ))
+
+    mm = {cid: int(np.argmax(fa.course_memberships(cid))) for cid in ids}
+    t_combi = mm["hanover-225-wahl"]
+    t_apps = mm["uncc-2214-krs"]
+    t_duke = mm["vcu-256-duke"]
+    ahmed = fa.course_memberships("ucf-3502-ahmed")
+
+    # All three types still share the DS canon (AL mass everywhere).
+    al_mass = [p.area_mass.get("AL", 0.0) for p in fa.profiles]
+
+    report("Figure 7 (DS+Algo flavors, k=3)", [
+        ("Wahl == 2215 == Wagner type", "yes (combinatorial)",
+         str(mm["hanover-225-wahl"] == mm["uncc-2215-krs"] == mm["bsc-210-wagner"])),
+        ("2214 sections share a type", "yes (applications)",
+         str(mm["uncc-2214-krs"] == mm["uncc-2214-saule"])),
+        ("Duke separate from both", "yes (OOP type)",
+         str(t_duke not in (t_combi, t_apps))),
+        ("Ahmed spreads over types", "hits all three evenly",
+         str(np.round(ahmed, 2))),
+        ("AL mass in every type", "all types cover core DS",
+         str([f"{v:.2f}" for v in al_mass])),
+    ])
+
+    assert mm["hanover-225-wahl"] == mm["uncc-2215-krs"] == mm["bsc-210-wagner"]
+    assert mm["uncc-2214-krs"] == mm["uncc-2214-saule"]
+    assert t_duke not in (t_combi, t_apps)
+    # Every type keeps substantial algorithm/data-structure mass (§4.6:
+    # "all three types include what you would think as core data structures").
+    assert min(al_mass) > 0.15
+    # Ahmed is the least concentrated course of the family.
+    concentrations = {cid: float(np.max(fa.course_memberships(cid))) for cid in ids}
+    assert concentrations["ucf-3502-ahmed"] <= sorted(concentrations.values())[2]

@@ -1,0 +1,51 @@
+"""Figure 8 — PDC course agreement tree at threshold 2.
+
+Paper (§4.7): most entries shared by >=2 of the 3 PDC courses live in the
+PD knowledge area, with additional common tags in Discrete Structures,
+Algorithms and Complexity, Systems Fundamentals, Software Development
+Fundamentals, and Programming Languages.  Outside concurrency/parallelism
+proper, the shared entries are directed graphs, recursion and divide and
+conquer, and Big-Oh analysis — the anchor points the paper builds on.
+"""
+
+from conftest import report
+
+from repro.analysis import agreement, agreement_tree
+from repro.materials.hittree import HitTree
+from repro.viz import render_radial_svg
+
+
+def test_fig8_pdc_agreement(benchmark, pdc_courses, tree, tmp_path):
+    sub = benchmark(lambda: agreement_tree(pdc_courses, tree, 2))
+    res = agreement(pdc_courses, tree=tree)
+
+    path = tmp_path / "fig8_pdc_agreement_2.svg"
+    path.write_text(render_radial_svg(
+        HitTree(sub, {n: res.counts.get(n, 1) for n in sub.node_ids()})
+    ))
+    print(f"\nthreshold 2: {len(sub)} nodes -> {path}")
+
+    shared = res.tags_at_least(2)
+    areas = res.areas_at_least(2, tree)
+    pd_share = areas.get("PD", 0) / max(sum(areas.values()), 1)
+    non_pd = [t for t in shared if not t.startswith("CS2013/PD/")]
+    anchor_units = {t.split("/")[-2] for t in non_pd}
+
+    report("Figure 8 (PDC agreement, >=2 of 3 courses)", [
+        ("PDC courses", "3", str(res.n_courses)),
+        ("dominant area", "PD", max(areas, key=areas.get)),
+        ("PD share of shared tags", "most", f"{pd_share:.0%}"),
+        ("other areas present", "DS, AL, SF, SDF, PL",
+         str(sorted(set(areas) - {"PD"}))),
+        ("non-PD anchors", "digraphs, recursion/D&C, Big-Oh",
+         str(sorted(anchor_units))),
+    ])
+
+    assert res.n_courses == 3
+    assert max(areas, key=areas.get) == "PD"
+    assert pd_share >= 0.35
+    # The paper's anchor trio shows up among the non-PD shared units:
+    # graphs (DS/GT), Big-Oh (AL/BA), recursion / divide-and-conquer
+    # (SDF/AD or AL/AS).
+    assert {"GT", "BA"} & anchor_units or {"AS", "AD"} & anchor_units
+    assert len(set(areas) - {"PD"}) >= 3

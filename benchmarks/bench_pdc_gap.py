@@ -1,0 +1,52 @@
+"""Derived experiment G1 — the program-level PDC gap.
+
+The paper's premise quantified: how much of the CS2013 PD core does a
+program cover with and without dedicated PDC courses, and how far do the
+§5.2 anchor modules go toward closing the residual gap in early courses.
+"""
+
+from conftest import report
+
+from repro.analysis.program import analyze_program, pdc_gap
+from repro.anchors import MODULE_CATALOG
+from repro.curriculum import load_crosswalk
+from repro.materials.course import CourseLabel
+
+
+def test_pdc_gap(benchmark, courses, tree):
+    pdc_ids = {c.id for c in courses if CourseLabel.PDC in c.labels}
+    early = [c for c in courses if c.id not in pdc_ids]
+
+    def run():
+        return (
+            pdc_gap(early, tree),
+            pdc_gap(list(courses), tree),
+            analyze_program(early, tree),
+        )
+
+    gap_early, gap_all, prog = benchmark(run)
+
+    # How many gap entries could the anchor catalog's taught PDC12 topics
+    # address (via the crosswalk, in reverse)?
+    xw = load_crosswalk()
+    addressable_cs: set[str] = set()
+    for module in MODULE_CATALOG():
+        for pdc_topic in module.teaches_tags:
+            addressable_cs.update(xw.cs2013_anchors_for(pdc_topic))
+    # Anchors are CS2013 entries anywhere; the PD-area ones in the gap:
+    closed = [t for t in gap_early if t in addressable_cs]
+
+    report("Derived G1 (program-level PDC gap)", [
+        ("PD core entries uncovered without PDC courses", "the premise",
+         str(len(gap_early))),
+        ("PD core entries uncovered with PDC courses", "much smaller",
+         str(len(gap_all))),
+        ("program meets CS2013 core rules", "no single early program does",
+         str(prog.meets_core_requirements())),
+        ("gap entries the module catalog can address", ">0",
+         str(len(closed))),
+    ])
+
+    assert len(gap_all) < len(gap_early)
+    assert len(gap_early) >= 10
+    assert not prog.meets_core_requirements()

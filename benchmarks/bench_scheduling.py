@@ -1,0 +1,84 @@
+"""Substrate study T1 — the §5.2 list-scheduling simulator, studied properly.
+
+The paper proposes implementing a list-scheduling simulator as course
+content; this bench runs the study a student would: priority policies
+compared across topologies, speedup saturating at graph parallelism, and
+the communication-delay sweep showing why data locality matters (PDC12's
+"Data locality and its performance impact").
+"""
+
+from conftest import report
+
+from repro.taskgraph import (
+    divide_and_conquer_dag,
+    layered_random_dag,
+    list_schedule,
+    list_schedule_comm,
+    validate_comm_schedule,
+    wavefront_dag,
+)
+from repro.util.tables import format_table
+
+
+def test_policy_comparison(benchmark):
+    graphs = {
+        "layered": layered_random_dag(8, 10, seed=11),
+        "divide&conquer": divide_and_conquer_dag(6),
+        "wavefront": wavefront_dag(12, 12),
+    }
+
+    def run():
+        out = {}
+        for name, g in graphs.items():
+            out[name] = {
+                policy: list_schedule(g, 8, policy=policy).makespan
+                for policy in ("bottom-level", "weight", "fifo")
+            }
+        return out
+
+    results = benchmark(run)
+    rows = [
+        (name, *(f"{results[name][p]:.1f}" for p in ("bottom-level", "weight", "fifo")))
+        for name in graphs
+    ]
+    print("\n" + format_table(rows, header=["graph", "bottom-level", "weight", "fifo"]))
+
+    # Critical-path priority is never much worse than the alternatives.
+    for name, g in graphs.items():
+        bl = results[name]["bottom-level"]
+        assert bl <= min(results[name].values()) * 1.15 + 1e-9
+        s = list_schedule(g, 8)
+        s.validate()
+        assert s.speedup() <= g.parallelism() + 1e-9
+
+    report("T1 (policy comparison, p=8)", [
+        ("critical-path-first competitive", "classic result", "yes"),
+    ])
+
+
+def test_comm_delay_sweep(benchmark):
+    g = layered_random_dag(8, 8, seed=13)
+
+    def run():
+        return {
+            delay: list_schedule_comm(g, 8, comm_delay=delay).makespan
+            for delay in (0.0, 1.0, 4.0, 16.0, 64.0)
+        }
+
+    makespans = benchmark(run)
+    rows = [(d, f"{m:.1f}", f"{g.work() / m:.2f}") for d, m in makespans.items()]
+    print("\n" + format_table(rows, header=["comm delay", "makespan", "speedup"]))
+
+    for delay, m in makespans.items():
+        s = list_schedule_comm(g, 8, comm_delay=delay)
+        validate_comm_schedule(s, delay)
+
+    vals = [makespans[d] for d in sorted(makespans)]
+    report("T1 (communication-delay sweep)", [
+        ("makespan grows with delay", "locality matters",
+         f"{vals[0]:.0f} -> {vals[-1]:.0f}"),
+        ("huge delay approaches serial", "clustering wins",
+         f"speedup {g.work() / vals[-1]:.2f}"),
+    ])
+    assert all(a <= b + 1e-9 for a, b in zip(vals, vals[1:]))
+    assert g.work() / vals[-1] < 2.5

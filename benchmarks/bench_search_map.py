@@ -1,0 +1,68 @@
+"""System component M2 — repository search and the MDS search map (§3.1.2).
+
+"The similarities are then passed to a Multidimensional Scaling (MDS)
+algorithm to map the materials to a 2D location where more similar
+materials are naturally clustered together."  This bench measures search
+latency over the full canonical repository and checks the embedding's
+neighborhood preservation: a material's nearest neighbor in 2-D should be
+similar in tag space far more often than chance.
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.materials import MaterialRepository, SearchQuery, search_map
+from repro.materials.similarity import similarity_matrix
+
+
+def _build_repo(courses):
+    repo = MaterialRepository()
+    for c in courses:
+        repo.add_course(c)
+    return repo
+
+
+def test_repository_search_latency(benchmark, courses, tree):
+    repo = _build_repo(courses)
+    loops = next(
+        n for n in tree.find_by_label("Iterative control structures (loops)")
+    )
+    hits = benchmark(
+        lambda: repo.search(SearchQuery(tags=frozenset({loops.id})), tree=tree)
+    )
+    report("M2 (repository search)", [
+        ("repository size", "~1700 materials (CS Materials)",
+         f"{repo.n_materials} materials"),
+        ("hits for a core CS1 topic", "many courses", str(len(hits))),
+    ])
+    assert len(hits) >= 5
+    scores = [h.score for h in hits]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_search_map_neighborhood_preservation(benchmark, courses):
+    # Query + results: one course's materials plus similar ones from others.
+    mats = [m for c in list(courses)[:6] for m in c.materials][:40]
+
+    coords, res = benchmark(lambda: search_map(mats, seed=0))
+
+    sims = similarity_matrix(mats)
+    xy = np.array([coords[m.id] for m in mats])
+    hits = 0
+    for i in range(len(mats)):
+        d = np.linalg.norm(xy - xy[i], axis=1)
+        d[i] = np.inf
+        nn = int(np.argmin(d))
+        # Is the 2-D nearest neighbor among the top-25% most similar?
+        order = np.argsort(-sims[i])
+        top = set(order[1 : max(2, len(mats) // 4)].tolist())
+        hits += nn in top
+    preservation = hits / len(mats)
+
+    report("M2 (MDS search map)", [
+        ("embedding stress", "low", f"{res.stress:.3f}"),
+        ("NN preservation (top-25% similar)", "well above 25% chance",
+         f"{preservation:.0%}"),
+    ])
+    assert preservation > 0.4
+    assert np.isfinite(res.stress)

@@ -1,0 +1,93 @@
+"""Section 5.2 — the anchor-point recommendations, regenerated.
+
+The discussion section's per-type recommendations become a reproducible
+table: for each discovered course flavor, which PDC modules target it; and
+for each canonical course, the ranked anchor list.
+"""
+
+from conftest import report
+
+from repro.anchors import MODULE_CATALOG, recommend_for_course, recommend_for_type
+from repro.corpus.roster import ROSTER
+from repro.util.tables import format_table
+
+
+def test_sec52_type_recommendations(benchmark):
+    flavors = [
+        "cs1-imperative", "cs1-algorithmic", "cs1-oop",
+        "ds-applications", "ds-object-oriented", "ds-combinatorial",
+    ]
+    table = benchmark(
+        lambda: {f: [m.id for m in recommend_for_type(f)] for f in flavors}
+    )
+    print()
+    for f, mods in table.items():
+        print(f"  {f:20s} -> {', '.join(mods)}")
+
+    report("Section 5.2 (per-type modules)", [
+        ("CS1 T2 (imperative)", "reduction ordering",
+         str("reduction-ordering" in table["cs1-imperative"])),
+        ("CS1 T1 (algorithmic)", "parallel-for",
+         str("parallel-for-loops" in table["cs1-algorithmic"])),
+        ("CS1 T3 (OOP)", "promises / CORBA-style",
+         str("promise-concurrency" in table["cs1-oop"]
+             and "distributed-objects" in table["cs1-oop"])),
+        ("DS T2 (OOP)", "thread-safe types",
+         str("thread-safe-collections" in table["ds-object-oriented"])),
+        ("DS T3 (combinatorial)", "cilk brute force + DP",
+         str("cilk-brute-force" in table["ds-combinatorial"]
+             and "dp-bottom-up-parallel" in table["ds-combinatorial"]
+             and "dp-top-down-tasking" in table["ds-combinatorial"])),
+        ("DS T1 (applications)", "list-scheduling simulator",
+         str("list-scheduling-simulator" in table["ds-applications"])),
+        ("all DS types", "task graphs + concurrent structures",
+         str(all("task-graph-analysis" in table[f] and
+                 "concurrent-data-structures" in table[f]
+                 for f in ("ds-applications", "ds-object-oriented",
+                           "ds-combinatorial")))),
+    ])
+
+    assert "reduction-ordering" in table["cs1-imperative"]
+    assert "parallel-for-loops" in table["cs1-algorithmic"]
+    assert "promise-concurrency" in table["cs1-oop"]
+    assert "distributed-objects" in table["cs1-oop"]
+    assert "thread-safe-collections" in table["ds-object-oriented"]
+    assert "cilk-brute-force" in table["ds-combinatorial"]
+    assert "list-scheduling-simulator" in table["ds-applications"]
+
+
+def test_sec52_course_rankings(benchmark, courses):
+    mixtures = {e.id: e.mixture for e in ROSTER}
+    by_id = {c.id: c for c in courses}
+
+    def rank_all():
+        out = {}
+        for cid, mixture in mixtures.items():
+            out[cid] = recommend_for_course(by_id[cid], flavors=mixture)
+        return out
+
+    recs = benchmark(rank_all)
+    rows = [
+        (cid, "; ".join(f"{r.module.id}" for r in rec.top(2)))
+        for cid, rec in recs.items()
+    ]
+    print("\n" + format_table(rows, header=["course", "top anchor modules"]))
+
+    # Courses with OOP flavor rank the OOP-targeted modules above average.
+    singh = recs["washu-131-singh"]
+    singh_top = {r.module.id for r in singh.top(3)}
+    assert {"promise-concurrency", "distributed-objects"} & singh_top
+
+    # The combinatorial algorithms course anchors cilk-style brute force.
+    krs = recs["uncc-2215-krs"]
+    assert "cilk-brute-force" in {r.module.id for r in krs.top(3)}
+
+    # Most catalog modules are fully deployable in at least one course
+    # (deployable = every anchor tag covered, a strict bar).
+    deployable_somewhere = {
+        r.module.id
+        for rec in recs.values()
+        for r in rec.recommendations
+        if r.deployable
+    }
+    assert len(deployable_somewhere) >= len(MODULE_CATALOG()) * 0.6

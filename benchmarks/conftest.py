@@ -1,0 +1,68 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Every benchmark prints a ``paper vs measured`` block so its output can be
+pasted into EXPERIMENTS.md, and times the core computation with
+pytest-benchmark.  The canonical dataset is session-scoped: the corpus is
+one fixed realization (see :mod:`repro.canonical`).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.canonical import load_canonical_dataset
+from repro.materials.course import CourseLabel
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """(tree, courses, matrix) for the canonical corpus."""
+    return load_canonical_dataset()
+
+
+@pytest.fixture(scope="session")
+def tree(dataset):
+    return dataset[0]
+
+
+@pytest.fixture(scope="session")
+def courses(dataset):
+    return dataset[1]
+
+
+@pytest.fixture(scope="session")
+def matrix(dataset):
+    return dataset[2]
+
+
+@pytest.fixture(scope="session")
+def cs1_courses(courses):
+    return [c for c in courses if CourseLabel.CS1 in c.labels]
+
+
+@pytest.fixture(scope="session")
+def ds_courses(courses):
+    return [c for c in courses if CourseLabel.DS in c.labels]
+
+
+@pytest.fixture(scope="session")
+def ds_algo_courses(courses):
+    return [
+        c for c in courses
+        if CourseLabel.DS in c.labels or CourseLabel.ALGO in c.labels
+    ]
+
+
+@pytest.fixture(scope="session")
+def pdc_courses(courses):
+    return [c for c in courses if CourseLabel.PDC in c.labels]
+
+
+def report(title: str, rows: list[tuple[str, str, str]]) -> None:
+    """Print a paper-vs-measured block (quantity, paper, measured)."""
+    print(f"\n--- {title} ---")
+    w0 = max(len(r[0]) for r in rows)
+    w1 = max(max(len(r[1]) for r in rows), len("paper"))
+    print(f"{'quantity'.ljust(w0)}  {'paper'.ljust(w1)}  measured")
+    for q, p, m in rows:
+        print(f"{q.ljust(w0)}  {p.ljust(w1)}  {m}")

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""The ontology engine is guideline-agnostic: build your own standard.
+
+CS Materials supports "national standards for curriculum guidelines" in
+general (§3.1) — CS2013 and PDC12 are just the two it ships.  This example
+builds a small custom guideline (a data-science micro-standard), classifies
+a course against it, and runs the same coverage / hit-tree / agreement
+machinery the paper applies to CS2013 — demonstrating that every analysis
+in this library works for any tree-structured standard.
+
+Usage:  python examples/build_your_own_guideline.py
+"""
+
+from repro import Course, Material, MaterialType, agreement, build_hit_tree, coverage
+from repro.ontology import TreeBuilder, reference_level
+from repro.ontology.node import Mastery, Tier
+from repro.viz import render_tree_text
+
+
+def build_ds_standard():
+    b = TreeBuilder("DS101", "Data Science Micro-Standard")
+    wrangle = b.area("WR", "Data Wrangling")
+    acq = b.unit(wrangle, "ACQ", "Acquisition", tier=Tier.CORE1)
+    b.topic(acq, "Reading tabular data", tier=Tier.CORE1)
+    b.topic(acq, "Calling web APIs", tier=Tier.CORE2)
+    b.outcome(acq, "Load a real dataset and report its shape",
+              mastery=Mastery.USAGE, tier=Tier.CORE1)
+    clean = b.unit(wrangle, "CLN", "Cleaning", tier=Tier.CORE1)
+    b.topic(clean, "Missing values and imputation", tier=Tier.CORE1)
+    b.topic(clean, "Outlier detection", tier=Tier.CORE2)
+
+    model = b.area("MD", "Modeling")
+    reg = b.unit(model, "REG", "Regression", tier=Tier.CORE1)
+    b.topic(reg, "Linear regression", tier=Tier.CORE1)
+    b.outcome(reg, "Fit and interpret a regression",
+              mastery=Mastery.ASSESSMENT, tier=Tier.CORE1)
+    cls_ = b.unit(model, "CLS", "Classification", tier=Tier.CORE2)
+    b.topic(cls_, "Decision trees", tier=Tier.CORE2)
+
+    comm = b.area("CM", "Communication")
+    viz = b.unit(comm, "VIZ", "Visualization", tier=Tier.CORE1)
+    b.topic(viz, "Choosing an encoding", tier=Tier.CORE1)
+    b.outcome(viz, "Present an analysis to a non-expert",
+              mastery=Mastery.USAGE, tier=Tier.CORE1)
+    return b.build()
+
+
+def main() -> None:
+    std = build_ds_standard()
+    print(f"custom guideline: {len(std)} nodes, {len(std.tags())} tags, "
+          f"reference level {reference_level(std)}")
+    print(render_tree_text(std))
+
+    def tag(label):
+        (node,) = [n for n in std.find_by_label(label) if n.is_tag]
+        return node.id
+
+    course_a = Course("ds-a", "Intro Data Science (A)", materials=[
+        Material("a/lec1", "Loading data", MaterialType.LECTURE,
+                 frozenset({tag("Reading tabular data"),
+                            tag("Load a real dataset and report its shape")})),
+        Material("a/hw1", "Cleaning homework", MaterialType.ASSIGNMENT,
+                 frozenset({tag("Missing values and imputation")})),
+        Material("a/proj", "Regression project", MaterialType.PROJECT,
+                 frozenset({tag("Linear regression"),
+                            tag("Fit and interpret a regression")})),
+    ])
+    course_b = Course("ds-b", "Intro Data Science (B)", materials=[
+        Material("b/lec1", "APIs and dataframes", MaterialType.LECTURE,
+                 frozenset({tag("Calling web APIs"),
+                            tag("Reading tabular data")})),
+        Material("b/lab", "Visualization lab", MaterialType.LAB,
+                 frozenset({tag("Choosing an encoding")})),
+    ])
+
+    print("\n=== coverage (course A) ===")
+    cov = coverage(course_a, std)
+    print(f"{cov.n_tags_covered}/{cov.n_tags_total} tags; "
+          f"core-1 {cov.core1_fraction:.0%}")
+
+    print("\n=== agreement across both sections ===")
+    res = agreement([course_a, course_b], tree=std)
+    for t in res.tags_at_least(2):
+        print(f"  both cover: {std[t].label}")
+
+    ht = build_hit_tree(course_a.materials, std)
+    print(f"\nhit-tree of course A: {len(ht.tree)} nodes, "
+          f"root weight {ht.weight(std.root_id)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Classify a course against the guidelines, the way a workshop attendee would.
+
+Builds a small Data Structures course by hand (lectures, assignments, an
+exam), classifies each material against CS2013 entries found by label, then
+runs the day-2 workshop analyses: coverage, delivery-vs-assessment
+alignment, and a radial hit-tree exported as SVG.
+
+Usage:  python examples/classify_a_course.py [output.svg]
+"""
+
+import sys
+
+from repro import (
+    Course,
+    CourseLabel,
+    Material,
+    MaterialRole,
+    MaterialType,
+    alignment,
+    build_hit_tree,
+    coverage,
+    load_cs2013,
+)
+from repro.util.tables import format_table
+from repro.viz import render_radial_svg
+
+
+def tags_by_label(tree, *labels: str) -> frozenset[str]:
+    """Look up tag ids by their human-readable guideline labels."""
+    out = set()
+    for label in labels:
+        matches = [n for n in tree.find_by_label(label) if n.is_tag]
+        if not matches:
+            raise SystemExit(f"no guideline entry labeled {label!r}")
+        out.update(n.id for n in matches)
+    return frozenset(out)
+
+
+def main() -> None:
+    tree = load_cs2013()
+
+    lec_lists = Material(
+        "ds/lec-lists", "Linked lists", MaterialType.LECTURE,
+        tags_by_label(tree, "Linked lists", "References and aliasing"),
+        author="You", course_level="DS", language="Java",
+    )
+    lec_trees = Material(
+        "ds/lec-trees", "Binary search trees", MaterialType.LECTURE,
+        tags_by_label(
+            tree,
+            "Binary search trees: common operations",
+            "Trees: properties and traversal strategies",
+        ),
+        author="You", course_level="DS", language="Java",
+    )
+    hw_lists = Material(
+        "ds/hw-lists", "Implement a deque", MaterialType.ASSIGNMENT,
+        tags_by_label(tree, "Linked lists", "Stacks and queues"),
+        author="You", course_level="DS", language="Java",
+    )
+    hw_graphs = Material(
+        "ds/hw-graphs", "Graph traversal project", MaterialType.PROJECT,
+        tags_by_label(
+            tree,
+            "Graphs and graph algorithms: representations of graphs",
+            "Graphs and graph algorithms: depth-first and breadth-first traversals",
+        ),
+        author="You", course_level="DS", language="Java",
+        datasets=("openflights",),
+    )
+    exam = Material(
+        "ds/final", "Final exam", MaterialType.EXAM,
+        tags_by_label(
+            tree,
+            "Linked lists",
+            "Binary search trees: common operations",
+            "Big O notation: formal definition",
+        ),
+        author="You", course_level="DS",
+    )
+
+    course = Course(
+        "my-ds", "My Data Structures", instructor="You",
+        labels=frozenset({CourseLabel.DS}),
+        materials=[lec_lists, lec_trees, hw_lists, hw_graphs, exam],
+    )
+
+    print("=== Coverage against CS2013 ===")
+    cov = coverage(course, tree)
+    print(f"covers {cov.n_tags_covered}/{cov.n_tags_total} tags "
+          f"({cov.fraction:.1%}); core-1 {cov.core1_fraction:.1%}, "
+          f"core-2 {cov.core2_fraction:.1%}")
+    area_rows = [
+        (code, f"{got}/{total}")
+        for code, (got, total) in sorted(cov.by_area.items())
+        if got
+    ]
+    print(format_table(area_rows, header=["area", "covered"]))
+
+    print("\n=== Delivery vs assessment alignment ===")
+    rep = alignment(course, MaterialRole.DELIVERY, MaterialRole.ASSESSMENT)
+    print(f"aligned on {len(rep.shared)} tags "
+          f"({rep.alignment_fraction:.0%} of those touched)")
+    for tag in sorted(rep.only_a):
+        print(f"  taught but never assessed: {tree[tag].label}")
+    for tag in sorted(rep.only_b):
+        print(f"  assessed but never taught: {tree[tag].label}")
+
+    out = sys.argv[1] if len(sys.argv) > 1 else "my_course_hit_tree.svg"
+    hit = build_hit_tree(course.materials, tree)
+    with open(out, "w") as fh:
+        fh.write(render_radial_svg(hit))
+    print(f"\nhit-tree written to {out} "
+          f"({len(hit.tree)} nodes, root weight {hit.weight(tree.root_id)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The paper's full pipeline, end to end.
+
+1. Simulate the workshop series (31 classified, 11 excluded, 20 retained).
+2. Build the course x curriculum matrix.
+3. Type the courses with NNMF (k=4) and discover CS1 / DS flavors (k=3).
+4. Feed the flavors into the anchor recommender and print, per course,
+   where PDC content should anchor — the deliverable of Section 5.2.
+
+Usage:  python examples/discover_anchor_points.py [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    CourseLabel,
+    WorkshopSeries,
+    analyze_flavors,
+    build_course_matrix,
+    load_cs2013,
+    simulate_workshop_series,
+    type_courses,
+)
+from repro.anchors import recommend_for_course
+from repro.corpus.roster import ROSTER
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 44
+    tree = load_cs2013()
+
+    print("=== 1. Workshop data collection ===")
+    result = simulate_workshop_series(WorkshopSeries(tree), seed=seed)
+    print(f"{result.n_classified} courses classified at "
+          f"{len(result.workshops)} workshops; "
+          f"{len(result.excluded)} excluded, {len(result.retained)} retained")
+    for cid, reason in sorted(result.exclusion_log.items())[:3]:
+        print(f"  excluded {cid}: {reason}")
+
+    courses = list(result.retained)
+    matrix = build_course_matrix(courses, tree=tree)
+    print(f"\n=== 2. Course matrix: {matrix.n_courses} x {matrix.n_tags} ===")
+
+    print("\n=== 3. Types and flavors ===")
+    typing = type_courses(matrix, 4, seed=6)
+    label_dims = typing.label_to_type(courses)
+    for label, dim in label_dims.items():
+        print(f"  {label.value:8s} concentrates on dimension {dim + 1}")
+
+    mixtures = {e.id: e.mixture for e in ROSTER}
+    flavor_of: dict[str, list[str]] = {}
+    for family_label, k in ((CourseLabel.CS1, 3), (CourseLabel.DS, 3)):
+        ids = [
+            c.id for c in courses
+            if family_label in c.labels
+            or (family_label is CourseLabel.DS and CourseLabel.ALGO in c.labels)
+        ]
+        if len(ids) < k:
+            continue
+        fa = analyze_flavors(matrix.subset(ids), tree, k, seed=1)
+        for cid in ids:
+            # Identify each course's dominant discovered type, then read its
+            # flavor off the roster mixture of the type's strongest course.
+            t = int(np.argmax(fa.course_memberships(cid)))
+            exemplar = fa.strongest_course(t)
+            dominant = max(mixtures[exemplar], key=mixtures[exemplar].get)
+            flavor_of.setdefault(cid, []).append(dominant)
+
+    print("\n=== 4. PDC anchor recommendations (cf. Section 5.2) ===")
+    rows = []
+    for c in courses:
+        recs = recommend_for_course(c, flavors=flavor_of.get(c.id, []))
+        top = recs.top(2)
+        rows.append(
+            (
+                c.id,
+                ",".join(flavor_of.get(c.id, ["-"])),
+                "; ".join(f"{r.module.id} ({r.score:.2f})" for r in top),
+            )
+        )
+    print(format_table(rows, header=["course", "discovered flavor", "top modules"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Search the materials repository and map the results in 2-D (§3.1.2).
+
+Loads the canonical corpus into a repository, searches for materials
+matching specific learning objectives (binary search trees), then builds
+the similarity graph and the MDS search map CS Materials shows around a
+query.
+
+Usage:  python examples/search_materials.py
+"""
+
+from repro import (
+    MaterialRepository,
+    SearchQuery,
+    load_canonical_dataset,
+    load_cs2013,
+    search_map,
+    similarity_graph,
+)
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    tree = load_cs2013()
+    _, courses, _ = load_canonical_dataset()
+    repo = MaterialRepository()
+    for c in courses:
+        repo.add_course(c)
+    print(f"repository: {repo.n_materials} materials from {repo.n_courses} courses")
+
+    # Search by guideline subtree: everything under AL/Fundamental Data
+    # Structures and Algorithms that touches binary search trees.
+    bst = [n for n in tree.find_by_label("Binary search trees: common operations")][0]
+    query = SearchQuery(tags=frozenset({bst.id}))
+    hits = repo.search(query, tree=tree, limit=8)
+    print("\n=== top hits for 'binary search trees' ===")
+    print(format_table(
+        [(h.material.id, h.material.mtype.value, f"{h.score:.2f}") for h in hits],
+        header=["material", "type", "score"],
+    ))
+
+    mats = [h.material for h in hits]
+    g = similarity_graph(mats, threshold=0.05)
+    print(f"\nsimilarity graph: {g.number_of_nodes()} nodes, "
+          f"{g.number_of_edges()} edges")
+
+    coords, mds = search_map(mats, seed=0)
+    print(f"MDS stress: {mds.stress:.4f} ({mds.n_iter} iterations)")
+    print("\n=== 2-D search map ===")
+    print(format_table(
+        [(mid, f"{x:+.2f}", f"{y:+.2f}") for mid, (x, y) in coords.items()],
+        header=["material", "x", "y"],
+    ))
+
+
+if __name__ == "__main__":
+    main()

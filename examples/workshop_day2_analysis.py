@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""A workshop attendee's day-2 analysis session, end to end (§3.2).
+
+Day 2 of the course-analysis workshops teaches instructors to study (1) the
+coverage of their class, (2) the alignment between content delivery,
+activities, and assessment, (3) how to find new materials, and (4) the
+dependencies of topics in their class.  This script performs all four for
+one canonical course, plus the expectation-level profile and a comparison
+against another section of the same course.
+
+Usage:  python examples/workshop_day2_analysis.py [course-id]
+"""
+
+import sys
+
+from repro import (
+    MaterialRole,
+    alignment,
+    coverage,
+    load_canonical_dataset,
+)
+from repro.analysis.dependencies import topic_dependencies
+from repro.analysis.mastery import expectation_profile
+from repro.anchors import recommend_materials
+from repro.materials import compare_courses, load_external_materials
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    course_id = sys.argv[1] if len(sys.argv) > 1 else "uncc-2214-krs"
+    tree, courses, _ = load_canonical_dataset()
+    by_id = {c.id: c for c in courses}
+    try:
+        course = by_id[course_id]
+    except KeyError:
+        raise SystemExit(f"unknown course {course_id!r}; try one of {sorted(by_id)}")
+
+    print(f"=== 1. Coverage of {course.id} ===")
+    cov = coverage(course, tree)
+    print(f"{cov.n_tags_covered}/{cov.n_tags_total} tags "
+          f"({cov.fraction:.1%}); core-1 {cov.core1_fraction:.1%}")
+    area_rows = [(a, f"{c}/{t}") for a, (c, t) in sorted(cov.by_area.items()) if c]
+    print(format_table(area_rows, header=["area", "covered"]))
+
+    print("\n=== 2. Delivery vs activities vs assessment ===")
+    for role_b in (MaterialRole.ACTIVITY, MaterialRole.ASSESSMENT):
+        rep = alignment(course, MaterialRole.DELIVERY, role_b)
+        print(f"delivery vs {role_b.value}: {rep.alignment_fraction:.0%} aligned "
+              f"({len(rep.only_a)} taught-only, {len(rep.only_b)} {role_b.value}-only)")
+
+    print("\n=== 3. Finding new materials ===")
+    recs = recommend_materials(course, load_external_materials(), limit=3)
+    for r in recs:
+        print(f"  {r.material.id:40s} score {r.score:.2f} "
+              f"(+{len(r.new_pdc_tags)} new PDC topics)")
+
+    print("\n=== 4. Topic dependencies ===")
+    deps = topic_dependencies(course)
+    chain = deps.longest_chain()
+    print(f"{deps.graph.n_tasks} topics, {deps.graph.n_edges} dependency edges; "
+          f"longest prerequisite chain: {len(chain)} topics")
+    for t in chain[:5]:
+        print(f"  {tree[t].label if t in tree else t}")
+
+    print("\n=== 5. Expectation profile ===")
+    prof = expectation_profile(course, tree)
+    print(f"{prof.n_outcomes} learning outcomes covered; "
+          f"mean mastery {prof.mean_mastery:.2f} "
+          f"(1=familiarity..3=assessment); "
+          f"{prof.assessment_share:.0%} at assessment level")
+
+    other_id = "uncc-2214-saule" if course_id != "uncc-2214-saule" else "uncc-2214-krs"
+    print(f"\n=== 6. Comparison against {other_id} ===")
+    diff = compare_courses(course, by_id[other_id], tree)
+    print(f"shared {diff.n_shared} tags (Jaccard {diff.jaccard:.2f}); "
+          f"common ground in {', '.join(diff.most_shared_areas())}; "
+          f"diverging most in {', '.join(diff.most_divergent_areas())}")
+
+
+if __name__ == "__main__":
+    main()

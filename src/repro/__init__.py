@@ -1,0 +1,163 @@
+"""repro — reproduction of "Data-Driven Discovery of Anchor Points for PDC
+Content" (McQuaigue, Saule, Subramanian, Payton; SC-W / EduHPC 2023).
+
+The package re-builds the paper's entire stack from scratch:
+
+* the **curriculum guidelines** the paper classifies against
+  (:mod:`repro.curriculum`: ACM/IEEE CS2013 and NSF/TCPP PDC12, plus their
+  crosswalk) on a generic ontology engine (:mod:`repro.ontology`);
+* a complete **CS Materials** system (:mod:`repro.materials`): materials,
+  courses, repository search, similarity graphs, MDS search maps,
+  coverage/alignment analysis, hit-trees, and the bi-clustered matrix view;
+* the **factorization stack** (:mod:`repro.factorization`): NNMF
+  (multiplicative updates and HALS), PCA, classical MDS and SMACOF,
+  k-means++, spectral co-clustering;
+* a calibrated **synthetic corpus** (:mod:`repro.corpus`) and **workshop
+  simulation** (:mod:`repro.workshops`) standing in for the unpublished
+  workshop data;
+* the paper's **analyses** (:mod:`repro.analysis`): the course x tag
+  matrix, agreement distributions and trees, NNMF course typing and flavor
+  discovery, and model selection;
+* the **anchor-point recommender** (:mod:`repro.anchors`) operationalizing
+  Section 5.2, with a **task-graph/list-scheduling substrate**
+  (:mod:`repro.taskgraph`) implementing the PDC assignment content the
+  paper proposes;
+* text/SVG **visualization** (:mod:`repro.viz`) for the heat maps, radial
+  hit-trees, and agreement plots.
+
+Quickstart::
+
+    from repro import load_canonical_dataset, analyze_flavors, CourseLabel
+    tree, courses, matrix = load_canonical_dataset()
+    cs1 = matrix.subset([c.id for c in courses if CourseLabel.CS1 in c.labels])
+    flavors = analyze_flavors(cs1, tree, k=3, seed=1)
+    for p in flavors.profiles:
+        print(p.index, p.dominant_area, p.member_courses)
+"""
+
+from repro.analysis import (
+    AgreementResult,
+    CourseMatrix,
+    CourseTyping,
+    FlavorAnalysis,
+    KSweepEntry,
+    TypeProfile,
+    agreement,
+    agreement_tree,
+    analyze_flavors,
+    build_course_matrix,
+    duplicate_dimension_score,
+    k_sweep,
+    select_k,
+    singleton_dimension_score,
+    stability_score,
+    type_courses,
+)
+from repro.canonical import (
+    CANONICAL_CORPUS_SEED,
+    FIG2_NMF_SEED,
+    FIG5_NMF_SEED,
+    FIG7_NMF_SEED,
+    load_canonical_dataset,
+)
+from repro.corpus import (
+    ARCHETYPES,
+    EXCLUDED_ROSTER,
+    ROSTER,
+    Archetype,
+    CorpusConfig,
+    RosterEntry,
+    generate_corpus,
+    generate_course,
+    synthetic_roster,
+)
+from repro.curriculum import load_crosswalk, load_cs2013, load_pdc12
+from repro.factorization import (
+    NMF,
+    PCA,
+    KMeans,
+    SpectralCoclustering,
+    classical_mds,
+    smacof,
+)
+from repro.materials import (
+    Course,
+    CourseLabel,
+    Material,
+    MaterialRepository,
+    MaterialRole,
+    MaterialType,
+    SearchQuery,
+    alignment,
+    build_hit_tree,
+    build_matrix_view,
+    coverage,
+    search_map,
+    similarity_graph,
+)
+from repro.workshops import WorkshopSeries, simulate_workshop_series
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # canonical dataset
+    "CANONICAL_CORPUS_SEED",
+    "FIG2_NMF_SEED",
+    "FIG5_NMF_SEED",
+    "FIG7_NMF_SEED",
+    "load_canonical_dataset",
+    # curriculum
+    "load_cs2013",
+    "load_pdc12",
+    "load_crosswalk",
+    # materials system
+    "Material",
+    "MaterialType",
+    "MaterialRole",
+    "Course",
+    "CourseLabel",
+    "MaterialRepository",
+    "SearchQuery",
+    "coverage",
+    "alignment",
+    "build_hit_tree",
+    "build_matrix_view",
+    "search_map",
+    "similarity_graph",
+    # corpus + workshops
+    "Archetype",
+    "ARCHETYPES",
+    "ROSTER",
+    "EXCLUDED_ROSTER",
+    "RosterEntry",
+    "CorpusConfig",
+    "generate_corpus",
+    "generate_course",
+    "synthetic_roster",
+    "WorkshopSeries",
+    "simulate_workshop_series",
+    # factorization
+    "NMF",
+    "PCA",
+    "KMeans",
+    "SpectralCoclustering",
+    "classical_mds",
+    "smacof",
+    # analysis
+    "CourseMatrix",
+    "build_course_matrix",
+    "AgreementResult",
+    "agreement",
+    "agreement_tree",
+    "CourseTyping",
+    "type_courses",
+    "FlavorAnalysis",
+    "TypeProfile",
+    "analyze_flavors",
+    "KSweepEntry",
+    "k_sweep",
+    "select_k",
+    "duplicate_dimension_score",
+    "singleton_dimension_score",
+    "stability_score",
+]

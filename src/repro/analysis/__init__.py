@@ -1,0 +1,66 @@
+"""The paper's analyses (Section 4).
+
+* :mod:`~repro.analysis.matrix` — the course x curriculum-tag 0–1 matrix
+  ``A`` (§4.1).
+* :mod:`~repro.analysis.agreement` — tag-agreement distributions (Figure 3)
+  and threshold agreement trees (Figures 4, 6, 8).
+* :mod:`~repro.analysis.typing` — NNMF course typing over all courses
+  (Figure 2) with type↔category association.
+* :mod:`~repro.analysis.flavors` — NNMF flavor analysis within a course
+  family (Figures 5 and 7), with H-matrix interpretation by knowledge area.
+* :mod:`~repro.analysis.model_selection` — choosing ``k``: reconstruction
+  curves, duplicate-dimension overfit detection (the paper's manual k=4
+  finding), and cross-seed stability.
+"""
+
+from repro.analysis.matrix import CourseMatrix, build_course_matrix
+from repro.analysis.agreement import (
+    AgreementResult,
+    agreement,
+    agreement_counts,
+    agreement_tree,
+)
+from repro.analysis.typing import CourseTyping, type_courses
+from repro.analysis.flavors import FlavorAnalysis, TypeProfile, analyze_flavors
+from repro.analysis.mastery import (
+    ExpectationProfile,
+    compare_expectations,
+    expectation_profile,
+)
+from repro.analysis.dependencies import TopicDependencies, topic_dependencies
+from repro.analysis.program import ProgramCoverage, analyze_program, pdc_gap
+from repro.analysis.model_selection import (
+    KSweepEntry,
+    duplicate_dimension_score,
+    k_sweep,
+    select_k,
+    singleton_dimension_score,
+    stability_score,
+)
+
+__all__ = [
+    "CourseMatrix",
+    "build_course_matrix",
+    "AgreementResult",
+    "agreement",
+    "agreement_counts",
+    "agreement_tree",
+    "CourseTyping",
+    "type_courses",
+    "FlavorAnalysis",
+    "TypeProfile",
+    "analyze_flavors",
+    "ExpectationProfile",
+    "compare_expectations",
+    "expectation_profile",
+    "TopicDependencies",
+    "topic_dependencies",
+    "ProgramCoverage",
+    "analyze_program",
+    "pdc_gap",
+    "KSweepEntry",
+    "duplicate_dimension_score",
+    "k_sweep",
+    "select_k",
+    "stability_score",
+]

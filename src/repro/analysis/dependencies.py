@@ -1,0 +1,67 @@
+"""Topic-dependency analysis of a course (workshop day 2, §3.2).
+
+Attendees are taught "how to study the dependencies of topics in their
+classes."  The observable signal is the course's material sequence: a tag
+*depends on* an earlier-introduced tag when some material covers both —
+the later topic is being taught on top of the earlier one.  The resulting
+structure is a DAG (edges always point from strictly-earlier to later
+introductions), so the :mod:`repro.taskgraph` machinery applies directly:
+the critical path is the course's longest prerequisite chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.materials.course import Course
+from repro.taskgraph.dag import TaskGraph
+
+
+@dataclass(frozen=True)
+class TopicDependencies:
+    """Dependency structure extracted from one course."""
+
+    course_id: str
+    graph: TaskGraph               # vertices = tags, unit weights
+    intro_position: dict[str, int]  # tag -> index of first covering material
+
+    def longest_chain(self) -> list[str]:
+        """The longest prerequisite chain (critical path of the DAG)."""
+        return self.graph.critical_path()
+
+    def chain_length(self) -> int:
+        """Number of tags on the longest chain (0 for an empty course)."""
+        return len(self.longest_chain())
+
+    def foundational_tags(self, *, min_dependents: int = 3) -> list[str]:
+        """Tags that at least ``min_dependents`` later topics build on."""
+        counts = {t: len(self.graph.successors[t]) for t in self.graph.weights}
+        return sorted(t for t, c in counts.items() if c >= min_dependents)
+
+    def prerequisite_depth(self, tag: str) -> int:
+        """Length of the longest dependency chain ending at ``tag`` (>= 1)."""
+        return int(self.graph.critical_path_lengths()[tag])
+
+
+def topic_dependencies(course: Course) -> TopicDependencies:
+    """Extract the topic-dependency DAG of ``course``.
+
+    Materials are taken in course order; the first material covering a tag
+    *introduces* it.  For every material, each of its tags gains a
+    dependency edge from every strictly-earlier-introduced tag in the same
+    material (deduplicated).
+    """
+    intro: dict[str, int] = {}
+    for pos, material in enumerate(course.materials):
+        for tag in material.mappings:
+            intro.setdefault(tag, pos)
+    edges: set[tuple[str, str]] = set()
+    for material in course.materials:
+        tags = sorted(material.mappings)
+        for t in tags:
+            for s in tags:
+                if intro[s] < intro[t]:
+                    edges.add((s, t))
+    weights = {t: 1.0 for t in intro}
+    graph = TaskGraph.from_edges(weights, sorted(edges))
+    return TopicDependencies(course.id, graph, intro)

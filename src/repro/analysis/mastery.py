@@ -1,0 +1,85 @@
+"""Student-expectation analysis: mastery and Bloom levels.
+
+The introduction motivates understanding "what topics are being covered and
+the level of student expectations."  CS2013 expresses expectations as
+learning-outcome mastery (familiarity < usage < assessment); PDC12 uses
+Bloom levels (know < comprehend < apply).  This module summarizes the
+expectation profile of a course and compares profiles across course
+families.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.materials.course import Course
+from repro.ontology.node import Bloom, Mastery, NodeKind
+from repro.ontology.tree import GuidelineTree
+
+#: Ordinal ranks for averaging.
+_MASTERY_RANK = {Mastery.FAMILIARITY: 1, Mastery.USAGE: 2, Mastery.ASSESSMENT: 3}
+_BLOOM_RANK = {Bloom.KNOW: 1, Bloom.COMPREHEND: 2, Bloom.APPLY: 3}
+
+
+@dataclass(frozen=True)
+class ExpectationProfile:
+    """Expectation summary of one course against one guideline."""
+
+    course_id: str
+    n_outcomes: int
+    mastery_counts: dict[Mastery, int]
+    bloom_counts: dict[Bloom, int]
+
+    @property
+    def mean_mastery(self) -> float:
+        """Mean ordinal mastery (1 familiarity .. 3 assessment); 0 if none."""
+        total = sum(self.mastery_counts.values())
+        if not total:
+            return 0.0
+        return sum(_MASTERY_RANK[m] * c for m, c in self.mastery_counts.items()) / total
+
+    @property
+    def mean_bloom(self) -> float:
+        """Mean ordinal Bloom level (1 know .. 3 apply); 0 if none."""
+        total = sum(self.bloom_counts.values())
+        if not total:
+            return 0.0
+        return sum(_BLOOM_RANK[b] * c for b, c in self.bloom_counts.items()) / total
+
+    @property
+    def assessment_share(self) -> float:
+        """Fraction of covered outcomes at the assessment level."""
+        total = sum(self.mastery_counts.values())
+        return self.mastery_counts.get(Mastery.ASSESSMENT, 0) / total if total else 0.0
+
+
+def expectation_profile(course: Course, tree: GuidelineTree) -> ExpectationProfile:
+    """Summarize the mastery/Bloom levels of the tags a course covers."""
+    mastery: Counter[Mastery] = Counter()
+    bloom: Counter[Bloom] = Counter()
+    n_outcomes = 0
+    for tag in course.tag_set():
+        node = tree.get(tag)
+        if node is None or not node.is_tag:
+            continue
+        if node.kind is NodeKind.OUTCOME:
+            n_outcomes += 1
+            if node.mastery is not None:
+                mastery[node.mastery] += 1
+        if node.bloom is not None:
+            bloom[node.bloom] += 1
+    return ExpectationProfile(
+        course_id=course.id,
+        n_outcomes=n_outcomes,
+        mastery_counts=dict(mastery),
+        bloom_counts=dict(bloom),
+    )
+
+
+def compare_expectations(
+    courses: Sequence[Course], tree: GuidelineTree
+) -> dict[str, ExpectationProfile]:
+    """Profiles for a whole family, keyed by course id."""
+    return {c.id: expectation_profile(c, tree) for c in courses}

@@ -1,0 +1,37 @@
+"""PDC anchor-point discovery and recommendation (§5.2 operationalized).
+
+The paper's end goal: given what a course actually covers, tell a PDC
+expert *where* PDC content can anchor.  The package holds
+
+* :mod:`~repro.anchors.modules` — a catalog of deployable PDC teaching
+  modules, each declaring the PDC12 topics it teaches and the CS2013
+  entries it anchors on (prerequisites / insertion points);
+* :mod:`~repro.anchors.recommender` — scoring of modules against a course's
+  tag set and against discovered course types, reproducing every concrete
+  recommendation of Section 5.2.
+"""
+
+from repro.anchors.modules import MODULE_CATALOG, PDCModule
+from repro.anchors.recommender import (
+    AnchorRecommendation,
+    CourseRecommendations,
+    recommend_for_course,
+    recommend_for_type,
+)
+from repro.anchors.material_recommender import (
+    MaterialRecommendation,
+    coverage_gain,
+    recommend_materials,
+)
+
+__all__ = [
+    "PDCModule",
+    "MODULE_CATALOG",
+    "AnchorRecommendation",
+    "CourseRecommendations",
+    "recommend_for_course",
+    "recommend_for_type",
+    "MaterialRecommendation",
+    "coverage_gain",
+    "recommend_materials",
+]

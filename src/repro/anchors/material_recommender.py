@@ -1,0 +1,111 @@
+"""Recommending existing PDC *materials* for a particular course.
+
+The paper's conclusion: "we would like to classify more of the publicly
+available PDC materials in the system to help recommend PDC materials for
+particular courses."  Given a pool of classified materials (e.g. the
+modeled Peachy / PDC Unplugged collections), score each against a course:
+
+* **direct anchoring** — the material's CS2013 mappings the course already
+  covers (the material builds on things the course teaches);
+* **crosswalk anchoring** — for the material's PDC12 mappings, the CS2013
+  anchor entries (via :mod:`repro.curriculum.crosswalk`) the course covers;
+* **novelty** — the PDC12 content the material would add (a material that
+  teaches nothing new scores zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.curriculum.crosswalk import Crosswalk, load_crosswalk
+from repro.materials.course import Course
+from repro.materials.material import Material
+
+
+@dataclass(frozen=True)
+class MaterialRecommendation:
+    """One scored external material for one course."""
+
+    material: Material
+    score: float
+    direct_anchors: tuple[str, ...]     # CS2013 tags shared with the course
+    crosswalk_anchors: tuple[str, ...]  # CS2013 anchors of its PDC12 content
+    new_pdc_tags: tuple[str, ...]       # PDC12 tags the course would gain
+
+    @property
+    def anchored(self) -> bool:
+        """Whether the course covers at least one anchor of this material."""
+        return bool(self.direct_anchors or self.crosswalk_anchors)
+
+
+def _split_mappings(
+    material: Material,
+) -> tuple[frozenset[str], frozenset[str]]:
+    """(CS2013 tags, PDC12 tags) of a material by id prefix."""
+    cs = frozenset(t for t in material.mappings if t.startswith("CS2013/"))
+    pdc = frozenset(t for t in material.mappings if t.startswith("PDC12/"))
+    return cs, pdc
+
+
+def recommend_materials(
+    course: Course,
+    pool: Sequence[Material],
+    *,
+    crosswalk: Crosswalk | None = None,
+    anchor_weight: float = 1.0,
+    novelty_weight: float = 0.5,
+    limit: int | None = None,
+) -> list[MaterialRecommendation]:
+    """Rank ``pool`` materials for ``course``.
+
+    score = anchor_weight * anchor_coverage + novelty_weight * novelty
+    where anchor_coverage is the covered fraction of the material's anchors
+    (direct CS2013 mappings plus crosswalked PDC12 anchors) and novelty is
+    1 when the material teaches PDC12 content the course lacks.  Materials
+    with no anchors at all in the course score only on novelty, discounted
+    by half — deployable-but-unanchored.
+    """
+    xw = crosswalk if crosswalk is not None else load_crosswalk()
+    course_tags = course.tag_set()
+    out: list[MaterialRecommendation] = []
+    for material in pool:
+        cs_tags, pdc_tags = _split_mappings(material)
+        direct = tuple(sorted(cs_tags & course_tags))
+        anchor_universe: set[str] = set(cs_tags)
+        crosswalked: set[str] = set()
+        for pt in pdc_tags:
+            anchors = xw.cs2013_anchors_for(pt)
+            anchor_universe.update(anchors)
+            crosswalked.update(a for a in anchors if a in course_tags)
+        covered = set(direct) | crosswalked
+        coverage = len(covered) / len(anchor_universe) if anchor_universe else 0.0
+        new_pdc = tuple(sorted(pdc_tags - course_tags))
+        novelty = 1.0 if new_pdc else 0.0
+        base = anchor_weight * coverage + novelty_weight * novelty
+        if not covered:
+            base *= 0.5
+        out.append(
+            MaterialRecommendation(
+                material=material,
+                score=base,
+                direct_anchors=direct,
+                crosswalk_anchors=tuple(sorted(crosswalked)),
+                new_pdc_tags=new_pdc,
+            )
+        )
+    out.sort(key=lambda r: (-r.score, r.material.id))
+    return out[:limit] if limit is not None else out
+
+
+def coverage_gain(
+    course: Course,
+    materials: Iterable[Material],
+) -> frozenset[str]:
+    """PDC12 tags the course would newly cover after adopting ``materials``."""
+    course_tags = course.tag_set()
+    gained: set[str] = set()
+    for m in materials:
+        _, pdc = _split_mappings(m)
+        gained |= pdc - course_tags
+    return frozenset(gained)

@@ -1,0 +1,318 @@
+"""Catalog of deployable PDC teaching modules.
+
+Every concrete suggestion in §5.2 becomes a module:
+
+* CS1 Type 2 (imperative/representation) — reduction operation ordering
+  (floating-point non-associativity).
+* CS1 Type 1 (algorithmic) — parallel-for loops on long-running programs.
+* CS1 Type 3 (OOP) — promise-style concurrency; CORBA-style distributed
+  objects.
+* DS (all types) — concurrent access to data structures.
+* DS Type 2 (OOP) — thread-safe collection types (Java Vector vs ArrayList).
+* DS Type 3 (combinatorial) — cilk-style brute force; bottom-up DP with
+  parallel-for; top-down memoized DP with tasking.
+* DS graph coverage — parallel task graphs: topological sort, critical
+  path, and a list-scheduling simulator (priority queues + graphs).
+
+Anchor tags are declared by *label* and resolved against the loaded
+guidelines, so catalog entries fail loudly if the curriculum data drifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.curriculum.cs2013 import load_cs2013
+from repro.curriculum.pdc12 import load_pdc12
+from repro.ontology.tree import GuidelineTree
+
+
+@dataclass(frozen=True)
+class PDCModule:
+    """One insertable PDC teaching module.
+
+    * ``anchor_tags`` — CS2013 tag ids the module hooks into: the course
+      content that makes the module *teachable there*.  Scoring measures
+      how much of this a course already covers.
+    * ``teaches_tags`` — PDC12 tag ids the module delivers.
+    * ``target_flavors`` — archetype names (see :mod:`repro.corpus`) the
+      module is designed for; empty means universally applicable.
+    """
+
+    id: str
+    title: str
+    description: str
+    anchor_tags: tuple[str, ...]
+    teaches_tags: tuple[str, ...]
+    target_flavors: tuple[str, ...] = ()
+    activity_kind: str = "assignment"   # assignment | lecture | lab
+
+    def __post_init__(self) -> None:
+        if not self.anchor_tags:
+            raise ValueError(f"module {self.id}: needs at least one anchor tag")
+        if not self.teaches_tags:
+            raise ValueError(f"module {self.id}: needs at least one taught tag")
+
+
+def _tag(tree: GuidelineTree, label: str) -> str:
+    matches = [n for n in tree.find_by_label(label) if n.is_tag]
+    if len(matches) != 1:
+        raise LookupError(
+            f"module catalog label {label!r}: expected exactly one match in "
+            f"{tree.root_id}, found {[n.id for n in matches]}"
+        )
+    return matches[0].id
+
+
+#: Declarative catalog: (id, title, description, anchor labels (CS2013),
+#: taught labels (PDC12), target flavors, activity kind).
+_CATALOG_SPEC: list[tuple[str, str, str, list[str], list[str], list[str], str]] = [
+    (
+        "reduction-ordering",
+        "Order of operations in parallel reductions",
+        "Sum an array in different orders and observe that floating-point "
+        "results differ while integer results do not; connects data "
+        "representation to why parallel reductions need care (§5.2 CS1 T2).",
+        [
+            "Fixed- and floating-point representation of real numbers",
+            "Discuss how fixed-length number representations affect accuracy and precision",
+            "Numeric data representation and number bases",
+            "Iterative control structures (loops)",
+            "Variables and primitive data types",
+        ],
+        [
+            "Parallel reduction",
+            "Importance of operation ordering in parallel reduction (floating point non-associativity)",
+        ],
+        ["cs1-imperative"],
+        "lab",
+    ),
+    (
+        "parallel-for-loops",
+        "Parallel-for on long-running computations",
+        "Introduce parallel-for syntax on a compute-heavy loop so students "
+        "with algorithmic workloads see real speedup (§5.2 CS1 T1).",
+        [
+            "Iterative control structures (loops)",
+            "Big O notation: formal definition",
+            "Empirical measurement of performance",
+            "Implementation of algorithms in a programming language",
+            "Time and space trade-offs in algorithms",
+        ],
+        [
+            "Data-parallel notations: parallel loops (parallel-for)",
+            "Speedup and efficiency as performance metrics",
+        ],
+        ["cs1-algorithmic"],
+        "assignment",
+    ),
+    (
+        "promise-concurrency",
+        "Promise-style concurrency between objects",
+        "Operations on independent objects need not be strictly ordered; "
+        "promises/futures make the unordered structure explicit "
+        "(§5.2 CS1 T3).",
+        [
+            "Definition of classes: fields, methods, and constructors",
+            "Dynamic dispatch: definition of method-call",
+            "Subclasses, inheritance, and method overriding",
+            "Object interfaces and abstract classes",
+        ],
+        [
+            "Futures and promises as parallel programming constructs",
+            "Tasks and threads: creation, execution, termination",
+        ],
+        ["cs1-oop", "oop-course"],
+        "assignment",
+    ),
+    (
+        "distributed-objects",
+        "CORBA-style distributed object programming",
+        "Remote method invocation on objects living in another process — "
+        "distributed-systems programming for OOP-flavored courses "
+        "(§5.2 CS1 T3).",
+        [
+            "Definition of classes: fields, methods, and constructors",
+            "Encapsulation and information hiding in classes",
+            "Object-oriented design: decomposition into objects carrying state and behavior",
+            "Subtyping and subtype polymorphism",
+        ],
+        [
+            "Client-server and distributed-object programming (e.g. CORBA-style invocation, RPC)",
+        ],
+        ["cs1-oop", "oop-course"],
+        "assignment",
+    ),
+    (
+        "concurrent-data-structures",
+        "Concurrent access to data structures",
+        "What happens when two threads push onto one stack; races and "
+        "mutual exclusion on the structures every DS course builds "
+        "(§5.2 DS all types).",
+        [
+            "Stacks and queues",
+            "Linked lists",
+            "References and aliasing",
+            "Write programs that use arrays, records, strings, and linked lists",
+        ],
+        [
+            "Synchronization: critical sections and mutual exclusion",
+            "Concurrency defects: data races",
+        ],
+        [],
+        "lecture",
+    ),
+    (
+        "thread-safe-collections",
+        "Thread-safe collection types",
+        "Vector vs ArrayList: the primary difference is thread safety; "
+        "build a thread-safe wrapper and measure its cost (§5.2 DS T2).",
+        [
+            "Collection classes and iterators",
+            "Using collection classes, iterators, and other common library components",
+            "Parametric polymorphism (generics)",
+            "Encapsulation and information hiding in classes",
+        ],
+        [
+            "Thread-safe data types and containers (e.g. Java Vector vs ArrayList)",
+            "Synchronization: critical sections and mutual exclusion",
+        ],
+        ["ds-object-oriented"],
+        "assignment",
+    ),
+    (
+        "cilk-brute-force",
+        "Cilk-style parallel brute force",
+        "Recursive exhaustive search (e.g. n-queens) parallelized with "
+        "spawn/sync — brute-force algorithms are perfect for cilk-like "
+        "parallelism (§5.2 DS T3).",
+        [
+            "Brute-force algorithms",
+            "Recursive backtracking",
+            "The concept of recursion",
+            "Use recursive backtracking to solve a problem such as n-queens",
+        ],
+        [
+            "Brute-force/embarrassingly parallel algorithms",
+            "Task and thread spawning constructs (e.g. fork-join, cilk_spawn)",
+        ],
+        ["ds-combinatorial"],
+        "assignment",
+    ),
+    (
+        "dp-bottom-up-parallel",
+        "Bottom-up dynamic programming with parallel-for",
+        "Fill DP tables wavefront-by-wavefront using parallel loops; "
+        "bottom-up parallelism is a good candidate for parallel-for "
+        "constructs (§5.2 DS T3).",
+        [
+            "Dynamic programming",
+            "Use dynamic programming to solve an appropriate problem",
+            "Arrays",
+            "Iterative control structures (loops)",
+        ],
+        [
+            "Dynamic programming in parallel: bottom-up wavefront and top-down memoized tasking",
+            "Data-parallel notations: parallel loops (parallel-for)",
+        ],
+        ["ds-combinatorial"],
+        "assignment",
+    ),
+    (
+        "dp-top-down-tasking",
+        "Top-down memoized DP with a tasking model",
+        "Memoization induces complex dependency patterns that justify a "
+        "more capable tasking model than parallel-for (§5.2 DS T3).",
+        [
+            "Dynamic programming",
+            "Use dynamic programming to solve an appropriate problem",
+            "The concept of recursion",
+            "Write recursive functions for simple recursively defined problems",
+        ],
+        [
+            "Dynamic programming in parallel: bottom-up wavefront and top-down memoized tasking",
+            "Task and thread spawning constructs (e.g. fork-join, cilk_spawn)",
+        ],
+        ["ds-combinatorial"],
+        "assignment",
+    ),
+    (
+        "task-graph-analysis",
+        "Parallel task graphs: topological sort and critical path",
+        "Model parallel codes as task DAGs, implement topological sort to "
+        "derive a feasible order, compute the critical path to see how "
+        "parallel the graph is (§5.2 DS graph coverage).",
+        [
+            "Directed graphs",
+            "Topological sort",
+            "Graphs and graph algorithms: representations of graphs",
+            "Graphs and graph algorithms: depth-first and breadth-first traversals",
+        ],
+        [
+            "Notions from scheduling: dependencies and directed acyclic task graphs",
+            "Work and span (critical path) of a parallel computation",
+            "Topological sort for deriving feasible task orders",
+        ],
+        [],
+        "assignment",
+    ),
+    (
+        "list-scheduling-simulator",
+        "List-scheduling simulator",
+        "Implement a list-scheduling simulator — a natural application of "
+        "priority queues and graphs; fits applications-flavored DS courses "
+        "(§5.2 DS T1).",
+        [
+            "Priority queues",
+            "Directed graphs",
+            "Heaps",
+            "Graphs and graph algorithms: representations of graphs",
+        ],
+        [
+            "Makespan and list scheduling of task graphs",
+            "Notions from scheduling: dependencies and directed acyclic task graphs",
+        ],
+        ["ds-applications"],
+        "assignment",
+    ),
+    (
+        "amdahl-analysis",
+        "Speedup bounds with Amdahl's law",
+        "Measure a partially-parallel program, fit the serial fraction, "
+        "and predict the speedup ceiling — Big-Oh style analysis for "
+        "parallel programs (§4.7).",
+        [
+            "Big O notation: formal definition",
+            "Empirical measurement of performance",
+            "Complexity classes such as constant, logarithmic, linear, quadratic and exponential",
+            "Perform empirical studies to validate hypotheses about runtime",
+        ],
+        [
+            "Amdahl's law",
+            "Speedup and efficiency as performance metrics",
+        ],
+        [],
+        "exercise",
+    ),
+]
+
+
+@lru_cache(maxsize=1)
+def MODULE_CATALOG() -> tuple[PDCModule, ...]:
+    """The resolved module catalog (labels → tag ids; cached)."""
+    cs, pdc = load_cs2013(), load_pdc12()
+    modules = []
+    for mid, title, desc, anchors, teaches, flavors, kind in _CATALOG_SPEC:
+        modules.append(
+            PDCModule(
+                id=mid,
+                title=title,
+                description=desc,
+                anchor_tags=tuple(_tag(cs, a) for a in anchors),
+                teaches_tags=tuple(_tag(pdc, t) for t in teaches),
+                target_flavors=tuple(flavors),
+                activity_kind=kind,
+            )
+        )
+    return tuple(modules)

@@ -1,0 +1,128 @@
+"""Scoring PDC modules against courses and course types.
+
+A module anchors well in a course when the course already teaches the
+CS2013 content the module builds on.  The recommender scores:
+
+    score = anchor_coverage * (1 + flavor_bonus)
+
+where ``anchor_coverage`` is the fraction of the module's anchor tags the
+course covers and ``flavor_bonus`` rewards modules designed for the
+course's discovered flavor.  This turns §5.2's prose into a ranking
+function over the whole catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.anchors.modules import MODULE_CATALOG, PDCModule
+from repro.materials.course import Course
+
+
+@dataclass(frozen=True)
+class AnchorRecommendation:
+    """One scored module for one course."""
+
+    module: PDCModule
+    score: float
+    anchor_coverage: float
+    covered_anchors: tuple[str, ...]
+    missing_anchors: tuple[str, ...]
+    flavor_match: bool
+
+    @property
+    def deployable(self) -> bool:
+        """Whether the course covers every anchor the module needs."""
+        return not self.missing_anchors
+
+
+@dataclass(frozen=True)
+class CourseRecommendations:
+    """Ranked module list for one course."""
+
+    course_id: str
+    recommendations: tuple[AnchorRecommendation, ...]
+
+    def top(self, n: int = 5) -> tuple[AnchorRecommendation, ...]:
+        return self.recommendations[:n]
+
+    def deployable(self) -> tuple[AnchorRecommendation, ...]:
+        return tuple(r for r in self.recommendations if r.deployable)
+
+
+def _score_module(
+    module: PDCModule,
+    tag_set: frozenset[str],
+    flavors: frozenset[str],
+    flavor_bonus: float,
+) -> AnchorRecommendation:
+    covered = tuple(t for t in module.anchor_tags if t in tag_set)
+    missing = tuple(t for t in module.anchor_tags if t not in tag_set)
+    coverage = len(covered) / len(module.anchor_tags)
+    match = bool(
+        not module.target_flavors or (set(module.target_flavors) & flavors)
+    )
+    targeted = bool(module.target_flavors) and match
+    score = coverage * (1.0 + (flavor_bonus if targeted else 0.0))
+    return AnchorRecommendation(
+        module=module,
+        score=score,
+        anchor_coverage=coverage,
+        covered_anchors=covered,
+        missing_anchors=missing,
+        flavor_match=match,
+    )
+
+
+def recommend_for_course(
+    course: Course,
+    *,
+    flavors: Iterable[str] = (),
+    catalog: Sequence[PDCModule] | None = None,
+    flavor_bonus: float = 0.5,
+    min_score: float = 0.0,
+) -> CourseRecommendations:
+    """Rank catalog modules for one classified course.
+
+    ``flavors`` names the course's discovered archetypes (e.g. from the
+    NNMF flavor analysis or the roster mixture); modules targeting a
+    matching flavor get the multiplicative bonus.  Modules whose target
+    flavors all mismatch are still scored on anchor coverage alone —
+    content beats labels.
+    """
+    cat = tuple(catalog) if catalog is not None else MODULE_CATALOG()
+    tag_set = course.tag_set()
+    fl = frozenset(flavors)
+    recs = [_score_module(m, tag_set, fl, flavor_bonus) for m in cat]
+    recs = [r for r in recs if r.score > min_score]
+    recs.sort(key=lambda r: (-r.score, r.module.id))
+    return CourseRecommendations(course.id, tuple(recs))
+
+
+def recommend_for_type(
+    flavor: str,
+    *,
+    catalog: Sequence[PDCModule] | None = None,
+) -> tuple[PDCModule, ...]:
+    """Modules designed for a course flavor (§5.2's per-type lists).
+
+    Universal modules (empty ``target_flavors``) are included after the
+    flavor-specific ones.
+    """
+    cat = tuple(catalog) if catalog is not None else MODULE_CATALOG()
+    targeted = [m for m in cat if flavor in m.target_flavors]
+    universal = [m for m in cat if not m.target_flavors]
+    return tuple(targeted + universal)
+
+
+def type_recommendation_table(
+    flavor_names: Iterable[str],
+    *,
+    catalog: Sequence[PDCModule] | None = None,
+) -> Mapping[str, tuple[str, ...]]:
+    """flavor → module ids, the §5.2 summary table."""
+    return {
+        f: tuple(m.id for m in recommend_for_type(f, catalog=catalog))
+        for f in flavor_names
+    }

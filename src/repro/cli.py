@@ -1,0 +1,439 @@
+"""Command-line interface.
+
+Everything the examples do, scriptable::
+
+    repro canonical --out courses.json
+    repro generate --seed 7 --out courses.json
+    repro agreement courses.json --label CS1
+    repro flavors courses.json --label CS1 -k 3 --seed 1
+    repro types courses.json -k 4 --seed 6
+    repro matrix courses.json --out matrix.csv
+    repro recommend courses.json --course-id washu-131-singh
+    repro hit-tree courses.json --course-id washu-131-singh --out tree.svg
+
+Every subcommand reads/writes the JSON corpus format of :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis import agreement, analyze_flavors, build_course_matrix, type_courses
+from repro.anchors import recommend_for_course
+from repro.canonical import load_canonical_dataset
+from repro.corpus.generator import generate_corpus
+from repro.corpus.roster import EXCLUDED_ROSTER, ROSTER
+from repro.curriculum import load_cs2013
+from repro.io import load_courses, save_courses, save_matrix_csv
+from repro.materials import build_hit_tree
+from repro.materials.course import CourseLabel
+from repro.util.tables import format_table
+from repro.viz import ascii_heatmap, ascii_histogram, render_radial_svg
+
+
+def _load(path: str):
+    courses = load_courses(path)
+    if not courses:
+        raise SystemExit(f"{path}: no courses")
+    return courses
+
+
+def _filter_label(courses, label: str | None):
+    if label is None:
+        return courses
+    try:
+        lab = CourseLabel(label)
+    except ValueError:
+        raise SystemExit(
+            f"unknown label {label!r}; choose from "
+            f"{[l.value for l in CourseLabel]}"
+        ) from None
+    out = [c for c in courses if lab in c.labels]
+    if not out:
+        raise SystemExit(f"no courses carry label {label}")
+    return out
+
+
+def cmd_canonical(args) -> int:
+    _, courses, _ = load_canonical_dataset()
+    save_courses(list(courses), args.out)
+    print(f"wrote {len(courses)} canonical courses to {args.out}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    tree = load_cs2013()
+    roster = list(ROSTER) + (list(EXCLUDED_ROSTER) if args.include_excluded else [])
+    courses = generate_corpus(tree, seed=args.seed, roster=roster)
+    save_courses(courses, args.out)
+    print(f"wrote {len(courses)} courses (seed {args.seed}) to {args.out}")
+    return 0
+
+
+def cmd_agreement(args) -> int:
+    tree = load_cs2013()
+    courses = _filter_label(_load(args.courses), args.label)
+    res = agreement(courses, tree=tree, weighted=args.weighted)
+    print(f"{len(courses)} courses, {res.n_tags} distinct tags")
+    for k in sorted(res.at_least):
+        if k <= len(courses):
+            print(f"  tags in >= {k} courses: {res.at_least[k]}")
+    print(ascii_histogram(res.distribution, label="  "))
+    return 0
+
+
+def cmd_types(args) -> int:
+    tree = load_cs2013()
+    courses = _load(args.courses)
+    matrix = build_course_matrix(courses, tree=tree)
+    typing = type_courses(matrix, args.k, seed=args.seed)
+    print(ascii_heatmap(
+        typing.w_normalized,
+        row_labels=list(matrix.course_ids),
+        col_labels=[f"d{i + 1}" for i in range(args.k)],
+        normalize="global",
+    ))
+    for label, dim in typing.label_to_type(courses).items():
+        print(f"{label.value:10s} -> dimension {dim + 1}")
+    print(f"reconstruction error: {typing.reconstruction_err:.3f}")
+    return 0
+
+
+def cmd_flavors(args) -> int:
+    tree = load_cs2013()
+    courses = _filter_label(_load(args.courses), args.label)
+    matrix = build_course_matrix(courses, tree=tree)
+    fa = analyze_flavors(matrix, tree, args.k, seed=args.seed)
+    for p in fa.profiles:
+        print(p.describe())
+    for cid in matrix.course_ids:
+        w = fa.course_memberships(cid)
+        print(f"  {cid:24s} {np.round(w, 2)}")
+    return 0
+
+
+def cmd_matrix(args) -> int:
+    tree = load_cs2013()
+    courses = _load(args.courses)
+    matrix = build_course_matrix(courses, tree=tree)
+    save_matrix_csv(matrix, args.out)
+    print(f"wrote {matrix.n_courses} x {matrix.n_tags} matrix to {args.out}")
+    return 0
+
+
+def cmd_recommend(args) -> int:
+    courses = _load(args.courses)
+    try:
+        course = next(c for c in courses if c.id == args.course_id)
+    except StopIteration:
+        raise SystemExit(f"no course {args.course_id!r} in {args.courses}") from None
+    flavors = args.flavor or []
+    recs = recommend_for_course(course, flavors=flavors)
+    rows = [
+        (r.module.id, f"{r.score:.2f}", f"{r.anchor_coverage:.0%}",
+         "yes" if r.deployable else f"missing {len(r.missing_anchors)}")
+        for r in recs.top(args.top)
+    ]
+    print(format_table(rows, header=["module", "score", "anchors", "deployable"]))
+    return 0
+
+
+def cmd_pdc_gap(args) -> int:
+    from repro.analysis.program import analyze_program, pdc_gap
+
+    tree = load_cs2013()
+    courses = _load(args.courses)
+    prog = analyze_program(courses, tree)
+    gap = pdc_gap(courses, tree, core_only=not args.all_tiers)
+    print(f"program of {len(courses)} courses")
+    print(f"  core-1 coverage: {prog.core1_coverage:.1%}")
+    print(f"  core-2 coverage: {prog.core2_coverage:.1%}")
+    print(f"  meets CS2013 core rules: {prog.meets_core_requirements()}")
+    print(f"  PD-area gap: {len(gap)} entries")
+    for t in gap[: args.top]:
+        print(f"    - {tree[t].label}")
+    return 0
+
+
+def cmd_deps(args) -> int:
+    from repro.analysis.dependencies import topic_dependencies
+
+    tree = load_cs2013()
+    courses = _load(args.courses)
+    try:
+        course = next(c for c in courses if c.id == args.course_id)
+    except StopIteration:
+        raise SystemExit(f"no course {args.course_id!r} in {args.courses}") from None
+    deps = topic_dependencies(course)
+    chain = deps.longest_chain()
+    print(f"{course.id}: {deps.graph.n_tasks} topics, "
+          f"{deps.graph.n_edges} dependencies")
+    print(f"longest prerequisite chain ({len(chain)} topics):")
+    for t in chain:
+        label = tree[t].label if t in tree else t
+        print(f"  {deps.intro_position[t]:3d}  {label}")
+    found = deps.foundational_tags(min_dependents=args.min_dependents)
+    print(f"foundational topics (>= {args.min_dependents} dependents): {len(found)}")
+    return 0
+
+
+def cmd_lint(args) -> int:
+    from repro.curriculum import load_pdc12
+    from repro.materials.lint import Severity, lint_corpus
+
+    courses = _load(args.courses)
+    issues = lint_corpus(courses, [load_cs2013(), load_pdc12()])
+    for issue in issues:
+        print(issue)
+    n_err = sum(1 for i in issues if i.severity is Severity.ERROR)
+    n_warn = len(issues) - n_err
+    print(f"{n_err} error(s), {n_warn} warning(s) across {len(courses)} courses")
+    return 1 if n_err else 0
+
+
+def cmd_map(args) -> int:
+    from repro.materials.diff import course_map
+    from repro.viz import ascii_scatter
+
+    tree = load_cs2013()
+    courses = _load(args.courses)
+    coords, res = course_map(courses, tree=tree, seed=args.seed)
+    print(ascii_scatter(coords, width=args.width, height=args.height))
+    print(f"MDS stress {res.stress:.3f} after {res.n_iter} iterations")
+    for cid, (x, y) in coords.items():
+        print(f"  {cid:24s} {x:+.2f} {y:+.2f}")
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    from repro.io.dag_io import load_taskgraph
+    from repro.taskgraph import list_schedule, list_schedule_comm
+    from repro.viz import ascii_gantt
+
+    graph = load_taskgraph(args.dag)
+    if args.comm_delay > 0:
+        schedule = list_schedule_comm(
+            graph, args.processors, comm_delay=args.comm_delay, policy=args.policy
+        )
+    else:
+        schedule = list_schedule(graph, args.processors, policy=args.policy)
+        schedule.validate()
+    print(f"{graph.n_tasks} tasks, {graph.n_edges} edges")
+    print(f"work {graph.work():.2f}, span {graph.span():.2f}, "
+          f"parallelism {graph.parallelism():.2f}")
+    print(f"makespan on p={args.processors} ({args.policy}): "
+          f"{schedule.makespan:.2f}  "
+          f"speedup {schedule.speedup():.2f}  "
+          f"efficiency {schedule.efficiency():.2f}")
+    if args.gantt:
+        print(ascii_gantt(schedule, width=args.width))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.materials.diff import compare_courses
+
+    tree = load_cs2013()
+    courses = _load(args.courses)
+    by_id = {c.id: c for c in courses}
+    try:
+        a, b = by_id[args.a], by_id[args.b]
+    except KeyError as exc:
+        raise SystemExit(f"unknown course id {exc}") from None
+    diff = compare_courses(a, b, tree)
+    print(f"{a.id} vs {b.id}")
+    print(f"  shared tags : {diff.n_shared} (Jaccard {diff.jaccard:.2f})")
+    print(f"  only {a.id}: {len(diff.only_a)}")
+    print(f"  only {b.id}: {len(diff.only_b)}")
+    print(f"  common ground : {', '.join(diff.most_shared_areas())}")
+    print(f"  diverges most : {', '.join(diff.most_divergent_areas())}")
+    rows = [
+        (area, *counts)
+        for area, counts in sorted(diff.by_area.items())
+    ]
+    print(format_table(rows, header=["area", "shared", f"only {a.id}", f"only {b.id}"]))
+    return 0
+
+
+def cmd_materials(args) -> int:
+    from repro.anchors import recommend_materials
+    from repro.materials.external import load_external_materials
+
+    courses = _load(args.courses)
+    try:
+        course = next(c for c in courses if c.id == args.course_id)
+    except StopIteration:
+        raise SystemExit(f"no course {args.course_id!r} in {args.courses}") from None
+    recs = recommend_materials(course, load_external_materials(), limit=args.top)
+    rows = [
+        (r.material.id, f"{r.score:.2f}",
+         len(r.direct_anchors) + len(r.crosswalk_anchors),
+         len(r.new_pdc_tags))
+        for r in recs
+    ]
+    print(format_table(
+        rows, header=["material", "score", "anchors met", "new PDC topics"],
+    ))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.report import ReportConfig, build_report
+
+    tree = load_cs2013()
+    courses = _load(args.courses)
+    text = build_report(
+        courses, tree,
+        config=ReportConfig(typing_seed=args.seed, flavors_seed=args.seed),
+        title=args.title,
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote report ({len(text.splitlines())} lines) to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_hit_tree(args) -> int:
+    tree = load_cs2013()
+    courses = _load(args.courses)
+    try:
+        course = next(c for c in courses if c.id == args.course_id)
+    except StopIteration:
+        raise SystemExit(f"no course {args.course_id!r} in {args.courses}") from None
+    ht = build_hit_tree(course.materials, tree)
+    with open(args.out, "w") as fh:
+        fh.write(render_radial_svg(ht))
+    print(f"wrote hit-tree ({len(ht.tree)} nodes) to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'Data-Driven Discovery of "
+                    "Anchor Points for PDC Content' (SC-W 2023).",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    c = sub.add_parser("canonical", help="export the canonical 20-course dataset")
+    c.add_argument("--out", required=True)
+    c.set_defaults(func=cmd_canonical)
+
+    g = sub.add_parser("generate", help="generate a corpus from the roster")
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--out", required=True)
+    g.add_argument("--include-excluded", action="store_true")
+    g.set_defaults(func=cmd_generate)
+
+    a = sub.add_parser("agreement", help="tag-agreement analysis (Figure 3)")
+    a.add_argument("courses")
+    a.add_argument("--label", default=None, help="course category filter (e.g. CS1)")
+    a.add_argument("--weighted", action="store_true",
+                   help="weight tags by material count (depth-aware variant)")
+    a.set_defaults(func=cmd_agreement)
+
+    t = sub.add_parser("types", help="NNMF course typing (Figure 2)")
+    t.add_argument("courses")
+    t.add_argument("-k", type=int, default=4)
+    t.add_argument("--seed", type=int, default=None)
+    t.set_defaults(func=cmd_types)
+
+    f = sub.add_parser("flavors", help="NNMF flavor analysis (Figures 5/7)")
+    f.add_argument("courses")
+    f.add_argument("--label", default=None)
+    f.add_argument("-k", type=int, default=3)
+    f.add_argument("--seed", type=int, default=None)
+    f.set_defaults(func=cmd_flavors)
+
+    m = sub.add_parser("matrix", help="export the course x tag matrix as CSV")
+    m.add_argument("courses")
+    m.add_argument("--out", required=True)
+    m.set_defaults(func=cmd_matrix)
+
+    r = sub.add_parser("recommend", help="PDC anchor modules for a course (Section 5.2)")
+    r.add_argument("courses")
+    r.add_argument("--course-id", required=True)
+    r.add_argument("--flavor", action="append",
+                   help="discovered flavor(s) of the course; repeatable")
+    r.add_argument("--top", type=int, default=5)
+    r.set_defaults(func=cmd_recommend)
+
+    ln = sub.add_parser("lint", help="data-quality screen over a corpus")
+    ln.add_argument("courses")
+    ln.set_defaults(func=cmd_lint)
+
+    mp = sub.add_parser("map", help="2-D MDS map of whole courses")
+    mp.add_argument("courses")
+    mp.add_argument("--seed", type=int, default=0)
+    mp.add_argument("--width", type=int, default=64)
+    mp.add_argument("--height", type=int, default=18)
+    mp.set_defaults(func=cmd_map)
+
+    sc = sub.add_parser("schedule",
+                        help="simulate list scheduling of a task-graph JSON")
+    sc.add_argument("dag", help="task-graph JSON (see repro.io.dag_io)")
+    sc.add_argument("-p", "--processors", type=int, default=4)
+    sc.add_argument("--policy", default="bottom-level",
+                    choices=["bottom-level", "weight", "fifo"])
+    sc.add_argument("--comm-delay", type=float, default=0.0)
+    sc.add_argument("--gantt", action="store_true")
+    sc.add_argument("--width", type=int, default=72)
+    sc.set_defaults(func=cmd_schedule)
+
+    cp = sub.add_parser("compare", help="compare two courses (shared/unique tags)")
+    cp.add_argument("courses")
+    cp.add_argument("a")
+    cp.add_argument("b")
+    cp.set_defaults(func=cmd_compare)
+
+    em = sub.add_parser("materials",
+                        help="recommend external PDC materials for a course")
+    em.add_argument("courses")
+    em.add_argument("--course-id", required=True)
+    em.add_argument("--top", type=int, default=5)
+    em.set_defaults(func=cmd_materials)
+
+    rep = sub.add_parser("report", help="full Markdown analysis report")
+    rep.add_argument("courses")
+    rep.add_argument("--out", default=None, help="write to file instead of stdout")
+    rep.add_argument("--seed", type=int, default=1)
+    rep.add_argument("--title", default="Course corpus analysis")
+    rep.set_defaults(func=cmd_report)
+
+    pg = sub.add_parser("pdc-gap", help="program-level PD coverage gap")
+    pg.add_argument("courses")
+    pg.add_argument("--all-tiers", action="store_true",
+                    help="include elective PD entries in the gap")
+    pg.add_argument("--top", type=int, default=10,
+                    help="gap entries to list")
+    pg.set_defaults(func=cmd_pdc_gap)
+
+    d = sub.add_parser("deps", help="topic-dependency analysis of one course")
+    d.add_argument("courses")
+    d.add_argument("--course-id", required=True)
+    d.add_argument("--min-dependents", type=int, default=3)
+    d.set_defaults(func=cmd_deps)
+
+    h = sub.add_parser("hit-tree", help="radial hit-tree SVG for a course")
+    h.add_argument("courses")
+    h.add_argument("--course-id", required=True)
+    h.add_argument("--out", required=True)
+    h.set_defaults(func=cmd_hit_tree)
+
+    return p
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Synthetic course corpus calibrated to the paper's findings.
+
+The paper's raw data — 20 instructor-classified courses — was never
+published.  This package generates a statistically faithful substitute:
+
+* :mod:`~repro.corpus.archetypes` — course *archetypes* (CS1 imperative /
+  OOP / algorithmic; DS applications / OOP / combinatorial; Algorithms;
+  SE; PDC; OOP; CS2; networking) expressed as per-knowledge-unit inclusion
+  probabilities over the CS2013 tree, engineered from §4.3–4.7.
+* :mod:`~repro.corpus.roster` — the Figure 1 roster of 20 retained courses,
+  each assigned an archetype mixture matching the paper's per-course
+  observations (e.g. UCF/Ahmed hits all three DS types evenly).
+* :mod:`~repro.corpus.generator` — stochastic tag sampling plus material
+  synthesis, so every generated course is a full CS-Materials-style course.
+
+Calibration targets (checked by tests and reported in EXPERIMENTS.md):
+CS1 — 200+ distinct tags, ≈50 shared by ≥2 courses, ≈25 by ≥3, ≈13 by ≥4
+with the ≥4 set inside SDF; DS — ≈250 distinct tags, ≈120 shared by ≥2,
+≈50 by ≥4; DS agreement higher than CS1.
+"""
+
+from repro.corpus.archetypes import Archetype, ARCHETYPES
+from repro.corpus.roster import EXCLUDED_ROSTER, ROSTER, RosterEntry
+from repro.corpus.generator import (
+    CorpusConfig,
+    expected_tag_probability,
+    generate_corpus,
+    generate_course,
+    sample_course_tags,
+    sample_pdc12_tags,
+    synthetic_roster,
+)
+
+__all__ = [
+    "Archetype",
+    "ARCHETYPES",
+    "ROSTER",
+    "EXCLUDED_ROSTER",
+    "RosterEntry",
+    "CorpusConfig",
+    "expected_tag_probability",
+    "generate_corpus",
+    "generate_course",
+    "sample_course_tags",
+    "sample_pdc12_tags",
+    "synthetic_roster",
+]

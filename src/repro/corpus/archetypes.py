@@ -1,0 +1,304 @@
+"""Course archetypes: per-knowledge-unit tag-inclusion probabilities.
+
+An archetype is the generative analogue of an NNMF *type*: a distribution
+over the CS2013 guideline saying how likely a course of that flavor is to
+cover tags in each knowledge unit.  The numbers below are engineered from
+the paper's qualitative findings:
+
+* §4.4 — CS1 Type 1 (algorithmic) leans on AL + SDF data structures +
+  DS trees/graphs; Type 2 (imperative) on SDF programming + AR data
+  representation + testing/correctness (SE, IAS); Type 3 (OOP) on PL/SDF
+  with "almost no algorithm content".
+* §4.6 — DS Type 1 adds problem-solving/datasets/APIs/visualization (CN,
+  GV, IM); Type 2 adds OOP (PL, SDF); Type 3 adds combinatorial algorithms
+  (AL strategies, DS counting/sets).
+* §4.7 — PDC courses sit mostly in PD plus DS/AL/SF/SDF/PL spillover
+  (digraphs, recursion/divide-and-conquer, Big-Oh).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+#: Unit keys are "<AREA>/<UNIT>" codes from the CS2013 data modules.
+UnitWeights = Mapping[str, float]
+
+
+@dataclass(frozen=True)
+class Archetype:
+    """A course flavor as unit-inclusion probabilities.
+
+    ``unit_weights[u]`` is the probability scale that a tag under unit ``u``
+    is covered by a course of this archetype (further modulated by tag tier
+    and instructor idiosyncrasy in the generator).  Units absent from the
+    mapping default to 0.  ``outcome_bias`` scales the inclusion of
+    learning-outcome tags relative to topic tags — the "tree structure
+    bias" dial from the paper's Threats to Validity.
+    """
+
+    name: str
+    unit_weights: UnitWeights = field(default_factory=dict)
+    outcome_bias: float = 1.0
+    #: Multiplier on the generator's ``instructor_sigma`` for courses of
+    #: this flavor.  >1 = idiosyncratic (CS1, where the paper found deep
+    #: disagreement); <1 = standardized (DS, where agreement is high).
+    dispersion: float = 1.0
+    #: Optional inclusion probabilities over PDC12 units ("AREA/UNIT" codes
+    #: of that guideline) — CS Materials classifies against both guidelines
+    #: (§3.1), and PDC courses map to PDC12 as well as CS2013.
+    pdc12_unit_weights: UnitWeights = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for unit, w in self.unit_weights.items():
+            if not 0.0 <= w <= 1.0:
+                raise ValueError(f"{self.name}: weight for {unit} must be in [0,1], got {w}")
+        if self.outcome_bias < 0:
+            raise ValueError("outcome_bias must be >= 0")
+        if self.dispersion <= 0:
+            raise ValueError("dispersion must be > 0")
+        for unit, w in self.pdc12_unit_weights.items():
+            if not 0.0 <= w <= 1.0:
+                raise ValueError(
+                    f"{self.name}: PDC12 weight for {unit} must be in [0,1], got {w}"
+                )
+
+    def weight(self, unit_key: str) -> float:
+        return float(self.unit_weights.get(unit_key, 0.0))
+
+    def pdc12_weight(self, unit_key: str) -> float:
+        return float(self.pdc12_unit_weights.get(unit_key, 0.0))
+
+
+#: Core units every flavor of a Data Structures course covers (§4.5: high
+#: agreement on Big-Oh, linear structures, trees/graphs, search/sort).
+_DS_CORE: dict[str, float] = {
+    "AL/BA": 0.95,
+    "AL/FDSA": 0.95,
+    "SDF/FDS": 0.92,
+    "DS/GT": 0.80,
+    "SDF/AD": 0.55,
+    "AL/AS": 0.55,
+    "SDF/FPC": 0.30,
+    "SDF/DM": 0.30,
+}
+
+CS1_IMPERATIVE = Archetype(
+    "cs1-imperative",
+    {
+        "SDF/FPC": 0.80,  # the only unit CS1 courses broadly agree on (§4.3)
+        "SDF/AD": 0.35,
+        "SDF/DM": 0.40,
+        "AR/MRD": 0.45,   # in-memory representation: the Type-2 marker (§5.2)
+        "IAS/DEF": 0.30,  # correctness of programs and testing
+        "SE/VV": 0.20,
+        "SDF/FDS": 0.20,
+        "IM/IMC": 0.15,
+        "PL/BTS": 0.15,
+        "AR/ALMO": 0.10,
+    },
+    dispersion=1.25,
+)
+
+CS1_OOP = Archetype(
+    "cs1-oop",
+    {
+        "PL/OOP": 0.95,
+        "SDF/FPC": 0.60,
+        "PL/BTS": 0.55,
+        "SDF/AD": 0.25,
+        "SDF/DM": 0.30,
+        "PL/EDR": 0.35,
+        "SE/DES": 0.35,
+        "HCI/DI": 0.10,
+        "SDF/FDS": 0.15,
+        "PL/LTE": 0.25,
+        "PL/FP": 0.15,
+        "AL/BA": 0.04,    # "almost no algorithm content" (§4.4)
+    },
+    dispersion=1.25,
+)
+
+CS1_ALGORITHMIC = Archetype(
+    "cs1-algorithmic",
+    {
+        "AL/BA": 0.60,
+        "AL/FDSA": 0.55,
+        "AL/AS": 0.35,
+        "SDF/FDS": 0.55,
+        "SDF/FPC": 0.45,
+        "SDF/AD": 0.40,
+        "DS/GT": 0.35,
+        "DS/SRF": 0.20,
+        "SDF/DM": 0.15,
+    },
+    dispersion=1.25,
+)
+
+DS_APPLICATIONS = Archetype(
+    "ds-applications",
+    {
+        **_DS_CORE,
+        "CN/DATA": 0.70,  # datasets, APIs, visualization (§4.6 Type 1)
+        "CN/PROC": 0.50,
+        "GV/VIS": 0.50,
+        "CN/IMS": 0.45,
+        "IM/IMC": 0.35,
+        "GV/FC": 0.30,
+    },
+    dispersion=0.7,
+)
+
+DS_OBJECT_ORIENTED = Archetype(
+    "ds-object-oriented",
+    {
+        **_DS_CORE,
+        "PL/OOP": 0.95,
+        "PL/BTS": 0.60,
+        "SE/DES": 0.50,
+        "SDF/DM": 0.40,
+        "PL/LTE": 0.30,
+    },
+    dispersion=0.7,
+)
+
+DS_COMBINATORIAL = Archetype(
+    "ds-combinatorial",
+    {
+        **_DS_CORE,
+        "AL/AS": 0.92,    # greedy, DP, backtracking (§4.6 Type 3)
+        "DS/BC": 0.75,    # counting and enumerating
+        "DS/SRF": 0.55,
+        "AL/ACC": 0.50,
+        "DS/PT": 0.40,
+        "AL/ADV": 0.30,
+        "DS/DP": 0.30,
+    },
+    dispersion=0.7,
+)
+
+SOFTWARE_ENGINEERING = Archetype(
+    "software-engineering",
+    {
+        "SE/SPROC": 0.90,
+        "SE/SPM": 0.90,
+        "SE/TE": 0.85,
+        "SE/REQ": 0.90,
+        "SE/DES": 0.90,
+        "SE/CONSTR": 0.75,
+        "SE/VV": 0.90,
+        "SE/EVO": 0.65,
+        "SDF/DM": 0.40,
+        "HCI/FOUND": 0.40,
+        "HCI/DI": 0.40,
+        "IAS/PSD": 0.35,
+        "PL/EDR": 0.30,
+        "PBD/WEB": 0.45,
+        "PBD/INTRO": 0.30,
+        "SP/PE": 0.35,
+        "SP/SC": 0.25,
+        "SP/IP": 0.25,
+        "IM/DBS": 0.30,
+    },
+    dispersion=0.75,
+)
+
+PDC = Archetype(
+    "pdc",
+    {
+        "PD/PF": 0.90,
+        "PD/PDCMP": 0.85,
+        "PD/CC": 0.85,
+        "PD/PAAP": 0.80,
+        "PD/PARCH": 0.80,
+        "PD/PPERF": 0.50,
+        "PD/DIST": 0.35,
+        "PD/CLOUD": 0.30,
+        "SF/PAR": 0.60,
+        "SF/EVAL": 0.40,
+        "AR/MANA": 0.50,
+        "AR/MSO": 0.40,
+        "OS/CON": 0.50,
+        "DS/GT": 0.35,    # directed graphs as a model of computation (§4.7)
+        "AL/BA": 0.40,    # Big-Oh for parallel algorithm analysis (§4.7)
+        "SDF/AD": 0.25,   # recursion and divide-and-conquer (§4.7)
+        "AL/AS": 0.30,
+        "PL/CP": 0.30,
+    },
+    pdc12_unit_weights={
+        "ARCH/CLASSES": 0.60,
+        "ARCH/MEMHIER": 0.40,
+        "ARCH/PERFMETRICS": 0.40,
+        "PROG/PARADIGMS": 0.80,
+        "PROG/SEMANTICS": 0.70,
+        "PROG/PERF": 0.60,
+        "ALGO/MODELS": 0.60,
+        "ALGO/PARADIGMS": 0.70,
+        "ALGO/PROBLEMS": 0.50,
+        "XCUT/THEMES": 0.70,
+        "XCUT/CONCEPTS": 0.50,
+    },
+)
+
+OOP_COURSE = Archetype(
+    "oop-course",
+    {
+        "PL/OOP": 0.95,
+        "SE/DES": 0.60,
+        "PL/BTS": 0.60,
+        "PL/EDR": 0.40,
+        "SDF/DM": 0.40,
+        "HCI/DI": 0.25,
+        "PL/LTE": 0.30,
+        "SDF/FPC": 0.30,
+        "PL/FP": 0.20,
+    },
+)
+
+CS2 = Archetype(
+    "cs2",
+    {
+        "SDF/FDS": 0.80,
+        "AL/FDSA": 0.60,
+        "AL/BA": 0.50,
+        "PL/OOP": 0.50,
+        "SDF/FPC": 0.50,
+        "SDF/DM": 0.40,
+        "DS/GT": 0.30,
+        "SDF/AD": 0.40,
+        "PL/BTS": 0.25,
+    },
+)
+
+NETWORKING = Archetype(
+    "networking",
+    {
+        "NC/INTRO": 0.90,
+        "NC/NAPP": 0.85,
+        "NC/RDD": 0.70,
+        "NC/RF": 0.70,
+        "OS/OV": 0.30,
+        "IAS/NSEC": 0.40,
+        "IAS/CRYPTO": 0.25,
+        "SF/CPAR": 0.20,
+        "PD/DIST": 0.30,
+    },
+)
+
+#: Registry of all archetypes by name.
+ARCHETYPES: dict[str, Archetype] = {
+    a.name: a
+    for a in (
+        CS1_IMPERATIVE,
+        CS1_OOP,
+        CS1_ALGORITHMIC,
+        DS_APPLICATIONS,
+        DS_OBJECT_ORIENTED,
+        DS_COMBINATORIAL,
+        SOFTWARE_ENGINEERING,
+        PDC,
+        OOP_COURSE,
+        CS2,
+        NETWORKING,
+    )
+}

@@ -1,0 +1,356 @@
+"""Stochastic course generation.
+
+Pipeline per course: archetype mixture → per-unit inclusion probabilities →
+per-tag Bernoulli draws (modulated by tier, outcome bias, and instructor
+idiosyncrasy) → synthesized materials (lectures / assignments / labs /
+exams) that collectively carry exactly the sampled tag set.
+
+Determinism: every course derives its own child RNG from (seed, course id),
+so adding or removing one course never perturbs the others — the same
+property that makes parallel corpus generation agree with sequential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.corpus.archetypes import ARCHETYPES, Archetype
+from repro.corpus.roster import ROSTER, RosterEntry
+from repro.materials.course import Course
+from repro.materials.material import Material, MaterialType
+from repro.ontology.node import NodeKind, Tier
+from repro.ontology.tree import GuidelineTree
+from repro.util.rng import RngLike, as_rng
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Tunable knobs of the generative model.
+
+    Defaults are calibrated so the Figure-3 agreement shapes emerge (see
+    EXPERIMENTS.md); tests pin the resulting bands.
+
+    * ``tier_keep`` — how much likelier core guideline entries are to be
+      covered than electives (depth-of-coverage proxy; §5.3 notes coverage
+      depth is otherwise unmodeled).
+    * ``outcome_keep`` — baseline propensity to classify against learning
+      outcomes in addition to topics (the tree-structure bias dial).
+    * ``instructor_sigma`` — lognormal spread of per-course unit emphasis;
+      this is what makes two same-archetype courses disagree.
+    * ``noise_rate`` — per-tag probability of an idiosyncratic, off-profile
+      classification (every real course has a few).
+    """
+
+    tier_keep: Mapping[Tier, float] = field(
+        default_factory=lambda: {Tier.CORE1: 1.0, Tier.CORE2: 0.60, Tier.ELECTIVE: 0.30}
+    )
+    outcome_keep: float = 0.70
+    outcome_sigma: float = 0.35
+    instructor_sigma: float = 0.55
+    noise_rate: float = 0.025
+    module_size: int = 6          # tags per synthesized course module
+    exam_count: int = 2
+    exam_fraction: float = 0.25   # fraction of course tags each exam samples
+    assignment_fraction: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.noise_rate <= 1:
+            raise ValueError("noise_rate must be in [0,1]")
+        if self.module_size < 1:
+            raise ValueError("module_size must be >= 1")
+
+
+DEFAULT_CONFIG = CorpusConfig()
+
+
+def _unit_key(tree: GuidelineTree, tag_id: str) -> str:
+    """"AREA/UNIT" key of the unit containing ``tag_id``.
+
+    Tags sit directly under units in both guideline trees; ids look like
+    ``CS2013/SDF/FPC/t-...`` so the key is the two components before the
+    leaf.
+    """
+    parts = tag_id.split("/")
+    if len(parts) < 3:
+        raise ValueError(f"tag id {tag_id!r} too shallow to carry an area/unit")
+    return f"{parts[-3]}/{parts[-2]}"
+
+
+def _mixture_archetype(mixture: Mapping[str, float]) -> list[tuple[Archetype, float]]:
+    out = []
+    for name, weight in mixture.items():
+        if name not in ARCHETYPES:
+            raise KeyError(f"unknown archetype {name!r}")
+        out.append((ARCHETYPES[name], float(weight)))
+    return out
+
+
+def sample_course_tags(
+    tree: GuidelineTree,
+    mixture: Mapping[str, float],
+    *,
+    seed: RngLike = None,
+    config: CorpusConfig = DEFAULT_CONFIG,
+) -> frozenset[str]:
+    """Draw the curriculum tag set of one course.
+
+    The inclusion probability of tag ``t`` under unit ``u`` is::
+
+        p(t) = jitter_u * sum_a mixture[a] * archetype_a[u]   (unit emphasis)
+               * tier_keep[tier(t)]                           (depth proxy)
+               * outcome_factor (outcomes only)               (tree bias)
+
+    plus an additive ``noise_rate`` floor for idiosyncratic picks.
+    """
+    rng = as_rng(seed)
+    archetypes = _mixture_archetype(mixture)
+    # Per-course jitter of unit emphasis and outcome propensity.  The
+    # jitter scale blends per-archetype dispersion: CS1 flavors are more
+    # idiosyncratic than DS flavors (§4.3 vs §4.5).
+    outcome_factor = config.outcome_keep * float(
+        np.clip(rng.normal(1.0, config.outcome_sigma), 0.2, 1.8)
+    )
+    sigma = config.instructor_sigma * sum(a.dispersion * w for a, w in archetypes)
+    unit_jitter: dict[str, float] = {}
+    chosen: set[str] = set()
+    for node in tree.tags():
+        unit = _unit_key(tree, node.id)
+        base = sum(w * a.weight(unit) for a, w in archetypes)
+        if base > 0:
+            if unit not in unit_jitter:
+                unit_jitter[unit] = float(np.exp(rng.normal(0.0, sigma)))
+            base *= unit_jitter[unit]
+        tier = node.tier if node.tier is not None else Tier.CORE2
+        p = base * config.tier_keep.get(tier, 0.5)
+        if node.kind is NodeKind.OUTCOME:
+            p *= outcome_factor * sum(
+                a.outcome_bias * w for a, w in archetypes
+            )
+        p = min(p, 1.0)
+        p = p + (1.0 - p) * config.noise_rate
+        if rng.random() < p:
+            chosen.add(node.id)
+    return frozenset(chosen)
+
+
+def expected_tag_probability(
+    tree: GuidelineTree,
+    tag_id: str,
+    mixture: Mapping[str, float],
+    *,
+    config: CorpusConfig = DEFAULT_CONFIG,
+) -> float:
+    """Closed-form mean inclusion probability of one tag (jitter averaged out).
+
+    The sampling model multiplies the mixture-weighted unit emphasis by a
+    lognormal jitter with median 1 and the outcome factor by a clipped
+    normal with mean ~1, so the *expected* probability is approximately the
+    deterministic part — useful for calibration tests that compare the
+    analytic value against Monte Carlo frequencies.
+    """
+    node = tree[tag_id]
+    if not node.is_tag:
+        raise ValueError(f"{tag_id!r} is not a classifiable tag")
+    archetypes = _mixture_archetype(mixture)
+    unit = _unit_key(tree, tag_id)
+    base = sum(w * a.weight(unit) for a, w in archetypes)
+    tier = node.tier if node.tier is not None else Tier.CORE2
+    p = base * config.tier_keep.get(tier, 0.5)
+    if node.kind is NodeKind.OUTCOME:
+        p *= config.outcome_keep * sum(a.outcome_bias * w for a, w in archetypes)
+    p = min(p, 1.0)
+    return p + (1.0 - p) * config.noise_rate
+
+
+def sample_pdc12_tags(
+    pdc_tree: GuidelineTree,
+    mixture: Mapping[str, float],
+    *,
+    seed: RngLike = None,
+    config: CorpusConfig = DEFAULT_CONFIG,
+) -> frozenset[str]:
+    """Draw a course's PDC12 classifications (usually empty for non-PDC).
+
+    Same machinery as :func:`sample_course_tags` but driven by the
+    archetypes' ``pdc12_unit_weights``; no idiosyncratic noise floor —
+    courses with no PDC profile get no PDC12 tags.
+    """
+    rng = as_rng(seed)
+    archetypes = _mixture_archetype(mixture)
+    if not any(a.pdc12_unit_weights for a, _ in archetypes):
+        return frozenset()
+    sigma = config.instructor_sigma * sum(a.dispersion * w for a, w in archetypes)
+    unit_jitter: dict[str, float] = {}
+    chosen: set[str] = set()
+    for node in pdc_tree.tags():
+        unit = _unit_key(pdc_tree, node.id)
+        base = sum(w * a.pdc12_weight(unit) for a, w in archetypes)
+        if base <= 0:
+            continue
+        if unit not in unit_jitter:
+            unit_jitter[unit] = float(np.exp(rng.normal(0.0, sigma)))
+        tier = node.tier if node.tier is not None else Tier.CORE2
+        p = min(base * unit_jitter[unit] * config.tier_keep.get(tier, 0.5), 1.0)
+        if rng.random() < p:
+            chosen.add(node.id)
+    return frozenset(chosen)
+
+
+def _synthesize_materials(
+    course_id: str,
+    tags: frozenset[str],
+    rng: np.random.Generator,
+    config: CorpusConfig,
+) -> list[Material]:
+    """Build a realistic material list that carries exactly ``tags``.
+
+    Tags are grouped into lecture "modules"; each module gets a lecture
+    (full coverage) and an assignment (a subset); exams sample across the
+    whole course.  The union of all mappings equals ``tags`` because the
+    lectures alone already cover everything.
+    """
+    tag_list = sorted(tags)
+    rng.shuffle(tag_list)
+    materials: list[Material] = []
+    modules = [
+        tag_list[i : i + config.module_size]
+        for i in range(0, len(tag_list), config.module_size)
+    ]
+    for idx, module in enumerate(modules, start=1):
+        materials.append(
+            Material(
+                id=f"{course_id}/lecture-{idx:02d}",
+                title=f"Lecture {idx}",
+                mtype=MaterialType.LECTURE,
+                mappings=frozenset(module),
+            )
+        )
+        n_keep = max(1, int(round(len(module) * config.assignment_fraction)))
+        subset = rng.choice(len(module), size=n_keep, replace=False)
+        materials.append(
+            Material(
+                id=f"{course_id}/assignment-{idx:02d}",
+                title=f"Assignment {idx}",
+                mtype=MaterialType.ASSIGNMENT,
+                mappings=frozenset(module[i] for i in subset),
+            )
+        )
+    if tag_list:
+        for e in range(1, config.exam_count + 1):
+            n_keep = max(1, int(round(len(tag_list) * config.exam_fraction)))
+            subset = rng.choice(len(tag_list), size=min(n_keep, len(tag_list)), replace=False)
+            materials.append(
+                Material(
+                    id=f"{course_id}/exam-{e}",
+                    title=f"Exam {e}",
+                    mtype=MaterialType.EXAM,
+                    mappings=frozenset(tag_list[i] for i in subset),
+                )
+            )
+    return materials
+
+
+def generate_course(
+    entry: RosterEntry,
+    tree: GuidelineTree,
+    *,
+    pdc_tree: GuidelineTree | None = None,
+    seed: RngLike = None,
+    config: CorpusConfig = DEFAULT_CONFIG,
+) -> Course:
+    """Generate the full :class:`Course` for one roster entry.
+
+    With ``pdc_tree`` supplied, archetypes carrying PDC12 unit weights also
+    classify against that guideline (dual classification, as CS Materials
+    supports); the PDC12 tags join the same synthesized materials.
+    """
+    rng = as_rng(seed)
+    tags = sample_course_tags(tree, entry.mixture, seed=rng, config=config)
+    if pdc_tree is not None:
+        tags |= sample_pdc12_tags(pdc_tree, entry.mixture, seed=rng, config=config)
+    materials = _synthesize_materials(entry.id, tags, rng, config)
+    return Course(
+        id=entry.id,
+        name=entry.display_name,
+        institution=entry.institution,
+        instructor=entry.instructor,
+        labels=entry.labels,
+        materials=materials,
+    )
+
+
+def _course_seed(base_seed: int, course_id: str) -> np.random.Generator:
+    """Independent, reproducible generator derived from (seed, course id)."""
+    digest = np.frombuffer(course_id.encode(), dtype=np.uint8)
+    return np.random.default_rng(
+        np.random.SeedSequence([base_seed, int(digest.sum()), len(course_id), *digest[:8]])
+    )
+
+
+def generate_corpus(
+    tree: GuidelineTree,
+    *,
+    seed: int = 0,
+    roster: Sequence[RosterEntry] = ROSTER,
+    config: CorpusConfig = DEFAULT_CONFIG,
+    pdc_tree: GuidelineTree | None = None,
+) -> list[Course]:
+    """Generate every course of ``roster`` (default: the 20 retained ones).
+
+    Note: the canonical dataset is generated *without* ``pdc_tree`` so the
+    CS2013-only figures stay bit-identical; pass ``load_pdc12()`` to get the
+    dual-classified variant.
+    """
+    return [
+        generate_course(
+            entry, tree,
+            pdc_tree=pdc_tree,
+            seed=_course_seed(seed, entry.id),
+            config=config,
+        )
+        for entry in roster
+    ]
+
+
+def synthetic_roster(
+    n_courses: int,
+    *,
+    seed: RngLike = None,
+) -> list[RosterEntry]:
+    """Random roster for scaling experiments.
+
+    Courses draw a dominant archetype plus (30% of the time) a 70/30 blend
+    with a second archetype — the mixture structure observed in the real
+    roster.
+    """
+    if n_courses < 1:
+        raise ValueError("n_courses must be >= 1")
+    rng = as_rng(seed)
+    names = sorted(ARCHETYPES)
+    entries: list[RosterEntry] = []
+    for i in range(n_courses):
+        primary = names[int(rng.integers(len(names)))]
+        if rng.random() < 0.3:
+            secondary = names[int(rng.integers(len(names)))]
+            mixture = (
+                {primary: 1.0}
+                if secondary == primary
+                else {primary: 0.7, secondary: 0.3}
+            )
+        else:
+            mixture = {primary: 1.0}
+        entries.append(
+            RosterEntry(
+                id=f"synth-{i:05d}",
+                institution=f"Synth U {i % 97}",
+                code=f"CS {100 + i % 400}",
+                instructor=f"Instructor {i}",
+                name=f"Synthetic course {i} ({primary})",
+                labels=frozenset(),
+                mixture=mixture,
+            )
+        )
+    return entries

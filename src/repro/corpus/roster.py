@@ -1,0 +1,191 @@
+"""The course roster of Figure 1, with archetype mixtures per course.
+
+Twenty retained courses, in the paper's table order, each annotated with the
+name-based category flags from Figure 1 and an archetype mixture encoding
+what the paper reports about that specific course:
+
+* §4.4 — Kerney and Kurdia are "mostly imperative programming"; Bourke and
+  Toups are "a blend of imperative programming and algorithms"; Ahmed's is
+  "purely a data structure and algorithm class"; Singh's is "an object
+  oriented programming class ... taught in Java, while the others are
+  taught in C and Python".
+* §4.6 — Wahl, Wagner, and UNCC 2215 map to the combinatorial type; Duke
+  maps "firmly" to the OOP type; the two UNCC 2214 sections map mostly to
+  the applications type; "UCF's course seems to hit all three types evenly".
+
+The 11 excluded courses (31 classified − 20 retained, §3.2) are modeled in
+``EXCLUDED_ROSTER`` with per-course technical exclusion reasons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.materials.course import CourseLabel
+
+
+@dataclass(frozen=True)
+class RosterEntry:
+    """One course of the workshop-collected dataset."""
+
+    id: str
+    institution: str
+    code: str
+    instructor: str
+    name: str
+    labels: frozenset[CourseLabel]
+    mixture: Mapping[str, float]     # archetype name -> weight, sums to 1
+    language: str = ""
+    excluded_reason: str = ""        # non-empty only for excluded entries
+
+    def __post_init__(self) -> None:
+        total = sum(self.mixture.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"{self.id}: mixture weights must sum to 1, got {total}")
+        if any(w < 0 for w in self.mixture.values()):
+            raise ValueError(f"{self.id}: mixture weights must be non-negative")
+
+    @property
+    def display_name(self) -> str:
+        return f"{self.institution} {self.code} {self.instructor} {self.name}".strip()
+
+
+def _labels(*ls: CourseLabel) -> frozenset[CourseLabel]:
+    return frozenset(ls)
+
+
+L = CourseLabel
+
+#: The 20 retained courses, in Figure 1 order.
+ROSTER: tuple[RosterEntry, ...] = (
+    RosterEntry(
+        "uncc-2214-krs", "UNCC", "ITCS 2214", "KRS", "Data Structures and Algorithms",
+        _labels(L.DS), {"ds-applications": 1.0}, language="Java",
+    ),
+    RosterEntry(
+        "uncc-2214-saule", "UNCC", "ITCS 2214", "Saule", "Data Structures and Algorithms",
+        _labels(L.DS),
+        {"ds-applications": 0.8, "ds-object-oriented": 0.1, "ds-combinatorial": 0.1},
+        language="Java",
+    ),
+    RosterEntry(
+        "uncc-3145-saule", "UNCC", "ITCS 3145", "Saule", "Parallel and Distributed Computing",
+        _labels(L.PDC), {"pdc": 1.0}, language="C",
+    ),
+    RosterEntry(
+        "uncc-3112-krs", "UNCC", "ITCS 3112", "KRS", "Object Oriented Programming",
+        _labels(L.OOP), {"oop-course": 1.0}, language="Java",
+    ),
+    RosterEntry(
+        "ccc-40-kerney", "CCC", "CSCI 40", "Kerney", "CS1",
+        _labels(L.CS1), {"cs1-imperative": 1.0}, language="Python",
+    ),
+    RosterEntry(
+        "hanover-225-wahl", "Hanover", "cs225", "Wahl", "Algorithmic Analysis 2021",
+        _labels(L.ALGO), {"ds-combinatorial": 1.0}, language="Python",
+    ),
+    RosterEntry(
+        "vcu-256-duke", "VCU", "CMSC 256", "Duke", "Data Structures and Object-oriented Programming",
+        _labels(L.OOP, L.DS), {"ds-object-oriented": 1.0}, language="Java",
+    ),
+    RosterEntry(
+        "ccc-41-kerney", "CCC", "CSCI 41", "Kerney", "CS2",
+        frozenset(), {"cs2": 1.0}, language="Python",
+    ),
+    RosterEntry(
+        "bsc-210-wagner", "BSC", "CAC 210", "Wagner", "Data Structures and Algorithms",
+        _labels(L.DS), {"ds-combinatorial": 0.85, "ds-applications": 0.15}, language="Python",
+    ),
+    RosterEntry(
+        "uncc-2215-krs", "UNCC", "ITCS 2215", "KRS", "Algorithms",
+        _labels(L.ALGO), {"ds-combinatorial": 1.0}, language="C",
+    ),
+    RosterEntry(
+        "gsu-4350-levine", "GSU", "CSC4350", "Levine", "Software Engineering",
+        _labels(L.SOFTENG), {"software-engineering": 1.0}, language="Java",
+    ),
+    RosterEntry(
+        "tulane-1100-kurdia", "Tulane", "CMPS1100", "Kurdia", "Intro to Programming",
+        _labels(L.CS1), {"cs1-imperative": 1.0}, language="Python",
+    ),
+    RosterEntry(
+        "knox-309-bunde", "Knox", "CS309", "Bunde", "Parallel Computing",
+        _labels(L.PDC), {"pdc": 1.0}, language="C",
+    ),
+    RosterEntry(
+        "lsu-1350-kundu", "LSU", "CSC 1350", "Kundu", "Parallel Computation",
+        _labels(L.PDC), {"pdc": 0.7, "cs1-imperative": 0.3}, language="Java",
+    ),
+    RosterEntry(
+        "ucf-3502-ahmed", "UCF", "COP3502", "Ahmed",
+        "Computer Science 1 (CS1) Data structure and algorithm",
+        _labels(L.CS1, L.DS),
+        {
+            "cs1-algorithmic": 0.46,
+            "ds-applications": 0.18,
+            "ds-object-oriented": 0.18,
+            "ds-combinatorial": 0.18,
+        },
+        language="C",
+    ),
+    RosterEntry(
+        "washu-131-singh", "WashU", "CSE131", "Singh", "Computer Science 1",
+        _labels(L.CS1), {"cs1-oop": 1.0}, language="Java",
+    ),
+    RosterEntry(
+        "unl-155e-bourke", "UNL", "CSCE 155E", "Bourke", "Computer Science I using C",
+        _labels(L.CS1), {"cs1-imperative": 0.55, "cs1-algorithmic": 0.45}, language="C",
+    ),
+    RosterEntry(
+        "uncc-4155-payton", "UNCC", "ITCS 4155", "Payton", "Software Development Projects",
+        _labels(L.SOFTENG), {"software-engineering": 1.0}, language="JavaScript",
+    ),
+    RosterEntry(
+        "tulane-1500-toups", "Tulane", "CMPS1500", "Toups", "CS1",
+        _labels(L.CS1), {"cs1-algorithmic": 0.62, "cs1-imperative": 0.38}, language="Python",
+    ),
+    RosterEntry(
+        "utsa-bopana", "UTSA", "", "Bopana", "Computer Network",
+        frozenset(), {"networking": 1.0}, language="Python",
+    ),
+)
+
+#: The 11 courses classified at workshops but excluded "for technical
+#: reasons" (§3.2).  Archetypes are plausible; reasons model the kinds of
+#: data problems a classification workshop produces.
+EXCLUDED_ROSTER: tuple[RosterEntry, ...] = (
+    RosterEntry("ex-01", "State U", "CS 101", "Adams", "Intro to CS",
+                _labels(L.CS1), {"cs1-imperative": 1.0},
+                excluded_reason="classification left incomplete at end of workshop"),
+    RosterEntry("ex-02", "State U", "CS 201", "Baker", "Data Structures",
+                _labels(L.DS), {"ds-object-oriented": 1.0},
+                excluded_reason="materials uploaded without curriculum mappings"),
+    RosterEntry("ex-03", "Tech College", "CSC 110", "Chen", "Programming I",
+                _labels(L.CS1), {"cs1-oop": 1.0},
+                excluded_reason="classified against a deprecated guideline snapshot"),
+    RosterEntry("ex-04", "Tech College", "CSC 240", "Dorsey", "Algorithms",
+                _labels(L.ALGO), {"ds-combinatorial": 1.0},
+                excluded_reason="duplicate of another instructor's entry"),
+    RosterEntry("ex-05", "Liberal Arts C", "CS 150", "Evans", "Computing Concepts",
+                frozenset(), {"cs2": 1.0},
+                excluded_reason="course withdrawn by instructor"),
+    RosterEntry("ex-06", "Liberal Arts C", "CS 310", "Flores", "Operating Systems",
+                frozenset(), {"networking": 0.5, "pdc": 0.5},
+                excluded_reason="export failure corrupted material list"),
+    RosterEntry("ex-07", "Metro U", "CMPS 2430", "Garcia", "Software Design",
+                _labels(L.SOFTENG), {"software-engineering": 1.0},
+                excluded_reason="fewer than five materials classified"),
+    RosterEntry("ex-08", "Metro U", "CMPS 1400", "Huang", "Intro Programming",
+                _labels(L.CS1), {"cs1-imperative": 0.6, "cs1-algorithmic": 0.4},
+                excluded_reason="classification left incomplete at end of workshop"),
+    RosterEntry("ex-09", "Coastal U", "CS 2200", "Iqbal", "Data Structures Lab",
+                _labels(L.DS), {"ds-applications": 1.0},
+                excluded_reason="lab-only shell course, no standalone content"),
+    RosterEntry("ex-10", "Coastal U", "CS 4800", "Jones", "HPC Seminar",
+                _labels(L.PDC), {"pdc": 1.0},
+                excluded_reason="seminar format could not be mapped to materials"),
+    RosterEntry("ex-11", "Mountain C", "CSCI 2210", "Kim", "Object Oriented Design",
+                _labels(L.OOP), {"oop-course": 1.0},
+                excluded_reason="account deleted before data validation"),
+)

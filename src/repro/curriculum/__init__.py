@@ -1,0 +1,31 @@
+"""Curriculum guideline data: ACM/IEEE CS2013 and NSF/TCPP PDC12.
+
+The loaders return :class:`~repro.ontology.tree.GuidelineTree` instances
+(cached — the documents are immutable).  ``crosswalk`` links PDC12 topics to
+the CS2013 entries that the anchor recommender treats as prerequisites or
+insertion points.
+"""
+
+from repro.curriculum.cs2013 import load_cs2013
+from repro.curriculum.pdc12 import load_pdc12
+from repro.curriculum.crosswalk import Crosswalk, load_crosswalk
+from repro.curriculum.cs2023 import (
+    CS2013_TO_CS2023,
+    cs2023_area_profile,
+    load_cs2023_skeleton,
+    migrate_area_code,
+)
+from repro.curriculum.pdc12_beta import load_pdc12_beta, version_diff
+
+__all__ = [
+    "load_cs2013",
+    "load_pdc12",
+    "Crosswalk",
+    "load_crosswalk",
+    "CS2013_TO_CS2023",
+    "cs2023_area_profile",
+    "load_cs2023_skeleton",
+    "migrate_area_code",
+    "load_pdc12_beta",
+    "version_diff",
+]

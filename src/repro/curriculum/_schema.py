@@ -1,0 +1,81 @@
+"""Declarative schema used by the curriculum data modules.
+
+The guideline documents are long listings; expressing them as nested
+NamedTuples keeps the data modules free of builder boilerplate and lets a
+single generic function lower them into a :class:`GuidelineTree`.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Sequence
+
+from repro.ontology.builder import TreeBuilder
+from repro.ontology.node import Bloom, Mastery, Tier
+from repro.ontology.tree import GuidelineTree
+
+
+class T(NamedTuple):
+    """A topic entry."""
+
+    label: str
+    tier: Tier | None = None
+    bloom: Bloom | None = None
+
+
+class O(NamedTuple):
+    """A learning-outcome entry."""
+
+    label: str
+    mastery: Mastery | None = None
+    tier: Tier | None = None
+
+
+class UnitSpec(NamedTuple):
+    """A knowledge unit with its topics and outcomes."""
+
+    code: str
+    label: str
+    tier: Tier | None = None
+    topics: Sequence[T] = ()
+    outcomes: Sequence[O] = ()
+
+
+class AreaSpec(NamedTuple):
+    """A knowledge area with its units."""
+
+    code: str
+    label: str
+    units: Sequence[UnitSpec] = ()
+
+
+def build_tree(
+    root_id: str,
+    root_label: str,
+    areas: Sequence[AreaSpec],
+    **root_meta: object,
+) -> GuidelineTree:
+    """Lower a list of :class:`AreaSpec` into a validated guideline tree.
+
+    Topic/outcome tier defaults to the enclosing unit's tier when not given
+    explicitly — matching how CS2013 assigns core hours at the unit level.
+    """
+    b = TreeBuilder(root_id, root_label, **root_meta)
+    for area in areas:
+        area_id = b.area(area.code, area.label)
+        for unit in area.units:
+            unit_id = b.unit(area_id, unit.code, unit.label, tier=unit.tier)
+            for topic in unit.topics:
+                b.topic(
+                    unit_id,
+                    topic.label,
+                    tier=topic.tier if topic.tier is not None else unit.tier,
+                    bloom=topic.bloom,
+                )
+            for outcome in unit.outcomes:
+                b.outcome(
+                    unit_id,
+                    outcome.label,
+                    mastery=outcome.mastery,
+                    tier=outcome.tier if outcome.tier is not None else unit.tier,
+                )
+    return b.build()

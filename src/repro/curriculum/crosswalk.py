@@ -1,0 +1,195 @@
+"""Crosswalk between PDC12 topics and CS2013 entries.
+
+The anchor-point recommender (:mod:`repro.anchors`) needs to know, for a PDC
+topic, which CS2013 entries act as *prerequisites or insertion points* in an
+early course — e.g. parallel reduction anchors on loops and floating-point
+representation; task graphs anchor on directed graphs and topological sort
+(§4.7, §5.2 of the paper).
+
+The mapping is declared by *label* (robust to id-slug changes) and resolved
+against both trees at load time; a label that no longer resolves raises
+immediately rather than silently dropping an edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.curriculum.cs2013 import load_cs2013
+from repro.curriculum.pdc12 import load_pdc12
+from repro.ontology.tree import GuidelineTree
+
+#: (PDC12 topic label) -> list of CS2013 tag labels that anchor it.
+_LABEL_LINKS: list[tuple[str, list[str]]] = [
+    (
+        "Amdahl's law",
+        ["Amdahl's law", "Amdahl's law at the systems level",
+         "Use Amdahl's law to estimate the speedup limit of a workload"],
+    ),
+    (
+        "Work and span (critical path) of a parallel computation",
+        ["Critical path, work and span",
+         "Compute the work and span of a simple parallel algorithm"],
+    ),
+    (
+        "Notions from scheduling: dependencies and directed acyclic task graphs",
+        ["Directed graphs", "Topological sort", "Parallel graph algorithms and task graphs"],
+    ),
+    (
+        "Parallel divide-and-conquer and recursive task parallelism",
+        ["Divide-and-conquer algorithms", "The concept of recursion",
+         "Problem-solving strategies: divide-and-conquer"],
+    ),
+    (
+        "Parallel reduction",
+        ["Parallel reduction and the importance of operation ordering",
+         "Higher-order functions: map, filter, reduce"],
+    ),
+    (
+        "Importance of operation ordering in parallel reduction (floating point non-associativity)",
+        ["Fixed- and floating-point representation of real numbers",
+         "Discuss how fixed-length number representations affect accuracy and precision"],
+    ),
+    (
+        "Thread-safe data types and containers (e.g. Java Vector vs ArrayList)",
+        ["Collection classes and iterators",
+         "Using collection classes, iterators, and other common library components"],
+    ),
+    (
+        "Futures and promises as parallel programming constructs",
+        ["Futures and promises", "Futures and promises as coordination constructs"],
+    ),
+    (
+        "Data-parallel notations: parallel loops (parallel-for)",
+        ["Iterative control structures (loops)",
+         "Language support for data parallelism (parallel loops)"],
+    ),
+    (
+        "Asymptotic (Big-Oh) analysis of parallel algorithms",
+        ["Big O notation: formal definition",
+         "Asymptotic analysis of upper and expected complexity bounds"],
+    ),
+    (
+        "Synchronization: critical sections and mutual exclusion",
+        ["Mutual exclusion using locks",
+         "Synchronization primitives: semaphores, monitors, condition variables"],
+    ),
+    (
+        "Concurrency defects: data races",
+        ["Race conditions at the OS level",
+         "Programming errors not found in sequential programming: data races",
+         "Race conditions as a security concern"],
+    ),
+    (
+        "Deadlock: conditions and avoidance in parallel programs",
+        ["Deadlock: causes, conditions, prevention", "Deadlocks and livelocks in parallel programs"],
+    ),
+    (
+        "Parallel sorting algorithms",
+        ["Worst or average case O(n log n) sorting algorithms (quicksort, heapsort, mergesort)"],
+    ),
+    (
+        "Parallel graph algorithms: search and traversal",
+        ["Graphs and graph algorithms: depth-first and breadth-first traversals"],
+    ),
+    (
+        "Topological sort for deriving feasible task orders",
+        ["Topological sort", "Directed graphs"],
+    ),
+    (
+        "Makespan and list scheduling of task graphs",
+        ["Priority queues", "Schedulers and scheduling policies (FCFS, SJF, priority, round-robin)"],
+    ),
+    ("Brute-force/embarrassingly parallel algorithms", ["Brute-force algorithms"]),
+    (
+        "Dynamic programming in parallel: bottom-up wavefront and top-down memoized tasking",
+        ["Dynamic programming"],
+    ),
+    (
+        "Task and thread spawning constructs (e.g. fork-join, cilk_spawn)",
+        ["The concept of recursion", "Recursive backtracking"],
+    ),
+    (
+        "Client-server and distributed-object programming (e.g. CORBA-style invocation, RPC)",
+        ["Client-server and peer-to-peer paradigms",
+         "Distributed message sending and remote procedure call (CORBA-style object invocation)"],
+    ),
+    (
+        "Speedup and efficiency as performance metrics",
+        ["Speedup and scalability", "Calculate speedup and efficiency of a parallel execution"],
+    ),
+    (
+        "Programming by target machine model: shared memory (threads, OpenMP)",
+        ["Shared memory communication",
+         "Constructs for thread-shared variables and shared-memory synchronization"],
+    ),
+    (
+        "Programming by target machine model: distributed memory (message passing, MPI)",
+        ["Message passing: point-to-point versus multicast", "Shared versus distributed memory"],
+    ),
+    (
+        "MapReduce-style programming",
+        ["MapReduce-style data-center scale processing", "Higher-order functions: map, filter, reduce"],
+    ),
+    ("Load balancing in parallel programs", ["Load balancing"]),
+    (
+        "Cache organization in multiprocessors",
+        ["Cache memories: address mapping, block size, replacement policy",
+         "Memory hierarchy: temporal and spatial locality"],
+    ),
+    (
+        "Synchronization: producer-consumer coordination",
+        ["Producer-consumer problems", "Producer-consumer and pipelined algorithms"],
+    ),
+    ("Parallel scan (prefix sum)", ["Parallel scan (prefix sum)"]),
+]
+
+
+def _resolve_tag(tree: GuidelineTree, label: str) -> str:
+    matches = [n for n in tree.find_by_label(label) if n.is_tag]
+    if not matches:
+        raise LookupError(f"crosswalk label not found in {tree.root_id}: {label!r}")
+    if len(matches) > 1:
+        raise LookupError(
+            f"crosswalk label ambiguous in {tree.root_id}: {label!r} -> "
+            f"{[n.id for n in matches]}"
+        )
+    return matches[0].id
+
+
+@dataclass(frozen=True)
+class Crosswalk:
+    """Resolved bidirectional PDC12 ↔ CS2013 tag mapping."""
+
+    pdc_to_cs: dict[str, tuple[str, ...]]
+
+    @property
+    def cs_to_pdc(self) -> dict[str, tuple[str, ...]]:
+        """Reverse mapping, computed on demand."""
+        rev: dict[str, list[str]] = {}
+        for pdc_id, cs_ids in self.pdc_to_cs.items():
+            for cs_id in cs_ids:
+                rev.setdefault(cs_id, []).append(pdc_id)
+        return {k: tuple(v) for k, v in rev.items()}
+
+    def cs2013_anchors_for(self, pdc_tag_id: str) -> tuple[str, ...]:
+        """CS2013 tag ids anchoring a PDC12 topic (empty when unmapped)."""
+        return self.pdc_to_cs.get(pdc_tag_id, ())
+
+    def pdc12_topics_for(self, cs_tag_id: str) -> tuple[str, ...]:
+        """PDC12 topic ids anchored at a CS2013 tag (empty when unmapped)."""
+        return self.cs_to_pdc.get(cs_tag_id, ())
+
+
+@lru_cache(maxsize=1)
+def load_crosswalk() -> Crosswalk:
+    """Resolve the declarative label links against both loaded guidelines."""
+    pdc, cs = load_pdc12(), load_cs2013()
+    mapping: dict[str, tuple[str, ...]] = {}
+    for pdc_label, cs_labels in _LABEL_LINKS:
+        pdc_id = _resolve_tag(pdc, pdc_label)
+        if pdc_id in mapping:
+            raise ValueError(f"duplicate crosswalk source {pdc_label!r}")
+        mapping[pdc_id] = tuple(_resolve_tag(cs, lbl) for lbl in cs_labels)
+    return Crosswalk(mapping)

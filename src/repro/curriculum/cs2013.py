@@ -1,0 +1,53 @@
+"""Loader for the ACM/IEEE CS2013 body of knowledge.
+
+The tree is assembled from the declarative area listings in the
+``cs2013_*`` data modules and cached (the guideline is immutable).  Its tag
+universe — every topic and learning outcome — forms the column space of the
+paper's course x curriculum matrix.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.curriculum._schema import AreaSpec, build_tree
+from repro.curriculum.cs2013_applications import APPLICATION_AREAS
+from repro.curriculum.cs2013_extensions import EXTRA_UNITS
+from repro.curriculum.cs2013_foundations import FOUNDATION_AREAS
+from repro.curriculum.cs2013_systems import SYSTEMS_AREAS
+from repro.ontology.tree import GuidelineTree
+
+
+def _with_extras(area: AreaSpec) -> AreaSpec:
+    """Merge the extension units into an area (core units keep their order)."""
+    extras = EXTRA_UNITS.get(area.code, [])
+    if not extras:
+        return area
+    return AreaSpec(area.code, area.label, [*area.units, *extras])
+
+
+#: Order matches the CS2013 document's area listing closely enough for
+#: display purposes; analyses never depend on area order.
+ALL_AREAS = [
+    _with_extras(a)
+    for a in (*FOUNDATION_AREAS, *SYSTEMS_AREAS, *APPLICATION_AREAS)
+]
+
+#: Knowledge-area codes, in tree order.
+AREA_CODES = [a.code for a in ALL_AREAS]
+
+
+@lru_cache(maxsize=1)
+def load_cs2013() -> GuidelineTree:
+    """The CS2013 guideline tree (cached singleton).
+
+    Returns a validated :class:`GuidelineTree` whose root id is ``"CS2013"``,
+    with knowledge areas at depth 1, knowledge units at depth 2, and tags
+    (topics/outcomes) at depth 3.
+    """
+    return build_tree(
+        "CS2013",
+        "Computer Science Curricula 2013",
+        ALL_AREAS,
+        source="ACM/IEEE Joint Task Force on Computing Curricula, 2013",
+    )

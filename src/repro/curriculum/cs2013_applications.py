@@ -1,0 +1,507 @@
+"""CS2013 knowledge areas: SE, IAS, IM, CN, GV, HCI, IS, SP, PBD.
+
+The applications-and-practice side of the body of knowledge.  SE matters for
+the all-course factorization (Figure 2 isolates a software-engineering
+dimension); CN and GV carry the "datasets / APIs / visualization" topics that
+characterize Type 1 Data Structure courses (§4.6); IM and IAS supply the
+testing/correctness and information-management tags seen in CS1 Type 2.
+"""
+
+from __future__ import annotations
+
+from repro.curriculum._schema import AreaSpec, O, T, UnitSpec
+from repro.ontology.node import Mastery, Tier
+
+C1, C2, EL = Tier.CORE1, Tier.CORE2, Tier.ELECTIVE
+FAM, USE, ASSESS = Mastery.FAMILIARITY, Mastery.USAGE, Mastery.ASSESSMENT
+
+SE = AreaSpec(
+    "SE",
+    "Software Engineering",
+    units=[
+        UnitSpec(
+            "SPROC",
+            "Software Processes",
+            tier=C1,
+            topics=[
+                T("Systems-level considerations: software and its environment"),
+                T("Software process models: waterfall, incremental, agile"),
+                T("Software quality concepts", C2),
+                T("Process improvement and assessment", EL),
+            ],
+            outcomes=[
+                O("Describe how software can interact with and participate in various systems", FAM),
+                O("Differentiate among the phases of software development", FAM),
+                O("Describe the distinguishing features of an agile process", FAM, C2),
+            ],
+        ),
+        UnitSpec(
+            "SPM",
+            "Software Project Management",
+            tier=C2,
+            topics=[
+                T("Team participation: roles, processes, communication", C2),
+                T("Effort estimation", C2),
+                T("Risk management", C2),
+                T("Version control and configuration management", C2),
+            ],
+            outcomes=[
+                O("Use a version control system as part of a team project", USE, C2),
+                O("Identify the risks in a software project and plan mitigations", ASSESS, C2),
+            ],
+        ),
+        UnitSpec(
+            "TE",
+            "Tools and Environments",
+            tier=C2,
+            topics=[
+                T("Software configuration management and version control tools", C2),
+                T("Build systems and automation", C2),
+                T("Testing tools including static and dynamic analysis", C2),
+                T("Programming environments that automate development tasks", C2),
+            ],
+            outcomes=[
+                O("Describe the issues that are important in selecting a set of tools", FAM, C2),
+                O("Build a simple tool chain for a small project", USE, C2),
+            ],
+        ),
+        UnitSpec(
+            "REQ",
+            "Requirements Engineering",
+            tier=C2,
+            topics=[
+                T("Describing functional requirements: user stories and use cases", C2),
+                T("Non-functional requirements and quality attributes", C2),
+                T("Requirements elicitation from stakeholders", C2),
+            ],
+            outcomes=[
+                O("Interpret a given requirements model for a simple software system", FAM, C2),
+                O("Conduct a review of a set of software requirements", ASSESS, C2),
+            ],
+        ),
+        UnitSpec(
+            "DES",
+            "Software Design",
+            tier=C2,
+            topics=[
+                T("System design principles: divide and conquer, separation of concerns", C2),
+                T("Information hiding, coupling and cohesion", C2),
+                T("Design paradigms: structured, object-oriented design", C2),
+                T("Design patterns", C2),
+                T("API design principles", C2),
+                T("Refactoring designs", EL),
+            ],
+            outcomes=[
+                O("Apply basic design principles to organize a program into modules", USE, C2),
+                O("Use a design paradigm to design a simple software system", USE, C2),
+                O("Apply common design patterns appropriately", USE, C2),
+            ],
+        ),
+        UnitSpec(
+            "CONSTR",
+            "Software Construction",
+            tier=C2,
+            topics=[
+                T("Coding practices and coding standards", C2),
+                T("Defensive coding and input validation at construction time", C2),
+                T("Documentation in construction", C2),
+            ],
+            outcomes=[
+                O("Write robust code that validates its inputs", USE, C2),
+            ],
+        ),
+        UnitSpec(
+            "VV",
+            "Software Verification and Validation",
+            tier=C2,
+            topics=[
+                T("Verification and validation concepts and terminology", C2),
+                T("Testing types: unit, integration, system, acceptance", C2),
+                T("Test planning, test-case generation, and coverage", C2),
+                T("Defect tracking and inspection", C2),
+                T("Regression testing", EL),
+            ],
+            outcomes=[
+                O("Describe the role that tools can play in the validation of software", FAM, C2),
+                O("Create and execute a test plan for a medium-size code segment", USE, C2),
+                O("Undertake a review of a simple program's test adequacy", ASSESS, C2),
+            ],
+        ),
+        UnitSpec(
+            "EVO",
+            "Software Evolution",
+            tier=C2,
+            topics=[
+                T("Software maintenance and legacy code", C2),
+                T("Refactoring for evolution", C2),
+            ],
+            outcomes=[O("Identify the principal issues associated with software evolution", FAM, C2)],
+        ),
+    ],
+)
+
+IAS = AreaSpec(
+    "IAS",
+    "Information Assurance and Security",
+    units=[
+        UnitSpec(
+            "FCS",
+            "Foundational Concepts in Security",
+            tier=C1,
+            topics=[
+                T("CIA: confidentiality, integrity, availability"),
+                T("Concepts of risk, threats, vulnerabilities, and attack vectors"),
+                T("Concepts of trust and trustworthiness"),
+            ],
+            outcomes=[
+                O("Analyze the tradeoffs of balancing key security properties", ASSESS),
+                O("Describe the concepts of risk, threats, vulnerabilities and attack vectors", FAM),
+            ],
+        ),
+        UnitSpec(
+            "PSD",
+            "Principles of Secure Design",
+            tier=C1,
+            topics=[
+                T("Least privilege and isolation"),
+                T("Fail-safe defaults"),
+                T("Security as a design concern, not an afterthought", C2),
+            ],
+            outcomes=[
+                O("Describe the principle of least privilege", FAM),
+            ],
+        ),
+        UnitSpec(
+            "DEF",
+            "Defensive Programming",
+            tier=C1,
+            topics=[
+                T("Input validation and data sanitization"),
+                T("Correct handling of exceptions and unexpected behaviors"),
+                T("Buffer overflows and memory-safe programming", C2),
+                T("Race conditions as a security concern", C2),
+                T("Checking the correctness of assumptions with assertions", C2),
+            ],
+            outcomes=[
+                O("Explain why input validation and data sanitization are necessary", FAM),
+                O("Write a program that validates all of its external inputs", USE),
+                O("Demonstrate how a race condition can be exploited and how to prevent it", USE, C2),
+            ],
+        ),
+        UnitSpec(
+            "NSEC",
+            "Network Security",
+            tier=C2,
+            topics=[
+                T("Network-specific threats and attacks", C2),
+                T("Use of cryptography for network security", C2),
+            ],
+            outcomes=[O("Describe common network attacks and mitigations", FAM, C2)],
+        ),
+        UnitSpec(
+            "CRYPTO",
+            "Cryptography",
+            tier=C2,
+            topics=[
+                T("Basic cryptography terminology: symmetric and public-key", C2),
+                T("Hash functions and integrity", C2),
+            ],
+            outcomes=[O("Describe the purpose of cryptographic hash functions", FAM, C2)],
+        ),
+    ],
+)
+
+IM = AreaSpec(
+    "IM",
+    "Information Management",
+    units=[
+        UnitSpec(
+            "IMC",
+            "Information Management Concepts",
+            tier=C1,
+            topics=[
+                T("Information systems as sociotechnical systems"),
+                T("Basic information storage and retrieval concepts"),
+                T("The concept of a declarative query"),
+                T("Data independence and the role of metadata", C2),
+            ],
+            outcomes=[
+                O("Describe how humans gain access to information to support their needs", FAM),
+                O("Demonstrate uses of explicitly stored metadata", USE, C2),
+            ],
+        ),
+        UnitSpec(
+            "DBS",
+            "Database Systems",
+            tier=C2,
+            topics=[
+                T("Approaches to and evolution of database systems", C2),
+                T("Components of database systems", C2),
+                T("Use of a declarative query language (SQL)", C2),
+            ],
+            outcomes=[
+                O("Construct simple queries in a declarative query language", USE, C2),
+            ],
+        ),
+        UnitSpec(
+            "DM",
+            "Data Modeling",
+            tier=C2,
+            topics=[
+                T("Data modeling concepts: entities and relationships", C2),
+                T("Relational data model", C2),
+            ],
+            outcomes=[O("Model a small real-world dataset as relations", USE, C2)],
+        ),
+    ],
+)
+
+CN = AreaSpec(
+    "CN",
+    "Computational Science",
+    units=[
+        UnitSpec(
+            "IMS",
+            "Introduction to Modeling and Simulation",
+            tier=C1,
+            topics=[
+                T("Models as abstractions of real-world situations"),
+                T("Simulation as dynamic modeling"),
+                T("Simple simulation techniques: random number generation, Monte Carlo"),
+                T("Presentation and interpretation of simulation results"),
+            ],
+            outcomes=[
+                O("Explain the concept of modeling and the use of abstraction in models", FAM),
+                O("Create a simple, formal mathematical model of a real-world situation", USE),
+                O("Run a simulation and interpret the results in context", USE),
+            ],
+        ),
+        UnitSpec(
+            "MS",
+            "Modeling and Simulation (advanced)",
+            tier=EL,
+            topics=[
+                T("Formal models: discrete event and continuous simulation", EL),
+                T("Verification and validation of models", EL),
+            ],
+            outcomes=[O("Compare results from different simulation runs of the same model", ASSESS, EL)],
+        ),
+        UnitSpec(
+            "PROC",
+            "Processing (Computational Science)",
+            tier=EL,
+            topics=[
+                T("Fundamental programming concepts applied to scientific problems", EL),
+                T("Numerical error: roundoff and truncation, floating-point pitfalls", EL),
+                T("Use of scientific libraries and APIs", EL),
+                T("Parallel execution of scientific codes", EL),
+            ],
+            outcomes=[
+                O("Use an existing scientific library API to process real data", USE, EL),
+                O("Describe the impact of floating-point arithmetic on numerical results", FAM, EL),
+            ],
+        ),
+        UnitSpec(
+            "DATA",
+            "Data, Information, and Knowledge",
+            tier=EL,
+            topics=[
+                T("Working with real-world datasets: acquisition, cleaning, formats", EL),
+                T("Use of APIs to acquire data", EL),
+                T("Basic data visualization for analysis", EL),
+                T("From data to information to knowledge: aggregation and summarization", EL),
+            ],
+            outcomes=[
+                O("Acquire a dataset through an API and prepare it for analysis", USE, EL),
+                O("Visualize a dataset to support an analysis question", USE, EL),
+            ],
+        ),
+    ],
+)
+
+GV = AreaSpec(
+    "GV",
+    "Graphics and Visualization",
+    units=[
+        UnitSpec(
+            "FC",
+            "Fundamental Concepts (Graphics)",
+            tier=C1,
+            topics=[
+                T("Uses of computer graphics and media applications"),
+                T("Digital representation of images: raster and vector"),
+                T("Color models", C2),
+                T("Simple 2-D drawing APIs", C2),
+            ],
+            outcomes=[
+                O("Identify common uses of digital presentation to humans", FAM),
+                O("Use a simple 2-D drawing API to render shapes", USE, C2),
+            ],
+        ),
+        UnitSpec(
+            "VIS",
+            "Visualization",
+            tier=EL,
+            topics=[
+                T("Visualization of scalar and vector data", EL),
+                T("Visualization of graphs and trees", EL),
+                T("Perceptual and cognitive foundations of visualization", EL),
+                T("Interactive visualization techniques", EL),
+            ],
+            outcomes=[
+                O("Build a visualization of a dataset and justify the encoding choices", USE, EL),
+            ],
+        ),
+    ],
+)
+
+HCI = AreaSpec(
+    "HCI",
+    "Human-Computer Interaction",
+    units=[
+        UnitSpec(
+            "FOUND",
+            "Foundations (HCI)",
+            tier=C1,
+            topics=[
+                T("Contexts for HCI: desktop, mobile, web"),
+                T("Usability heuristics and principles"),
+                T("Accessibility as a design concern", C2),
+            ],
+            outcomes=[
+                O("Discuss why human-centered software development is important", FAM),
+            ],
+        ),
+        UnitSpec(
+            "DI",
+            "Designing Interaction",
+            tier=C2,
+            topics=[
+                T("Basic interaction design for GUIs", C2),
+                T("Event-driven interaction handling", C2),
+                T("Prototyping and evaluation with users", C2),
+            ],
+            outcomes=[
+                O("Create and conduct a simple usability test for an existing application", USE, C2),
+            ],
+        ),
+    ],
+)
+
+IS = AreaSpec(
+    "IS",
+    "Intelligent Systems",
+    units=[
+        UnitSpec(
+            "FI",
+            "Fundamental Issues (Intelligent Systems)",
+            tier=C2,
+            topics=[
+                T("Overview of AI problems and recent successes", C2),
+                T("What is intelligent behavior", C2),
+            ],
+            outcomes=[O("Describe Turing's test and its implications", FAM, C2)],
+        ),
+        UnitSpec(
+            "BSS",
+            "Basic Search Strategies",
+            tier=C2,
+            topics=[
+                T("Problem spaces: states, goals, operators", C2),
+                T("Uninformed search: BFS and DFS in state spaces", C2),
+                T("Heuristic search: A*", C2),
+                T("Minimax for two-player games", EL),
+            ],
+            outcomes=[
+                O("Formulate a problem as a state-space search", USE, C2),
+                O("Implement A* search with an admissible heuristic", USE, C2),
+            ],
+        ),
+        UnitSpec(
+            "BML",
+            "Basic Machine Learning",
+            tier=C2,
+            topics=[
+                T("Definition and examples of supervised learning", C2),
+                T("Simple statistical learning: nearest neighbor, decision trees", C2),
+            ],
+            outcomes=[O("Apply a simple learning algorithm to a small dataset", USE, C2)],
+        ),
+    ],
+)
+
+SP = AreaSpec(
+    "SP",
+    "Social Issues and Professional Practice",
+    units=[
+        UnitSpec(
+            "SC",
+            "Social Context",
+            tier=C1,
+            topics=[
+                T("Social implications of computing in a networked world"),
+                T("Growth and control of the Internet"),
+            ],
+            outcomes=[O("Describe positive and negative ways in which computing alters society", FAM)],
+        ),
+        UnitSpec(
+            "PE",
+            "Professional Ethics",
+            tier=C1,
+            topics=[
+                T("Ethical argumentation and responsible disclosure"),
+                T("Professional codes of conduct (ACM/IEEE)"),
+            ],
+            outcomes=[O("Evaluate an ethical issue using a professional code of conduct", ASSESS)],
+        ),
+        UnitSpec(
+            "IP",
+            "Intellectual Property",
+            tier=C1,
+            topics=[
+                T("Intellectual property rights and software licensing", C2),
+                T("Plagiarism and academic integrity in programming"),
+            ],
+            outcomes=[O("Discuss the consequences of software plagiarism", FAM)],
+        ),
+    ],
+)
+
+PBD = AreaSpec(
+    "PBD",
+    "Platform-Based Development",
+    units=[
+        UnitSpec(
+            "INTRO",
+            "Introduction (Platforms)",
+            tier=EL,
+            topics=[
+                T("Programming via platform-specific APIs", EL),
+                T("Overview of platform languages and ecosystems", EL),
+            ],
+            outcomes=[O("Describe how platform-based development differs from general-purpose programming", FAM, EL)],
+        ),
+        UnitSpec(
+            "WEB",
+            "Web Platforms",
+            tier=EL,
+            topics=[
+                T("Web programming languages and frameworks", EL),
+                T("Web services and REST APIs", EL),
+            ],
+            outcomes=[O("Implement a simple application on a web platform", USE, EL)],
+        ),
+        UnitSpec(
+            "MOBILE",
+            "Mobile Platforms",
+            tier=EL,
+            topics=[
+                T("Mobile programming languages and constraints", EL),
+                T("Interaction with device sensors", EL),
+            ],
+            outcomes=[O("Implement a simple application on a mobile platform", USE, EL)],
+        ),
+    ],
+)
+
+APPLICATION_AREAS = [SE, IAS, IM, CN, GV, HCI, IS, SP, PBD]

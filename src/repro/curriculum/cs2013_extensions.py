@@ -1,0 +1,656 @@
+"""Additional CS2013 knowledge units (mostly electives and tier-2).
+
+The core data modules encode the units early CS courses lean on; this
+module completes the body of knowledge with the remaining knowledge units
+of each area, so coverage/program analyses and the search facilities see
+the full guideline.  Loaded by :mod:`repro.curriculum.cs2013`, which merges
+these units into their areas.
+"""
+
+from __future__ import annotations
+
+from repro.curriculum._schema import O, T, UnitSpec
+from repro.ontology.node import Mastery, Tier
+
+C1, C2, EL = Tier.CORE1, Tier.CORE2, Tier.ELECTIVE
+FAM, USE, ASSESS = Mastery.FAMILIARITY, Mastery.USAGE, Mastery.ASSESSMENT
+
+#: area code -> extra units appended to that area.
+EXTRA_UNITS: dict[str, list[UnitSpec]] = {
+    "AL": [
+        UnitSpec(
+            "AAC",
+            "Advanced Computational Complexity",
+            tier=EL,
+            topics=[
+                T("Review of P, NP, and the Cook-Levin theorem", EL),
+                T("Classic NP-complete problems and reductions", EL),
+                T("Space complexity: PSPACE and Savitch's theorem", EL),
+            ],
+            outcomes=[O("Prove a problem NP-complete via reduction", USE, EL)],
+        ),
+        UnitSpec(
+            "AAT",
+            "Advanced Automata Theory and Computability",
+            tier=EL,
+            topics=[
+                T("Pumping lemmas for regular and context-free languages", EL),
+                T("Turing machines and decidability", EL),
+                T("Rice's theorem and reduction arguments", EL),
+            ],
+            outcomes=[O("Show a language undecidable by reduction from halting", USE, EL)],
+        ),
+    ],
+    "AR": [
+        UnitSpec(
+            "FO",
+            "Functional Organization",
+            tier=EL,
+            topics=[
+                T("Implementation of the fetch-execute cycle datapath", EL),
+                T("Control unit: hardwired versus microprogrammed", EL),
+                T("Instruction pipelining basics", EL),
+            ],
+            outcomes=[O("Trace an instruction through a simple datapath", USE, EL)],
+        ),
+    ],
+    "OS": [
+        UnitSpec(
+            "SP",
+            "Security and Protection (OS)",
+            tier=C2,
+            topics=[
+                T("Policy/mechanism separation in protection", C2),
+                T("Memory protection and privilege rings", C2),
+                T("Access control lists and capabilities", C2),
+            ],
+            outcomes=[O("Explain how an OS isolates processes from one another", FAM, C2)],
+        ),
+        UnitSpec(
+            "VM",
+            "Virtual Machines",
+            tier=EL,
+            topics=[
+                T("Types of virtualization: full, para, containers", EL),
+                T("Hypervisors and hardware support for virtualization", EL),
+            ],
+            outcomes=[O("Differentiate emulation from native virtualization", FAM, EL)],
+        ),
+        UnitSpec(
+            "DM",
+            "Device Management",
+            tier=EL,
+            topics=[
+                T("Device drivers and their interfaces", EL),
+                T("Buffering, spooling, and direct memory access", EL),
+            ],
+            outcomes=[O("Describe the role of a device driver", FAM, EL)],
+        ),
+        UnitSpec(
+            "RTE",
+            "Real Time and Embedded Systems",
+            tier=EL,
+            topics=[
+                T("Hard versus soft real-time constraints", EL),
+                T("Rate-monotonic and earliest-deadline-first scheduling", EL),
+            ],
+            outcomes=[O("Decide schedulability of a simple periodic task set", USE, EL)],
+        ),
+        UnitSpec(
+            "FT",
+            "Fault Tolerance (OS)",
+            tier=EL,
+            topics=[
+                T("Reliable versus best-effort OS guarantees", EL),
+                T("Checkpointing and journaling", EL),
+            ],
+            outcomes=[O("Explain how journaling preserves file-system consistency", FAM, EL)],
+        ),
+        UnitSpec(
+            "PERF",
+            "System Performance Evaluation",
+            tier=EL,
+            topics=[
+                T("Performance metrics for operating systems", EL),
+                T("Policy evaluation: caching, paging, scheduling trade-offs", EL),
+            ],
+            outcomes=[O("Design a measurement of an OS policy's impact", ASSESS, EL)],
+        ),
+    ],
+    "SF": [
+        UnitSpec(
+            "XLC",
+            "Cross-Layer Communications",
+            tier=C1,
+            topics=[
+                T("Programming abstractions built on lower layers"),
+                T("Reliability and how layers mask failures"),
+            ],
+            outcomes=[O("Describe how errors at one layer surface at another", FAM)],
+        ),
+        UnitSpec(
+            "PROX",
+            "Proximity",
+            tier=C2,
+            topics=[
+                T("Speed of light and memory-access latency gaps", C2),
+                T("Caches and the cost of going far for data", C2),
+            ],
+            outcomes=[O("Rank storage technologies by latency", USE, C2)],
+        ),
+        UnitSpec(
+            "VIRT",
+            "Virtualization and Isolation",
+            tier=C2,
+            topics=[
+                T("Rationale for protection and predictable performance", C2),
+                T("Levels of indirection as the implementation mechanism", C2),
+            ],
+            outcomes=[O("Explain how indirection enables isolation", FAM, C2)],
+        ),
+        UnitSpec(
+            "QUANT",
+            "Quantitative Evaluation",
+            tier=EL,
+            topics=[
+                T("Analytical queueing intuition: arrival and service rates", EL),
+                T("Little's law", EL),
+            ],
+            outcomes=[O("Apply Little's law to a service pipeline", USE, EL)],
+        ),
+    ],
+    "PD": [
+        UnitSpec(
+            "FORMAL",
+            "Formal Models and Semantics (PD)",
+            tier=EL,
+            topics=[
+                T("Interleaving semantics of concurrent programs", EL),
+                T("Safety and liveness properties", EL),
+                T("Happens-before ordering and logical clocks", EL),
+            ],
+            outcomes=[O("Construct an interleaving that violates a naive invariant", USE, EL)],
+        ),
+    ],
+    "NC": [
+        UnitSpec(
+            "LAN",
+            "Local Area Networks",
+            tier=EL,
+            topics=[
+                T("Multiple access and collision handling", EL),
+                T("Switched Ethernet", EL),
+            ],
+            outcomes=[O("Describe how switches learn forwarding tables", FAM, EL)],
+        ),
+        UnitSpec(
+            "RA",
+            "Resource Allocation (Networking)",
+            tier=EL,
+            topics=[
+                T("Fairness and congestion control principles", EL),
+                T("Quality-of-service mechanisms", EL),
+            ],
+            outcomes=[O("Explain why fairness and utilization can conflict", FAM, EL)],
+        ),
+        UnitSpec(
+            "MOB",
+            "Mobility",
+            tier=EL,
+            topics=[
+                T("Principles of cellular and wireless networking", EL),
+                T("Mobile addressing and handoff", EL),
+            ],
+            outcomes=[O("Describe the challenges mobility adds to routing", FAM, EL)],
+        ),
+        UnitSpec(
+            "SOC",
+            "Social Networking (NC)",
+            tier=EL,
+            topics=[
+                T("Social networks as graphs", EL),
+                T("Information propagation and cascades", EL),
+            ],
+            outcomes=[O("Model a social process as a graph problem", USE, EL)],
+        ),
+    ],
+    "IM": [
+        UnitSpec(
+            "IDX",
+            "Indexing",
+            tier=EL,
+            topics=[
+                T("Index structures: B+-trees and hashing for retrieval", EL),
+                T("Inverted indexes for text", EL),
+            ],
+            outcomes=[O("Choose an index for a given query workload", ASSESS, EL)],
+        ),
+        UnitSpec(
+            "RDB",
+            "Relational Databases",
+            tier=EL,
+            topics=[
+                T("Relational algebra", EL),
+                T("Normal forms and functional dependencies", EL),
+            ],
+            outcomes=[O("Normalize a schema to 3NF", USE, EL)],
+        ),
+        UnitSpec(
+            "QL",
+            "Query Languages",
+            tier=EL,
+            topics=[
+                T("SQL beyond selection: joins, aggregation, subqueries", EL),
+                T("Query optimization at a high level", EL),
+            ],
+            outcomes=[O("Write multi-table analytical queries", USE, EL)],
+        ),
+        UnitSpec(
+            "TP",
+            "Transaction Processing",
+            tier=EL,
+            topics=[
+                T("ACID properties", EL),
+                T("Concurrency control: locking and isolation levels", EL),
+                T("Failure recovery via logs", EL),
+            ],
+            outcomes=[O("Explain a lost-update anomaly and its prevention", FAM, EL)],
+        ),
+        UnitSpec(
+            "DDB",
+            "Distributed Databases",
+            tier=EL,
+            topics=[
+                T("Partitioning and replication", EL),
+                T("Two-phase commit", EL),
+            ],
+            outcomes=[O("Contrast consistency models of replicated stores", FAM, EL)],
+        ),
+        UnitSpec(
+            "DMINE",
+            "Data Mining",
+            tier=EL,
+            topics=[
+                T("Uses and risks of data mining", EL),
+                T("Association rules and clustering at a high level", EL),
+            ],
+            outcomes=[O("Run a clustering on a prepared dataset", USE, EL)],
+        ),
+        UnitSpec(
+            "ISR",
+            "Information Storage and Retrieval",
+            tier=EL,
+            topics=[
+                T("Ranked retrieval and relevance", EL),
+                T("Evaluation: precision and recall", EL),
+            ],
+            outcomes=[O("Compute precision/recall of a retrieval run", USE, EL)],
+        ),
+    ],
+    "IS": [
+        UnitSpec(
+            "ASEARCH",
+            "Advanced Search",
+            tier=EL,
+            topics=[
+                T("Local search: hill climbing and simulated annealing", EL),
+                T("Constraint satisfaction", EL),
+            ],
+            outcomes=[O("Formulate a scheduling problem as CSP", USE, EL)],
+        ),
+        UnitSpec(
+            "UNCERT",
+            "Reasoning Under Uncertainty",
+            tier=EL,
+            topics=[
+                T("Random variables and probabilistic inference", EL),
+                T("Bayesian networks at a high level", EL),
+            ],
+            outcomes=[O("Perform inference on a tiny Bayes net", USE, EL)],
+        ),
+        UnitSpec(
+            "AGENTS",
+            "Agents",
+            tier=EL,
+            topics=[
+                T("Agent architectures: reactive and deliberative", EL),
+                T("Multi-agent coordination", EL),
+            ],
+            outcomes=[O("Describe the sense-plan-act loop", FAM, EL)],
+        ),
+        UnitSpec(
+            "NLP",
+            "Natural Language Processing",
+            tier=EL,
+            topics=[
+                T("Tokenization and n-gram language models", EL),
+                T("Classification of text", EL),
+            ],
+            outcomes=[O("Build a bag-of-words text classifier", USE, EL)],
+        ),
+        UnitSpec(
+            "PERC",
+            "Perception and Computer Vision",
+            tier=EL,
+            topics=[
+                T("Image formation and features", EL),
+                T("Object recognition at a high level", EL),
+            ],
+            outcomes=[O("Apply edge detection to an image", USE, EL)],
+        ),
+    ],
+    "GV": [
+        UnitSpec(
+            "BR",
+            "Basic Rendering",
+            tier=EL,
+            topics=[
+                T("Rendering in nature: light and shading models", EL),
+                T("Rasterization versus ray casting", EL),
+            ],
+            outcomes=[O("Render a lit sphere with a local illumination model", USE, EL)],
+        ),
+        UnitSpec(
+            "GM",
+            "Geometric Modeling",
+            tier=EL,
+            topics=[
+                T("Polygonal meshes", EL),
+                T("Parametric curves and surfaces", EL),
+            ],
+            outcomes=[O("Represent a shape as a mesh and transform it", USE, EL)],
+        ),
+        UnitSpec(
+            "ANIM",
+            "Computer Animation",
+            tier=EL,
+            topics=[
+                T("Keyframing and interpolation", EL),
+                T("Physically based animation at a high level", EL),
+            ],
+            outcomes=[O("Animate an object along a spline", USE, EL)],
+        ),
+    ],
+    "HCI": [
+        UnitSpec(
+            "PIS",
+            "Programming Interactive Systems",
+            tier=EL,
+            topics=[
+                T("GUI toolkits and event loops", EL),
+                T("Model-view separation in interactive software", EL),
+            ],
+            outcomes=[O("Build a small GUI application", USE, EL)],
+        ),
+        UnitSpec(
+            "UCD",
+            "User-Centered Design and Testing",
+            tier=EL,
+            topics=[
+                T("Task analysis and personas", EL),
+                T("Usability testing protocols", EL),
+            ],
+            outcomes=[O("Plan and run a think-aloud study", USE, EL)],
+        ),
+        UnitSpec(
+            "NIT",
+            "New Interactive Technologies",
+            tier=EL,
+            topics=[
+                T("Touch, gesture, and voice interaction", EL),
+                T("Wearable and ubiquitous interfaces", EL),
+            ],
+            outcomes=[O("Critique an interface for a novel modality", ASSESS, EL)],
+        ),
+        UnitSpec(
+            "COLLAB",
+            "Collaboration and Communication (HCI)",
+            tier=EL,
+            topics=[
+                T("Groupware and social computing", EL),
+                T("Awareness and coordination mechanisms", EL),
+            ],
+            outcomes=[O("Identify coordination breakdowns in a shared tool", ASSESS, EL)],
+        ),
+        UnitSpec(
+            "MAVR",
+            "Mixed, Augmented and Virtual Reality",
+            tier=EL,
+            topics=[
+                T("Immersion, presence, and tracking", EL),
+                T("3-D interaction techniques", EL),
+            ],
+            outcomes=[O("Describe the tracking pipeline of a VR system", FAM, EL)],
+        ),
+    ],
+    "IAS": [
+        UnitSpec(
+            "WEB",
+            "Web Security",
+            tier=EL,
+            topics=[
+                T("Same-origin policy", EL),
+                T("Injection and cross-site scripting attacks", EL),
+            ],
+            outcomes=[O("Exploit and then fix a toy XSS vulnerability", USE, EL)],
+        ),
+        UnitSpec(
+            "PLAT",
+            "Platform Security",
+            tier=EL,
+            topics=[
+                T("Trusted boot and code integrity", EL),
+                T("Sandboxing of untrusted code", EL),
+            ],
+            outcomes=[O("Explain what a sandbox can and cannot contain", FAM, EL)],
+        ),
+        UnitSpec(
+            "POLICY",
+            "Security Policy and Governance",
+            tier=EL,
+            topics=[
+                T("Security policies, standards, and compliance", EL),
+                T("Incident response basics", EL),
+            ],
+            outcomes=[O("Draft an acceptable-use policy for a lab", USE, EL)],
+        ),
+        UnitSpec(
+            "FORENS",
+            "Digital Forensics",
+            tier=EL,
+            topics=[
+                T("Evidence handling and chain of custody", EL),
+                T("File-system and memory artifacts", EL),
+            ],
+            outcomes=[O("Recover deleted data from a disk image", USE, EL)],
+        ),
+        UnitSpec(
+            "SSE",
+            "Secure Software Engineering",
+            tier=EL,
+            topics=[
+                T("Threat modeling in design", EL),
+                T("Security testing and code review", EL),
+            ],
+            outcomes=[O("Produce a threat model for a small service", USE, EL)],
+        ),
+    ],
+    "SE": [
+        UnitSpec(
+            "FM",
+            "Formal Methods",
+            tier=EL,
+            topics=[
+                T("Pre/postconditions and invariants as specifications", EL),
+                T("Model checking at a high level", EL),
+            ],
+            outcomes=[O("State and verify an invariant of a small program", USE, EL)],
+        ),
+        UnitSpec(
+            "REL",
+            "Software Reliability",
+            tier=EL,
+            topics=[
+                T("Reliability metrics: MTBF and failure intensity", EL),
+                T("Fault injection and chaos testing", EL),
+            ],
+            outcomes=[O("Estimate reliability growth from defect data", USE, EL)],
+        ),
+    ],
+    "SP": [
+        UnitSpec(
+            "PRIV",
+            "Privacy and Civil Liberties",
+            tier=C2,
+            topics=[
+                T("Philosophical and legal conceptions of privacy", C2),
+                T("Data aggregation and de-anonymization risks", C2),
+            ],
+            outcomes=[O("Evaluate a product's data collection against a privacy principle", ASSESS, C2)],
+        ),
+        UnitSpec(
+            "COMM",
+            "Professional Communication",
+            tier=C2,
+            topics=[
+                T("Writing technical documentation for varied audiences", C2),
+                T("Oral presentation of technical material", C2),
+            ],
+            outcomes=[O("Present a technical design to a non-expert audience", USE, C2)],
+        ),
+        UnitSpec(
+            "SUST",
+            "Sustainability",
+            tier=C2,
+            topics=[
+                T("Environmental impact of computing, including energy", C2),
+                T("Sustainable software engineering choices", C2),
+            ],
+            outcomes=[O("Estimate the energy footprint of a workload", USE, C2)],
+        ),
+        UnitSpec(
+            "HIST",
+            "History of Computing",
+            tier=EL,
+            topics=[
+                T("Prehistory of computing and pioneering machines", EL),
+                T("History of the Internet and personal computing", EL),
+            ],
+            outcomes=[O("Place a technology in its historical context", FAM, EL)],
+        ),
+        UnitSpec(
+            "ECON",
+            "Economies of Computing",
+            tier=EL,
+            topics=[
+                T("Monopolies, network effects, and pricing of software", EL),
+                T("Open source economics", EL),
+            ],
+            outcomes=[O("Analyze the incentives of an open-source ecosystem", ASSESS, EL)],
+        ),
+        UnitSpec(
+            "LAW",
+            "Security Policies, Laws and Computer Crimes",
+            tier=EL,
+            topics=[
+                T("Computer crime statutes and their reach", EL),
+                T("Responsible disclosure and bug bounties", EL),
+            ],
+            outcomes=[O("Assess the legality of a scanning activity", ASSESS, EL)],
+        ),
+    ],
+    "PBD": [
+        UnitSpec(
+            "IND",
+            "Industrial Platforms",
+            tier=EL,
+            topics=[
+                T("Embedded/industrial platform constraints", EL),
+                T("Programming against vendor APIs and toolchains", EL),
+            ],
+            outcomes=[O("Port a small program across two platforms", USE, EL)],
+        ),
+        UnitSpec(
+            "GAME",
+            "Game Platforms",
+            tier=EL,
+            topics=[
+                T("Game engines and their component systems", EL),
+                T("Real-time loops and asset pipelines", EL),
+            ],
+            outcomes=[O("Build a small game on an engine", USE, EL)],
+        ),
+    ],
+    "PL": [
+        UnitSpec(
+            "SYN",
+            "Syntax Analysis",
+            tier=EL,
+            topics=[
+                T("Regular expressions for lexing", EL),
+                T("Parsing: recursive descent and grammar ambiguity", EL),
+            ],
+            outcomes=[O("Write a recursive-descent parser for a tiny language", USE, EL)],
+        ),
+        UnitSpec(
+            "SEMA",
+            "Compiler Semantic Analysis",
+            tier=EL,
+            topics=[
+                T("Symbol tables and scoping", EL),
+                T("Type checking as tree traversal", EL),
+            ],
+            outcomes=[O("Implement a type checker over an AST", USE, EL)],
+        ),
+        UnitSpec(
+            "CODEGEN",
+            "Code Generation",
+            tier=EL,
+            topics=[
+                T("Instruction selection for a stack machine", EL),
+                T("Register allocation at a high level", EL),
+            ],
+            outcomes=[O("Emit stack-machine code for expressions", USE, EL)],
+        ),
+        UnitSpec(
+            "RTS",
+            "Runtime Systems",
+            tier=EL,
+            topics=[
+                T("Garbage collection algorithms", EL),
+                T("Just-in-time compilation at a high level", EL),
+            ],
+            outcomes=[O("Compare tracing and reference-counting GC", FAM, EL)],
+        ),
+        UnitSpec(
+            "STATIC",
+            "Static Analysis",
+            tier=EL,
+            topics=[
+                T("Dataflow analysis: reaching definitions", EL),
+                T("Abstract interpretation intuition", EL),
+            ],
+            outcomes=[O("Run a lint tool and triage its findings", USE, EL)],
+        ),
+        UnitSpec(
+            "TSYS",
+            "Type Systems (advanced)",
+            tier=EL,
+            topics=[
+                T("Polymorphic type inference at a high level", EL),
+                T("Soundness: progress and preservation", EL),
+            ],
+            outcomes=[O("Infer the type of a small functional program", USE, EL)],
+        ),
+        UnitSpec(
+            "LOGIC",
+            "Logic Programming",
+            tier=EL,
+            topics=[
+                T("Horn clauses and unification", EL),
+                T("Backtracking search in logic programs", EL),
+            ],
+            outcomes=[O("Write a small Prolog-style relation", USE, EL)],
+        ),
+    ],
+}

@@ -1,0 +1,467 @@
+"""CS2013 knowledge areas: SDF, AL, DS, PL.
+
+These four areas carry nearly all the content of CS1 / Data Structures /
+Algorithms courses and therefore dominate the analyses in the paper
+(Sections 4.3–4.6).  Topic and outcome listings follow the CS2013 body of
+knowledge; outcome mastery levels use the guideline's familiarity / usage /
+assessment scale.
+"""
+
+from __future__ import annotations
+
+from repro.curriculum._schema import AreaSpec, O, T, UnitSpec
+from repro.ontology.node import Mastery, Tier
+
+C1, C2, EL = Tier.CORE1, Tier.CORE2, Tier.ELECTIVE
+FAM, USE, ASSESS = Mastery.FAMILIARITY, Mastery.USAGE, Mastery.ASSESSMENT
+
+SDF = AreaSpec(
+    "SDF",
+    "Software Development Fundamentals",
+    units=[
+        UnitSpec(
+            "AD",
+            "Algorithms and Design",
+            tier=C1,
+            topics=[
+                T("The concept and properties of algorithms"),
+                T("The role of algorithms in the problem-solving process"),
+                T("Problem-solving strategies: iterative and recursive mathematical functions"),
+                T("Problem-solving strategies: divide-and-conquer"),
+                T("Implementation of algorithms in a programming language"),
+                T("Fundamental design concepts and principles: abstraction"),
+                T("Fundamental design concepts and principles: program decomposition"),
+                T("Encapsulation and information hiding"),
+                T("Separation of behavior and implementation"),
+            ],
+            outcomes=[
+                O("Discuss the importance of algorithms in the problem-solving process", FAM),
+                O("Create algorithms for solving simple problems", USE),
+                O("Implement a divide-and-conquer algorithm for a problem", USE),
+                O("Apply the techniques of decomposition to break a program into smaller pieces", USE),
+                O("Identify the data components and behaviors of multiple abstract data types", USE),
+            ],
+        ),
+        UnitSpec(
+            "FPC",
+            "Fundamental Programming Concepts",
+            tier=C1,
+            topics=[
+                T("Basic syntax and semantics of a higher-level language"),
+                T("Variables and primitive data types"),
+                T("Expressions and assignments"),
+                T("Simple I/O including file I/O"),
+                T("Conditional control structures"),
+                T("Iterative control structures (loops)"),
+                T("Functions and parameter passing"),
+                T("The concept of recursion"),
+            ],
+            outcomes=[
+                O("Analyze and explain the behavior of simple programs", ASSESS),
+                O("Identify and describe uses of primitive data types", FAM),
+                O("Write programs that use primitive data types", USE),
+                O("Modify and expand short programs that use standard control structures", USE),
+                O("Design, implement, test, and debug a program using basic computation and I/O", USE),
+                O("Choose appropriate conditional and iteration constructs for a task", ASSESS),
+                O("Describe the concept of parameterization and write functions that accept parameters", USE),
+                O("Write recursive functions for simple recursively defined problems", USE),
+            ],
+        ),
+        UnitSpec(
+            "FDS",
+            "Fundamental Data Structures",
+            tier=C1,
+            topics=[
+                T("Arrays"),
+                T("Records / structs"),
+                T("Strings and string processing"),
+                T("Stacks and queues"),
+                T("Priority queues"),
+                T("Sets and maps"),
+                T("References and aliasing"),
+                T("Linked lists"),
+                T("Strategies for choosing the appropriate data structure"),
+            ],
+            outcomes=[
+                O("Discuss the appropriate use of built-in data structures", FAM),
+                O("Describe common applications for each fundamental data structure", FAM),
+                O("Write programs that use arrays, records, strings, and linked lists", USE),
+                O("Compare alternative implementations of data structures with respect to performance", ASSESS),
+                O("Choose the appropriate data structure for a given problem", ASSESS),
+            ],
+        ),
+        UnitSpec(
+            "DM",
+            "Development Methods",
+            tier=C1,
+            topics=[
+                T("Program comprehension"),
+                T("Program correctness: the concept of a specification"),
+                T("Program correctness: defensive programming and assertions"),
+                T("Program correctness: unit testing and test-case design"),
+                T("Simple refactoring"),
+                T("Modern programming environments and libraries"),
+                T("Debugging strategies"),
+                T("Documentation and program style"),
+            ],
+            outcomes=[
+                O("Trace the execution of a variety of code segments", USE),
+                O("Apply a variety of strategies to the testing and debugging of simple programs", USE),
+                O("Construct and debug programs using standard libraries", USE),
+                O("Apply consistent documentation and program style standards", USE),
+                O("Create a unit test plan for a medium-size code segment", USE),
+            ],
+        ),
+    ],
+)
+
+AL = AreaSpec(
+    "AL",
+    "Algorithms and Complexity",
+    units=[
+        UnitSpec(
+            "BA",
+            "Basic Analysis",
+            tier=C1,
+            topics=[
+                T("Differences among best, expected, and worst case behaviors"),
+                T("Asymptotic analysis of upper and expected complexity bounds"),
+                T("Big O notation: formal definition"),
+                T("Complexity classes such as constant, logarithmic, linear, quadratic and exponential"),
+                T("Empirical measurement of performance"),
+                T("Time and space trade-offs in algorithms"),
+                T("Big O notation: use (Theta and Omega)", C2),
+                T("Recurrence relations and analysis of recursive algorithms", C2),
+                T("Analysis of iterative algorithms", C2),
+            ],
+            outcomes=[
+                O("Explain what is meant by best, expected, and worst case behavior of an algorithm", FAM),
+                O("Determine informally the time and space complexity of simple algorithms", USE),
+                O("State the formal definition of Big O", FAM),
+                O("Use Big O notation to give asymptotic upper bounds on time and space complexity", USE),
+                O("Perform empirical studies to validate hypotheses about runtime", ASSESS),
+                O("Solve elementary recurrence relations", USE, C2),
+            ],
+        ),
+        UnitSpec(
+            "AS",
+            "Algorithmic Strategies",
+            tier=C1,
+            topics=[
+                T("Brute-force algorithms"),
+                T("Greedy algorithms"),
+                T("Divide-and-conquer algorithms"),
+                T("Recursive backtracking"),
+                T("Dynamic programming"),
+                T("Reduction: transform-and-conquer", C2),
+                T("Branch-and-bound", EL),
+                T("Heuristics", EL),
+            ],
+            outcomes=[
+                O("For each strategy, identify a practical example to which it would apply", FAM),
+                O("Use a greedy approach to solve an appropriate problem", USE),
+                O("Use a divide-and-conquer algorithm to solve an appropriate problem", USE),
+                O("Use recursive backtracking to solve a problem such as n-queens", USE),
+                O("Use dynamic programming to solve an appropriate problem", USE),
+                O("Determine an appropriate algorithmic strategy for a given problem", ASSESS),
+            ],
+        ),
+        UnitSpec(
+            "FDSA",
+            "Fundamental Data Structures and Algorithms",
+            tier=C1,
+            topics=[
+                T("Simple numerical algorithms"),
+                T("Sequential search"),
+                T("Binary search"),
+                T("Worst-case quadratic sorting algorithms (selection, insertion)"),
+                T("Worst or average case O(n log n) sorting algorithms (quicksort, heapsort, mergesort)"),
+                T("Hash tables, including strategies for avoiding and resolving collisions"),
+                T("Binary search trees: common operations"),
+                T("Graphs and graph algorithms: representations of graphs"),
+                T("Graphs and graph algorithms: depth-first and breadth-first traversals"),
+                T("Heaps", C2),
+                T("Graphs and graph algorithms: shortest-path algorithms (Dijkstra, Floyd)", C2),
+                T("Graphs and graph algorithms: minimum spanning tree (Prim, Kruskal)", C2),
+                T("Pattern matching and string/text algorithms", C2),
+                T("Topological sort", C2),
+                T("Balanced trees (AVL, red-black, B-trees)", EL),
+            ],
+            outcomes=[
+                O("Implement basic numerical algorithms", USE),
+                O("Implement simple search algorithms and explain their complexity differences", ASSESS),
+                O("Implement common quadratic and O(n log n) sorting algorithms", USE),
+                O("Describe the implementation of hash tables including collision resolution", FAM),
+                O("Discuss the runtime and memory efficiency of principal algorithms for sorting, searching, and hashing", FAM),
+                O("Solve problems using fundamental graph algorithms including traversals", USE),
+                O("Implement and use balanced trees and heaps", USE, C2),
+                O("Trace and analyze standard graph algorithms such as shortest path", ASSESS, C2),
+            ],
+        ),
+        UnitSpec(
+            "ACC",
+            "Basic Automata, Computability and Complexity",
+            tier=C1,
+            topics=[
+                T("Finite-state machines"),
+                T("Regular expressions"),
+                T("The halting problem"),
+                T("Context-free grammars", C2),
+                T("P vs NP and NP-completeness", C2),
+            ],
+            outcomes=[
+                O("Design a deterministic finite-state machine for a given language", USE),
+                O("Explain why the halting problem has no algorithmic solution", FAM),
+                O("Define the classes P and NP and explain the significance of NP-completeness", FAM, C2),
+            ],
+        ),
+        UnitSpec(
+            "ADV",
+            "Advanced Data Structures, Algorithms, and Analysis",
+            tier=EL,
+            topics=[
+                T("Balanced trees and specialized search structures", EL),
+                T("Network flows", EL),
+                T("Linear programming", EL),
+                T("Randomized algorithms", EL),
+                T("Amortized analysis", EL),
+                T("String matching automata and suffix structures", EL),
+                T("Geometric algorithms", EL),
+                T("Approximation algorithms", EL),
+            ],
+            outcomes=[
+                O("Understand the mapping of real-world problems to advanced algorithmic solutions", ASSESS, EL),
+                O("Use amortized analysis on a simple data structure", USE, EL),
+            ],
+        ),
+    ],
+)
+
+DS = AreaSpec(
+    "DS",
+    "Discrete Structures",
+    units=[
+        UnitSpec(
+            "SRF",
+            "Sets, Relations, and Functions",
+            tier=C1,
+            topics=[
+                T("Sets: union, intersection, complement, Cartesian product, power sets"),
+                T("Relations: reflexivity, symmetry, transitivity, equivalence relations"),
+                T("Functions: surjections, injections, inverses, composition"),
+            ],
+            outcomes=[
+                O("Explain with examples the basic terminology of functions, relations, and sets", FAM),
+                O("Perform the operations associated with sets, functions, and relations", USE),
+                O("Relate practical examples to the appropriate set, function, or relation model", ASSESS),
+            ],
+        ),
+        UnitSpec(
+            "BL",
+            "Basic Logic",
+            tier=C1,
+            topics=[
+                T("Propositional logic and logical connectives"),
+                T("Truth tables"),
+                T("Predicate logic and universal/existential quantification"),
+                T("Normal forms", C2),
+            ],
+            outcomes=[
+                O("Convert logical statements from informal language to propositional and predicate logic", USE),
+                O("Apply formal methods of symbolic propositional and predicate logic", USE),
+                O("Describe how symbolic logic can model real-life situations", FAM),
+            ],
+        ),
+        UnitSpec(
+            "PT",
+            "Proof Techniques",
+            tier=C1,
+            topics=[
+                T("Direct proof, proof by contradiction, and proof by induction"),
+                T("The structure of mathematical proofs"),
+                T("Weak and strong induction"),
+                T("Recursive mathematical definitions"),
+                T("Well orderings", C2),
+            ],
+            outcomes=[
+                O("Identify the proof technique used in a given argument", FAM),
+                O("Outline the basic structure of each proof technique", USE),
+                O("Apply each of the proof techniques correctly in the construction of a sound argument", USE),
+                O("Apply the technique of mathematical induction to prove simple theorems", USE, C2),
+            ],
+        ),
+        UnitSpec(
+            "BC",
+            "Basics of Counting",
+            tier=C1,
+            topics=[
+                T("Counting arguments: sum and product rule"),
+                T("The pigeonhole principle"),
+                T("Permutations and combinations"),
+                T("Solving recurrence relations"),
+                T("Basic modular arithmetic"),
+            ],
+            outcomes=[
+                O("Apply counting arguments including sum and product rules", USE),
+                O("Apply the pigeonhole principle in the context of a formal proof", USE),
+                O("Compute permutations and combinations of a set", USE),
+                O("Solve a variety of basic recurrence relations", USE),
+            ],
+        ),
+        UnitSpec(
+            "GT",
+            "Graphs and Trees",
+            tier=C1,
+            topics=[
+                T("Trees: properties and traversal strategies"),
+                T("Undirected graphs"),
+                T("Directed graphs"),
+                T("Weighted graphs"),
+                T("Spanning trees and spanning forests", C2),
+                T("Graph isomorphism", EL),
+            ],
+            outcomes=[
+                O("Illustrate by example the basic terminology of graph theory and its models", FAM),
+                O("Demonstrate different traversal methods for trees and graphs", USE),
+                O("Model problems in computer science using graphs and trees", USE),
+                O("Show how concepts from graphs and trees appear in data structures and algorithms", ASSESS, C2),
+            ],
+        ),
+        UnitSpec(
+            "DP",
+            "Discrete Probability",
+            tier=C1,
+            topics=[
+                T("Finite probability spaces and events"),
+                T("Conditional probability, independence, Bayes' theorem"),
+                T("Expectation and variance", C2),
+                T("Randomized algorithms as probabilistic processes", EL),
+            ],
+            outcomes=[
+                O("Calculate probabilities of events for elementary problems", USE),
+                O("Apply Bayes' theorem to determine conditional probabilities", USE),
+                O("Compute the expected value of a discrete random variable", USE, C2),
+            ],
+        ),
+    ],
+)
+
+PL = AreaSpec(
+    "PL",
+    "Programming Languages",
+    units=[
+        UnitSpec(
+            "OOP",
+            "Object-Oriented Programming",
+            tier=C1,
+            topics=[
+                T("Object-oriented design: decomposition into objects carrying state and behavior"),
+                T("Definition of classes: fields, methods, and constructors"),
+                T("Subclasses, inheritance, and method overriding"),
+                T("Dynamic dispatch: definition of method-call"),
+                T("Encapsulation and information hiding in classes"),
+                T("Subtyping and subtype polymorphism", C2),
+                T("Object interfaces and abstract classes", C2),
+                T("Collection classes and iterators", C2),
+                T("Parametric polymorphism (generics)", C2),
+                T("Using collection classes, iterators, and other common library components", C2),
+            ],
+            outcomes=[
+                O("Design and implement a class", USE),
+                O("Use subclassing to design simple class hierarchies that allow code reuse", USE),
+                O("Correctly reason about control flow in a program using dynamic dispatch", ASSESS),
+                O("Compare and contrast the procedural and object-oriented paradigms", FAM),
+                O("Use iterators and collection classes to operate on aggregates", USE, C2),
+                O("Use generics to write reusable type-safe containers", USE, C2),
+            ],
+        ),
+        UnitSpec(
+            "FP",
+            "Functional Programming",
+            tier=C1,
+            topics=[
+                T("Effect-free programming: immutable values"),
+                T("Processing structured data by recursion over structure"),
+                T("First-class functions", C2),
+                T("Higher-order functions: map, filter, reduce", C2),
+                T("Closures and variable capture", C2),
+            ],
+            outcomes=[
+                O("Write basic algorithms that avoid assigning to mutable state", USE),
+                O("Write useful functions that take and return other functions", USE, C2),
+                O("Compare and contrast stateful and stateless programming", FAM, C2),
+            ],
+        ),
+        UnitSpec(
+            "EDR",
+            "Event-Driven and Reactive Programming",
+            tier=C2,
+            topics=[
+                T("Events and event handlers", C2),
+                T("Canonical uses: GUIs, mobile devices, robots, servers", C2),
+                T("Separation of model, view, and controller", C2),
+            ],
+            outcomes=[
+                O("Write event handlers for a simple interactive application", USE, C2),
+                O("Describe how event-driven control flow differs from sequential control flow", FAM, C2),
+            ],
+        ),
+        UnitSpec(
+            "BTS",
+            "Basic Type Systems",
+            tier=C1,
+            topics=[
+                T("A type as a set of values with a set of operations"),
+                T("Primitive types versus compound/constructed types"),
+                T("Association of types to variables, arguments, and results"),
+                T("Type safety and errors caught by static vs dynamic checking", C2),
+                T("Generic types and their use", C2),
+            ],
+            outcomes=[
+                O("Explain how typing supports program correctness", FAM),
+                O("Define and use program pieces that use generic types", USE, C2),
+            ],
+        ),
+        UnitSpec(
+            "PR",
+            "Program Representation",
+            tier=C2,
+            topics=[
+                T("Programs that take (other) programs as input: interpreters and compilers", C2),
+                T("Abstract syntax trees", C2),
+            ],
+            outcomes=[O("Distinguish syntax and parsing from semantics and evaluation", FAM, C2)],
+        ),
+        UnitSpec(
+            "LTE",
+            "Language Translation and Execution",
+            tier=C2,
+            topics=[
+                T("Interpretation versus compilation to native or virtual-machine code", C2),
+                T("Run-time representation of core language constructs such as objects and closures", C2),
+                T("Memory management: manual memory management and garbage collection", C2),
+            ],
+            outcomes=[
+                O("Distinguish a language definition from a particular language implementation", FAM, C2),
+                O("Discuss the benefits and limitations of garbage collection", FAM, C2),
+            ],
+        ),
+        UnitSpec(
+            "CP",
+            "Concurrency and Parallelism (language support)",
+            tier=EL,
+            topics=[
+                T("Constructs for thread-shared variables and shared-memory synchronization", EL),
+                T("Actor models and message passing", EL),
+                T("Futures and promises", EL),
+                T("Language support for data parallelism (parallel loops)", EL),
+            ],
+            outcomes=[
+                O("Write correct concurrent programs using multiple programming models", USE, EL),
+                O("Use a promise/future construct to structure an asynchronous computation", USE, EL),
+            ],
+        ),
+    ],
+)
+
+FOUNDATION_AREAS = [SDF, AL, DS, PL]

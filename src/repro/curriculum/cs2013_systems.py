@@ -1,0 +1,510 @@
+"""CS2013 knowledge areas: AR, OS, SF, PD, NC.
+
+The systems-side areas.  Architecture's "Machine Level Representation of
+Data" unit and the Parallel and Distributed Computing area are load-bearing
+for the paper: CS1 Type 2 courses are distinguished by data-representation
+topics (§4.4) and PDC anchoring targets the PD area (§4.7, §5.2).
+"""
+
+from __future__ import annotations
+
+from repro.curriculum._schema import AreaSpec, O, T, UnitSpec
+from repro.ontology.node import Mastery, Tier
+
+C1, C2, EL = Tier.CORE1, Tier.CORE2, Tier.ELECTIVE
+FAM, USE, ASSESS = Mastery.FAMILIARITY, Mastery.USAGE, Mastery.ASSESSMENT
+
+AR = AreaSpec(
+    "AR",
+    "Architecture and Organization",
+    units=[
+        UnitSpec(
+            "DLDS",
+            "Digital Logic and Digital Systems",
+            tier=C2,
+            topics=[
+                T("Overview of computer hardware organization", C2),
+                T("Combinational vs sequential logic", C2),
+                T("Computer-aided design tools that model digital designs", EL),
+                T("Register transfer notation", EL),
+            ],
+            outcomes=[
+                O("Describe the progression of computer technology components", FAM, C2),
+                O("Write a simple sequential circuit using gates", USE, C2),
+            ],
+        ),
+        UnitSpec(
+            "MRD",
+            "Machine Level Representation of Data",
+            tier=C2,
+            topics=[
+                T("Bits, bytes, and words", C2),
+                T("Numeric data representation and number bases", C2),
+                T("Fixed- and floating-point representation of real numbers", C2),
+                T("Signed and twos-complement representations", C2),
+                T("Representation of non-numeric data (characters, strings)", C2),
+                T("Representation of records and arrays in memory", C2),
+            ],
+            outcomes=[
+                O("Explain why everything is data, including instructions, in computers", FAM, C2),
+                O("Explain the reasons for using alternative formats to represent numerical data", FAM, C2),
+                O("Convert numerical data from one format to another", USE, C2),
+                O("Describe how negative integers are stored in twos-complement", FAM, C2),
+                O("Discuss how fixed-length number representations affect accuracy and precision", FAM, C2),
+            ],
+        ),
+        UnitSpec(
+            "ALMO",
+            "Assembly Level Machine Organization",
+            tier=C2,
+            topics=[
+                T("Basic organization of the von Neumann machine", C2),
+                T("Instruction set architecture: fetch/decode/execute", C2),
+                T("Subroutine call and return mechanisms", C2),
+                T("I/O and interrupts", C2),
+                T("Shared memory multiprocessors / multicore organization", C2),
+            ],
+            outcomes=[
+                O("Explain how an instruction is executed in a classical von Neumann machine", FAM, C2),
+                O("Write simple assembly language program segments", USE, C2),
+                O("Explain how subroutine calls are handled at the assembly level", FAM, C2),
+            ],
+        ),
+        UnitSpec(
+            "MSO",
+            "Memory System Organization and Architecture",
+            tier=C2,
+            topics=[
+                T("Storage systems and their technology", C2),
+                T("Memory hierarchy: temporal and spatial locality", C2),
+                T("Cache memories: address mapping, block size, replacement policy", C2),
+                T("Virtual memory", C2),
+            ],
+            outcomes=[
+                O("Identify the main types of memory technology", FAM, C2),
+                O("Describe how the use of memory hierarchy reduces effective access time", FAM, C2),
+                O("Compute the average memory access time given cache parameters", USE, C2),
+            ],
+        ),
+        UnitSpec(
+            "IC",
+            "Interfacing and Communication",
+            tier=C2,
+            topics=[
+                T("I/O fundamentals: handshaking, buffering, programmed and interrupt-driven I/O", C2),
+                T("External storage and physical organization", C2),
+                T("Buses and interconnects", C2),
+            ],
+            outcomes=[
+                O("Explain how interrupts are used to implement I/O control", FAM, C2),
+            ],
+        ),
+        UnitSpec(
+            "MANA",
+            "Multiprocessing and Alternative Architectures",
+            tier=EL,
+            topics=[
+                T("Power-law scaling and the end of frequency scaling", EL),
+                T("SIMD and vector architectures", EL),
+                T("GPU and special-purpose graphics processors", EL),
+                T("Flynn's taxonomy and multicore architectures", EL),
+                T("Interconnection networks", EL),
+            ],
+            outcomes=[
+                O("Describe the differences among SIMD, MIMD, and vector processing", FAM, EL),
+                O("Explain the motivation for multicore architectures", FAM, EL),
+            ],
+        ),
+        UnitSpec(
+            "PERF",
+            "Performance Enhancements",
+            tier=EL,
+            topics=[
+                T("Instruction-level parallelism and superscalar architecture", EL),
+                T("Branch prediction and speculative execution", EL),
+                T("Pipelining hazards", EL),
+            ],
+            outcomes=[O("Describe how pipelining improves instruction throughput", FAM, EL)],
+        ),
+    ],
+)
+
+OS = AreaSpec(
+    "OS",
+    "Operating Systems",
+    units=[
+        UnitSpec(
+            "OV",
+            "Overview of Operating Systems",
+            tier=C1,
+            topics=[
+                T("Role and purpose of the operating system"),
+                T("Design issues: efficiency, robustness, security, portability"),
+                T("Interactions of the OS with application software", C2),
+            ],
+            outcomes=[
+                O("Explain the objectives and functions of modern operating systems", FAM),
+                O("Discuss how operating systems have evolved over time", FAM),
+            ],
+        ),
+        UnitSpec(
+            "OSP",
+            "Operating System Principles",
+            tier=C1,
+            topics=[
+                T("Structuring methods: monolithic, layered, microkernels"),
+                T("Abstractions, processes, and resources"),
+                T("Concepts of APIs and system calls", C2),
+            ],
+            outcomes=[
+                O("Explain the concept of a logical layer in OS design", FAM),
+                O("Describe how computing resources are used by application software and managed by system software", FAM),
+            ],
+        ),
+        UnitSpec(
+            "CON",
+            "Concurrency (OS)",
+            tier=C2,
+            topics=[
+                T("Thread states and state diagrams", C2),
+                T("Dispatching and context switching", C2),
+                T("Race conditions at the OS level", C2),
+                T("Synchronization primitives: semaphores, monitors, condition variables", C2),
+                T("Producer-consumer problems", C2),
+                T("Deadlock: causes, conditions, prevention", C2),
+                T("Multiprocessor issues: spin locks, reentrancy", EL),
+            ],
+            outcomes=[
+                O("Demonstrate the potential run-time problems arising from concurrent operation of many tasks", USE, C2),
+                O("Explain conditions that lead to deadlock", FAM, C2),
+                O("Implement a producer-consumer solution using semaphores", USE, C2),
+            ],
+        ),
+        UnitSpec(
+            "SD",
+            "Scheduling and Dispatch",
+            tier=C2,
+            topics=[
+                T("Preemptive and non-preemptive scheduling", C2),
+                T("Schedulers and scheduling policies (FCFS, SJF, priority, round-robin)", C2),
+                T("Real-time scheduling concerns", EL),
+            ],
+            outcomes=[
+                O("Compare the common scheduling algorithms", ASSESS, C2),
+                O("Given a scenario, simulate scheduling decisions and compute turnaround times", USE, C2),
+            ],
+        ),
+        UnitSpec(
+            "MM",
+            "Memory Management",
+            tier=C2,
+            topics=[
+                T("Memory allocation and memory hierarchy review", C2),
+                T("Virtual memory: paging, page replacement, working sets", C2),
+                T("Caching at the OS level", C2),
+            ],
+            outcomes=[O("Explain how virtual memory decouples address spaces from physical memory", FAM, C2)],
+        ),
+        UnitSpec(
+            "FS",
+            "File Systems",
+            tier=EL,
+            topics=[
+                T("Files: data, metadata, operations, organization", EL),
+                T("Directories and naming", EL),
+            ],
+            outcomes=[O("Describe the choices to be made in designing file systems", FAM, EL)],
+        ),
+    ],
+)
+
+SF = AreaSpec(
+    "SF",
+    "Systems Fundamentals",
+    units=[
+        UnitSpec(
+            "CPAR",
+            "Computational Paradigms",
+            tier=C1,
+            topics=[
+                T("Basic building blocks of computing systems: gates to software layers"),
+                T("Programs as sequences of instruction execution"),
+                T("Multiple layers of abstraction in a computing system"),
+                T("Parallelism as a fundamental theme: pipeline, data, task parallelism"),
+            ],
+            outcomes=[
+                O("List commonly encountered patterns of how parallelism is exploited in computing", FAM),
+                O("Describe how computing systems are constructed of layers upon layers", FAM),
+            ],
+        ),
+        UnitSpec(
+            "SSM",
+            "State and State Machines",
+            tier=C1,
+            topics=[
+                T("Digital vs analog, discrete vs continuous state"),
+                T("Simple sequential circuits and state"),
+                T("State machines as models of computation"),
+            ],
+            outcomes=[
+                O("Describe computations as a system characterized by a known set of states and transitions", FAM),
+                O("Derive a state machine from a simple problem statement", USE),
+            ],
+        ),
+        UnitSpec(
+            "PAR",
+            "Parallelism (systems view)",
+            tier=C1,
+            topics=[
+                T("Sequential versus parallel processing"),
+                T("Parallel programming versus concurrent programming"),
+                T("Request parallelism versus task parallelism"),
+                T("System support for parallelism: multicore and client-server"),
+                T("Amdahl's law at the systems level", C2),
+            ],
+            outcomes=[
+                O("Distinguish processes and threads as units of parallel execution", FAM),
+                O("Write a simple parallel program that performs a computation in parallel", USE),
+                O("Use Amdahl's law to estimate the speedup limit of a workload", USE, C2),
+            ],
+        ),
+        UnitSpec(
+            "EVAL",
+            "Evaluation",
+            tier=C1,
+            topics=[
+                T("Performance figures of merit: latency and throughput"),
+                T("Benchmarks and benchmarking pitfalls"),
+                T("CPI and the iron law of performance", C2),
+            ],
+            outcomes=[
+                O("Explain how to measure the performance of a computing system", FAM),
+                O("Conduct a performance experiment and interpret its results", USE),
+            ],
+        ),
+        UnitSpec(
+            "RAS",
+            "Resource Allocation and Scheduling",
+            tier=C2,
+            topics=[
+                T("Kinds of resources: processor share, memory, disk, net bandwidth", C2),
+                T("Scheduling approaches: first-come-first-served and priority", C2),
+                T("Advantages and disadvantages of scheduling approaches", C2),
+            ],
+            outcomes=[
+                O("Define how finite computer resources are managed", FAM, C2),
+            ],
+        ),
+        UnitSpec(
+            "RTR",
+            "Reliability through Redundancy",
+            tier=C2,
+            topics=[
+                T("Distinction between bugs and faults", C2),
+                T("Redundancy as a mechanism for reliability", C2),
+            ],
+            outcomes=[O("Explain how tolerance to faults can be achieved through redundancy", FAM, C2)],
+        ),
+    ],
+)
+
+PD = AreaSpec(
+    "PD",
+    "Parallel and Distributed Computing",
+    units=[
+        UnitSpec(
+            "PF",
+            "Parallelism Fundamentals",
+            tier=C1,
+            topics=[
+                T("Multiple simultaneous computations"),
+                T("Goals of parallelism (speedup) versus concurrency (managing access to shared resources)"),
+                T("Programming constructs for creating parallelism and communicating"),
+                T("Programming errors not found in sequential programming: data races"),
+            ],
+            outcomes=[
+                O("Distinguish using computational resources for faster answers from managing efficient access to shared resources", FAM),
+                O("Distinguish multiple sufficient programming constructs for synchronization", FAM),
+                O("Write a correct and scalable parallel algorithm", USE),
+            ],
+        ),
+        UnitSpec(
+            "PDCMP",
+            "Parallel Decomposition",
+            tier=C1,
+            topics=[
+                T("Need for communication and coordination/synchronization"),
+                T("Independence and partitioning"),
+                T("Task-based decomposition", C2),
+                T("Data-parallel decomposition", C2),
+                T("Actors and reactive processes (request parallelism)", C2),
+            ],
+            outcomes=[
+                O("Explain why synchronization is necessary in a specific parallel program", FAM),
+                O("Write a correct parallel program using task-based decomposition", USE, C2),
+                O("Parallelize an algorithm by applying data-parallel decomposition", USE, C2),
+            ],
+        ),
+        UnitSpec(
+            "CC",
+            "Communication and Coordination",
+            tier=C1,
+            topics=[
+                T("Shared memory communication"),
+                T("Consistency and its role in programming language guarantees", C2),
+                T("Message passing: point-to-point versus multicast", C2),
+                T("Atomicity: specifying and testing atomicity and safety requirements", C2),
+                T("Mutual exclusion using locks", C2),
+                T("Deadlocks and livelocks in parallel programs", C2),
+                T("Futures and promises as coordination constructs", EL),
+                T("Conditional actions: monitors and condition variables", EL),
+            ],
+            outcomes=[
+                O("Use mutual exclusion to avoid a given race condition", USE),
+                O("Write a program that correctly terminates when all of a set of concurrent tasks have completed", USE, C2),
+                O("Give an example of an ordering of accesses among concurrent activities that is not sequentially consistent", FAM, C2),
+            ],
+        ),
+        UnitSpec(
+            "PAAP",
+            "Parallel Algorithms, Analysis, and Programming",
+            tier=C2,
+            topics=[
+                T("Critical path, work and span", C2),
+                T("Speedup and scalability", C2),
+                T("Naturally parallel (embarrassingly parallel) algorithms", C2),
+                T("Parallel algorithmic patterns: divide-and-conquer, map/reduce, parallel loops", C2),
+                T("Parallel reduction and the importance of operation ordering", C2),
+                T("Parallel scan (prefix sum)", EL),
+                T("Parallel graph algorithms and task graphs", EL),
+                T("Producer-consumer and pipelined algorithms", EL),
+                T("Amdahl's law", C2),
+            ],
+            outcomes=[
+                O("Define critical path, work, and span of a parallel computation", FAM, C2),
+                O("Compute the work and span of a simple parallel algorithm", USE, C2),
+                O("Use Amdahl's law to bound the speedup of a partially parallel program", USE, C2),
+                O("Implement a parallel divide-and-conquer or data-parallel algorithm and measure its speedup", USE, C2),
+                O("Map a parallel algorithm to a task graph and derive a feasible schedule", USE, EL),
+            ],
+        ),
+        UnitSpec(
+            "PARCH",
+            "Parallel Architecture",
+            tier=C1,
+            topics=[
+                T("Multicore processors"),
+                T("Shared versus distributed memory", C2),
+                T("Symmetric multiprocessing (SMP)", C2),
+                T("SIMD and vector processing", C2),
+                T("GPU co-processing", EL),
+                T("Cache coherence and memory consistency at the architecture level", EL),
+            ],
+            outcomes=[
+                O("Explain the differences between shared and distributed memory", FAM, C2),
+                O("Describe the SMP architecture and note its key features", FAM, C2),
+            ],
+        ),
+        UnitSpec(
+            "PPERF",
+            "Parallel Performance",
+            tier=EL,
+            topics=[
+                T("Load balancing", EL),
+                T("Scheduling for parallel performance: static and dynamic (list) scheduling", EL),
+                T("Data locality and communication cost", EL),
+                T("Performance measurement of parallel programs", EL),
+                T("Strong and weak scaling (Gustafson's law)", EL),
+            ],
+            outcomes=[
+                O("Calculate speedup and efficiency of a parallel execution", USE, EL),
+                O("Detect and correct a load imbalance", USE, EL),
+            ],
+        ),
+        UnitSpec(
+            "DIST",
+            "Distributed Systems",
+            tier=EL,
+            topics=[
+                T("Faults and partial failure in distributed systems", EL),
+                T("Distributed message sending and remote procedure call (CORBA-style object invocation)", EL),
+                T("Consensus and coordination in distributed systems", EL),
+                T("Distributed data structures and consistency", EL),
+            ],
+            outcomes=[
+                O("Describe the CAP trade-offs in distributed system design", FAM, EL),
+                O("Implement a simple distributed request-reply protocol", USE, EL),
+            ],
+        ),
+        UnitSpec(
+            "CLOUD",
+            "Cloud Computing",
+            tier=EL,
+            topics=[
+                T("Infrastructure as a service and elasticity", EL),
+                T("MapReduce-style data-center scale processing", EL),
+            ],
+            outcomes=[O("Write a simple MapReduce-style computation", USE, EL)],
+        ),
+    ],
+)
+
+NC = AreaSpec(
+    "NC",
+    "Networking and Communication",
+    units=[
+        UnitSpec(
+            "INTRO",
+            "Introduction (Networking)",
+            tier=C1,
+            topics=[
+                T("Organization of the Internet: ISPs, content providers"),
+                T("Layering principles: encapsulation and multiplexing"),
+                T("Circuit switching versus packet switching"),
+            ],
+            outcomes=[
+                O("Articulate the organization of the Internet", FAM),
+                O("Describe the layered structure of a typical networked architecture", FAM),
+            ],
+        ),
+        UnitSpec(
+            "NAPP",
+            "Networked Applications",
+            tier=C1,
+            topics=[
+                T("Naming and address schemes: DNS, IP addresses"),
+                T("Client-server and peer-to-peer paradigms"),
+                T("HTTP as an application-layer protocol"),
+                T("Socket APIs", C2),
+            ],
+            outcomes=[
+                O("Implement a simple client-server socket-based application", USE, C2),
+                O("Describe the differences between client-server and peer-to-peer paradigms", FAM),
+            ],
+        ),
+        UnitSpec(
+            "RDD",
+            "Reliable Data Delivery",
+            tier=C2,
+            topics=[
+                T("Error control and retransmission", C2),
+                T("Flow control and congestion", C2),
+                T("TCP as a reliable transport", C2),
+            ],
+            outcomes=[O("Explain the role of retransmission in reliable delivery", FAM, C2)],
+        ),
+        UnitSpec(
+            "RF",
+            "Routing and Forwarding",
+            tier=C2,
+            topics=[
+                T("Routing versus forwarding", C2),
+                T("Shortest-path routing as a graph problem", C2),
+                T("IP and the best-effort service model", C2),
+            ],
+            outcomes=[O("Describe how packets are routed across the Internet", FAM, C2)],
+        ),
+    ],
+)
+
+SYSTEMS_AREAS = [AR, OS, SF, PD, NC]

@@ -1,0 +1,114 @@
+"""CS2023 (beta) knowledge-area skeleton and CS2013 migration.
+
+§2.1: "ACM and IEEE produce computing curriculum guidelines and the latest
+version is from 2013 with an expected revision by Dec. 2023 ... The CS
+Materials system we use currently supports the 2013 CS curriculum
+guidelines."  This module provides forward compatibility: the CS2023 beta's
+knowledge-area skeleton plus an area-level migration of CS2013
+classifications, so courses classified against CS2013 can be profiled in
+CS2023 terms the day the full guideline lands.
+
+The migration is area-granular by design — the beta document reorganizes
+knowledge units too heavily for a stable unit-level crosswalk, and the
+paper's analyses only interpret factorizations at area granularity anyway.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from functools import lru_cache
+
+from repro.curriculum.cs2013 import load_cs2013
+from repro.materials.course import Course
+from repro.ontology.builder import TreeBuilder
+from repro.ontology.queries import area_of
+from repro.ontology.tree import GuidelineTree
+
+#: CS2023 beta knowledge areas (code, title).
+CS2023_AREAS: tuple[tuple[str, str], ...] = (
+    ("AI", "Artificial Intelligence"),
+    ("AL", "Algorithmic Foundations"),
+    ("AR", "Architecture and Organization"),
+    ("DM", "Data Management"),
+    ("FPL", "Foundations of Programming Languages"),
+    ("GIT", "Graphics and Interactive Techniques"),
+    ("HCI", "Human-Computer Interaction"),
+    ("MSF", "Mathematical and Statistical Foundations"),
+    ("NC", "Networking and Communication"),
+    ("OS", "Operating Systems"),
+    ("PDC", "Parallel and Distributed Computing"),
+    ("SDF", "Software Development Fundamentals"),
+    ("SE", "Software Engineering"),
+    ("SEC", "Security"),
+    ("SEP", "Society, Ethics and the Profession"),
+    ("SF", "Systems Fundamentals"),
+    ("SPD", "Specialized Platform Development"),
+)
+
+#: CS2013 area code → CS2023 area code.
+CS2013_TO_CS2023: dict[str, str] = {
+    "AL": "AL",
+    "AR": "AR",
+    "CN": "MSF",    # computational science folds into math/stat foundations
+    "DS": "MSF",    # discrete structures likewise
+    "GV": "GIT",
+    "HCI": "HCI",
+    "IAS": "SEC",
+    "IM": "DM",
+    "IS": "AI",
+    "NC": "NC",
+    "OS": "OS",
+    "PBD": "SPD",
+    "PD": "PDC",
+    "PL": "FPL",
+    "SDF": "SDF",
+    "SE": "SE",
+    "SF": "SF",
+    "SP": "SEP",
+}
+
+
+@lru_cache(maxsize=1)
+def load_cs2023_skeleton() -> GuidelineTree:
+    """The CS2023 beta area skeleton (root + 17 knowledge areas, no tags)."""
+    b = TreeBuilder(
+        "CS2023",
+        "Computer Science Curricula 2023 (beta skeleton)",
+        source="ACM/IEEE-CS/AAAI CS2023 beta, 2023",
+    )
+    for code, title in CS2023_AREAS:
+        b.area(code, title)
+    return b.build()
+
+
+def migrate_area_code(cs2013_area: str) -> str:
+    """CS2013 area code → CS2023 area code; raises on unknown codes."""
+    try:
+        return CS2013_TO_CS2023[cs2013_area]
+    except KeyError:
+        raise KeyError(f"unknown CS2013 area code {cs2013_area!r}") from None
+
+
+def cs2023_area_profile(course: Course) -> Counter[str]:
+    """Course tag counts re-binned into CS2023 knowledge areas.
+
+    Tags outside the CS2013 tree (e.g. PDC12 classifications) are ignored.
+    """
+    cs2013 = load_cs2013()
+    profile: Counter[str] = Counter()
+    for tag in course.tag_set():
+        if tag not in cs2013:
+            continue
+        area = area_of(cs2013, tag)
+        if area is None:
+            continue
+        profile[migrate_area_code(area.meta["code"])] += 1
+    return profile
+
+
+def migration_coverage() -> float:
+    """Fraction of CS2013 areas with a CS2023 destination (sanity: 1.0)."""
+    cs2013 = load_cs2013()
+    codes = {a.meta["code"] for a in cs2013.areas()}
+    mapped = sum(1 for c in codes if c in CS2013_TO_CS2023)
+    return mapped / len(codes) if codes else 1.0

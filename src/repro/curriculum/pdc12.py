@@ -1,0 +1,263 @@
+"""NSF/IEEE-TCPP 2012 PDC curriculum guidelines (PDC12).
+
+Four areas — Architecture, Programming, Algorithms, Cross-Cutting and
+Advanced Topics — whose entries carry Bloom levels (Know / Comprehend /
+Apply) and a two-level coverage tier (core / elective).  Contrary to CS2013,
+PDC12 states learning outcomes inside the topic descriptions, so the tree
+contains topics only (§2.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.curriculum._schema import AreaSpec, T, UnitSpec, build_tree
+from repro.ontology.node import Bloom, Tier
+from repro.ontology.tree import GuidelineTree
+
+K, C, A = Bloom.KNOW, Bloom.COMPREHEND, Bloom.APPLY
+CORE, EL = Tier.CORE1, Tier.ELECTIVE
+
+ARCHITECTURE = AreaSpec(
+    "ARCH",
+    "Architecture",
+    units=[
+        UnitSpec(
+            "CLASSES",
+            "Classes of Architecture",
+            tier=CORE,
+            topics=[
+                T("Taxonomy: Flynn's classification (SISD, SIMD, MIMD)", CORE, K),
+                T("Superscalar (ILP) execution", CORE, K),
+                T("SIMD and vector units (e.g. SSE/AVX, GPU warps)", CORE, K),
+                T("Pipelines as instruction-level parallelism", CORE, C),
+                T("Streams and dataflow (e.g. GPU streaming)", EL, K),
+                T("MIMD architectures", CORE, K),
+                T("Simultaneous multithreading (hyperthreading)", CORE, K),
+                T("Multicore processors", CORE, C),
+                T("Heterogeneous architectures (CPU+GPU)", EL, K),
+                T("Shared versus distributed memory systems (SMP, buses, NUMA)", CORE, C),
+            ],
+        ),
+        UnitSpec(
+            "MEMHIER",
+            "Memory Hierarchy",
+            tier=CORE,
+            topics=[
+                T("Cache organization in multiprocessors", CORE, C),
+                T("Atomicity at the memory-system level", CORE, K),
+                T("Memory consistency", EL, K),
+                T("Cache coherence protocols", EL, K),
+                T("False sharing and its performance impact", EL, C),
+                T("Impact of memory hierarchy on software performance", CORE, C),
+            ],
+        ),
+        UnitSpec(
+            "INTERCONNECT",
+            "Interconnects and Topologies",
+            tier=EL,
+            topics=[
+                T("Common interconnect topologies (bus, ring, mesh, torus, fat tree)", EL, K),
+                T("Latency and bandwidth as interconnect figures of merit", CORE, C),
+                T("Routing in interconnection networks", EL, K),
+                T("Diameter and bisection bandwidth of a topology", EL, K),
+            ],
+        ),
+        UnitSpec(
+            "PERFMETRICS",
+            "Architecture Performance Metrics",
+            tier=CORE,
+            topics=[
+                T("Cycles per instruction (CPI)", CORE, C),
+                T("Benchmarks (SPEC, LINPACK) and their interpretation", CORE, K),
+                T("Peak versus sustained performance (MIPS/FLOPS)", CORE, K),
+                T("Roofline-style reasoning about compute versus bandwidth limits", EL, K),
+            ],
+        ),
+    ],
+)
+
+PROGRAMMING = AreaSpec(
+    "PROG",
+    "Programming",
+    units=[
+        UnitSpec(
+            "PARADIGMS",
+            "Parallel Programming Paradigms and Notations",
+            tier=CORE,
+            topics=[
+                T("Programming by target machine model: shared memory (threads, OpenMP)", CORE, A),
+                T("Programming by target machine model: distributed memory (message passing, MPI)", CORE, C),
+                T("Programming by target machine model: SIMD/data parallel", CORE, K),
+                T("Hybrid shared/distributed programming", EL, K),
+                T("Client-server and distributed-object programming (e.g. CORBA-style invocation, RPC)", EL, K),
+                T("Task and thread spawning constructs (e.g. fork-join, cilk_spawn)", CORE, A),
+                T("SPMD notations and their semantics", CORE, C),
+                T("Data-parallel notations: parallel loops (parallel-for)", CORE, A),
+                T("Futures and promises as parallel programming constructs", EL, K),
+                T("MapReduce-style programming", EL, K),
+                T("Transactional memory as a programming construct", EL, K),
+                T("GPU kernel programming models", EL, K),
+            ],
+        ),
+        UnitSpec(
+            "SEMANTICS",
+            "Semantics and Correctness",
+            tier=CORE,
+            topics=[
+                T("Tasks and threads: creation, execution, termination", CORE, A),
+                T("Synchronization: critical sections and mutual exclusion", CORE, A),
+                T("Synchronization: producer-consumer coordination", CORE, C),
+                T("Synchronization: monitors and condition synchronization", EL, K),
+                T("Deadlock: conditions and avoidance in parallel programs", CORE, C),
+                T("Concurrency defects: data races", CORE, C),
+                T("Memory models in programming languages", EL, K),
+                T("Thread-safe data types and containers (e.g. Java Vector vs ArrayList)", CORE, C),
+                T("Tools to detect concurrency defects", EL, K),
+                T("Parallel debugging strategies", EL, K),
+                T("Determinism and reproducibility of parallel programs", EL, C),
+            ],
+        ),
+        UnitSpec(
+            "PERF",
+            "Performance Issues (Programming)",
+            tier=CORE,
+            topics=[
+                T("Computation decomposition strategies: owner-computes, atomic tasks", CORE, C),
+                T("Work stealing and dynamic task scheduling", EL, K),
+                T("Load balancing in parallel programs", CORE, C),
+                T("Static and dynamic scheduling and mapping of tasks", CORE, C),
+                T("Data distribution and layout (blocking, striping)", CORE, K),
+                T("Data locality and its performance impact", CORE, C),
+                T("Performance monitoring and profiling tools", EL, K),
+                T("Speedup and efficiency as performance metrics", CORE, C),
+                T("Amdahl's law", CORE, C),
+                T("Gustafson's law and weak scaling", EL, K),
+                T("Importance of operation ordering in parallel reduction (floating point non-associativity)", CORE, C),
+                T("Overheads of parallelism: startup, synchronization, communication", CORE, C),
+            ],
+        ),
+    ],
+)
+
+ALGORITHMS = AreaSpec(
+    "ALGO",
+    "Algorithms",
+    units=[
+        UnitSpec(
+            "MODELS",
+            "Parallel and Distributed Models and Complexity",
+            tier=CORE,
+            topics=[
+                T("Costs of computation: time, space, power", CORE, C),
+                T("Cost reduction through parallelism: speedup and space compression", CORE, C),
+                T("Scalability in algorithms and architectures", CORE, C),
+                T("Model-based notions: the PRAM model", EL, K),
+                T("Model-based notions: BSP and LogP", EL, K),
+                T("Notions from scheduling: dependencies and directed acyclic task graphs", CORE, C),
+                T("Work and span (critical path) of a parallel computation", CORE, A),
+                T("Makespan and list scheduling of task graphs", EL, C),
+                T("Asymptotic (Big-Oh) analysis of parallel algorithms", CORE, A),
+                T("Isoefficiency and scaling analysis", EL, K),
+            ],
+        ),
+        UnitSpec(
+            "PARADIGMS",
+            "Algorithmic Paradigms (Parallel)",
+            tier=CORE,
+            topics=[
+                T("Parallel divide-and-conquer and recursive task parallelism", CORE, A),
+                T("Parallel reduction", CORE, A),
+                T("Parallel scan (prefix sum)", CORE, C),
+                T("Stencil computations", EL, K),
+                T("Master-worker (task farm) paradigm", CORE, C),
+                T("Blocking and striping decompositions", EL, K),
+                T("Dynamic programming in parallel: bottom-up wavefront and top-down memoized tasking", EL, C),
+                T("Brute-force/embarrassingly parallel algorithms", CORE, A),
+                T("Out-of-core algorithms", EL, K),
+                T("Pipelined algorithmic structures", EL, C),
+            ],
+        ),
+        UnitSpec(
+            "PROBLEMS",
+            "Algorithmic Problems (Parallel)",
+            tier=CORE,
+            topics=[
+                T("Collective communication: broadcast and multicast", CORE, C),
+                T("Collective communication: scatter, gather, gossip", EL, K),
+                T("Managing asynchrony and synchronization points in algorithms", CORE, C),
+                T("Parallel sorting algorithms", CORE, C),
+                T("Parallel selection", EL, K),
+                T("Parallel graph algorithms: search and traversal", CORE, C),
+                T("Topological sort for deriving feasible task orders", EL, A),
+                T("Specialized parallel computations: dense matrix operations", CORE, C),
+                T("Parallel string/pattern matching", EL, K),
+                T("Termination detection in distributed computations", EL, K),
+                T("Leader election", EL, K),
+            ],
+        ),
+    ],
+)
+
+CROSSCUTTING = AreaSpec(
+    "XCUT",
+    "Cross-Cutting and Advanced Topics",
+    units=[
+        UnitSpec(
+            "THEMES",
+            "High-Level Themes",
+            tier=CORE,
+            topics=[
+                T("Why and what is parallel/distributed computing", CORE, K),
+                T("History and trends: the power wall and the turn to multicore", CORE, K),
+            ],
+        ),
+        UnitSpec(
+            "CONCEPTS",
+            "Cross-Cutting Concepts",
+            tier=CORE,
+            topics=[
+                T("Concurrency as a pervasive systems concept", CORE, C),
+                T("Non-determinism in parallel executions", CORE, K),
+                T("Power consumption as a computing constraint", EL, K),
+                T("Locality as a cross-cutting concern", CORE, C),
+                T("Concurrency-related security pitfalls", EL, K),
+            ],
+        ),
+        UnitSpec(
+            "DISTSYS",
+            "Distributed Systems (Advanced)",
+            tier=EL,
+            topics=[
+                T("Faults and fault tolerance in distributed systems", EL, K),
+                T("Security in distributed environments", EL, K),
+                T("Distributed transactions and consensus", EL, K),
+                T("Web services and service composition", EL, K),
+                T("Cloud and grid computing models", EL, K),
+            ],
+        ),
+        UnitSpec(
+            "MODELING",
+            "Performance Modeling",
+            tier=EL,
+            topics=[
+                T("Analytical performance models of parallel programs", EL, K),
+                T("Simulation-based evaluation of schedulers and parallel systems", EL, C),
+                T("Queueing intuition for parallel servers", EL, K),
+            ],
+        ),
+    ],
+)
+
+PDC12_AREAS = [ARCHITECTURE, PROGRAMMING, ALGORITHMS, CROSSCUTTING]
+
+
+@lru_cache(maxsize=1)
+def load_pdc12() -> GuidelineTree:
+    """The PDC12 guideline tree (cached singleton), root id ``"PDC12"``."""
+    return build_tree(
+        "PDC12",
+        "NSF/IEEE-TCPP Curriculum Initiative on Parallel and Distributed Computing (2012)",
+        PDC12_AREAS,
+        source="NSF/IEEE-TCPP Curriculum Working Group, 2012",
+    )

@@ -1,0 +1,137 @@
+"""PDC12 version 2.0-beta (2020) — the revision §2.1 points at.
+
+"The PDC curriculum is currently under revision with a new version coming
+in 2023 (a beta version was released in late 2020)."  The beta keeps the
+four-area structure but broadens it; this module models the revision as a
+*delta* over the 2012 document — the stable way to express a beta whose
+final numbering was still moving — plus a loader that materializes the
+merged tree and a diff report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.curriculum._schema import T, UnitSpec, build_tree
+from repro.curriculum.pdc12 import PDC12_AREAS
+from repro.curriculum._schema import AreaSpec
+from repro.ontology.node import Bloom, Tier
+from repro.ontology.tree import GuidelineTree
+
+K, C, A = Bloom.KNOW, Bloom.COMPREHEND, Bloom.APPLY
+CORE, EL = Tier.CORE1, Tier.ELECTIVE
+
+#: area code -> units the 2.0-beta adds.
+_BETA_ADDED_UNITS: dict[str, list[UnitSpec]] = {
+    "ARCH": [
+        UnitSpec(
+            "ENERGY",
+            "Energy Efficiency (beta)",
+            tier=CORE,
+            topics=[
+                T("Energy as a first-class architectural constraint", CORE, K),
+                T("Dark silicon and the limits of frequency scaling", EL, K),
+                T("Energy-proportional computing", EL, K),
+            ],
+        ),
+        UnitSpec(
+            "ACCEL",
+            "Accelerators and Heterogeneity (beta)",
+            tier=CORE,
+            topics=[
+                T("GPUs as general-purpose accelerators", CORE, C),
+                T("Domain-specific accelerators (e.g. tensor units)", EL, K),
+                T("Offload programming models", EL, K),
+            ],
+        ),
+    ],
+    "PROG": [
+        UnitSpec(
+            "BIGDATA",
+            "Big Data Processing (beta)",
+            tier=CORE,
+            topics=[
+                T("Dataflow frameworks beyond MapReduce (e.g. Spark-style)", CORE, K),
+                T("Streaming computation models", EL, K),
+                T("Data-parallel collections APIs", CORE, C),
+            ],
+        ),
+    ],
+    "ALGO": [
+        UnitSpec(
+            "RESIL",
+            "Resilient Algorithms (beta)",
+            tier=EL,
+            topics=[
+                T("Algorithm-based fault tolerance", EL, K),
+                T("Checkpoint/restart trade-offs", EL, K),
+            ],
+        ),
+    ],
+    "XCUT": [
+        UnitSpec(
+            "PERVASIVE",
+            "Pervasive Parallelism (beta)",
+            tier=CORE,
+            topics=[
+                T("Parallelism in every device: phones to datacenters", CORE, K),
+                T("Edge, fog, and cloud as a continuum", EL, K),
+            ],
+        ),
+    ],
+}
+
+
+@dataclass(frozen=True)
+class VersionDiff:
+    """What the beta adds relative to the 2012 document."""
+
+    added_units: tuple[str, ...]     # unit ids in the beta tree
+    added_topics: tuple[str, ...]    # tag ids in the beta tree
+    base_tag_count: int
+    beta_tag_count: int
+
+    @property
+    def n_added_topics(self) -> int:
+        return len(self.added_topics)
+
+
+@lru_cache(maxsize=1)
+def load_pdc12_beta() -> GuidelineTree:
+    """The merged PDC12 v2.0-beta tree (root id ``"PDC12B"``)."""
+    merged = [
+        AreaSpec(a.code, a.label, [*a.units, *_BETA_ADDED_UNITS.get(a.code, [])])
+        for a in PDC12_AREAS
+    ]
+    return build_tree(
+        "PDC12B",
+        "NSF/IEEE-TCPP PDC Curriculum, version 2.0-beta (2020)",
+        merged,
+        source="NSF/IEEE-TCPP Curriculum Working Group, 2020 beta",
+    )
+
+
+@lru_cache(maxsize=1)
+def version_diff() -> VersionDiff:
+    """Delta report: 2012 → 2.0-beta."""
+    from repro.curriculum.pdc12 import load_pdc12
+
+    base = load_pdc12()
+    beta = load_pdc12_beta()
+    base_units = {u.split("/", 1)[1] for u in base.node_ids() if u.count("/") == 2}
+    added_units = []
+    added_topics = []
+    for nid in beta.node_ids():
+        parts = nid.split("/")
+        if len(parts) == 3 and "/".join(parts[1:]) not in base_units:
+            added_units.append(nid)
+            added_topics.extend(
+                t for t in beta.descendant_ids(nid) if beta[t].is_tag
+            )
+    return VersionDiff(
+        added_units=tuple(sorted(added_units)),
+        added_topics=tuple(sorted(added_topics)),
+        base_tag_count=len(base.tag_ids()),
+        beta_tag_count=len(beta.tag_ids()),
+    )

@@ -1,0 +1,128 @@
+"""k-means clustering with k-means++ seeding.
+
+A substrate: spectral co-clustering (the matrix-view bi-clustering of
+§3.1.1) clusters rows of a spectral embedding with k-means.  Lloyd's
+iterations are fully vectorized; empty clusters are re-seeded from the
+point farthest from its centroid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import RngLike, as_rng
+from repro.util.validation import check_finite, check_matrix
+
+
+def _sq_distances(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """(n x k) squared Euclidean distances."""
+    return (
+        np.sum(x**2, axis=1)[:, None]
+        - 2.0 * (x @ centers.T)
+        + np.sum(centers**2, axis=1)[None, :]
+    )
+
+
+def kmeans_plus_plus(
+    x: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ center selection (Arthur & Vassilvitskii 2007)."""
+    n = x.shape[0]
+    centers = np.empty((k, x.shape[1]))
+    first = int(rng.integers(n))
+    centers[0] = x[first]
+    closest = np.sum((x - centers[0]) ** 2, axis=1)
+    for j in range(1, k):
+        total = closest.sum()
+        if total <= 0:
+            # All points coincide with existing centers; pick uniformly.
+            idx = int(rng.integers(n))
+        else:
+            probs = closest / total
+            idx = int(rng.choice(n, p=probs))
+        centers[j] = x[idx]
+        closest = np.minimum(closest, np.sum((x - centers[j]) ** 2, axis=1))
+    return centers
+
+
+@dataclass
+class KMeans:
+    """k-means estimator.
+
+    ``n_init`` independent k-means++ starts are run and the lowest-inertia
+    solution kept.  Attributes after :meth:`fit`: ``cluster_centers_``,
+    ``labels_``, ``inertia_``, ``n_iter_``.
+    """
+
+    n_clusters: int
+    n_init: int = 10
+    max_iter: int = 300
+    tol: float = 1e-6
+    seed: RngLike = None
+
+    cluster_centers_: np.ndarray | None = field(default=None, repr=False)
+    labels_: np.ndarray | None = field(default=None, repr=False)
+    inertia_: float = field(default=np.inf, repr=False)
+    n_iter_: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {self.n_clusters}")
+
+    def fit(self, x: np.ndarray) -> "KMeans":
+        x = check_finite(check_matrix(x, "X"), "X")
+        if x.shape[0] < self.n_clusters:
+            raise ValueError(
+                f"need at least n_clusters={self.n_clusters} points, got {x.shape[0]}"
+            )
+        rng = as_rng(self.seed)
+        best_inertia = np.inf
+        for _ in range(max(self.n_init, 1)):
+            centers, labels, inertia, iters = self._lloyd(x, rng)
+            if inertia < best_inertia:
+                best_inertia = inertia
+                self.cluster_centers_ = centers
+                self.labels_ = labels
+                self.inertia_ = inertia
+                self.n_iter_ = iters
+        return self
+
+    def fit_predict(self, x: np.ndarray) -> np.ndarray:
+        self.fit(x)
+        assert self.labels_ is not None
+        return self.labels_
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.cluster_centers_ is None:
+            raise RuntimeError("KMeans must be fitted before predict()")
+        x = check_matrix(x, "X")
+        return np.argmin(_sq_distances(x, self.cluster_centers_), axis=1)
+
+    def _lloyd(
+        self, x: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, float, int]:
+        centers = kmeans_plus_plus(x, self.n_clusters, rng)
+        labels = np.zeros(x.shape[0], dtype=int)
+        it = 0
+        for it in range(1, self.max_iter + 1):
+            d2 = _sq_distances(x, centers)
+            labels = np.argmin(d2, axis=1)
+            new_centers = np.empty_like(centers)
+            for j in range(self.n_clusters):
+                members = x[labels == j]
+                if len(members) == 0:
+                    # Re-seed an empty cluster at the worst-fit point.
+                    worst = int(np.argmax(np.min(d2, axis=1)))
+                    new_centers[j] = x[worst]
+                else:
+                    new_centers[j] = members.mean(axis=0)
+            shift = float(np.linalg.norm(new_centers - centers))
+            centers = new_centers
+            if shift <= self.tol:
+                break
+        d2 = _sq_distances(x, centers)
+        labels = np.argmin(d2, axis=1)
+        inertia = float(np.sum(np.min(d2, axis=1)))
+        return centers, labels, inertia, it

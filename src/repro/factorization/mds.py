@@ -1,0 +1,152 @@
+"""Multidimensional scaling.
+
+CS Materials maps search results to 2-D by passing material similarities to
+MDS so "more similar materials are naturally clustered together" (§3.1.2).
+Two algorithms:
+
+* :func:`classical_mds` — Torgerson's method: double-center the squared
+  dissimilarities and eigendecompose.  Exact for Euclidean inputs.
+* :func:`smacof` — Scaling by MAjorizing a COmplicated Function (Borg &
+  Groenen, the paper's reference [1]): iterative stress majorization via the
+  Guttman transform; handles arbitrary dissimilarities and weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg
+
+from repro.util.rng import RngLike, as_rng
+from repro.util.validation import check_finite, check_matrix
+
+_EPS = np.finfo(np.float64).eps
+
+
+def _check_dissimilarity(d: np.ndarray) -> np.ndarray:
+    d = check_finite(check_matrix(d, "D"), "D")
+    if d.shape[0] != d.shape[1]:
+        raise ValueError(f"dissimilarity matrix must be square, got {d.shape}")
+    if not np.allclose(d, d.T, atol=1e-8):
+        raise ValueError("dissimilarity matrix must be symmetric")
+    # Tolerance floor 1e-6 absorbs the float cancellation noise of pairwise
+    # distances between (nearly) coincident points.
+    tol = max(1e-6, 1e-7 * float(d.max())) if d.size else 1e-6
+    if (np.abs(np.diag(d)) > tol).any():
+        raise ValueError("dissimilarity matrix must have a zero diagonal")
+    if (d < 0).any():
+        raise ValueError("dissimilarities must be non-negative")
+    # Work on a cleaned copy: exact zero diagonal, exact symmetry.
+    d = (d + d.T) / 2.0
+    np.fill_diagonal(d, 0.0)
+    return d
+
+
+def _pairwise_distances(x: np.ndarray) -> np.ndarray:
+    sq = np.sum(x**2, axis=1)
+    d2 = np.maximum(sq[:, None] + sq[None, :] - 2.0 * (x @ x.T), 0.0)
+    return np.sqrt(d2)
+
+
+def stress(d: np.ndarray, x: np.ndarray) -> float:
+    """Raw Kruskal stress: ``sum_{i<j} (d_ij - ||x_i - x_j||)^2``."""
+    d = _check_dissimilarity(d)
+    dist = _pairwise_distances(np.asarray(x, dtype=float))
+    diff = d - dist
+    return float(np.sum(np.triu(diff, 1) ** 2))
+
+
+@dataclass(frozen=True)
+class MDSResult:
+    """Embedding plus diagnostics."""
+
+    embedding: np.ndarray
+    stress: float
+    n_iter: int
+    converged: bool
+
+
+def classical_mds(d: np.ndarray, n_components: int = 2) -> MDSResult:
+    """Torgerson classical scaling.
+
+    ``B = -J D^2 J / 2`` (double centering), then the top eigenpairs give the
+    coordinates.  Negative eigenvalues (non-Euclidean input) are clamped.
+    """
+    d = _check_dissimilarity(d)
+    n = d.shape[0]
+    if not 1 <= n_components <= n:
+        raise ValueError(f"n_components must be in [1, {n}], got {n_components}")
+    j = np.eye(n) - np.ones((n, n)) / n
+    b = -0.5 * j @ (d**2) @ j
+    # b is symmetric; eigh returns ascending eigenvalues.
+    vals, vecs = scipy.linalg.eigh(b)
+    order = np.argsort(vals)[::-1][:n_components]
+    lam = np.maximum(vals[order], 0.0)
+    x = vecs[:, order] * np.sqrt(lam)[None, :]
+    return MDSResult(x, stress(d, x), n_iter=1, converged=True)
+
+
+def smacof(
+    d: np.ndarray,
+    n_components: int = 2,
+    *,
+    weights: np.ndarray | None = None,
+    init: np.ndarray | None = None,
+    max_iter: int = 300,
+    tol: float = 1e-6,
+    n_init: int = 4,
+    seed: RngLike = None,
+) -> MDSResult:
+    """Metric MDS by stress majorization (SMACOF).
+
+    Runs ``n_init`` restarts (or one, when ``init`` is given) and keeps the
+    lowest-stress embedding.  Each iteration applies the Guttman transform,
+    which is guaranteed not to increase stress.
+    """
+    d = _check_dissimilarity(d)
+    n = d.shape[0]
+    rng = as_rng(seed)
+    if weights is None:
+        w = np.ones((n, n)) - np.eye(n)
+    else:
+        w = check_matrix(weights, "weights")
+        if w.shape != d.shape:
+            raise ValueError("weights must match dissimilarity shape")
+        w = w * (1 - np.eye(n))
+    # V matrix of the majorization; pseudo-inverse handles zero weights.
+    v = np.diag(w.sum(axis=1)) - w
+    v_pinv = np.linalg.pinv(v + np.ones((n, n)) / n) - np.ones((n, n)) / n
+
+    def run(x0: np.ndarray) -> MDSResult:
+        x = x0.copy()
+        prev = stress(d, x)
+        converged = False
+        it = 0
+        for it in range(1, max_iter + 1):
+            dist = _pairwise_distances(x)
+            ratio = np.where(dist > _EPS, d / np.maximum(dist, _EPS), 0.0) * w
+            b = -ratio
+            np.fill_diagonal(b, ratio.sum(axis=1))
+            x = v_pinv @ (b @ x)
+            cur = stress(d, x)
+            if prev - cur < tol * max(prev, _EPS):
+                converged = True
+                break
+            prev = cur
+        return MDSResult(x, stress(d, x), it, converged)
+
+    if init is not None:
+        x0 = np.asarray(init, dtype=float)
+        if x0.shape != (n, n_components):
+            raise ValueError(f"init must be {(n, n_components)}, got {x0.shape}")
+        return run(x0)
+
+    best: MDSResult | None = None
+    for _ in range(max(n_init, 1)):
+        x0 = rng.standard_normal((n, n_components)) * (d.max() / 2 + _EPS)
+        res = run(x0)
+        if best is None or res.stress < best.stress:
+            best = res
+    assert best is not None
+    return best

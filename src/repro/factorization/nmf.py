@@ -1,0 +1,309 @@
+"""Non-negative matrix factorization.
+
+Given a non-negative matrix ``A`` (courses x curriculum tags in the paper),
+find non-negative ``W`` (courses x k) and ``H`` (k x tags) minimizing a
+divergence between ``A`` and ``W @ H``.
+
+Implemented solvers:
+
+* ``"mu"`` — Lee & Seung multiplicative updates (NIPS 2000), for both the
+  Frobenius and generalized Kullback-Leibler objectives.  Updates never
+  leave the non-negative orthant and monotonically decrease the objective.
+* ``"hals"`` — hierarchical alternating least squares (coordinate descent
+  over rank-one factors); typically converges in far fewer iterations for
+  the Frobenius objective.  This is the algorithm family behind
+  scikit-learn's default ``"cd"`` solver.
+
+Initialization: ``"random"`` (what the paper used), ``"nndsvd"`` and
+``"nndsvda"`` (Boutsidis & Gallopoulos 2008) for deterministic starts.
+
+Conventions follow scikit-learn where sensible (``tol=1e-4``,
+``max_iter=200``, ``components_`` holding ``H``) so the paper's
+"default parameters" setting translates directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.linalg
+
+from repro.util.rng import RngLike, as_rng
+from repro.util.validation import check_finite, check_matrix, check_nonnegative
+
+_EPS = np.finfo(np.float64).eps
+
+
+def _frobenius_error(a: np.ndarray, w: np.ndarray, h: np.ndarray) -> float:
+    """``||A - WH||_F`` (not squared), the error scikit-learn reports."""
+    return float(np.linalg.norm(a - w @ h))
+
+
+def _kl_divergence(a: np.ndarray, w: np.ndarray, h: np.ndarray) -> float:
+    """Generalized KL divergence D(A || WH), with 0 log 0 := 0."""
+    wh = w @ h
+    mask = a > 0
+    div = float(np.sum(a[mask] * np.log(a[mask] / np.maximum(wh[mask], _EPS))))
+    return div - float(a.sum()) + float(wh.sum())
+
+
+def nndsvd_init(
+    a: np.ndarray,
+    n_components: int,
+    *,
+    variant: str = "nndsvd",
+    seed: RngLike = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Non-negative double SVD initialization (Boutsidis & Gallopoulos).
+
+    Each SVD factor pair is split into its positive and negative parts and
+    the part with the larger energy is kept, yielding a deterministic,
+    sparse, non-negative starting point.  ``variant="nndsvda"`` fills the
+    zeros with the matrix mean (useful for multiplicative updates, which
+    cannot escape exact zeros); ``"nndsvd"`` leaves them at zero.
+    """
+    a = check_nonnegative(check_matrix(a))
+    n, m = a.shape
+    k = min(n_components, min(n, m))
+    u, s, vt = scipy.linalg.svd(a, full_matrices=False)
+    w = np.zeros((n, n_components))
+    h = np.zeros((n_components, m))
+    # Leading factor: singular vectors of a non-negative matrix can be taken
+    # non-negative (Perron-Frobenius).
+    w[:, 0] = np.sqrt(s[0]) * np.abs(u[:, 0])
+    h[0, :] = np.sqrt(s[0]) * np.abs(vt[0, :])
+    for j in range(1, k):
+        x, y = u[:, j], vt[j, :]
+        xp, xn = np.maximum(x, 0), np.maximum(-x, 0)
+        yp, yn = np.maximum(y, 0), np.maximum(-y, 0)
+        xp_n, yp_n = np.linalg.norm(xp), np.linalg.norm(yp)
+        xn_n, yn_n = np.linalg.norm(xn), np.linalg.norm(yn)
+        if xp_n * yp_n >= xn_n * yn_n:
+            u_j, v_j, sigma = xp / max(xp_n, _EPS), yp / max(yp_n, _EPS), xp_n * yp_n
+        else:
+            u_j, v_j, sigma = xn / max(xn_n, _EPS), yn / max(yn_n, _EPS), xn_n * yn_n
+        lbd = np.sqrt(s[j] * sigma)
+        w[:, j] = lbd * u_j
+        h[j, :] = lbd * v_j
+    if variant == "nndsvda":
+        mean = a.mean()
+        w[w == 0] = mean
+        h[h == 0] = mean
+    elif variant == "nndsvdar":
+        rng = as_rng(seed)
+        mean = a.mean()
+        w[w == 0] = mean * rng.random((w == 0).sum()) / 100.0
+        h[h == 0] = mean * rng.random((h == 0).sum()) / 100.0
+    elif variant != "nndsvd":
+        raise ValueError(f"unknown NNDSVD variant {variant!r}")
+    return w, h
+
+
+def _random_init(
+    a: np.ndarray, n_components: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """scikit-learn's scaled random init: entries ~ |N(0, sqrt(mean/k))|."""
+    scale = np.sqrt(a.mean() / max(n_components, 1))
+    w = np.abs(rng.standard_normal((a.shape[0], n_components))) * scale
+    h = np.abs(rng.standard_normal((n_components, a.shape[1]))) * scale
+    return w, h
+
+
+@dataclass
+class NMF:
+    """Non-negative matrix factorization estimator.
+
+    Parameters
+    ----------
+    n_components:
+        Rank ``k`` of the factorization — interpreted in the paper as the
+        number of *course types* to extract.
+    solver:
+        ``"mu"`` (multiplicative updates) or ``"hals"``.
+    loss:
+        ``"frobenius"`` or ``"kullback-leibler"`` (MU solver only).
+    init:
+        ``"random"``, ``"nndsvd"``, ``"nndsvda"``, or ``"custom"`` (supply
+        ``W0``/``H0`` to :meth:`fit_transform`).
+    max_iter, tol:
+        Stopping rule mirrors scikit-learn: check the relative decrease of
+        the objective every ``check_every`` iterations against ``tol``.
+    l2_reg, l1_reg:
+        Optional ridge / lasso penalties applied symmetrically to W and H.
+    seed:
+        RNG seed for random initialization.
+
+    Attributes (set by fit)
+    -----------------------
+    components_ : ``H`` (k x tags); ``W`` is returned by ``fit_transform``.
+    reconstruction_err_ : final ``||A - WH||_F`` (or KL divergence).
+    n_iter_ : iterations actually run.
+    converged_ : whether the tolerance was reached before ``max_iter``.
+    """
+
+    n_components: int
+    solver: str = "mu"
+    loss: str = "frobenius"
+    init: str = "random"
+    max_iter: int = 200
+    tol: float = 1e-4
+    check_every: int = 10
+    l2_reg: float = 0.0
+    l1_reg: float = 0.0
+    seed: RngLike = None
+
+    components_: np.ndarray | None = field(default=None, repr=False)
+    reconstruction_err_: float = field(default=np.nan, repr=False)
+    n_iter_: int = field(default=0, repr=False)
+    converged_: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {self.n_components}")
+        if self.solver not in ("mu", "hals"):
+            raise ValueError(f"unknown solver {self.solver!r}")
+        if self.loss not in ("frobenius", "kullback-leibler"):
+            raise ValueError(f"unknown loss {self.loss!r}")
+        if self.solver == "hals" and self.loss != "frobenius":
+            raise ValueError("HALS solver supports the frobenius loss only")
+        if self.max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        if self.tol < 0:
+            raise ValueError("tol must be >= 0")
+        if self.l2_reg < 0 or self.l1_reg < 0:
+            raise ValueError("regularization strengths must be >= 0")
+
+    # -- public API ----------------------------------------------------------
+
+    def fit_transform(
+        self,
+        a: np.ndarray,
+        *,
+        W0: np.ndarray | None = None,
+        H0: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Factor ``a``; returns ``W`` and stores ``H`` in ``components_``."""
+        a = check_finite(check_nonnegative(check_matrix(a)))
+        w, h = self._initialize(a, W0, H0)
+        if self.solver == "mu":
+            w, h = self._solve_mu(a, w, h)
+        else:
+            w, h = self._solve_hals(a, w, h)
+        self.components_ = h
+        self.reconstruction_err_ = self._objective(a, w, h)
+        return w
+
+    def fit(self, a: np.ndarray) -> "NMF":
+        """Fit and return self (``W`` is discarded; use ``fit_transform``)."""
+        self.fit_transform(a)
+        return self
+
+    def transform(self, a: np.ndarray, *, max_iter: int | None = None) -> np.ndarray:
+        """Project new rows onto the learned ``H`` (W-only MU iterations)."""
+        if self.components_ is None:
+            raise RuntimeError("NMF must be fitted before transform()")
+        a = check_finite(check_nonnegative(check_matrix(a)))
+        h = self.components_
+        if a.shape[1] != h.shape[1]:
+            raise ValueError(
+                f"feature mismatch: A has {a.shape[1]} columns, H has {h.shape[1]}"
+            )
+        rng = as_rng(self.seed)
+        w = np.abs(rng.standard_normal((a.shape[0], h.shape[0]))) * np.sqrt(
+            a.mean() / h.shape[0] + _EPS
+        )
+        hht = h @ h.T
+        iters = max_iter if max_iter is not None else self.max_iter
+        for _ in range(iters):
+            numer = a @ h.T
+            denom = w @ hht + self.l2_reg * w + self.l1_reg + _EPS
+            w *= numer / denom
+        return w
+
+    def inverse_transform(self, w: np.ndarray) -> np.ndarray:
+        """Reconstruct ``W @ H``."""
+        if self.components_ is None:
+            raise RuntimeError("NMF must be fitted before inverse_transform()")
+        return np.asarray(w, dtype=float) @ self.components_
+
+    # -- internals -----------------------------------------------------------
+
+    def _objective(self, a: np.ndarray, w: np.ndarray, h: np.ndarray) -> float:
+        if self.loss == "frobenius":
+            return _frobenius_error(a, w, h)
+        return _kl_divergence(a, w, h)
+
+    def _initialize(
+        self, a: np.ndarray, W0: np.ndarray | None, H0: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if self.init == "custom":
+            if W0 is None or H0 is None:
+                raise ValueError("init='custom' requires W0 and H0")
+            w = check_nonnegative(check_matrix(W0, "W0")).copy()
+            h = check_nonnegative(check_matrix(H0, "H0")).copy()
+            if w.shape != (a.shape[0], self.n_components):
+                raise ValueError(f"W0 must be {(a.shape[0], self.n_components)}, got {w.shape}")
+            if h.shape != (self.n_components, a.shape[1]):
+                raise ValueError(f"H0 must be {(self.n_components, a.shape[1])}, got {h.shape}")
+            return w, h
+        if self.init == "random":
+            return _random_init(a, self.n_components, as_rng(self.seed))
+        if self.init in ("nndsvd", "nndsvda", "nndsvdar"):
+            return nndsvd_init(a, self.n_components, variant=self.init, seed=self.seed)
+        raise ValueError(f"unknown init {self.init!r}")
+
+    def _solve_mu(
+        self, a: np.ndarray, w: np.ndarray, h: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        err_init = self._objective(a, w, h)
+        err_prev = err_init
+        self.converged_ = False
+        for it in range(1, self.max_iter + 1):
+            if self.loss == "frobenius":
+                h *= (w.T @ a) / (w.T @ w @ h + self.l2_reg * h + self.l1_reg + _EPS)
+                w *= (a @ h.T) / (w @ (h @ h.T) + self.l2_reg * w + self.l1_reg + _EPS)
+            else:
+                wh = w @ h + _EPS
+                h *= (w.T @ (a / wh)) / (w.T.sum(axis=1, keepdims=True) + self.l1_reg + _EPS)
+                wh = w @ h + _EPS
+                w *= ((a / wh) @ h.T) / (h.sum(axis=1)[None, :] + self.l1_reg + _EPS)
+            self.n_iter_ = it
+            if self.tol > 0 and it % self.check_every == 0:
+                err = self._objective(a, w, h)
+                if (err_prev - err) / max(err_init, _EPS) < self.tol:
+                    self.converged_ = True
+                    break
+                err_prev = err
+        return w, h
+
+    def _solve_hals(
+        self, a: np.ndarray, w: np.ndarray, h: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """HALS: cyclic rank-one updates of W's columns and H's rows."""
+        err_init = _frobenius_error(a, w, h)
+        err_prev = err_init
+        self.converged_ = False
+        for it in range(1, self.max_iter + 1):
+            # Update H rows given W.
+            wtw = w.T @ w
+            wta = w.T @ a
+            for j in range(self.n_components):
+                grad = wta[j] - wtw[j] @ h - self.l1_reg
+                denom = wtw[j, j] + self.l2_reg + _EPS
+                h[j] = np.maximum(h[j] + grad / denom, 0.0)
+            # Update W columns given H.
+            hht = h @ h.T
+            aht = a @ h.T
+            for j in range(self.n_components):
+                grad = aht[:, j] - w @ hht[:, j] - self.l1_reg
+                denom = hht[j, j] + self.l2_reg + _EPS
+                w[:, j] = np.maximum(w[:, j] + grad / denom, 0.0)
+            self.n_iter_ = it
+            if self.tol > 0 and it % self.check_every == 0:
+                err = _frobenius_error(a, w, h)
+                if (err_prev - err) / max(err_init, _EPS) < self.tol:
+                    self.converged_ = True
+                    break
+                err_prev = err
+        return w, h

@@ -1,0 +1,79 @@
+"""Principal component analysis via thin SVD.
+
+Named by the paper (§5.3, §6) as an alternative dimension-reduction technique
+to NNMF; ablation A3 compares the two on the course matrix.  Uses
+``scipy.linalg.svd(full_matrices=False)`` — the incomplete SVD is the right
+tool when only the leading components are consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.linalg
+
+from repro.util.validation import check_finite, check_matrix
+
+
+@dataclass
+class PCA:
+    """PCA estimator with the familiar fit/transform surface.
+
+    Attributes set by :meth:`fit`:
+
+    * ``components_`` — (k x features) principal axes.
+    * ``explained_variance_`` / ``explained_variance_ratio_``.
+    * ``mean_`` — per-feature mean removed before projection.
+    * ``singular_values_``.
+    """
+
+    n_components: int
+    components_: np.ndarray | None = field(default=None, repr=False)
+    explained_variance_: np.ndarray | None = field(default=None, repr=False)
+    explained_variance_ratio_: np.ndarray | None = field(default=None, repr=False)
+    singular_values_: np.ndarray | None = field(default=None, repr=False)
+    mean_: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {self.n_components}")
+
+    def fit(self, a: np.ndarray) -> "PCA":
+        a = check_finite(check_matrix(a))
+        n, m = a.shape
+        k = min(self.n_components, min(n, m))
+        self.mean_ = a.mean(axis=0)
+        centered = a - self.mean_
+        _, s, vt = scipy.linalg.svd(centered, full_matrices=False)
+        var = (s**2) / max(n - 1, 1)
+        total_var = centered.var(axis=0, ddof=1).sum() if n > 1 else 0.0
+        self.components_ = vt[:k]
+        self.singular_values_ = s[:k]
+        self.explained_variance_ = var[:k]
+        self.explained_variance_ratio_ = (
+            var[:k] / total_var if total_var > 0 else np.zeros(k)
+        )
+        return self
+
+    def transform(self, a: np.ndarray) -> np.ndarray:
+        if self.components_ is None:
+            raise RuntimeError("PCA must be fitted before transform()")
+        a = check_matrix(a)
+        if a.shape[1] != self.components_.shape[1]:
+            raise ValueError(
+                f"feature mismatch: {a.shape[1]} vs {self.components_.shape[1]}"
+            )
+        return (a - self.mean_) @ self.components_.T
+
+    def fit_transform(self, a: np.ndarray) -> np.ndarray:
+        return self.fit(a).transform(a)
+
+    def inverse_transform(self, z: np.ndarray) -> np.ndarray:
+        if self.components_ is None:
+            raise RuntimeError("PCA must be fitted before inverse_transform()")
+        return np.asarray(z, dtype=float) @ self.components_ + self.mean_
+
+    def reconstruction_error(self, a: np.ndarray) -> float:
+        """``||A - reconstruct(project(A))||_F`` — comparable to NMF's error."""
+        return float(np.linalg.norm(check_matrix(a) - self.inverse_transform(self.transform(a))))

@@ -1,0 +1,37 @@
+"""Persistence: JSON for courses/materials, CSV for matrices.
+
+The CS Materials website stores classifications in a database; this package
+is the file-based equivalent so corpora, courses, and analysis matrices can
+be exported, hand-edited, and reloaded.
+"""
+
+from repro.io.json_io import (
+    course_from_dict,
+    course_to_dict,
+    load_courses,
+    material_from_dict,
+    material_to_dict,
+    save_courses,
+)
+from repro.io.csv_io import load_matrix_csv, save_matrix_csv
+from repro.io.dag_io import (
+    load_taskgraph,
+    save_taskgraph,
+    taskgraph_from_dict,
+    taskgraph_to_dict,
+)
+
+__all__ = [
+    "course_from_dict",
+    "course_to_dict",
+    "material_from_dict",
+    "material_to_dict",
+    "load_courses",
+    "save_courses",
+    "load_matrix_csv",
+    "save_matrix_csv",
+    "load_taskgraph",
+    "save_taskgraph",
+    "taskgraph_from_dict",
+    "taskgraph_to_dict",
+]

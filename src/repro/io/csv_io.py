@@ -1,0 +1,50 @@
+"""CSV export/import of course x tag matrices.
+
+One header row of tag ids, one row per course (course id first) — the
+format spreadsheet users expect when auditing the classification matrix.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.matrix import CourseMatrix
+
+
+def save_matrix_csv(matrix: CourseMatrix, path: str | Path) -> None:
+    """Write a :class:`CourseMatrix` as CSV."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["course_id", *matrix.tag_ids])
+        for i, cid in enumerate(matrix.course_ids):
+            writer.writerow([cid, *(int(v) for v in matrix.matrix[i])])
+
+
+def load_matrix_csv(path: str | Path) -> CourseMatrix:
+    """Read a matrix written by :func:`save_matrix_csv`."""
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty CSV") from None
+        if not header or header[0] != "course_id":
+            raise ValueError(f"{path}: first column must be 'course_id'")
+        tag_ids = tuple(header[1:])
+        course_ids: list[str] = []
+        rows: list[list[float]] = []
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(tag_ids) + 1:
+                raise ValueError(
+                    f"{path}:{lineno}: expected {len(tag_ids) + 1} fields, "
+                    f"got {len(row)}"
+                )
+            course_ids.append(row[0])
+            rows.append([float(v) for v in row[1:]])
+    matrix = np.array(rows) if rows else np.zeros((0, len(tag_ids)))
+    return CourseMatrix(matrix, tuple(course_ids), tag_ids)

@@ -1,0 +1,100 @@
+"""JSON (de)serialization of materials and courses.
+
+The format is deliberately flat and stable: one JSON document holds a list
+of courses, each embedding its materials, so a whole corpus round-trips
+through a single file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.materials.course import Course, CourseLabel
+from repro.materials.material import Material, MaterialType
+
+FORMAT_VERSION = 1
+
+
+def material_to_dict(material: Material) -> dict[str, Any]:
+    """Serialize one material (omits empty optional fields)."""
+    d: dict[str, Any] = {
+        "id": material.id,
+        "title": material.title,
+        "type": material.mtype.value,
+        "mappings": sorted(material.mappings),
+    }
+    for field in ("author", "course_level", "language", "description", "url"):
+        value = getattr(material, field)
+        if value:
+            d[field] = value
+    if material.datasets:
+        d["datasets"] = list(material.datasets)
+    if material.meta:
+        d["meta"] = dict(material.meta)
+    return d
+
+
+def material_from_dict(d: dict[str, Any]) -> Material:
+    """Inverse of :func:`material_to_dict`."""
+    return Material(
+        id=d["id"],
+        title=d["title"],
+        mtype=MaterialType(d["type"]),
+        mappings=frozenset(d.get("mappings", ())),
+        author=d.get("author", ""),
+        course_level=d.get("course_level", ""),
+        language=d.get("language", ""),
+        datasets=tuple(d.get("datasets", ())),
+        description=d.get("description", ""),
+        url=d.get("url", ""),
+        meta=d.get("meta", {}),
+    )
+
+
+def course_to_dict(course: Course) -> dict[str, Any]:
+    """Serialize one course with its materials."""
+    return {
+        "id": course.id,
+        "name": course.name,
+        "institution": course.institution,
+        "instructor": course.instructor,
+        "labels": sorted(l.value for l in course.labels),
+        "materials": [material_to_dict(m) for m in course.materials],
+    }
+
+
+def course_from_dict(d: dict[str, Any]) -> Course:
+    """Inverse of :func:`course_to_dict`."""
+    return Course(
+        id=d["id"],
+        name=d.get("name", d["id"]),
+        institution=d.get("institution", ""),
+        instructor=d.get("instructor", ""),
+        labels=frozenset(CourseLabel(v) for v in d.get("labels", ())),
+        materials=[material_from_dict(m) for m in d.get("materials", ())],
+    )
+
+
+def save_courses(courses: Sequence[Course], path: str | Path) -> None:
+    """Write a corpus to a JSON file."""
+    doc = {
+        "format": "repro-courses",
+        "version": FORMAT_VERSION,
+        "courses": [course_to_dict(c) for c in courses],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+
+
+def load_courses(path: str | Path) -> list[Course]:
+    """Read a corpus from a JSON file written by :func:`save_courses`."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("format") != "repro-courses":
+        raise ValueError(f"{path}: not a repro course file")
+    if doc.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported version {doc.get('version')} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    return [course_from_dict(d) for d in doc.get("courses", ())]

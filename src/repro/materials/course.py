@@ -1,0 +1,94 @@
+"""Courses: named collections of classified materials.
+
+A course's *tag set* — the union of its materials' curriculum mappings — is
+one row of the paper's course x curriculum matrix ``A``.  ``CourseLabel``
+reproduces the name-based grouping of Figure 1 (CS1 / OOP / DS / Algo /
+SoftEng / PDC, plus the unflagged CS2 and networking courses present in the
+roster).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.materials.material import Material, MaterialRole
+
+
+class CourseLabel(enum.Enum):
+    """Name-derived course category (Figure 1 columns)."""
+
+    CS1 = "CS1"
+    OOP = "OOP"
+    DS = "DS"
+    ALGO = "Algo"
+    SOFTENG = "SoftEng"
+    PDC = "PDC"
+    CS2 = "CS2"
+    NETWORKING = "Networking"
+
+
+@dataclass
+class Course:
+    """A course and its classified materials."""
+
+    id: str
+    name: str
+    institution: str = ""
+    instructor: str = ""
+    labels: frozenset[CourseLabel] = frozenset()
+    materials: list[Material] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise ValueError("course id must be non-empty")
+        if not isinstance(self.labels, frozenset):
+            self.labels = frozenset(self.labels)
+        ids = [m.id for m in self.materials]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate material ids in course {self.id!r}")
+
+    def add_material(self, material: Material) -> None:
+        """Append ``material``; rejects duplicate material ids."""
+        if any(m.id == material.id for m in self.materials):
+            raise ValueError(f"material id {material.id!r} already in course {self.id!r}")
+        self.materials.append(material)
+
+    def tag_set(self) -> frozenset[str]:
+        """All guideline tags this course touches (the course's matrix row)."""
+        out: set[str] = set()
+        for m in self.materials:
+            out |= m.mappings
+        return frozenset(out)
+
+    def tag_counts(self) -> Counter[str]:
+        """Tag id → number of materials in this course classified against it.
+
+        This is the node-size weight of the hit-tree visualization.
+        """
+        counts: Counter[str] = Counter()
+        for m in self.materials:
+            counts.update(m.mappings)
+        return counts
+
+    def tags_by_role(self) -> dict[MaterialRole, frozenset[str]]:
+        """Tag sets split by pedagogical role, for the alignment analysis."""
+        buckets: dict[MaterialRole, set[str]] = {r: set() for r in MaterialRole}
+        for m in self.materials:
+            buckets[m.role] |= m.mappings
+        return {r: frozenset(s) for r, s in buckets.items()}
+
+    def materials_for_tag(self, tag_id: str) -> list[Material]:
+        """Materials classified against ``tag_id``."""
+        return [m for m in self.materials if m.covers(tag_id)]
+
+    def has_label(self, label: CourseLabel) -> bool:
+        return label in self.labels
+
+    def __len__(self) -> int:
+        return len(self.materials)
+
+    def __repr__(self) -> str:  # keep material lists out of reprs
+        labels = "/".join(sorted(l.value for l in self.labels)) or "-"
+        return f"Course({self.id!r}, {self.name!r}, labels={labels}, n_materials={len(self)})"

@@ -1,0 +1,155 @@
+"""Course-to-course comparison (§3.1).
+
+"Classifying learning materials against curriculum guidelines facilitates
+comparing learning materials or whole courses and programs against a common
+baseline."  Given two classified courses, report what they share, what each
+covers alone, how similar they are, and where (per knowledge area) the
+differences live — the data behind the radial alignment view between two
+sets of materials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.factorization.mds import MDSResult, smacof
+from repro.materials.course import Course
+from repro.materials.similarity import cosine_similarity, jaccard_similarity
+from repro.ontology.queries import area_of
+from repro.ontology.tree import GuidelineTree
+from repro.util.rng import RngLike
+
+
+@dataclass(frozen=True)
+class CourseDiff:
+    """Structured comparison of two courses."""
+
+    course_a: str
+    course_b: str
+    shared: frozenset[str]
+    only_a: frozenset[str]
+    only_b: frozenset[str]
+    jaccard: float
+    cosine: float
+    by_area: dict[str, tuple[int, int, int]]  # area -> (shared, only_a, only_b)
+
+    @property
+    def n_shared(self) -> int:
+        return len(self.shared)
+
+    def most_divergent_areas(self, n: int = 3) -> list[str]:
+        """Areas ranked by unshared tag count (the disagreement hot spots)."""
+        return sorted(
+            self.by_area,
+            key=lambda a: -(self.by_area[a][1] + self.by_area[a][2]),
+        )[:n]
+
+    def most_shared_areas(self, n: int = 3) -> list[str]:
+        """Areas ranked by shared tag count (the common ground)."""
+        return sorted(self.by_area, key=lambda a: -self.by_area[a][0])[:n]
+
+
+def compare_courses(
+    a: Course, b: Course, tree: GuidelineTree | None = None
+) -> CourseDiff:
+    """Compute the :class:`CourseDiff` of two courses.
+
+    With a guideline ``tree``, tags outside the tree are ignored and the
+    per-area breakdown is populated; without one, the comparison is raw and
+    ``by_area`` groups everything under ``"?"``.
+    """
+    tags_a, tags_b = a.tag_set(), b.tag_set()
+    if tree is not None:
+        tags_a = frozenset(t for t in tags_a if t in tree)
+        tags_b = frozenset(t for t in tags_b if t in tree)
+    shared = tags_a & tags_b
+    only_a = tags_a - tags_b
+    only_b = tags_b - tags_a
+
+    def area_code(tag: str) -> str:
+        if tree is None or tag not in tree:
+            return "?"
+        area = area_of(tree, tag)
+        return area.meta.get("code", area.short_id) if area else "?"
+
+    by_area: dict[str, list[int]] = {}
+    for group, idx in ((shared, 0), (only_a, 1), (only_b, 2)):
+        for tag in group:
+            code = area_code(tag)
+            by_area.setdefault(code, [0, 0, 0])[idx] += 1
+
+    return CourseDiff(
+        course_a=a.id,
+        course_b=b.id,
+        shared=shared,
+        only_a=only_a,
+        only_b=only_b,
+        jaccard=jaccard_similarity(tags_a, tags_b),
+        cosine=cosine_similarity(tags_a, tags_b),
+        by_area={k: tuple(v) for k, v in by_area.items()},  # type: ignore[misc]
+    )
+
+
+def course_similarity_matrix(
+    courses: Sequence[Course],
+    *,
+    tree: GuidelineTree | None = None,
+) -> np.ndarray:
+    """Symmetric Jaccard similarity over course tag sets."""
+    tag_sets = []
+    for c in courses:
+        tags = c.tag_set()
+        if tree is not None:
+            tags = frozenset(t for t in tags if t in tree)
+        tag_sets.append(tags)
+    n = len(courses)
+    s = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            s[i, j] = s[j, i] = jaccard_similarity(tag_sets[i], tag_sets[j])
+    return s
+
+
+def course_similarity_graph(
+    courses: Sequence[Course],
+    *,
+    tree: GuidelineTree | None = None,
+    threshold: float = 0.0,
+) -> nx.Graph:
+    """Weighted course-similarity graph (the whole-course analogue of the
+    material similarity graph of §3.1.2)."""
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0,1], got {threshold}")
+    s = course_similarity_matrix(courses, tree=tree)
+    g = nx.Graph()
+    for c in courses:
+        g.add_node(c.id, course=c)
+    for i in range(len(courses)):
+        for j in range(i + 1, len(courses)):
+            if s[i, j] > threshold:
+                g.add_edge(courses[i].id, courses[j].id, weight=float(s[i, j]))
+    return g
+
+
+def course_map(
+    courses: Sequence[Course],
+    *,
+    tree: GuidelineTree | None = None,
+    seed: RngLike = None,
+) -> tuple[dict[str, tuple[float, float]], MDSResult]:
+    """2-D MDS embedding of whole courses (similar courses cluster)."""
+    if len(courses) < 2:
+        raise ValueError("need at least two courses to build a course map")
+    s = course_similarity_matrix(courses, tree=tree)
+    d = 1.0 - s
+    np.fill_diagonal(d, 0.0)
+    res = smacof(d, 2, seed=seed)
+    coords = {
+        c.id: (float(res.embedding[i, 0]), float(res.embedding[i, 1]))
+        for i, c in enumerate(courses)
+    }
+    return coords, res

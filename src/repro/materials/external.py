@@ -1,0 +1,216 @@
+"""External learning-material repositories (§2.2).
+
+The paper surveys three public collections PDC experts draw on:
+
+* **Nifty Assignments** — SIGCSE's CS0/CS1/CS2 assignment collection
+  (no PDC content, but rich anchor material);
+* **Peachy Parallel Assignments** — EduPar/EduHPC's reviewed PDC
+  assignments;
+* **PDC Unplugged** — unplugged PDC activities "linked to the entries of
+  the curricular standards that they address".
+
+This module models a representative sample of each collection as classified
+:class:`~repro.materials.material.Material` objects so the recommendation
+pipeline (conclusions: "classify more of the publicly available PDC
+materials in the system to help recommend PDC materials for particular
+courses") has a real catalog to draw from.  Classifications are declared by
+guideline label and resolved at load time.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.curriculum.cs2013 import load_cs2013
+from repro.curriculum.pdc12 import load_pdc12
+from repro.materials.material import Material, MaterialType
+
+#: (collection, id, title, type, CS2013 labels, PDC12 labels, level, language)
+_EXTERNAL_SPEC: list[
+    tuple[str, str, str, MaterialType, list[str], list[str], str, str]
+] = [
+    # ---- Nifty Assignments (CS0/CS1/CS2; no PDC content) -------------------
+    ("nifty", "image-steganography", "Image processing and steganography",
+     MaterialType.ASSIGNMENT,
+     ["Arrays", "Iterative control structures (loops)",
+      "Representation of non-numeric data (characters, strings)"],
+     [], "CS1", "Python"),
+    ("nifty", "markov-text", "Random writer: Markov text generation",
+     MaterialType.ASSIGNMENT,
+     ["Strings and string processing", "Sets and maps",
+      "Finite probability spaces and events"],
+     [], "CS2", "Java"),
+    ("nifty", "game-of-life", "Conway's Game of Life",
+     MaterialType.ASSIGNMENT,
+     ["Arrays", "Iterative control structures (loops)",
+      "Conditional control structures"],
+     [], "CS1", "Python"),
+    ("nifty", "word-ladder", "Word ladder",
+     MaterialType.ASSIGNMENT,
+     ["Stacks and queues", "Graphs and graph algorithms: depth-first and breadth-first traversals",
+      "Sequential search"],
+     [], "CS2", "C++"),
+    ("nifty", "evil-hangman", "Evil Hangman",
+     MaterialType.ASSIGNMENT,
+     ["Sets and maps", "Strings and string processing",
+      "Strategies for choosing the appropriate data structure"],
+     [], "CS2", "Java"),
+    ("nifty", "boggle", "Boggle word game",
+     MaterialType.ASSIGNMENT,
+     ["Recursive backtracking", "The concept of recursion",
+      "Strings and string processing"],
+     [], "CS2", "Java"),
+    ("nifty", "maze-solver", "Recursive maze solver",
+     MaterialType.ASSIGNMENT,
+     ["The concept of recursion", "Recursive backtracking",
+      "Stacks and queues"],
+     [], "CS1", "Python"),
+    ("nifty", "earthquake-data", "Earthquake data analysis",
+     MaterialType.ASSIGNMENT,
+     ["Simple I/O including file I/O", "Arrays",
+      "Working with real-world datasets: acquisition, cleaning, formats",
+      "Basic data visualization for analysis"],
+     [], "CS1", "Python"),
+    ("nifty", "dna-analysis", "DNA sequence analysis",
+     MaterialType.ASSIGNMENT,
+     ["Strings and string processing", "Pattern matching and string/text algorithms",
+      "Simple I/O including file I/O"],
+     [], "CS1", "Python"),
+    ("nifty", "sound-collage", "Digital sound collage",
+     MaterialType.ASSIGNMENT,
+     ["Arrays", "Numeric data representation and number bases",
+      "Fixed- and floating-point representation of real numbers"],
+     [], "CS1", "Python"),
+    # ---- Peachy Parallel Assignments (EduPar/EduHPC) -----------------------
+    ("peachy", "parallel-image-filter", "Parallel image filtering",
+     MaterialType.ASSIGNMENT,
+     ["Arrays", "Iterative control structures (loops)"],
+     ["Data-parallel notations: parallel loops (parallel-for)",
+      "Speedup and efficiency as performance metrics",
+      "Programming by target machine model: shared memory (threads, OpenMP)"],
+     "DS", "C"),
+    ("peachy", "nbody", "N-body simulation with load balancing",
+     MaterialType.ASSIGNMENT,
+     ["Simple numerical algorithms",
+      "Fixed- and floating-point representation of real numbers"],
+     ["Load balancing in parallel programs",
+      "Amdahl's law",
+      "Programming by target machine model: shared memory (threads, OpenMP)"],
+     "PDC", "C"),
+    ("peachy", "mandelbrot-dynamic", "Mandelbrot with dynamic scheduling",
+     MaterialType.ASSIGNMENT,
+     ["Iterative control structures (loops)", "Complexity classes such as constant, logarithmic, linear, quadratic and exponential"],
+     ["Static and dynamic scheduling and mapping of tasks",
+      "Load balancing in parallel programs",
+      "Data-parallel notations: parallel loops (parallel-for)"],
+     "PDC", "C"),
+    ("peachy", "mpi-game-of-life", "Game of Life with message passing",
+     MaterialType.ASSIGNMENT,
+     ["Arrays", "Iterative control structures (loops)"],
+     ["Programming by target machine model: distributed memory (message passing, MPI)",
+      "Collective communication: broadcast and multicast",
+      "Data distribution and layout (blocking, striping)"],
+     "PDC", "C"),
+    ("peachy", "mapreduce-wordcount", "Word count, MapReduce style",
+     MaterialType.ASSIGNMENT,
+     ["Strings and string processing", "Sets and maps"],
+     ["MapReduce-style programming", "Parallel reduction"],
+     "DS", "Python"),
+    ("peachy", "parallel-sort-bench", "Benchmarking parallel sorts",
+     MaterialType.ASSIGNMENT,
+     ["Worst or average case O(n log n) sorting algorithms (quicksort, heapsort, mergesort)",
+      "Empirical measurement of performance"],
+     ["Parallel sorting algorithms",
+      "Speedup and efficiency as performance metrics"],
+     "DS", "C++"),
+    ("peachy", "histogram-atomics", "Histogramming with atomics",
+     MaterialType.ASSIGNMENT,
+     ["Arrays"],
+     ["Synchronization: critical sections and mutual exclusion",
+      "Concurrency defects: data races"],
+     "PDC", "C"),
+    # ---- PDC Unplugged -----------------------------------------------------
+    ("pdcunplugged", "human-sorting-network", "Human sorting network",
+     MaterialType.EXERCISE,
+     ["Worst-case quadratic sorting algorithms (selection, insertion)"],
+     ["Parallel sorting algorithms",
+      "Costs of computation: time, space, power"],
+     "CS1", ""),
+    ("pdcunplugged", "coin-flip-races", "Coin-flip race conditions",
+     MaterialType.EXERCISE,
+     ["Variables and primitive data types"],
+     ["Concurrency defects: data races",
+      "Synchronization: critical sections and mutual exclusion"],
+     "CS1", ""),
+    ("pdcunplugged", "card-merge", "Parallel card merging",
+     MaterialType.EXERCISE,
+     ["Worst or average case O(n log n) sorting algorithms (quicksort, heapsort, mergesort)",
+      "Problem-solving strategies: divide-and-conquer"],
+     ["Parallel divide-and-conquer and recursive task parallelism"],
+     "CS1", ""),
+    ("pdcunplugged", "human-pipeline", "Human instruction pipeline",
+     MaterialType.EXERCISE,
+     ["Basic organization of the von Neumann machine"],
+     ["Pipelines as instruction-level parallelism"],
+     "CS2", ""),
+    ("pdcunplugged", "work-queue-candy", "Work queue with candy",
+     MaterialType.EXERCISE,
+     ["Stacks and queues"],
+     ["Master-worker (task farm) paradigm",
+      "Load balancing in parallel programs"],
+     "DS", ""),
+    ("pdcunplugged", "token-ring", "Token ring, unplugged",
+     MaterialType.EXERCISE,
+     ["Client-server and peer-to-peer paradigms"],
+     ["Synchronization: producer-consumer coordination"],
+     "CS2", ""),
+    ("pdcunplugged", "task-graph-scheduling-game", "Task-graph scheduling game",
+     MaterialType.EXERCISE,
+     ["Directed graphs", "Topological sort"],
+     ["Notions from scheduling: dependencies and directed acyclic task graphs",
+      "Makespan and list scheduling of task graphs",
+      "Work and span (critical path) of a parallel computation"],
+     "DS", ""),
+]
+
+
+def _resolve(labels: list[str], tree, tree_name: str) -> set[str]:
+    out = set()
+    for label in labels:
+        matches = [n for n in tree.find_by_label(label) if n.is_tag]
+        if len(matches) != 1:
+            raise LookupError(
+                f"external catalog label {label!r}: expected exactly one "
+                f"{tree_name} match, found {[n.id for n in matches]}"
+            )
+        out.add(matches[0].id)
+    return out
+
+
+@lru_cache(maxsize=1)
+def load_external_materials() -> tuple[Material, ...]:
+    """All modeled external materials, classifications resolved (cached)."""
+    cs, pdc = load_cs2013(), load_pdc12()
+    out = []
+    for coll, mid, title, mtype, cs_labels, pdc_labels, level, lang in _EXTERNAL_SPEC:
+        mappings = _resolve(cs_labels, cs, "CS2013") | _resolve(pdc_labels, pdc, "PDC12")
+        out.append(
+            Material(
+                id=f"{coll}/{mid}",
+                title=title,
+                mtype=mtype,
+                mappings=frozenset(mappings),
+                course_level=level,
+                language=lang,
+                meta={"collection": coll},
+            )
+        )
+    return tuple(out)
+
+
+def external_collections() -> dict[str, tuple[Material, ...]]:
+    """Materials grouped by source collection."""
+    groups: dict[str, list[Material]] = {}
+    for m in load_external_materials():
+        groups.setdefault(m.meta["collection"], []).append(m)
+    return {k: tuple(v) for k, v in groups.items()}

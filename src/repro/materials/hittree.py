@@ -1,0 +1,98 @@
+"""Hit-trees: the radial course-coverage visualization's data model (§3.1.1).
+
+"The hit-tree is a tree representation where items associated with the
+course are highlighted in a subset of the ACM/PDC classification tree."
+Node *size* encodes how many materials map to the node; for alignment
+between two material sets, node *color* uses a divergent scale.
+
+This module computes the pruned tree plus per-node weights/colors; the
+geometric radial layout lives in :mod:`repro.viz.radial`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.materials.material import Material
+from repro.ontology.tree import GuidelineTree
+
+
+@dataclass(frozen=True)
+class HitTree:
+    """A pruned guideline tree with material weights.
+
+    ``weights`` maps node id → material count: for a tag, the number of
+    materials classified against it; for an internal node, the sum over its
+    subtree (so area nodes show total activity underneath).
+    ``colors`` (alignment trees only) maps node id → value in [-1, +1] on
+    the divergent scale; 0 means fully aligned.
+    """
+
+    tree: GuidelineTree
+    weights: dict[str, int]
+    colors: dict[str, float] | None = None
+
+    def weight(self, node_id: str) -> int:
+        return self.weights.get(node_id, 0)
+
+    def color(self, node_id: str) -> float:
+        return 0.0 if self.colors is None else self.colors.get(node_id, 0.0)
+
+
+def _tag_counts(materials: Iterable[Material], tree: GuidelineTree) -> Counter[str]:
+    counts: Counter[str] = Counter()
+    for m in materials:
+        for tag in m.mappings:
+            if tag in tree:
+                counts[tag] += 1
+    return counts
+
+
+def _roll_up(tree: GuidelineTree, leaf_counts: Counter[str]) -> dict[str, int]:
+    """Sum tag counts up the tree (post-order accumulation)."""
+    weights: dict[str, int] = {}
+
+    def visit(nid: str) -> int:
+        total = leaf_counts.get(nid, 0)
+        for kid in tree.child_ids(nid):
+            total += visit(kid)
+        weights[nid] = total
+        return total
+
+    visit(tree.root_id)
+    return weights
+
+
+def build_hit_tree(materials: Iterable[Material], tree: GuidelineTree) -> HitTree:
+    """Hit-tree of one material set: pruned tree + subtree material counts."""
+    counts = _tag_counts(materials, tree)
+    pruned = tree.filter(lambda n: n.id in counts)
+    return HitTree(pruned, _roll_up(pruned, counts))
+
+
+def alignment_hit_tree(
+    materials_a: Iterable[Material],
+    materials_b: Iterable[Material],
+    tree: GuidelineTree,
+) -> HitTree:
+    """Alignment hit-tree between two material sets.
+
+    Weight of a node = total materials from both sets in its subtree; color
+    = (b - a) / (a + b) over the subtree counts (-1: only set A, +1: only
+    set B, 0: perfectly balanced/aligned).
+    """
+    counts_a = _tag_counts(materials_a, tree)
+    counts_b = _tag_counts(materials_b, tree)
+    touched = set(counts_a) | set(counts_b)
+    pruned = tree.filter(lambda n: n.id in touched)
+    up_a = _roll_up(pruned, counts_a)
+    up_b = _roll_up(pruned, counts_b)
+    weights: dict[str, int] = {}
+    colors: dict[str, float] = {}
+    for nid in pruned.node_ids():
+        a, b = up_a.get(nid, 0), up_b.get(nid, 0)
+        weights[nid] = a + b
+        colors[nid] = (b - a) / (a + b) if (a + b) else 0.0
+    return HitTree(pruned, weights, colors)

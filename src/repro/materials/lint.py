@@ -1,0 +1,108 @@
+"""Corpus linting: the data-quality screen behind workshop exclusions.
+
+Figure 1's footnote — 11 of 31 courses "excluded for technical reasons" —
+is what a data-quality gate looks like in practice.  This module makes the
+gate explicit: given courses and the guidelines they claim to map to, it
+reports unmapped materials, unknown tags, empty courses, duplicate titles,
+and assessment-free courses, each with a severity.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.materials.course import Course
+from repro.materials.material import MaterialRole
+from repro.ontology.tree import GuidelineTree
+
+
+class Severity(enum.Enum):
+    ERROR = "error"       # the paper's exclusion-grade problems
+    WARNING = "warning"   # analyzable but suspicious
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One finding of the corpus linter."""
+
+    severity: Severity
+    course_id: str
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.course_id}: {self.message}"
+
+
+def lint_corpus(
+    courses: Sequence[Course],
+    trees: Iterable[GuidelineTree],
+) -> list[LintIssue]:
+    """Lint ``courses`` against the supplied guideline trees.
+
+    Checks (code → meaning):
+
+    * ``empty-course`` (error) — no materials at all.
+    * ``no-mappings`` (error) — a course whose materials carry zero tags.
+    * ``unknown-tag`` (error) — a mapping not found in any supplied tree.
+    * ``unmapped-material`` (warning) — a material with no mappings.
+    * ``duplicate-title`` (warning) — two materials share a title.
+    * ``no-assessment`` (warning) — nothing in the assessment role, so the
+      alignment analysis (§3.2 day 2) has nothing to align.
+    """
+    tree_list = list(trees)
+    issues: list[LintIssue] = []
+    for course in courses:
+        if not course.materials:
+            issues.append(LintIssue(
+                Severity.ERROR, course.id, "empty-course",
+                "course has no materials",
+            ))
+            continue
+        tags = course.tag_set()
+        if not tags:
+            issues.append(LintIssue(
+                Severity.ERROR, course.id, "no-mappings",
+                "no material carries any curriculum mapping",
+            ))
+        unknown = sorted(
+            t for t in tags if not any(t in tree for tree in tree_list)
+        )
+        for t in unknown[:5]:
+            issues.append(LintIssue(
+                Severity.ERROR, course.id, "unknown-tag",
+                f"mapping {t!r} not found in any supplied guideline",
+            ))
+        if len(unknown) > 5:
+            issues.append(LintIssue(
+                Severity.ERROR, course.id, "unknown-tag",
+                f"... and {len(unknown) - 5} more unknown mappings",
+            ))
+        for m in course.materials:
+            if not m.mappings:
+                issues.append(LintIssue(
+                    Severity.WARNING, course.id, "unmapped-material",
+                    f"material {m.id!r} has no curriculum mappings",
+                ))
+        title_counts = Counter(m.title for m in course.materials)
+        for title, n in title_counts.items():
+            if n > 1:
+                issues.append(LintIssue(
+                    Severity.WARNING, course.id, "duplicate-title",
+                    f"{n} materials share the title {title!r}",
+                ))
+        roles = {m.role for m in course.materials}
+        if MaterialRole.ASSESSMENT not in roles:
+            issues.append(LintIssue(
+                Severity.WARNING, course.id, "no-assessment",
+                "no quiz/exam materials; alignment analysis will be empty",
+            ))
+    return issues
+
+
+def has_errors(issues: Iterable[LintIssue]) -> bool:
+    """Whether any finding is exclusion-grade."""
+    return any(i.severity is Severity.ERROR for i in issues)

@@ -1,0 +1,94 @@
+"""The bi-clustered matrix view (§3.1.1).
+
+"This matrix displays materials as columns and curriculum-mapped tags as
+rows ... entries in the matrix view are bi-clustered to highlight related
+material/tag patterns."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.factorization.bicluster import SpectralCoclustering
+from repro.materials.material import Material
+from repro.util.rng import RngLike
+
+
+@dataclass(frozen=True)
+class MatrixView:
+    """Tags-x-materials 0/1 matrix with display permutations.
+
+    ``matrix[i, j] == 1`` iff material ``material_ids[j]`` is classified
+    against tag ``tag_ids[i]``.  ``row_order``/``col_order`` are the
+    bicluster display permutations (identity when biclustering was skipped).
+    """
+
+    matrix: np.ndarray
+    tag_ids: tuple[str, ...]
+    material_ids: tuple[str, ...]
+    row_order: tuple[int, ...]
+    col_order: tuple[int, ...]
+    row_labels: tuple[int, ...] | None = None
+    col_labels: tuple[int, ...] | None = None
+
+    def reordered(self) -> np.ndarray:
+        """The matrix with display permutations applied."""
+        return self.matrix[np.ix_(self.row_order, self.col_order)]
+
+    def set_cell(self, tag_id: str, material_id: str, value: bool) -> "MatrixView":
+        """Interactive edit: a new view with one cell toggled.
+
+        Mirrors the web UI's click-to-edit; the underlying Material objects
+        are not modified (the repository owns those).
+        """
+        i = self.tag_ids.index(tag_id)
+        j = self.material_ids.index(material_id)
+        m = self.matrix.copy()
+        m[i, j] = 1.0 if value else 0.0
+        return MatrixView(
+            m, self.tag_ids, self.material_ids, self.row_order, self.col_order,
+            self.row_labels, self.col_labels,
+        )
+
+
+def build_matrix_view(
+    materials: Sequence[Material],
+    *,
+    n_clusters: int = 0,
+    seed: RngLike = None,
+) -> MatrixView:
+    """Build the matrix view over ``materials``.
+
+    Rows are the union of all tags referenced (sorted); with
+    ``n_clusters >= 2`` the view is spectrally co-clustered and row/column
+    orders group the blocks; otherwise orders are identity.
+    """
+    tag_ids = tuple(sorted({t for m in materials for t in m.mappings}))
+    material_ids = tuple(m.id for m in materials)
+    mat = np.zeros((len(tag_ids), len(materials)))
+    index = {t: i for i, t in enumerate(tag_ids)}
+    for j, m in enumerate(materials):
+        for t in m.mappings:
+            mat[index[t], j] = 1.0
+    if n_clusters >= 2 and min(mat.shape) >= n_clusters and mat.sum() > 0:
+        cc = SpectralCoclustering(n_clusters, seed=seed).fit(mat)
+        row_order, col_order = cc.block_order()
+        return MatrixView(
+            mat,
+            tag_ids,
+            material_ids,
+            tuple(int(i) for i in row_order),
+            tuple(int(j) for j in col_order),
+            tuple(int(v) for v in cc.row_labels_),
+            tuple(int(v) for v in cc.column_labels_),
+        )
+    return MatrixView(
+        mat,
+        tag_ids,
+        material_ids,
+        tuple(range(len(tag_ids))),
+        tuple(range(len(materials))),
+    )

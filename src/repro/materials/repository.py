@@ -1,0 +1,250 @@
+"""Material and course storage with the search facilities of §3.1.2.
+
+"Materials can also be searched by course level, author, programming
+language and datasets used" — plus by guideline topics/outcomes, ranked by
+mapping overlap with the query's tag set so results that best match the
+requested learning objectives rank first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.materials.course import Course
+from repro.materials.material import Material, MaterialType
+from repro.materials.similarity import jaccard_similarity
+from repro.ontology.node import Bloom, Mastery
+from repro.ontology.tree import GuidelineTree
+
+_MASTERY_RANK = {Mastery.FAMILIARITY: 1, Mastery.USAGE: 2, Mastery.ASSESSMENT: 3}
+_BLOOM_RANK = {Bloom.KNOW: 1, Bloom.COMPREHEND: 2, Bloom.APPLY: 3}
+
+
+@dataclass(frozen=True)
+class SearchQuery:
+    """A structured search over the repository.
+
+    Any combination of filters may be set; unset filters match everything.
+    ``tags`` are guideline tag ids; when a ``tree`` is supplied to
+    :meth:`MaterialRepository.search`, a tag id that names an internal node
+    (area or unit) expands to all tags beneath it.
+
+    ``min_mastery`` / ``min_bloom`` keep only materials mapped to at least
+    one outcome/topic at (or above) that expectation level; both need a
+    ``tree`` at search time to resolve levels.
+    """
+
+    tags: frozenset[str] = frozenset()
+    text: str = ""                    # substring of title/description
+    mtype: MaterialType | None = None
+    author: str = ""
+    course_level: str = ""
+    language: str = ""
+    dataset: str = ""
+    min_mastery: Mastery | None = None
+    min_bloom: Bloom | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tags, frozenset):
+            object.__setattr__(self, "tags", frozenset(self.tags))
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked hit: the material and its tag-overlap score with the query."""
+
+    material: Material
+    score: float
+
+
+class MaterialRepository:
+    """Holds materials and courses; answers searches.
+
+    The CS Materials deployment stores ~1700 materials and 30+ courses; this
+    in-memory version has no practical size limit (search is O(n) per query
+    over course-scale collections).
+    """
+
+    def __init__(self) -> None:
+        self._materials: dict[str, Material] = {}
+        self._courses: dict[str, Course] = {}
+
+    # -- ingestion -----------------------------------------------------------
+
+    def add_material(self, material: Material) -> None:
+        if material.id in self._materials:
+            raise ValueError(f"material id {material.id!r} already in repository")
+        self._materials[material.id] = material
+
+    def add_course(self, course: Course) -> None:
+        """Register ``course`` and any of its materials not yet stored.
+
+        A material shared between courses (same id, same object contents) is
+        accepted; a conflicting re-definition of an id raises.
+        """
+        if course.id in self._courses:
+            raise ValueError(f"course id {course.id!r} already in repository")
+        for m in course.materials:
+            existing = self._materials.get(m.id)
+            if existing is None:
+                self._materials[m.id] = m
+            elif existing != m:
+                raise ValueError(f"conflicting definitions for material id {m.id!r}")
+        self._courses[course.id] = course
+
+    # -- access ---------------------------------------------------------------
+
+    def material(self, material_id: str) -> Material:
+        try:
+            return self._materials[material_id]
+        except KeyError:
+            raise KeyError(f"no material {material_id!r}") from None
+
+    def course(self, course_id: str) -> Course:
+        try:
+            return self._courses[course_id]
+        except KeyError:
+            raise KeyError(f"no course {course_id!r}") from None
+
+    def materials(self) -> Iterator[Material]:
+        yield from self._materials.values()
+
+    def courses(self) -> Iterator[Course]:
+        yield from self._courses.values()
+
+    @property
+    def n_materials(self) -> int:
+        return len(self._materials)
+
+    @property
+    def n_courses(self) -> int:
+        return len(self._courses)
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Repository composition: counts by type, level, and language.
+
+        The exploration summary the CS Materials landing page shows
+        ("about 1700 materials have been added").
+        """
+        by_type: dict[str, int] = {}
+        by_level: dict[str, int] = {}
+        by_language: dict[str, int] = {}
+        for m in self._materials.values():
+            by_type[m.mtype.value] = by_type.get(m.mtype.value, 0) + 1
+            if m.course_level:
+                by_level[m.course_level] = by_level.get(m.course_level, 0) + 1
+            if m.language:
+                by_language[m.language] = by_language.get(m.language, 0) + 1
+        return {
+            "by_type": by_type,
+            "by_level": by_level,
+            "by_language": by_language,
+        }
+
+    # -- search ---------------------------------------------------------------
+
+    def search(
+        self,
+        query: SearchQuery,
+        *,
+        tree: GuidelineTree | None = None,
+        limit: int | None = None,
+    ) -> list[SearchResult]:
+        """Ranked search.
+
+        Materials pass every set filter; those matching tag filters are
+        ranked by Jaccard overlap between their mappings and the (expanded)
+        query tag set, ties broken by title.  Without tag filters the score
+        is 1 for every hit and ordering is by title.
+        """
+        if (query.min_mastery or query.min_bloom) and tree is None:
+            raise ValueError("min_mastery/min_bloom filters require a guideline tree")
+        tags = self._expand_tags(query.tags, tree)
+        hits: list[SearchResult] = []
+        needle = query.text.casefold()
+        for m in self._materials.values():
+            if query.min_mastery is not None and not self._meets_level(
+                m, tree, mastery=query.min_mastery
+            ):
+                continue
+            if query.min_bloom is not None and not self._meets_level(
+                m, tree, bloom=query.min_bloom
+            ):
+                continue
+            if query.mtype is not None and m.mtype is not query.mtype:
+                continue
+            if query.author and query.author.casefold() not in m.author.casefold():
+                continue
+            if query.course_level and query.course_level.casefold() != m.course_level.casefold():
+                continue
+            if query.language and query.language.casefold() != m.language.casefold():
+                continue
+            if query.dataset and not any(
+                query.dataset.casefold() in d.casefold() for d in m.datasets
+            ):
+                continue
+            if needle and needle not in (m.title + " " + m.description).casefold():
+                continue
+            if tags:
+                if not (m.mappings & tags):
+                    continue
+                score = jaccard_similarity(m.mappings, tags)
+            else:
+                score = 1.0
+            hits.append(SearchResult(m, score))
+        hits.sort(key=lambda r: (-r.score, r.material.title, r.material.id))
+        return hits[:limit] if limit is not None else hits
+
+    def find_similar(
+        self, material_id: str, *, limit: int = 10
+    ) -> list[SearchResult]:
+        """Materials most similar (Jaccard over mappings) to a given one."""
+        ref = self.material(material_id)
+        scored = [
+            SearchResult(m, jaccard_similarity(ref.mappings, m.mappings))
+            for m in self._materials.values()
+            if m.id != material_id
+        ]
+        scored.sort(key=lambda r: (-r.score, r.material.title, r.material.id))
+        return scored[:limit]
+
+    @staticmethod
+    def _meets_level(
+        material: Material,
+        tree: GuidelineTree,
+        *,
+        mastery: Mastery | None = None,
+        bloom: Bloom | None = None,
+    ) -> bool:
+        """Whether any mapping reaches the requested expectation level."""
+        for tag in material.mappings:
+            node = tree.get(tag)
+            if node is None:
+                continue
+            if mastery is not None and node.mastery is not None:
+                if _MASTERY_RANK[node.mastery] >= _MASTERY_RANK[mastery]:
+                    return True
+            if bloom is not None and node.bloom is not None:
+                if _BLOOM_RANK[node.bloom] >= _BLOOM_RANK[bloom]:
+                    return True
+        return False
+
+    @staticmethod
+    def _expand_tags(
+        tags: Iterable[str], tree: GuidelineTree | None
+    ) -> frozenset[str]:
+        """Expand internal-node ids to the tags beneath them."""
+        out: set[str] = set()
+        for t in tags:
+            if tree is not None and t in tree:
+                node = tree[t]
+                if node.is_tag:
+                    out.add(t)
+                else:
+                    out.update(
+                        d for d in tree.descendant_ids(t) if tree[d].is_tag
+                    )
+            else:
+                out.add(t)
+        return frozenset(out)

@@ -1,0 +1,43 @@
+"""Guideline ontology engine.
+
+Curriculum guidelines (ACM/IEEE CS2013, NSF/TCPP PDC12) are trees: knowledge
+*areas* contain knowledge *units*, which contain *topics* and *learning
+outcomes*.  This package provides the generic tree machinery those documents
+are loaded into, plus the queries the paper's analyses need (reference-level
+detection for radial layouts, threshold subtree filters for agreement trees,
+path lookups for tags).
+"""
+
+from repro.ontology.node import Bloom, Mastery, NodeKind, OntologyNode, Tier
+from repro.ontology.tree import GuidelineTree
+from repro.ontology.builder import TreeBuilder
+from repro.ontology.queries import (
+    agreement_subtree,
+    area_histogram,
+    area_of,
+    common_ancestor,
+    reference_level,
+    tags_by_area,
+)
+from repro.ontology.serialize import tree_from_dict, tree_to_dict
+from repro.ontology.diff import TreeDiff, diff_trees
+
+__all__ = [
+    "Bloom",
+    "Mastery",
+    "NodeKind",
+    "OntologyNode",
+    "Tier",
+    "GuidelineTree",
+    "TreeBuilder",
+    "agreement_subtree",
+    "area_histogram",
+    "area_of",
+    "common_ancestor",
+    "reference_level",
+    "tags_by_area",
+    "tree_from_dict",
+    "tree_to_dict",
+    "TreeDiff",
+    "diff_trees",
+]

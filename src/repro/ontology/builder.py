@@ -1,0 +1,126 @@
+"""Incremental construction of guideline trees.
+
+The curriculum data modules (:mod:`repro.curriculum.cs2013`,
+:mod:`repro.curriculum.pdc12`) are long declarative listings; the builder
+gives them a compact, validated way to emit nodes without assembling
+adjacency dicts by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.ontology.node import Bloom, Mastery, NodeKind, OntologyNode, Tier
+from repro.ontology.tree import GuidelineTree
+
+
+def _slug(text: str) -> str:
+    """Deterministic id fragment from a human label."""
+    out = []
+    for ch in text.casefold():
+        if ch.isalnum():
+            out.append(ch)
+        elif out and out[-1] != "-":
+            out.append("-")
+    return "".join(out).strip("-")
+
+
+class TreeBuilder:
+    """Builds a :class:`GuidelineTree` top-down.
+
+    Example::
+
+        b = TreeBuilder("CS2013", "Computer Science Curricula 2013")
+        sdf = b.area("SDF", "Software Development Fundamentals")
+        fpc = b.unit(sdf, "FPC", "Fundamental Programming Concepts", tier=Tier.CORE1)
+        b.topic(fpc, "Variables and primitive data types")
+        b.outcome(fpc, "Write programs using loops", mastery=Mastery.USAGE)
+        tree = b.build()
+    """
+
+    def __init__(self, root_id: str, root_label: str, **meta: Any) -> None:
+        self._nodes: dict[str, OntologyNode] = {
+            root_id: OntologyNode(root_id, root_label, NodeKind.ROOT, meta=meta)
+        }
+        self._children: dict[str, list[str]] = {root_id: []}
+        self._root_id = root_id
+
+    def _add(self, parent_id: str, node: OntologyNode) -> str:
+        if parent_id not in self._nodes:
+            raise KeyError(f"unknown parent {parent_id!r}")
+        if node.id in self._nodes:
+            raise ValueError(f"duplicate node id {node.id!r}")
+        self._nodes[node.id] = node
+        self._children[node.id] = []
+        self._children[parent_id].append(node.id)
+        return node.id
+
+    def area(self, code: str, label: str, **meta: Any) -> str:
+        """Add a knowledge area under the root; returns its id."""
+        nid = f"{self._root_id}/{code}"
+        return self._add(
+            self._root_id, OntologyNode(nid, label, NodeKind.AREA, meta={"code": code, **meta})
+        )
+
+    def unit(
+        self,
+        area_id: str,
+        code: str,
+        label: str,
+        *,
+        tier: Tier | None = None,
+        **meta: Any,
+    ) -> str:
+        """Add a knowledge unit under ``area_id``; returns its id."""
+        nid = f"{area_id}/{code}"
+        return self._add(
+            area_id,
+            OntologyNode(nid, label, NodeKind.UNIT, tier=tier, meta={"code": code, **meta}),
+        )
+
+    def topic(
+        self,
+        parent_id: str,
+        label: str,
+        *,
+        tier: Tier | None = None,
+        bloom: Bloom | None = None,
+        key: str | None = None,
+        **meta: Any,
+    ) -> str:
+        """Add a topic tag under ``parent_id``; returns its id."""
+        nid = f"{parent_id}/t-{key or _slug(label)}"
+        return self._add(
+            parent_id,
+            OntologyNode(nid, label, NodeKind.TOPIC, tier=tier, bloom=bloom, meta=meta),
+        )
+
+    def outcome(
+        self,
+        parent_id: str,
+        label: str,
+        *,
+        mastery: Mastery | None = None,
+        tier: Tier | None = None,
+        key: str | None = None,
+        **meta: Any,
+    ) -> str:
+        """Add a learning-outcome tag under ``parent_id``; returns its id."""
+        nid = f"{parent_id}/o-{key or _slug(label)}"
+        return self._add(
+            parent_id,
+            OntologyNode(
+                nid, label, NodeKind.OUTCOME, tier=tier, mastery=mastery, meta=meta
+            ),
+        )
+
+    def build(self, *, validate: bool = True) -> GuidelineTree:
+        """Finalize and return the tree."""
+        tree = GuidelineTree(
+            self._nodes,
+            {k: tuple(v) for k, v in self._children.items()},
+            self._root_id,
+        )
+        if validate:
+            tree.validate()
+        return tree

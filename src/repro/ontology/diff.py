@@ -1,0 +1,60 @@
+"""Structural diff between two guideline trees.
+
+Guidelines get revised (PDC12 → 2.0-beta, CS2013 → CS2023); a diff over the
+*path structure* (ids with the root segment stripped, so "PDC12/ARCH/..."
+and "PDC12B/ARCH/..." align) reports what a revision adds, removes, and
+relabels.  Used by :mod:`repro.curriculum.pdc12_beta` and available for any
+pair of versions a user loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ontology.tree import GuidelineTree
+
+
+def _path(node_id: str) -> str:
+    """Node id with the root segment stripped ("R/A/B" -> "A/B")."""
+    return node_id.split("/", 1)[1] if "/" in node_id else ""
+
+
+@dataclass(frozen=True)
+class TreeDiff:
+    """What changed from ``old`` to ``new`` (path-keyed)."""
+
+    added: tuple[str, ...]       # paths present only in new
+    removed: tuple[str, ...]     # paths present only in old
+    relabeled: tuple[tuple[str, str, str], ...]  # (path, old label, new label)
+
+    @property
+    def n_changes(self) -> int:
+        return len(self.added) + len(self.removed) + len(self.relabeled)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.n_changes == 0
+
+
+def diff_trees(old: GuidelineTree, new: GuidelineTree) -> TreeDiff:
+    """Compute the path-structural diff between two guideline trees.
+
+    Nodes are matched by path below the root; the root itself (whose id
+    differs between versions by construction) is excluded.
+    """
+    old_by_path = {
+        _path(n.id): n for n in old.iter_preorder() if n.id != old.root_id
+    }
+    new_by_path = {
+        _path(n.id): n for n in new.iter_preorder() if n.id != new.root_id
+    }
+    added = tuple(sorted(set(new_by_path) - set(old_by_path)))
+    removed = tuple(sorted(set(old_by_path) - set(new_by_path)))
+    relabeled = tuple(
+        sorted(
+            (p, old_by_path[p].label, new_by_path[p].label)
+            for p in set(old_by_path) & set(new_by_path)
+            if old_by_path[p].label != new_by_path[p].label
+        )
+    )
+    return TreeDiff(added=added, removed=removed, relabeled=relabeled)

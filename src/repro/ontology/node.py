@@ -1,0 +1,94 @@
+"""Node model for curriculum guideline trees.
+
+A *tag* in the paper is any classifiable entry of a guideline — in CS2013
+terms a topic or a learning outcome.  Nodes carry the metadata the guidelines
+attach: coverage tier (core-1 / core-2 / elective), mastery level for
+learning outcomes (familiarity / usage / assessment), and Bloom level for
+PDC12 topics (know / comprehend / apply).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+class NodeKind(enum.Enum):
+    """Structural role of a node within a guideline tree."""
+
+    ROOT = "root"
+    AREA = "area"          # knowledge area (e.g. SDF)
+    UNIT = "unit"          # knowledge unit (e.g. Fundamental Programming Concepts)
+    TOPIC = "topic"
+    OUTCOME = "outcome"    # learning outcome
+
+    @property
+    def is_tag(self) -> bool:
+        """Whether nodes of this kind are classifiable curriculum *tags*."""
+        return self in (NodeKind.TOPIC, NodeKind.OUTCOME)
+
+
+class Tier(enum.Enum):
+    """Coverage tier.
+
+    CS2013 uses three tiers (core-1 must be covered fully, core-2 at least
+    80%, electives optionally); PDC12 exposes only core and elective, which
+    we map onto ``CORE1`` and ``ELECTIVE``.
+    """
+
+    CORE1 = "core1"
+    CORE2 = "core2"
+    ELECTIVE = "elective"
+
+
+class Mastery(enum.Enum):
+    """CS2013 learning-outcome mastery levels."""
+
+    FAMILIARITY = "familiarity"
+    USAGE = "usage"
+    ASSESSMENT = "assessment"
+
+
+class Bloom(enum.Enum):
+    """Bloom levels used by the PDC12 guidelines (abridged taxonomy)."""
+
+    KNOW = "know"
+    COMPREHEND = "comprehend"
+    APPLY = "apply"
+
+
+@dataclass(frozen=True)
+class OntologyNode:
+    """One entry of a guideline tree.
+
+    ``id`` is a stable, human-readable slash path (``"CS2013/SDF/FPC/t-loops"``)
+    unique within its tree; it doubles as the curriculum *tag* identifier used
+    throughout the analysis pipeline.
+    """
+
+    id: str
+    label: str
+    kind: NodeKind
+    tier: Tier | None = None
+    mastery: Mastery | None = None
+    bloom: Bloom | None = None
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise ValueError("node id must be non-empty")
+        if "/" in self.id and self.id.strip("/") != self.id:
+            raise ValueError(f"node id must not have leading/trailing slashes: {self.id!r}")
+        if self.mastery is not None and self.kind is not NodeKind.OUTCOME:
+            raise ValueError(f"mastery only applies to outcomes, not {self.kind}")
+
+    @property
+    def is_tag(self) -> bool:
+        """Whether the node is a classifiable curriculum tag."""
+        return self.kind.is_tag
+
+    @property
+    def short_id(self) -> str:
+        """Last path component of the node id."""
+        return self.id.rsplit("/", 1)[-1]

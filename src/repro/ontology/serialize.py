@@ -1,0 +1,70 @@
+"""JSON-friendly (de)serialization of guideline trees.
+
+Round-tripping through plain dicts lets users export the curriculum, edit it
+offline, and load it back — the workflow the CS Materials website supports
+through its database.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ontology.node import Bloom, Mastery, NodeKind, OntologyNode, Tier
+from repro.ontology.tree import GuidelineTree
+
+
+def _node_to_dict(node: OntologyNode) -> dict[str, Any]:
+    d: dict[str, Any] = {"id": node.id, "label": node.label, "kind": node.kind.value}
+    if node.tier is not None:
+        d["tier"] = node.tier.value
+    if node.mastery is not None:
+        d["mastery"] = node.mastery.value
+    if node.bloom is not None:
+        d["bloom"] = node.bloom.value
+    if node.meta:
+        d["meta"] = dict(node.meta)
+    return d
+
+
+def _node_from_dict(d: dict[str, Any]) -> OntologyNode:
+    return OntologyNode(
+        id=d["id"],
+        label=d["label"],
+        kind=NodeKind(d["kind"]),
+        tier=Tier(d["tier"]) if "tier" in d else None,
+        mastery=Mastery(d["mastery"]) if "mastery" in d else None,
+        bloom=Bloom(d["bloom"]) if "bloom" in d else None,
+        meta=d.get("meta", {}),
+    )
+
+
+def tree_to_dict(tree: GuidelineTree) -> dict[str, Any]:
+    """Serialize ``tree`` to a JSON-compatible dict (nested children form)."""
+
+    def emit(nid: str) -> dict[str, Any]:
+        d = _node_to_dict(tree[nid])
+        kids = tree.child_ids(nid)
+        if kids:
+            d["children"] = [emit(k) for k in kids]
+        return d
+
+    return emit(tree.root_id)
+
+
+def tree_from_dict(data: dict[str, Any]) -> GuidelineTree:
+    """Inverse of :func:`tree_to_dict`; validates structure on load."""
+    nodes: dict[str, OntologyNode] = {}
+    children: dict[str, tuple[str, ...]] = {}
+
+    def walk(d: dict[str, Any]) -> str:
+        node = _node_from_dict(d)
+        if node.id in nodes:
+            raise ValueError(f"duplicate node id {node.id!r} in serialized tree")
+        nodes[node.id] = node
+        children[node.id] = tuple(walk(c) for c in d.get("children", []))
+        return node.id
+
+    root_id = walk(data)
+    tree = GuidelineTree(nodes, children, root_id)
+    tree.validate()
+    return tree

@@ -1,0 +1,52 @@
+"""Parallel task graphs and list scheduling.
+
+Section 5.2 proposes concrete PDC assignments for Data Structures courses:
+"consider the Parallel Task Graph model of parallel codes and as
+assignments implement topological sorts to derive a feasible order of tasks
+and compute metrics like critical path ... Implementing a list-scheduling
+simulator would be a good application of priority queues and graphs."
+
+This package implements exactly that content — it is both a substrate the
+anchor recommender points at and a self-contained parallel-computing
+library: DAG model with work/span analysis, topological sorting, critical
+paths, a list-scheduling simulator over p processors with pluggable
+priority policies, speedup/efficiency metrics, and the classic scaling
+laws (Amdahl, Gustafson, Brent's bound).
+"""
+
+from repro.taskgraph.dag import (
+    TaskGraph,
+    divide_and_conquer_dag,
+    fork_join_dag,
+    layered_random_dag,
+    pipeline_dag,
+    reduction_tree_dag,
+    wavefront_dag,
+)
+from repro.taskgraph.scheduling import (
+    PRIORITY_POLICIES,
+    Schedule,
+    ScheduledTask,
+    list_schedule,
+)
+from repro.taskgraph.laws import amdahl_speedup, brent_bound, gustafson_speedup
+from repro.taskgraph.comm import list_schedule_comm, validate_comm_schedule
+
+__all__ = [
+    "TaskGraph",
+    "divide_and_conquer_dag",
+    "fork_join_dag",
+    "layered_random_dag",
+    "pipeline_dag",
+    "reduction_tree_dag",
+    "wavefront_dag",
+    "Schedule",
+    "ScheduledTask",
+    "list_schedule",
+    "PRIORITY_POLICIES",
+    "amdahl_speedup",
+    "brent_bound",
+    "gustafson_speedup",
+    "list_schedule_comm",
+    "validate_comm_schedule",
+]

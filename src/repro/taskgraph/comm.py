@@ -1,0 +1,113 @@
+"""List scheduling with communication delays.
+
+The classic extension of the §5.2 simulator: when a task's predecessor ran
+on a *different* processor, its result must travel — the task cannot start
+until ``pred.finish + comm_delay``.  With zero delay this reduces exactly
+to :func:`repro.taskgraph.scheduling.list_schedule`'s model; with large
+delays, clustering dependent tasks on one processor beats spreading them,
+which is why naive parallelization can lose (data locality, the PDC12
+"Data locality and its performance impact" topic).
+
+The simulator keeps the list-scheduling skeleton (greedy over a priority
+queue) but evaluates, for each dispatch, the earliest start on every idle
+processor given where the predecessors ran.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.taskgraph.dag import TaskGraph
+from repro.taskgraph.scheduling import PRIORITY_POLICIES, Schedule, ScheduledTask
+
+
+def list_schedule_comm(
+    graph: TaskGraph,
+    n_processors: int,
+    *,
+    comm_delay: float = 0.0,
+    policy: str = "bottom-level",
+) -> Schedule:
+    """Greedy list scheduling under a uniform communication delay.
+
+    At every dispatch point the highest-priority ready task is placed on
+    the idle processor where it can start earliest (its *data-ready* time:
+    max over predecessors of finish, plus ``comm_delay`` if the predecessor
+    ran elsewhere).  Note: with ``comm_delay > 0`` the resulting makespan
+    is *not* validated by :meth:`Schedule.validate` (which assumes
+    zero-cost communication); use :func:`validate_comm_schedule`.
+    """
+    if n_processors < 1:
+        raise ValueError("n_processors must be >= 1")
+    if comm_delay < 0:
+        raise ValueError("comm_delay must be >= 0")
+    try:
+        priority_of = PRIORITY_POLICIES[policy](graph)
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {policy!r}; choose from {sorted(PRIORITY_POLICIES)}"
+        ) from None
+
+    remaining = {t: len(graph.predecessors(t)) for t in graph.weights}
+    placed: dict[str, ScheduledTask] = {}
+    proc_free = [0.0] * n_processors
+    ready: list[tuple[float, str]] = [
+        (-priority_of(t), t) for t, c in remaining.items() if c == 0
+    ]
+    heapq.heapify(ready)
+    pending: list[str] = []
+
+    while ready or pending:
+        # Refill ready with tasks unblocked since the last dispatch round.
+        for t in pending:
+            heapq.heappush(ready, (-priority_of(t), t))
+        pending = []
+        if not ready:
+            break
+        _, task = heapq.heappop(ready)
+        # Earliest start per processor given predecessor placement.
+        best_proc, best_start = 0, float("inf")
+        for p in range(n_processors):
+            start = proc_free[p]
+            for pred in graph.predecessors(task):
+                pf = placed[pred]
+                arrival = pf.finish + (comm_delay if pf.processor != p else 0.0)
+                start = max(start, arrival)
+            if start < best_start - 1e-12:
+                best_start, best_proc = start, p
+        finish = best_start + graph.weights[task]
+        placed[task] = ScheduledTask(task, best_proc, best_start, finish)
+        proc_free[best_proc] = finish
+        for succ in graph.successors[task]:
+            remaining[succ] -= 1
+            if remaining[succ] == 0:
+                pending.append(succ)
+
+    if len(placed) != graph.n_tasks:
+        raise RuntimeError("scheduling stalled before all tasks were placed")
+    makespan = max((p.finish for p in placed.values()), default=0.0)
+    return Schedule(
+        graph, n_processors, tuple(placed[t] for t in sorted(placed)), makespan
+    )
+
+
+def validate_comm_schedule(schedule: Schedule, comm_delay: float) -> None:
+    """Feasibility check under the communication-delay model."""
+    by_task = {p.task: p for p in schedule.placements}
+    if set(by_task) != set(schedule.graph.weights):
+        raise ValueError("schedule does not place every task exactly once")
+    for proc in range(schedule.n_processors):
+        tl = schedule.processor_timeline(proc)
+        for a, b in zip(tl, tl[1:]):
+            if b.start < a.finish - 1e-9:
+                raise ValueError(f"overlap on processor {proc}")
+    for p in schedule.placements:
+        if abs((p.finish - p.start) - schedule.graph.weights[p.task]) > 1e-9:
+            raise ValueError(f"duration mismatch for {p.task}")
+        for pred in schedule.graph.predecessors(p.task):
+            pf = by_task[pred]
+            arrival = pf.finish + (comm_delay if pf.processor != p.processor else 0.0)
+            if p.start < arrival - 1e-9:
+                raise ValueError(
+                    f"{p.task} starts before data from {pred} arrives"
+                )

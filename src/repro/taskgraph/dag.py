@@ -1,0 +1,336 @@
+"""Directed acyclic task graphs with work/span analysis.
+
+A :class:`TaskGraph` is the "Parallel Task Graph model of parallel codes"
+(§5.2): vertices are tasks with non-negative weights (execution times),
+edges are dependencies.  The analysis metrics are the standard ones of
+parallel algorithm theory: *work* (total weight), *span* (critical-path
+weight), and *parallelism* (work/span).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.util.rng import RngLike, as_rng
+
+
+@dataclass
+class TaskGraph:
+    """A weighted DAG of tasks.
+
+    ``weights`` maps task id → execution time; ``successors`` holds the
+    dependency adjacency (edge u → v means v cannot start before u ends).
+    Construction validates acyclicity.
+    """
+
+    weights: dict[str, float]
+    successors: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.successors = {t: tuple(self.successors.get(t, ())) for t in self.weights}
+        for t, w in self.weights.items():
+            if w < 0:
+                raise ValueError(f"task {t!r} has negative weight {w}")
+        for u, vs in self.successors.items():
+            for v in vs:
+                if v not in self.weights:
+                    raise ValueError(f"edge {u!r}->{v!r} references unknown task")
+        self._predecessors: dict[str, list[str]] = {t: [] for t in self.weights}
+        for u, vs in self.successors.items():
+            for v in vs:
+                self._predecessors[v].append(u)
+        # Raises on cycles.
+        self._topo = self._topological_sort()
+
+    # -- construction helpers --------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        weights: Mapping[str, float],
+        edges: Iterable[tuple[str, str]],
+    ) -> "TaskGraph":
+        succ: dict[str, list[str]] = {}
+        for u, v in edges:
+            succ.setdefault(u, []).append(v)
+        return cls(dict(weights), {u: tuple(vs) for u, vs in succ.items()})
+
+    # -- structure --------------------------------------------------------------
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.weights)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(v) for v in self.successors.values())
+
+    def predecessors(self, task: str) -> tuple[str, ...]:
+        return tuple(self._predecessors[task])
+
+    def sources(self) -> list[str]:
+        """Tasks with no predecessors."""
+        return [t for t, ps in self._predecessors.items() if not ps]
+
+    def sinks(self) -> list[str]:
+        """Tasks with no successors."""
+        return [t for t, ss in self.successors.items() if not ss]
+
+    def _topological_sort(self) -> list[str]:
+        """Kahn's algorithm; deterministic (lexicographic among ready tasks)."""
+        indeg = {t: len(ps) for t, ps in self._predecessors.items()}
+        ready = sorted(t for t, d in indeg.items() if d == 0)
+        queue = deque(ready)
+        order: list[str] = []
+        while queue:
+            t = queue.popleft()
+            order.append(t)
+            newly_ready = []
+            for v in self.successors[t]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    newly_ready.append(v)
+            for v in sorted(newly_ready):
+                queue.append(v)
+        if len(order) != len(self.weights):
+            raise ValueError("task graph contains a cycle")
+        return order
+
+    def topological_order(self) -> list[str]:
+        """A feasible serial execution order (the §5.2 student exercise)."""
+        return list(self._topo)
+
+    # -- metrics -----------------------------------------------------------------
+
+    def work(self) -> float:
+        """Total execution time on one processor (T_1)."""
+        return float(sum(self.weights.values()))
+
+    def span(self) -> float:
+        """Critical-path length (T_inf)."""
+        return max(self.critical_path_lengths().values(), default=0.0)
+
+    def critical_path_lengths(self) -> dict[str, float]:
+        """Task → longest weighted path ending at (and including) the task."""
+        dist: dict[str, float] = {}
+        for t in self._topo:
+            preds = self._predecessors[t]
+            best = max((dist[p] for p in preds), default=0.0)
+            dist[t] = best + self.weights[t]
+        return dist
+
+    def critical_path(self) -> list[str]:
+        """One longest path, source → sink."""
+        dist = self.critical_path_lengths()
+        if not dist:
+            return []
+        end = max(dist, key=lambda t: dist[t])
+        path = [end]
+        while True:
+            preds = self._predecessors[path[-1]]
+            if not preds:
+                break
+            path.append(max(preds, key=lambda p: dist[p]))
+        return path[::-1]
+
+    def parallelism(self) -> float:
+        """Average parallelism work/span; 0 for an empty graph."""
+        s = self.span()
+        return self.work() / s if s > 0 else 0.0
+
+    def bottom_levels(self) -> dict[str, float]:
+        """Task → longest weighted path from the task to any sink (inclusive).
+
+        The classic HLF/CP list-scheduling priority.
+        """
+        level: dict[str, float] = {}
+        for t in reversed(self._topo):
+            succ = self.successors[t]
+            best = max((level[s] for s in succ), default=0.0)
+            level[t] = best + self.weights[t]
+        return level
+
+
+# -- generators -------------------------------------------------------------------
+
+
+def layered_random_dag(
+    n_layers: int,
+    width: int,
+    *,
+    edge_prob: float = 0.35,
+    seed: RngLike = None,
+    weight_range: tuple[float, float] = (1.0, 10.0),
+) -> TaskGraph:
+    """Random layered DAG: edges only between consecutive layers.
+
+    The standard scheduling-benchmark topology; every layer-``i`` task may
+    depend on any layer-``i-1`` task with probability ``edge_prob`` (at
+    least one edge is forced so layers stay ordered).
+    """
+    if n_layers < 1 or width < 1:
+        raise ValueError("n_layers and width must be >= 1")
+    rng = as_rng(seed)
+    lo, hi = weight_range
+    weights: dict[str, float] = {}
+    edges: list[tuple[str, str]] = []
+    for layer in range(n_layers):
+        for j in range(width):
+            weights[f"t{layer}_{j}"] = float(rng.uniform(lo, hi))
+    for layer in range(1, n_layers):
+        for j in range(width):
+            parents = [p for p in range(width) if rng.random() < edge_prob]
+            if not parents:
+                parents = [int(rng.integers(width))]
+            for p in parents:
+                edges.append((f"t{layer - 1}_{p}", f"t{layer}_{j}"))
+    return TaskGraph.from_edges(weights, edges)
+
+
+def fork_join_dag(
+    n_tasks: int,
+    *,
+    seed: RngLike = None,
+    weight_range: tuple[float, float] = (1.0, 10.0),
+) -> TaskGraph:
+    """Fork-join (embarrassingly parallel middle): source → n tasks → sink."""
+    if n_tasks < 1:
+        raise ValueError("n_tasks must be >= 1")
+    rng = as_rng(seed)
+    lo, hi = weight_range
+    weights = {"fork": 1.0, "join": 1.0}
+    edges = []
+    for i in range(n_tasks):
+        t = f"w{i}"
+        weights[t] = float(rng.uniform(lo, hi))
+        edges.append(("fork", t))
+        edges.append((t, "join"))
+    return TaskGraph.from_edges(weights, edges)
+
+
+def divide_and_conquer_dag(
+    depth: int,
+    *,
+    leaf_weight: float = 4.0,
+    node_weight: float = 1.0,
+) -> TaskGraph:
+    """Binary divide-and-conquer: split tree, leaf work, then merge tree.
+
+    The topology of recursive task-based parallelism (cilk-style spawn);
+    span grows as O(depth) while work grows as O(2^depth).
+    """
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    weights: dict[str, float] = {}
+    edges: list[tuple[str, str]] = []
+
+    def build(path: str, d: int) -> tuple[str, str]:
+        """Returns (entry task, exit task) of the subtree."""
+        if d == 0:
+            leaf = f"leaf{path}"
+            weights[leaf] = leaf_weight
+            return leaf, leaf
+        split, merge = f"split{path}", f"merge{path}"
+        weights[split] = node_weight
+        weights[merge] = node_weight
+        for side in ("0", "1"):
+            entry, exit_ = build(path + side, d - 1)
+            edges.append((split, entry))
+            edges.append((exit_, merge))
+        return split, merge
+
+    build("", depth)
+    return TaskGraph.from_edges(weights, edges)
+
+
+def reduction_tree_dag(
+    n_leaves: int,
+    *,
+    leaf_weight: float = 1.0,
+    combine_weight: float = 1.0,
+) -> TaskGraph:
+    """Binary reduction tree: n leaves combined pairwise up to one root.
+
+    The structure of a parallel reduction (§5.2's reduction-ordering
+    module): work O(n), span O(log n).  ``n_leaves`` need not be a power of
+    two — odd elements are carried upward.
+    """
+    if n_leaves < 1:
+        raise ValueError("n_leaves must be >= 1")
+    weights: dict[str, float] = {}
+    edges: list[tuple[str, str]] = []
+    level = []
+    for i in range(n_leaves):
+        name = f"leaf{i}"
+        weights[name] = leaf_weight
+        level.append(name)
+    depth = 0
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            name = f"c{depth}_{i // 2}"
+            weights[name] = combine_weight
+            edges.append((level[i], name))
+            edges.append((level[i + 1], name))
+            nxt.append(name)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+        depth += 1
+    return TaskGraph.from_edges(weights, edges)
+
+
+def pipeline_dag(
+    n_stages: int,
+    n_items: int,
+    *,
+    stage_weight: float = 1.0,
+) -> TaskGraph:
+    """Software pipeline: every item passes through every stage in order.
+
+    Task (s, i) depends on (s-1, i) (same item, previous stage) and
+    (s, i-1) (stage busy with the previous item) — the classic pipelined
+    producer-consumer dependency pattern; parallelism approaches
+    ``min(n_stages, n_items)``.
+    """
+    if n_stages < 1 or n_items < 1:
+        raise ValueError("n_stages and n_items must be >= 1")
+    weights = {
+        f"s{s}_i{i}": stage_weight
+        for s in range(n_stages)
+        for i in range(n_items)
+    }
+    edges = []
+    for s in range(n_stages):
+        for i in range(n_items):
+            if s + 1 < n_stages:
+                edges.append((f"s{s}_i{i}", f"s{s + 1}_i{i}"))
+            if i + 1 < n_items:
+                edges.append((f"s{s}_i{i}", f"s{s}_i{i + 1}"))
+    return TaskGraph.from_edges(weights, edges)
+
+
+def wavefront_dag(
+    rows: int,
+    cols: int,
+    *,
+    weight: float = 1.0,
+) -> TaskGraph:
+    """Bottom-up dynamic-programming wavefront: cell (i,j) needs (i-1,j), (i,j-1).
+
+    The dependency pattern of §5.2's "bottom-up parallelism" discussion —
+    anti-diagonals can run as parallel-for loops.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be >= 1")
+    weights = {f"c{i}_{j}": weight for i in range(rows) for j in range(cols)}
+    edges = []
+    for i in range(rows):
+        for j in range(cols):
+            if i + 1 < rows:
+                edges.append((f"c{i}_{j}", f"c{i + 1}_{j}"))
+            if j + 1 < cols:
+                edges.append((f"c{i}_{j}", f"c{i}_{j + 1}"))
+    return TaskGraph.from_edges(weights, edges)

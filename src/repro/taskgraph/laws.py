@@ -1,0 +1,44 @@
+"""Classic parallel-performance laws.
+
+Amdahl's law appears throughout the PD guidelines (and the paper's PDC12
+encoding); Gustafson covers the weak-scaling counterpoint; Brent's bound
+connects work/span to achievable p-processor time.
+"""
+
+from __future__ import annotations
+
+
+def amdahl_speedup(serial_fraction: float, p: int) -> float:
+    """Speedup on ``p`` processors with a ``serial_fraction`` of the work serial.
+
+    ``S(p) = 1 / (f + (1 - f)/p)``.
+    """
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError(f"serial_fraction must be in [0,1], got {serial_fraction}")
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / p)
+
+
+def gustafson_speedup(serial_fraction: float, p: int) -> float:
+    """Scaled speedup with problem size grown to fill ``p`` processors.
+
+    ``S(p) = f + (1 - f) * p``.
+    """
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError(f"serial_fraction must be in [0,1], got {serial_fraction}")
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    return serial_fraction + (1.0 - serial_fraction) * p
+
+
+def brent_bound(work: float, span: float, p: int) -> float:
+    """Brent's theorem upper bound on greedy p-processor execution time.
+
+    ``T_p <= work / p + span``.
+    """
+    if work < 0 or span < 0:
+        raise ValueError("work and span must be >= 0")
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    return work / p + span

@@ -1,0 +1,28 @@
+"""Shared utilities: seeded RNG plumbing, text tables, validation helpers.
+
+These helpers deliberately avoid any project-specific knowledge so that every
+other subpackage can depend on them without import cycles.
+"""
+
+from repro.util.rng import RngLike, as_rng, spawn_child
+from repro.util.tables import format_table, format_kv
+from repro.util.validation import (
+    check_finite,
+    check_matrix,
+    check_nonnegative,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "RngLike",
+    "as_rng",
+    "spawn_child",
+    "format_table",
+    "format_kv",
+    "check_finite",
+    "check_matrix",
+    "check_nonnegative",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,59 @@
+"""Plain-text table rendering used by examples and benchmark harnesses.
+
+Benchmarks print the same rows the paper's figures/tables report; a tiny
+dependency-free formatter keeps that output legible in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    rows: Iterable[Sequence[object]],
+    header: Sequence[str] | None = None,
+    *,
+    sep: str = "  ",
+    align_right: Sequence[bool] | None = None,
+) -> str:
+    """Render ``rows`` (and an optional ``header``) as an aligned text table.
+
+    ``align_right[i]`` right-aligns column ``i`` (defaults to left for all).
+    Returns a single string with newline-separated lines; empty input
+    produces an empty string.
+    """
+    materialized: list[list[str]] = [[str(c) for c in row] for row in rows]
+    if header is not None:
+        materialized.insert(0, [str(c) for c in header])
+    if not materialized:
+        return ""
+    ncols = max(len(r) for r in materialized)
+    for row in materialized:
+        row.extend([""] * (ncols - len(row)))
+    widths = [max(len(row[i]) for row in materialized) for i in range(ncols)]
+    if align_right is None:
+        align_right = [False] * ncols
+
+    def fmt_row(row: list[str]) -> str:
+        cells = []
+        for i, cell in enumerate(row):
+            right = i < len(align_right) and align_right[i]
+            cells.append(cell.rjust(widths[i]) if right else cell.ljust(widths[i]))
+        return sep.join(cells).rstrip()
+
+    lines = []
+    for idx, row in enumerate(materialized):
+        lines.append(fmt_row(row))
+        if header is not None and idx == 0:
+            lines.append(sep.join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Iterable[tuple[str, object]], *, indent: int = 0) -> str:
+    """Render key/value pairs one per line, keys padded to a common width."""
+    items = [(str(k), str(v)) for k, v in pairs]
+    if not items:
+        return ""
+    width = max(len(k) for k, _ in items)
+    pad = " " * indent
+    return "\n".join(f"{pad}{k.ljust(width)} : {v}" for k, v in items)

@@ -1,0 +1,50 @@
+"""Argument validation helpers shared across the numerical code.
+
+Raising early with a precise message is cheaper than letting NumPy
+broadcasting silently produce a wrong-shaped result three calls later.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Return ``value`` if it is a positive integer, else raise ``ValueError``."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Return ``value`` if it lies in [0, 1], else raise ``ValueError``."""
+    v = float(value)
+    if not 0.0 <= v <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return v
+
+
+def check_matrix(a: np.ndarray, name: str = "A") -> np.ndarray:
+    """Coerce ``a`` to a 2-D float ndarray; raise on wrong dimensionality."""
+    arr = np.asarray(a, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {arr.shape}")
+    return arr
+
+
+def check_nonnegative(a: np.ndarray, name: str = "A") -> np.ndarray:
+    """Raise ``ValueError`` if ``a`` contains negative entries."""
+    arr = np.asarray(a, dtype=float)
+    if arr.size and float(arr.min()) < 0.0:
+        raise ValueError(f"{name} must be non-negative; min entry is {arr.min()}")
+    return arr
+
+
+def check_finite(a: np.ndarray, name: str = "A") -> np.ndarray:
+    """Raise ``ValueError`` if ``a`` contains NaN or infinity."""
+    arr = np.asarray(a, dtype=float)
+    if arr.size and not np.isfinite(arr).all():
+        raise ValueError(f"{name} must be finite (no NaN/inf)")
+    return arr

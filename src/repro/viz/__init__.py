@@ -1,0 +1,38 @@
+"""Visualization: ASCII renderings for terminals/CI, SVG for documents.
+
+Reproduces the informational content of the paper's figures:
+
+* :mod:`~repro.viz.ascii` — heat maps (Figures 2, 5a, 7a), agreement
+  histograms (Figure 3), labeled tables (Figure 1).
+* :mod:`~repro.viz.radial` — the radial hit-tree layout (Figures 4, 6, 8):
+  reference-level detection, uniform angular spacing, node size by material
+  count, divergent color by alignment.
+* :mod:`~repro.viz.svg` — a dependency-free SVG writer for the radial trees
+  and heat maps.
+* :mod:`~repro.viz.color` — divergent / sequential color scales.
+"""
+
+from repro.viz.ascii import ascii_heatmap, ascii_histogram, ascii_matrix, ascii_scatter
+from repro.viz.color import diverging_color, hex_color, sequential_color
+from repro.viz.radial import RadialLayout, radial_layout
+from repro.viz.svg import SvgCanvas, render_heatmap_svg, render_radial_svg
+from repro.viz.gantt import ascii_gantt
+from repro.viz.treetext import render_hit_tree_text, render_tree_text
+
+__all__ = [
+    "ascii_heatmap",
+    "ascii_histogram",
+    "ascii_matrix",
+    "ascii_scatter",
+    "diverging_color",
+    "sequential_color",
+    "hex_color",
+    "RadialLayout",
+    "radial_layout",
+    "SvgCanvas",
+    "render_heatmap_svg",
+    "render_radial_svg",
+    "ascii_gantt",
+    "render_hit_tree_text",
+    "render_tree_text",
+]

@@ -1,0 +1,163 @@
+"""Terminal renderings of matrices and distributions.
+
+Benchmarks print these so the regenerated "figures" are directly readable
+in CI logs — e.g. the Figure 2 heat map of the NNMF W matrix appears as a
+row of intensity glyphs per course.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+#: Intensity ramp used by heat maps, light to dark.
+_RAMP = " .:-=+*#%@"
+
+
+def _glyph(value: float, vmax: float) -> str:
+    if vmax <= 0:
+        return _RAMP[0]
+    q = min(max(value / vmax, 0.0), 1.0)
+    return _RAMP[min(int(q * (len(_RAMP) - 1) + 0.5), len(_RAMP) - 1)]
+
+
+def ascii_heatmap(
+    matrix: np.ndarray,
+    row_labels: Sequence[str] | None = None,
+    col_labels: Sequence[str] | None = None,
+    *,
+    cell_width: int = 3,
+    normalize: str = "global",
+) -> str:
+    """Render a matrix as an intensity-glyph heat map.
+
+    ``normalize`` is ``"global"`` (one scale for the whole matrix) or
+    ``"row"`` (each row on its own scale — the right view for NNMF W
+    matrices where courses differ in total mass).
+    """
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2:
+        raise ValueError(f"heatmap needs a 2-D matrix, got shape {m.shape}")
+    if normalize not in ("global", "row"):
+        raise ValueError(f"unknown normalize {normalize!r}")
+    labels = [str(l) for l in row_labels] if row_labels is not None else [""] * m.shape[0]
+    if row_labels is not None and len(labels) != m.shape[0]:
+        raise ValueError("row_labels length mismatch")
+    width = max((len(l) for l in labels), default=0)
+    lines = []
+    if col_labels is not None:
+        if len(col_labels) != m.shape[1]:
+            raise ValueError("col_labels length mismatch")
+        header = " " * (width + 2) + "".join(
+            str(c)[: cell_width - 1].ljust(cell_width) for c in col_labels
+        )
+        lines.append(header.rstrip())
+    gmax = float(m.max()) if m.size else 0.0
+    for i in range(m.shape[0]):
+        vmax = float(m[i].max()) if normalize == "row" and m.shape[1] else gmax
+        cells = "".join(
+            (_glyph(m[i, j], vmax) * (cell_width - 1)).ljust(cell_width)
+            for j in range(m.shape[1])
+        )
+        lines.append(f"{labels[i].ljust(width)}  {cells}".rstrip())
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    *,
+    width: int = 60,
+    label: str = "",
+) -> str:
+    """Render a decreasing series as a horizontal density strip plus stats.
+
+    Used for the Figure 3 agreement distributions: ``values`` is "how many
+    courses each tag appears in", sorted decreasing.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return f"{label}(empty)"
+    vmax = max(vals)
+    n = len(vals)
+    # Downsample to `width` columns by taking column-wise maxima.
+    cols = []
+    for c in range(min(width, n)):
+        lo = c * n // min(width, n)
+        hi = max(lo + 1, (c + 1) * n // min(width, n))
+        cols.append(max(vals[lo:hi]))
+    bars = "▁▂▃▄▅▆▇█"
+    strip = "".join(
+        bars[min(int(v / vmax * (len(bars) - 1) + 0.5), len(bars) - 1)] if vmax > 0 else bars[0]
+        for v in cols
+    )
+    return f"{label}{strip}  (n={n}, max={vmax:g})"
+
+
+def ascii_bars(
+    items: Sequence[tuple[str, float]],
+    *,
+    width: int = 40,
+) -> str:
+    """Horizontal labeled bar chart (e.g. tags-at-threshold per area)."""
+    if not items:
+        return "(empty)"
+    vmax = max(v for _, v in items)
+    name_w = max(len(k) for k, _ in items)
+    lines = []
+    for k, v in items:
+        bar = "#" * (int(v / vmax * width + 0.5) if vmax > 0 else 0)
+        lines.append(f"{k.ljust(name_w)}  {bar} {v:g}")
+    return "\n".join(lines)
+
+
+def ascii_matrix(
+    matrix: np.ndarray,
+    *,
+    on: str = "x",
+    off: str = ".",
+) -> str:
+    """Render a 0/1 matrix compactly (the bi-clustered matrix view)."""
+    m = np.asarray(matrix)
+    if m.ndim != 2:
+        raise ValueError(f"needs a 2-D matrix, got shape {m.shape}")
+    return "\n".join("".join(on if v else off for v in row) for row in (m > 0))
+
+
+def ascii_scatter(
+    points: "dict[str, tuple[float, float]]",
+    *,
+    width: int = 64,
+    height: int = 20,
+    label_points: bool = True,
+) -> str:
+    """Render labeled 2-D points (e.g. an MDS course map) as a text grid.
+
+    Each point paints a marker; with ``label_points`` the first two
+    characters of the id follow the marker when space allows.  Returns a
+    framed grid with the origin of the data preserved (axes are scaled to
+    the data's bounding box).
+    """
+    if not points:
+        return "(no points)"
+    if width < 8 or height < 4:
+        raise ValueError("grid too small")
+    xs = [p[0] for p in points.values()]
+    ys = [p[1] for p in points.values()]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    dx = (x1 - x0) or 1.0
+    dy = (y1 - y0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for name, (x, y) in sorted(points.items()):
+        col = int((x - x0) / dx * (width - 1))
+        row = int((y1 - y) / dy * (height - 1))
+        grid[row][col] = "o"
+        if label_points:
+            tag = name[:2]
+            for k, ch in enumerate(tag, start=1):
+                if col + k < width and grid[row][col + k] == " ":
+                    grid[row][col + k] = ch
+    top = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(r) + "|" for r in grid)
+    return f"{top}\n{body}\n{top}"

@@ -1,0 +1,46 @@
+"""Color scales.
+
+The alignment hit-tree uses a divergent scale over [-1, +1] where the
+mid-point (0, fully aligned) is neutral (§3.1.1); coverage views use a
+sequential scale.
+"""
+
+from __future__ import annotations
+
+Rgb = tuple[int, int, int]
+
+#: Divergent endpoints/midpoint: blue → light gray → red.
+_DIV_LO: Rgb = (33, 102, 172)
+_DIV_MID: Rgb = (245, 245, 245)
+_DIV_HI: Rgb = (178, 24, 43)
+
+#: Sequential ramp endpoints: near-white → dark green.
+_SEQ_LO: Rgb = (247, 252, 245)
+_SEQ_HI: Rgb = (0, 68, 27)
+
+
+def _lerp(a: Rgb, b: Rgb, t: float) -> Rgb:
+    t = min(max(t, 0.0), 1.0)
+    return tuple(int(round(a[i] + (b[i] - a[i]) * t)) for i in range(3))  # type: ignore[return-value]
+
+
+def diverging_color(value: float) -> Rgb:
+    """Map [-1, +1] onto the divergent scale; values are clamped."""
+    v = min(max(float(value), -1.0), 1.0)
+    if v < 0:
+        return _lerp(_DIV_MID, _DIV_LO, -v)
+    return _lerp(_DIV_MID, _DIV_HI, v)
+
+
+def sequential_color(value: float) -> Rgb:
+    """Map [0, 1] onto the sequential scale; values are clamped."""
+    return _lerp(_SEQ_LO, _SEQ_HI, float(value))
+
+
+def hex_color(rgb: Rgb) -> str:
+    """``(r, g, b)`` → ``"#rrggbb"``."""
+    r, g, b = rgb
+    for c in (r, g, b):
+        if not 0 <= c <= 255:
+            raise ValueError(f"channel out of range: {rgb}")
+    return f"#{r:02x}{g:02x}{b:02x}"

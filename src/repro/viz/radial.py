@@ -1,0 +1,101 @@
+"""Radial tree layout (§3.1.1).
+
+"The tree is arranged radially by identifying the level with the most
+nodes, known as the reference level, and uniformly spacing all nodes at
+that level."
+
+Algorithm: nodes at the reference level receive uniform angles in subtree
+(preorder) order; every other node takes the mean angle of its subtree's
+reference-level descendants (or interpolates between neighbors when its
+subtree does not reach that level).  Radius is proportional to depth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.ontology.queries import reference_level
+from repro.ontology.tree import GuidelineTree
+
+
+@dataclass(frozen=True)
+class RadialLayout:
+    """Node positions of a radial tree drawing.
+
+    ``positions[node_id] = (x, y)``; ``angles`` in radians;
+    ``reference_level`` is the depth that was uniformly spaced.
+    """
+
+    tree: GuidelineTree
+    positions: dict[str, tuple[float, float]]
+    angles: dict[str, float]
+    reference_level: int
+    ring_radius: float
+
+    def radius_of(self, node_id: str) -> float:
+        return self.tree.depth(node_id) * self.ring_radius
+
+
+def radial_layout(
+    tree: GuidelineTree,
+    *,
+    ring_radius: float = 80.0,
+) -> RadialLayout:
+    """Compute the radial layout of ``tree``."""
+    ref = reference_level(tree)
+    # Reference nodes in preorder = subtree-contiguous angular order.
+    ref_nodes = [nid for nid in tree.iter_preorder_ids() if tree.depth(nid) == ref]
+    angles: dict[str, float] = {}
+    n_ref = len(ref_nodes)
+    for i, nid in enumerate(ref_nodes):
+        angles[nid] = 2.0 * math.pi * i / max(n_ref, 1)
+
+    # Everything else: mean of reference-level descendants when available.
+    def assign(nid: str) -> list[float]:
+        """Returns reference angles within this subtree; assigns on the way up."""
+        if tree.depth(nid) == ref:
+            return [angles[nid]]
+        collected: list[float] = []
+        for kid in tree.child_ids(nid):
+            collected.extend(assign(kid))
+        if nid not in angles:
+            if collected:
+                angles[nid] = _circular_mean(collected)
+        return collected
+
+    assign(tree.root_id)
+    # Nodes whose subtree misses the reference level (shallow leaves above
+    # it, or anything below it) inherit the parent's angle with sibling
+    # fan-out.
+    for nid in tree.iter_preorder_ids():
+        if nid in angles:
+            continue
+        parent = tree.parent_id(nid)
+        base = angles.get(parent, 0.0) if parent is not None else 0.0
+        siblings = [s for s in tree.child_ids(parent)] if parent is not None else [nid]
+        idx = siblings.index(nid)
+        spread = (math.pi / 16) * (idx - (len(siblings) - 1) / 2)
+        angles[nid] = base + spread
+
+    positions = {}
+    for nid in tree.iter_preorder_ids():
+        r = tree.depth(nid) * ring_radius
+        a = angles[nid]
+        positions[nid] = (r * math.cos(a), r * math.sin(a))
+    return RadialLayout(
+        tree=tree,
+        positions=positions,
+        angles=angles,
+        reference_level=ref,
+        ring_radius=ring_radius,
+    )
+
+
+def _circular_mean(angles: list[float]) -> float:
+    """Mean of angles, handling the 2π wrap (e.g. 350° and 10° → 0°)."""
+    sx = sum(math.cos(a) for a in angles)
+    sy = sum(math.sin(a) for a in angles)
+    if sx == 0 and sy == 0:
+        return angles[0]
+    return math.atan2(sy, sx) % (2.0 * math.pi)

@@ -1,0 +1,145 @@
+"""Dependency-free SVG output.
+
+Renders the radial hit-trees (Figures 4, 6, 8) and heat maps (Figures 2,
+5, 7) as standalone ``.svg`` documents.  Only the handful of SVG elements
+actually needed are wrapped.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+from repro.materials.hittree import HitTree
+from repro.ontology.node import NodeKind
+from repro.viz.color import diverging_color, hex_color, sequential_color
+from repro.viz.radial import radial_layout
+
+
+class SvgCanvas:
+    """Accumulates SVG elements; emits a complete document."""
+
+    def __init__(self, width: float, height: float) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("canvas dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._elems: list[str] = []
+
+    def line(self, x1: float, y1: float, x2: float, y2: float, *,
+             stroke: str = "#999", stroke_width: float = 1.0) -> None:
+        self._elems.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width:.2f}"/>'
+        )
+
+    def circle(self, cx: float, cy: float, r: float, *,
+               fill: str = "#333", stroke: str = "none") -> None:
+        self._elems.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{r:.2f}" '
+            f'fill="{fill}" stroke="{stroke}"/>'
+        )
+
+    def rect(self, x: float, y: float, w: float, h: float, *,
+             fill: str = "#333", stroke: str = "none") -> None:
+        self._elems.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" height="{h:.2f}" '
+            f'fill="{fill}" stroke="{stroke}"/>'
+        )
+
+    def text(self, x: float, y: float, content: str, *,
+             size: float = 10.0, anchor: str = "start", fill: str = "#000") -> None:
+        self._elems.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size:.1f}" '
+            f'text-anchor="{anchor}" fill="{fill}" '
+            f'font-family="sans-serif">{escape(content)}</text>'
+        )
+
+    def to_string(self) -> str:
+        body = "\n  ".join(self._elems)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width:.0f}" height="{self.height:.0f}" '
+            f'viewBox="0 0 {self.width:.0f} {self.height:.0f}">\n  {body}\n</svg>\n'
+        )
+
+
+def render_radial_svg(
+    hit_tree: HitTree,
+    *,
+    ring_radius: float = 80.0,
+    max_node_radius: float = 14.0,
+    label_areas: bool = True,
+) -> str:
+    """Render a hit-tree as a radial SVG drawing.
+
+    Node size scales with the subtree material count; color uses the
+    divergent scale when alignment colors are present (root drawn in red,
+    as in the paper's figures).
+    """
+    tree = hit_tree.tree
+    layout = radial_layout(tree, ring_radius=ring_radius)
+    extent = (tree.height() + 1) * ring_radius + 40
+    size = 2 * extent
+    canvas = SvgCanvas(size, size)
+
+    def pos(nid: str) -> tuple[float, float]:
+        x, y = layout.positions[nid]
+        return x + extent, y + extent
+
+    for nid in tree.iter_preorder_ids():
+        for kid in tree.child_ids(nid):
+            x1, y1 = pos(nid)
+            x2, y2 = pos(kid)
+            canvas.line(x1, y1, x2, y2, stroke="#bbb")
+    max_w = max(hit_tree.weights.values(), default=1) or 1
+    for nid in tree.iter_preorder_ids():
+        x, y = pos(nid)
+        w = hit_tree.weight(nid)
+        r = 3.0 + (max_node_radius - 3.0) * math.sqrt(w / max_w)
+        if nid == tree.root_id:
+            fill = "#d62728"  # "Root in red" (Figures 4/6/8 captions)
+        elif hit_tree.colors is not None:
+            fill = hex_color(diverging_color(hit_tree.color(nid)))
+        else:
+            fill = hex_color(sequential_color(min(w / max_w, 1.0)))
+        canvas.circle(x, y, r, fill=fill, stroke="#555")
+        node = tree[nid]
+        if label_areas and node.kind is NodeKind.AREA:
+            canvas.text(x + r + 2, y - 2, node.meta.get("code", node.short_id), size=11.0)
+    return canvas.to_string()
+
+
+def render_heatmap_svg(
+    matrix: np.ndarray,
+    row_labels: Sequence[str] | None = None,
+    *,
+    cell: float = 18.0,
+    normalize: str = "row",
+) -> str:
+    """Render a matrix as an SVG heat map (the Figure 2/5a/7a form)."""
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2:
+        raise ValueError(f"heatmap needs a 2-D matrix, got {m.shape}")
+    if normalize not in ("row", "global"):
+        raise ValueError(f"unknown normalize {normalize!r}")
+    label_w = 180.0 if row_labels is not None else 0.0
+    canvas = SvgCanvas(label_w + m.shape[1] * cell + 10, m.shape[0] * cell + 10)
+    gmax = float(m.max()) if m.size else 1.0
+    for i in range(m.shape[0]):
+        vmax = float(m[i].max()) if normalize == "row" else gmax
+        for j in range(m.shape[1]):
+            q = m[i, j] / vmax if vmax > 0 else 0.0
+            canvas.rect(
+                label_w + j * cell + 5,
+                i * cell + 5,
+                cell - 1,
+                cell - 1,
+                fill=hex_color(sequential_color(q)),
+            )
+        if row_labels is not None:
+            canvas.text(2, i * cell + cell * 0.7 + 5, str(row_labels[i]), size=10.0)
+    return canvas.to_string()

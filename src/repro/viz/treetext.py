@@ -1,0 +1,55 @@
+"""Plain-text rendering of guideline (sub)trees.
+
+The CI-friendly counterpart of the radial SVG: agreement trees and
+hit-trees print as indented outlines with per-node weights, so the Figure
+4/6/8 content is directly readable in logs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.materials.hittree import HitTree
+from repro.ontology.tree import GuidelineTree
+
+_LAST, _MID = "└─ ", "├─ "
+_GAP, _PIPE = "   ", "│  "
+
+
+def render_tree_text(
+    tree: GuidelineTree,
+    *,
+    label_of: Callable[[str], str] | None = None,
+    max_label: int = 72,
+) -> str:
+    """Indented outline of ``tree`` (box-drawing connectors)."""
+
+    def label(nid: str) -> str:
+        text = label_of(nid) if label_of is not None else tree[nid].label
+        return text if len(text) <= max_label else text[: max_label - 1] + "…"
+
+    lines = [label(tree.root_id)]
+
+    def walk(nid: str, prefix: str) -> None:
+        kids = tree.child_ids(nid)
+        for i, kid in enumerate(kids):
+            last = i == len(kids) - 1
+            lines.append(prefix + (_LAST if last else _MID) + label(kid))
+            walk(kid, prefix + (_GAP if last else _PIPE))
+
+    walk(tree.root_id, "")
+    return "\n".join(lines)
+
+
+def render_hit_tree_text(hit: HitTree, *, max_label: int = 60) -> str:
+    """Outline of a hit-tree with ``[weight]`` (and alignment) per node."""
+
+    def label(nid: str) -> str:
+        node = hit.tree[nid]
+        base = node.label if len(node.label) <= max_label else node.label[: max_label - 1] + "…"
+        extra = f" [{hit.weight(nid)}]"
+        if hit.colors is not None:
+            extra += f" ({hit.color(nid):+.2f})"
+        return base + extra
+
+    return render_tree_text(hit.tree, label_of=label, max_label=max_label + 20)

@@ -1,0 +1,31 @@
+"""Course-analysis workshop simulation (§3.2).
+
+The paper's data came from 2-day workshops (~10 attendees each, some online)
+where instructors classified one course each; 31 courses were fully
+classified, 11 were excluded for technical reasons, 20 retained.  This
+package simulates that collection process end to end — including classifier
+noise and the exclusion screen — so the analysis pipeline consumes data with
+the same provenance structure as the paper's.
+"""
+
+from repro.workshops.simulation import (
+    Attendee,
+    ClassificationNoise,
+    Workshop,
+    WorkshopSeries,
+    WorkshopSeriesResult,
+    YearlySnapshot,
+    simulate_collection_growth,
+    simulate_workshop_series,
+)
+
+__all__ = [
+    "Attendee",
+    "ClassificationNoise",
+    "Workshop",
+    "WorkshopSeries",
+    "WorkshopSeriesResult",
+    "YearlySnapshot",
+    "simulate_collection_growth",
+    "simulate_workshop_series",
+]

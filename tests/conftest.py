@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.canonical import load_canonical_dataset
+from repro.curriculum import load_cs2013, load_pdc12
+from repro.materials.course import CourseLabel
+from repro.ontology.builder import TreeBuilder
+from repro.ontology.node import Mastery, Tier
+
+
+@pytest.fixture(scope="session")
+def cs2013():
+    return load_cs2013()
+
+
+@pytest.fixture(scope="session")
+def pdc12():
+    return load_pdc12()
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return load_canonical_dataset()
+
+
+@pytest.fixture(scope="session")
+def courses(dataset):
+    return dataset[1]
+
+
+@pytest.fixture(scope="session")
+def matrix(dataset):
+    return dataset[2]
+
+
+@pytest.fixture(scope="session")
+def cs1_courses(courses):
+    return [c for c in courses if CourseLabel.CS1 in c.labels]
+
+
+@pytest.fixture()
+def small_tree():
+    """A tiny guideline tree for structural tests.
+
+    Root -> two areas (A, B); A has two units, B one; tags under each unit.
+    """
+    b = TreeBuilder("G", "Tiny guideline")
+    a = b.area("A", "Area A")
+    u1 = b.unit(a, "U1", "Unit one", tier=Tier.CORE1)
+    b.topic(u1, "Topic alpha", tier=Tier.CORE1)
+    b.topic(u1, "Topic beta", tier=Tier.CORE2)
+    b.outcome(u1, "Do alpha things", mastery=Mastery.USAGE, tier=Tier.CORE1)
+    u2 = b.unit(a, "U2", "Unit two", tier=Tier.CORE2)
+    b.topic(u2, "Topic gamma", tier=Tier.CORE2)
+    area_b = b.area("B", "Area B")
+    u3 = b.unit(area_b, "U3", "Unit three", tier=Tier.ELECTIVE)
+    b.topic(u3, "Topic delta", tier=Tier.ELECTIVE)
+    b.outcome(u3, "Do delta things", mastery=Mastery.FAMILIARITY, tier=Tier.ELECTIVE)
+    return b.build()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

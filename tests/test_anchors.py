@@ -1,0 +1,134 @@
+"""Tests for the PDC module catalog and anchor recommender."""
+
+import pytest
+
+from repro.anchors.modules import MODULE_CATALOG, PDCModule
+from repro.anchors.recommender import (
+    recommend_for_course,
+    recommend_for_type,
+    type_recommendation_table,
+)
+from repro.corpus.archetypes import ARCHETYPES
+from repro.materials.course import Course
+from repro.materials.material import Material, MaterialType
+
+
+def course_with(tags):
+    return Course("c", "C", materials=[
+        Material("c/m", "m", MaterialType.LECTURE, frozenset(tags))
+    ])
+
+
+class TestCatalog:
+    def test_resolves_and_caches(self):
+        assert MODULE_CATALOG() is MODULE_CATALOG()
+        assert len(MODULE_CATALOG()) >= 12
+
+    def test_anchor_tags_are_cs2013(self, cs2013):
+        for m in MODULE_CATALOG():
+            for t in m.anchor_tags:
+                assert t in cs2013 and cs2013[t].is_tag
+
+    def test_taught_tags_are_pdc12(self, pdc12):
+        for m in MODULE_CATALOG():
+            for t in m.teaches_tags:
+                assert t in pdc12 and pdc12[t].is_tag
+
+    def test_target_flavors_exist(self):
+        for m in MODULE_CATALOG():
+            for f in m.target_flavors:
+                assert f in ARCHETYPES
+
+    def test_ids_unique(self):
+        ids = [m.id for m in MODULE_CATALOG()]
+        assert len(set(ids)) == len(ids)
+
+    def test_module_validation(self):
+        with pytest.raises(ValueError):
+            PDCModule("x", "t", "d", (), ("p",))
+        with pytest.raises(ValueError):
+            PDCModule("x", "t", "d", ("a",), ())
+
+    def test_section52_modules_present(self):
+        ids = {m.id for m in MODULE_CATALOG()}
+        assert {
+            "reduction-ordering", "parallel-for-loops", "promise-concurrency",
+            "distributed-objects", "thread-safe-collections", "cilk-brute-force",
+            "dp-bottom-up-parallel", "dp-top-down-tasking", "task-graph-analysis",
+            "list-scheduling-simulator", "concurrent-data-structures",
+        } <= ids
+
+
+class TestRecommender:
+    def test_full_anchor_coverage_scores_one(self):
+        module = MODULE_CATALOG()[0]
+        c = course_with(module.anchor_tags)
+        recs = recommend_for_course(c)
+        top = next(r for r in recs.recommendations if r.module.id == module.id)
+        assert top.anchor_coverage == pytest.approx(1.0)
+        assert top.deployable
+        assert not top.missing_anchors
+
+    def test_empty_course_gets_nothing(self):
+        recs = recommend_for_course(course_with([]))
+        assert recs.recommendations == ()
+
+    def test_flavor_bonus_boosts_targeted(self):
+        module = next(m for m in MODULE_CATALOG() if m.target_flavors)
+        c = course_with(module.anchor_tags)
+        plain = recommend_for_course(c)
+        boosted = recommend_for_course(c, flavors=module.target_flavors[:1])
+
+        def score(recs):
+            return next(
+                r.score for r in recs.recommendations if r.module.id == module.id
+            )
+
+        assert score(boosted) > score(plain)
+
+    def test_scores_sorted_desc(self, courses):
+        recs = recommend_for_course(courses[0])
+        scores = [r.score for r in recs.recommendations]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_partial_coverage_fraction(self):
+        module = next(m for m in MODULE_CATALOG() if len(m.anchor_tags) >= 4)
+        half = module.anchor_tags[: len(module.anchor_tags) // 2]
+        recs = recommend_for_course(course_with(half))
+        rec = next(r for r in recs.recommendations if r.module.id == module.id)
+        assert rec.anchor_coverage == pytest.approx(len(half) / len(module.anchor_tags))
+        assert set(rec.covered_anchors) == set(half)
+        assert not rec.deployable
+
+    def test_min_score_filters(self):
+        module = MODULE_CATALOG()[0]
+        c = course_with(module.anchor_tags[:1])
+        all_recs = recommend_for_course(c)
+        strict = recommend_for_course(c, min_score=0.99)
+        assert len(strict.recommendations) <= len(all_recs.recommendations)
+
+    def test_top_n(self, courses):
+        recs = recommend_for_course(courses[0])
+        assert len(recs.top(2)) <= 2
+
+
+class TestTypeRecommendations:
+    def test_targeted_before_universal(self):
+        mods = recommend_for_type("ds-combinatorial")
+        ids = [m.id for m in mods]
+        assert ids.index("cilk-brute-force") < ids.index("task-graph-analysis")
+
+    def test_universal_modules_in_every_type(self):
+        universal = {m.id for m in MODULE_CATALOG() if not m.target_flavors}
+        for flavor in ("cs1-imperative", "ds-applications", "cs1-oop"):
+            ids = {m.id for m in recommend_for_type(flavor)}
+            assert universal <= ids
+
+    def test_table_covers_all_flavors(self):
+        table = type_recommendation_table(["cs1-oop", "ds-object-oriented"])
+        assert set(table) == {"cs1-oop", "ds-object-oriented"}
+        assert "thread-safe-collections" in table["ds-object-oriented"]
+
+    def test_unknown_flavor_gets_universal_only(self):
+        mods = recommend_for_type("not-a-flavor")
+        assert all(not m.target_flavors for m in mods)

@@ -1,0 +1,122 @@
+"""Tests for the PDC12 v2.0-beta delta and expectation-level search filters,
+plus failure-injection robustness checks."""
+
+import numpy as np
+import pytest
+
+from repro.curriculum.pdc12 import load_pdc12
+from repro.curriculum.pdc12_beta import load_pdc12_beta, version_diff
+from repro.factorization.nmf import NMF
+from repro.materials.material import Material, MaterialType
+from repro.materials.repository import MaterialRepository, SearchQuery
+from repro.ontology.node import Bloom, Mastery
+from repro.workshops import ClassificationNoise, WorkshopSeries, simulate_workshop_series
+
+
+class TestPdc12Beta:
+    def test_superset_of_base(self):
+        base, beta = load_pdc12(), load_pdc12_beta()
+        base_paths = {n.split("/", 1)[1] for n in base.node_ids() if "/" in n}
+        beta_paths = {n.split("/", 1)[1] for n in beta.node_ids() if "/" in n}
+        assert base_paths <= beta_paths
+
+    def test_diff_counts(self):
+        d = version_diff()
+        assert d.n_added_topics > 5
+        assert d.beta_tag_count == d.base_tag_count + d.n_added_topics
+        assert len(d.added_units) == 5
+
+    def test_added_topics_exist_in_beta(self):
+        beta = load_pdc12_beta()
+        for t in version_diff().added_topics:
+            assert t in beta and beta[t].is_tag
+
+    def test_beta_keeps_four_areas(self):
+        beta = load_pdc12_beta()
+        assert [a.meta["code"] for a in beta.areas()] == ["ARCH", "PROG", "ALGO", "XCUT"]
+
+    def test_energy_unit_added(self):
+        beta = load_pdc12_beta()
+        assert "PDC12B/ARCH/ENERGY" in beta
+        assert "PDC12/ARCH/ENERGY".replace("PDC12", "PDC12") not in load_pdc12()
+
+    def test_validates(self):
+        load_pdc12_beta().validate()
+
+
+class TestExpectationFilters:
+    @pytest.fixture()
+    def repo(self, cs2013, pdc12):
+        r = MaterialRepository()
+        usage_outcome = next(
+            t.id for t in cs2013.tags() if t.mastery is Mastery.USAGE
+        )
+        fam_outcome = next(
+            t.id for t in cs2013.tags() if t.mastery is Mastery.FAMILIARITY
+        )
+        apply_topic = next(t.id for t in pdc12.tags() if t.bloom is Bloom.APPLY)
+        know_topic = next(t.id for t in pdc12.tags() if t.bloom is Bloom.KNOW)
+        r.add_material(Material("deep", "deep", MaterialType.ASSIGNMENT,
+                                frozenset({usage_outcome})))
+        r.add_material(Material("shallow", "shallow", MaterialType.LECTURE,
+                                frozenset({fam_outcome})))
+        r.add_material(Material("applied-pdc", "applied", MaterialType.LAB,
+                                frozenset({apply_topic})))
+        r.add_material(Material("know-pdc", "know", MaterialType.LECTURE,
+                                frozenset({know_topic})))
+        return r
+
+    def test_min_mastery(self, repo, cs2013):
+        hits = repo.search(SearchQuery(min_mastery=Mastery.USAGE), tree=cs2013)
+        assert {h.material.id for h in hits} == {"deep"}
+
+    def test_min_mastery_low_bar_includes_all_outcomes(self, repo, cs2013):
+        hits = repo.search(SearchQuery(min_mastery=Mastery.FAMILIARITY), tree=cs2013)
+        assert {"deep", "shallow"} <= {h.material.id for h in hits}
+
+    def test_min_bloom(self, repo, pdc12):
+        hits = repo.search(SearchQuery(min_bloom=Bloom.APPLY), tree=pdc12)
+        assert {h.material.id for h in hits} == {"applied-pdc"}
+
+    def test_filters_require_tree(self, repo):
+        with pytest.raises(ValueError, match="require a guideline tree"):
+            repo.search(SearchQuery(min_mastery=Mastery.USAGE))
+
+    def test_combines_with_tag_filter(self, repo, cs2013):
+        hits = repo.search(
+            SearchQuery(min_mastery=Mastery.ASSESSMENT), tree=cs2013
+        )
+        assert all(h.material.id != "shallow" for h in hits)
+
+
+class TestFailureInjection:
+    def test_nmf_on_zero_matrix(self):
+        for solver in ("mu", "hals"):
+            m = NMF(2, solver=solver, seed=0)
+            w = m.fit_transform(np.zeros((5, 7)))
+            assert np.isfinite(w).all()
+            assert np.isfinite(m.components_).all()
+            assert m.reconstruction_err_ == pytest.approx(0.0, abs=1e-6)
+
+    def test_nmf_on_single_row(self):
+        m = NMF(1, solver="hals", seed=0)
+        w = m.fit_transform(np.array([[1.0, 2.0, 3.0]]))
+        assert w.shape == (1, 1)
+
+    def test_extreme_drop_noise_pipeline_survives(self, cs2013):
+        res = simulate_workshop_series(
+            WorkshopSeries(cs2013, noise=ClassificationNoise(0.9, 0.05)),
+            seed=2,
+        )
+        assert len(res.retained) == 20
+        # Courses may be nearly empty but the structures stay consistent.
+        for c in res.retained:
+            for m in c.materials:
+                assert all(t in cs2013 for t in m.mappings)
+
+    def test_extreme_displacement_keeps_tree_membership(self, cs2013, rng):
+        noise = ClassificationNoise(0.0, 0.8)
+        tags = frozenset(cs2013.tag_ids()[:40])
+        material = Material("m", "m", MaterialType.LECTURE, tags)
+        out = noise.apply(material, cs2013, rng)
+        assert all(t in cs2013 for t in out.mappings)

@@ -1,0 +1,185 @@
+"""Tests for the command-line interface (invoked in-process)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def corpus_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "courses.json"
+    assert main(["canonical", "--out", str(path)]) == 0
+    return path
+
+
+class TestCanonicalAndGenerate:
+    def test_canonical_writes(self, corpus_file):
+        assert corpus_file.exists()
+        assert corpus_file.stat().st_size > 10_000
+
+    def test_generate(self, tmp_path, capsys):
+        out = tmp_path / "g.json"
+        assert main(["generate", "--seed", "3", "--out", str(out)]) == 0
+        assert "20 courses" in capsys.readouterr().out
+
+    def test_generate_with_excluded(self, tmp_path, capsys):
+        out = tmp_path / "g.json"
+        assert main(["generate", "--seed", "3", "--out", str(out),
+                     "--include-excluded"]) == 0
+        assert "31 courses" in capsys.readouterr().out
+
+
+class TestAgreement:
+    def test_cs1(self, corpus_file, capsys):
+        assert main(["agreement", str(corpus_file), "--label", "CS1"]) == 0
+        out = capsys.readouterr().out
+        assert "6 courses" in out
+        assert ">= 4" in out
+
+    def test_weighted(self, corpus_file, capsys):
+        assert main(["agreement", str(corpus_file), "--label", "DS",
+                     "--weighted"]) == 0
+        assert "5 courses" in capsys.readouterr().out
+
+    def test_unknown_label(self, corpus_file):
+        with pytest.raises(SystemExit):
+            main(["agreement", str(corpus_file), "--label", "BOGUS"])
+
+
+class TestTypesAndFlavors:
+    def test_types(self, corpus_file, capsys):
+        assert main(["types", str(corpus_file), "-k", "4", "--seed", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "dimension" in out
+        assert "reconstruction error" in out
+
+    def test_flavors(self, corpus_file, capsys):
+        assert main(["flavors", str(corpus_file), "--label", "CS1",
+                     "-k", "3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Type 1" in out and "washu-131-singh" in out
+
+
+class TestMatrixRecommendHitTree:
+    def test_matrix_csv(self, corpus_file, tmp_path, capsys):
+        out = tmp_path / "m.csv"
+        assert main(["matrix", str(corpus_file), "--out", str(out)]) == 0
+        assert out.exists()
+        header = out.read_text().splitlines()[0]
+        assert header.startswith("course_id,")
+
+    def test_recommend(self, corpus_file, capsys):
+        assert main(["recommend", str(corpus_file),
+                     "--course-id", "washu-131-singh",
+                     "--flavor", "cs1-oop", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "module" in out
+
+    def test_recommend_unknown_course(self, corpus_file):
+        with pytest.raises(SystemExit):
+            main(["recommend", str(corpus_file), "--course-id", "ghost"])
+
+    def test_hit_tree_svg(self, corpus_file, tmp_path):
+        out = tmp_path / "t.svg"
+        assert main(["hit-tree", str(corpus_file),
+                     "--course-id", "ccc-40-kerney", "--out", str(out)]) == 0
+        assert out.read_text().startswith("<svg")
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestGapAndDeps:
+    def test_pdc_gap(self, corpus_file, capsys):
+        assert main(["pdc-gap", str(corpus_file)]) == 0
+        out = capsys.readouterr().out
+        assert "PD-area gap" in out
+        assert "core-1 coverage" in out
+
+    def test_pdc_gap_all_tiers_larger(self, corpus_file, capsys):
+        main(["pdc-gap", str(corpus_file)])
+        core_out = capsys.readouterr().out
+        main(["pdc-gap", str(corpus_file), "--all-tiers"])
+        all_out = capsys.readouterr().out
+
+        def gap_count(text):
+            line = next(l for l in text.splitlines() if "PD-area gap" in l)
+            return int(line.split(":")[1].split()[0])
+
+        assert gap_count(all_out) >= gap_count(core_out)
+
+    def test_deps(self, corpus_file, capsys):
+        assert main(["deps", str(corpus_file),
+                     "--course-id", "uncc-2214-krs"]) == 0
+        out = capsys.readouterr().out
+        assert "longest prerequisite chain" in out
+        assert "foundational topics" in out
+
+    def test_deps_unknown_course(self, corpus_file):
+        with pytest.raises(SystemExit):
+            main(["deps", str(corpus_file), "--course-id", "ghost"])
+
+
+class TestCompareAndMaterials:
+    def test_compare(self, corpus_file, capsys):
+        assert main(["compare", str(corpus_file),
+                     "uncc-2214-krs", "uncc-2214-saule"]) == 0
+        out = capsys.readouterr().out
+        assert "shared tags" in out and "Jaccard" in out
+
+    def test_compare_unknown_course(self, corpus_file):
+        with pytest.raises(SystemExit):
+            main(["compare", str(corpus_file), "ghost", "uncc-2214-krs"])
+
+    def test_materials(self, corpus_file, capsys):
+        assert main(["materials", str(corpus_file),
+                     "--course-id", "uncc-2214-krs", "--top", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "new PDC topics" in out
+        # 4 rows + header + separator
+        assert len(out.strip().splitlines()) == 6
+
+    def test_materials_unknown_course(self, corpus_file):
+        with pytest.raises(SystemExit):
+            main(["materials", str(corpus_file), "--course-id", "ghost"])
+
+
+class TestScheduleCli:
+    @pytest.fixture()
+    def dag_file(self, tmp_path):
+        from repro.io.dag_io import save_taskgraph
+        from repro.taskgraph import layered_random_dag
+        path = tmp_path / "dag.json"
+        save_taskgraph(layered_random_dag(4, 4, seed=1), path)
+        return path
+
+    def test_schedule(self, dag_file, capsys):
+        assert main(["schedule", str(dag_file), "-p", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "speedup" in out
+
+    def test_schedule_gantt(self, dag_file, capsys):
+        assert main(["schedule", str(dag_file), "-p", "2", "--gantt"]) == 0
+        assert "P0" in capsys.readouterr().out
+
+    def test_schedule_comm_delay_slower(self, dag_file, capsys):
+        main(["schedule", str(dag_file), "-p", "4"])
+        base = capsys.readouterr().out
+        main(["schedule", str(dag_file), "-p", "4", "--comm-delay", "10"])
+        comm = capsys.readouterr().out
+
+        def makespan(text):
+            line = next(l for l in text.splitlines() if "makespan" in l)
+            return float(line.split(":")[1].split()[0])
+
+        assert makespan(comm) >= makespan(base)
+
+
+class TestMapCli:
+    def test_map(self, corpus_file, capsys):
+        assert main(["map", str(corpus_file), "--width", "40",
+                     "--height", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "MDS stress" in out
+        assert out.startswith("+")

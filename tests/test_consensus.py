@@ -1,0 +1,88 @@
+"""Tests for consensus NMF and cophenetic rank selection."""
+
+import numpy as np
+import pytest
+
+from repro.factorization.consensus import (
+    consensus_matrix,
+    cophenetic_correlation,
+    cophenetic_k_profile,
+)
+
+
+@pytest.fixture()
+def block_matrix(rng):
+    a = np.zeros((12, 18))
+    a[:4, :6] = 1
+    a[4:8, 6:12] = 1
+    a[8:, 12:] = 1
+    return a + 0.05 * rng.random(a.shape)
+
+
+class TestConsensusMatrix:
+    def test_shape_and_range(self, block_matrix):
+        c = consensus_matrix(block_matrix, 3, n_runs=5, seed=0)
+        assert c.shape == (12, 12)
+        assert (c >= 0).all() and (c <= 1).all()
+
+    def test_symmetric_unit_diagonal(self, block_matrix):
+        c = consensus_matrix(block_matrix, 3, n_runs=5, seed=0)
+        assert np.allclose(c, c.T)
+        assert np.allclose(np.diag(c), 1.0)
+
+    def test_clean_blocks_give_binary_consensus(self, block_matrix):
+        c = consensus_matrix(block_matrix, 3, n_runs=10, seed=0)
+        assert np.mean((c < 0.05) | (c > 0.95)) > 0.95
+        # Same-block pairs co-cluster always.
+        assert c[0, 1] == pytest.approx(1.0)
+        assert c[0, 8] == pytest.approx(0.0, abs=0.1)
+
+    def test_deterministic(self, block_matrix):
+        a = consensus_matrix(block_matrix, 3, n_runs=4, seed=7)
+        b = consensus_matrix(block_matrix, 3, n_runs=4, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_needs_two_runs(self, block_matrix):
+        with pytest.raises(ValueError):
+            consensus_matrix(block_matrix, 3, n_runs=1)
+
+
+class TestCopheneticCorrelation:
+    def test_perfect_on_binary_consensus(self, block_matrix):
+        c = consensus_matrix(block_matrix, 3, n_runs=10, seed=0)
+        assert cophenetic_correlation(c) > 0.99
+
+    def test_bounds(self, rng):
+        # Random symmetric "consensus": still produces a finite correlation.
+        m = rng.random((8, 8))
+        c = (m + m.T) / 2
+        np.fill_diagonal(c, 1.0)
+        rho = cophenetic_correlation(c)
+        assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9
+
+    def test_degenerate_identical_distances(self):
+        c = np.full((5, 5), 0.5)
+        np.fill_diagonal(c, 1.0)
+        assert cophenetic_correlation(c) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cophenetic_correlation(np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            cophenetic_correlation(np.ones((2, 2)))
+
+
+class TestKProfile:
+    def test_profile_keys_and_range(self, block_matrix):
+        prof = cophenetic_k_profile(block_matrix, [2, 3], n_runs=5, seed=0)
+        assert set(prof) == {2, 3}
+        assert all(-1.0 <= v <= 1.0 + 1e-9 for v in prof.values())
+
+    def test_true_rank_scores_high(self, block_matrix):
+        prof = cophenetic_k_profile(block_matrix, [3], n_runs=10, seed=0)
+        assert prof[3] > 0.98
+
+    def test_canonical_course_matrix_stable(self, matrix):
+        prof = cophenetic_k_profile(matrix.matrix, [4], n_runs=6, seed=0)
+        # The paper's k=4 typing co-clusters stably across restarts.
+        assert prof[4] > 0.9

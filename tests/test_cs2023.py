@@ -1,0 +1,67 @@
+"""Tests for the CS2023 beta skeleton and migration."""
+
+import pytest
+
+from repro.curriculum.cs2023 import (
+    CS2013_TO_CS2023,
+    CS2023_AREAS,
+    cs2023_area_profile,
+    load_cs2023_skeleton,
+    migrate_area_code,
+    migration_coverage,
+)
+from repro.materials.course import Course
+from repro.materials.material import Material, MaterialType
+
+
+class TestSkeleton:
+    def test_seventeen_areas(self):
+        tree = load_cs2023_skeleton()
+        assert len(tree.areas()) == 17
+        assert {a.meta["code"] for a in tree.areas()} == {c for c, _ in CS2023_AREAS}
+
+    def test_cached(self):
+        assert load_cs2023_skeleton() is load_cs2023_skeleton()
+
+    def test_no_tags_yet(self):
+        assert load_cs2023_skeleton().tags() == []
+
+
+class TestMigrationMap:
+    def test_total_coverage(self):
+        assert migration_coverage() == 1.0
+
+    def test_every_destination_exists(self):
+        codes = {c for c, _ in CS2023_AREAS}
+        assert set(CS2013_TO_CS2023.values()) <= codes
+
+    def test_known_renames(self):
+        assert migrate_area_code("PD") == "PDC"
+        assert migrate_area_code("IAS") == "SEC"
+        assert migrate_area_code("IM") == "DM"
+        assert migrate_area_code("PL") == "FPL"
+        assert migrate_area_code("IS") == "AI"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            migrate_area_code("XYZ")
+
+
+class TestAreaProfile:
+    def test_pdc_course_profile(self, courses):
+        pdc = next(c for c in courses if c.id == "uncc-3145-saule")
+        prof = cs2023_area_profile(pdc)
+        assert prof.most_common(1)[0][0] == "PDC"
+
+    def test_counts_conserved(self, courses, cs2013):
+        c = courses[0]
+        prof = cs2023_area_profile(c)
+        in_tree = sum(1 for t in c.tag_set() if t in cs2013)
+        assert sum(prof.values()) == in_tree
+
+    def test_non_cs2013_tags_ignored(self):
+        c = Course("c", "C", materials=[
+            Material("c/m", "m", MaterialType.LECTURE,
+                     frozenset({"PDC12/ALGO/MODELS/t-amdahl-s-law"})),
+        ])
+        assert cs2023_area_profile(c) == {}

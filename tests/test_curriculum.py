@@ -1,0 +1,133 @@
+"""Tests for the CS2013 / PDC12 curriculum data and the crosswalk."""
+
+import pytest
+
+from repro.curriculum import load_crosswalk, load_cs2013, load_pdc12
+from repro.curriculum.cs2013 import AREA_CODES
+from repro.ontology.node import Bloom, Mastery, NodeKind, Tier
+
+
+class TestCS2013:
+    def test_cached_singleton(self):
+        assert load_cs2013() is load_cs2013()
+
+    def test_eighteen_knowledge_areas(self, cs2013):
+        areas = cs2013.areas()
+        assert len(areas) == 18
+        codes = {a.meta["code"] for a in areas}
+        assert {"SDF", "AL", "DS", "PL", "AR", "OS", "SF", "PD", "NC",
+                "SE", "IAS", "IM", "CN", "GV", "HCI", "IS", "SP", "PBD"} == codes
+        assert codes == set(AREA_CODES)
+
+    def test_structure_depths(self, cs2013):
+        # areas at 1, units at 2, tags at 3.
+        for area in cs2013.areas():
+            assert cs2013.depth(area.id) == 1
+        for tag in cs2013.tags():
+            assert cs2013.depth(tag.id) == 3
+
+    def test_validates(self, cs2013):
+        cs2013.validate()
+
+    def test_sdf_units(self, cs2013):
+        sdf_units = [u.meta["code"] for u in cs2013.children("CS2013/SDF")]
+        assert sdf_units == ["AD", "FPC", "FDS", "DM"]
+
+    def test_sdf_is_all_core1(self, cs2013):
+        for unit in cs2013.children("CS2013/SDF"):
+            assert unit.tier is Tier.CORE1
+
+    def test_fpc_has_recursion_topic(self, cs2013):
+        hits = cs2013.find_by_label("The concept of recursion")
+        assert len(hits) == 1
+        assert hits[0].kind is NodeKind.TOPIC
+        assert hits[0].id.startswith("CS2013/SDF/FPC/")
+
+    def test_outcomes_carry_mastery(self, cs2013):
+        outcomes = [n for n in cs2013.tags() if n.kind is NodeKind.OUTCOME]
+        assert outcomes
+        assert all(o.mastery in (Mastery.FAMILIARITY, Mastery.USAGE,
+                                 Mastery.ASSESSMENT) for o in outcomes)
+
+    def test_all_three_tiers_present(self, cs2013):
+        tiers = {t.tier for t in cs2013.tags()}
+        assert {Tier.CORE1, Tier.CORE2, Tier.ELECTIVE} <= tiers
+
+    def test_substantial_tag_count(self, cs2013):
+        # The paper's analysis space: hundreds of classifiable entries.
+        assert len(cs2013.tags()) > 500
+
+    def test_pd_area_has_parallelism_fundamentals(self, cs2013):
+        pd_units = {u.meta["code"] for u in cs2013.children("CS2013/PD")}
+        assert {"PF", "PDCMP", "CC", "PAAP", "PARCH"} <= pd_units
+
+    def test_tag_ids_unique(self, cs2013):
+        ids = cs2013.tag_ids()
+        assert len(ids) == len(set(ids))
+
+
+class TestPDC12:
+    def test_four_areas(self, pdc12):
+        codes = [a.meta["code"] for a in pdc12.areas()]
+        assert codes == ["ARCH", "PROG", "ALGO", "XCUT"]
+
+    def test_topics_only_no_outcomes(self, pdc12):
+        # PDC12 presents learning outcomes inside topic text (§2.1).
+        assert all(n.kind is not NodeKind.OUTCOME for n in pdc12.tags())
+
+    def test_bloom_levels_present(self, pdc12):
+        blooms = {t.bloom for t in pdc12.tags()}
+        assert blooms == {Bloom.KNOW, Bloom.COMPREHEND, Bloom.APPLY}
+
+    def test_two_tier_scheme(self, pdc12):
+        tiers = {t.tier for t in pdc12.tags()}
+        assert tiers == {Tier.CORE1, Tier.ELECTIVE}
+
+    def test_core_topics_exist_in_each_area(self, pdc12):
+        for area in pdc12.areas():
+            tags = [
+                pdc12[t] for t in pdc12.descendant_ids(area.id) if pdc12[t].is_tag
+            ]
+            assert any(t.tier is Tier.CORE1 for t in tags), area.id
+
+    def test_amdahl_present(self, pdc12):
+        assert any(n.label == "Amdahl's law" for n in pdc12.tags())
+
+    def test_validates(self, pdc12):
+        pdc12.validate()
+
+
+class TestCrosswalk:
+    def test_loads_and_caches(self):
+        assert load_crosswalk() is load_crosswalk()
+
+    def test_all_sources_are_pdc_tags(self, pdc12):
+        xw = load_crosswalk()
+        for pdc_id in xw.pdc_to_cs:
+            assert pdc_id in pdc12 and pdc12[pdc_id].is_tag
+
+    def test_all_targets_are_cs_tags(self, cs2013):
+        xw = load_crosswalk()
+        for targets in xw.pdc_to_cs.values():
+            for cs_id in targets:
+                assert cs_id in cs2013 and cs2013[cs_id].is_tag
+
+    def test_reverse_mapping_consistent(self):
+        xw = load_crosswalk()
+        rev = xw.cs_to_pdc
+        for pdc_id, cs_ids in xw.pdc_to_cs.items():
+            for cs_id in cs_ids:
+                assert pdc_id in rev[cs_id]
+
+    def test_amdahl_link(self, pdc12, cs2013):
+        xw = load_crosswalk()
+        (amdahl_pdc,) = [n.id for n in pdc12.tags() if n.label == "Amdahl's law"]
+        anchors = xw.cs2013_anchors_for(amdahl_pdc)
+        assert anchors
+        labels = {cs2013[a].label for a in anchors}
+        assert "Amdahl's law" in labels
+
+    def test_unmapped_returns_empty(self):
+        xw = load_crosswalk()
+        assert xw.cs2013_anchors_for("PDC12/nothing") == ()
+        assert xw.pdc12_topics_for("CS2013/nothing") == ()

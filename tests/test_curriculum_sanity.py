@@ -1,0 +1,82 @@
+"""Structural sanity checks over the full curriculum datasets.
+
+These guard the hand-authored data modules: every unit carries content,
+ids stay well-formed, and the labels the crosswalk/catalog rely on stay
+unique.
+"""
+
+from collections import Counter
+
+from repro.curriculum import load_cs2013, load_pdc12
+from repro.ontology.node import NodeKind
+
+
+class TestCS2013DataIntegrity:
+    def test_every_unit_has_tags(self, cs2013):
+        for area in cs2013.areas():
+            for unit in cs2013.children(area.id):
+                tags = [
+                    t for t in cs2013.descendant_ids(unit.id) if cs2013[t].is_tag
+                ]
+                assert tags, f"unit {unit.id} has no tags"
+
+    def test_every_area_has_units(self, cs2013):
+        for area in cs2013.areas():
+            assert cs2013.child_ids(area.id), f"area {area.id} has no units"
+
+    def test_ids_wellformed(self, cs2013):
+        for tag in cs2013.tags():
+            parts = tag.id.split("/")
+            assert len(parts) == 4, tag.id
+            assert parts[0] == "CS2013"
+            assert parts[3].startswith(("t-", "o-"))
+
+    def test_labels_unique_within_unit(self, cs2013):
+        for area in cs2013.areas():
+            for unit in cs2013.children(area.id):
+                labels = [
+                    cs2013[t].label
+                    for t in cs2013.descendant_ids(unit.id)
+                    if cs2013[t].is_tag
+                ]
+                dupes = [l for l, n in Counter(labels).items() if n > 1]
+                assert not dupes, f"{unit.id}: duplicate labels {dupes}"
+
+    def test_unit_codes_unique_within_area(self, cs2013):
+        for area in cs2013.areas():
+            codes = [u.meta["code"] for u in cs2013.children(area.id)]
+            assert len(set(codes)) == len(codes), area.id
+
+    def test_substantial_unit_count(self, cs2013):
+        # CS2013 defines ~160 knowledge units; the encoding covers most.
+        assert cs2013.level_sizes()[2] >= 130
+
+    def test_topics_outnumber_outcomes_overall(self, cs2013):
+        kinds = Counter(t.kind for t in cs2013.tags())
+        assert kinds[NodeKind.TOPIC] > 0 and kinds[NodeKind.OUTCOME] > 0
+
+    def test_tag_count_band(self, cs2013):
+        assert 700 <= len(cs2013.tags()) <= 900
+
+
+class TestPDC12DataIntegrity:
+    def test_every_unit_has_topics(self, pdc12):
+        for area in pdc12.areas():
+            for unit in pdc12.children(area.id):
+                tags = [
+                    t for t in pdc12.descendant_ids(unit.id) if pdc12[t].is_tag
+                ]
+                assert tags, f"unit {unit.id} has no topics"
+
+    def test_all_topics_have_bloom(self, pdc12):
+        for t in pdc12.tags():
+            assert t.bloom is not None, t.id
+
+    def test_all_topics_have_tier(self, pdc12):
+        for t in pdc12.tags():
+            assert t.tier is not None, t.id
+
+    def test_labels_globally_unique(self, pdc12):
+        labels = [t.label for t in pdc12.tags()]
+        dupes = [l for l, n in Counter(labels).items() if n > 1]
+        assert not dupes, dupes

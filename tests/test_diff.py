@@ -1,0 +1,128 @@
+"""Tests for course comparison (repro.materials.diff)."""
+
+import pytest
+
+from repro.materials.course import Course
+from repro.materials.diff import compare_courses
+from repro.materials.material import Material, MaterialType
+
+
+def mk(cid, tags):
+    return Course(cid, cid, materials=[
+        Material(f"{cid}/m", "m", MaterialType.LECTURE, frozenset(tags)),
+    ])
+
+
+class TestCompareCourses:
+    def test_partition(self, small_tree):
+        a = mk("a", ["G/A/U1/t-topic-alpha", "G/A/U1/t-topic-beta"])
+        b = mk("b", ["G/A/U1/t-topic-beta", "G/B/U3/t-topic-delta"])
+        d = compare_courses(a, b, small_tree)
+        assert d.shared == frozenset({"G/A/U1/t-topic-beta"})
+        assert d.only_a == frozenset({"G/A/U1/t-topic-alpha"})
+        assert d.only_b == frozenset({"G/B/U3/t-topic-delta"})
+        assert d.jaccard == pytest.approx(1 / 3)
+
+    def test_by_area(self, small_tree):
+        a = mk("a", ["G/A/U1/t-topic-alpha", "G/A/U1/t-topic-beta"])
+        b = mk("b", ["G/A/U1/t-topic-beta", "G/B/U3/t-topic-delta"])
+        d = compare_courses(a, b, small_tree)
+        assert d.by_area["A"] == (1, 1, 0)
+        assert d.by_area["B"] == (0, 0, 1)
+
+    def test_identical_courses(self, small_tree):
+        a = mk("a", ["G/A/U1/t-topic-alpha"])
+        b = mk("b", ["G/A/U1/t-topic-alpha"])
+        d = compare_courses(a, b, small_tree)
+        assert d.jaccard == 1.0 and d.cosine == 1.0
+        assert not d.only_a and not d.only_b
+
+    def test_disjoint_courses(self, small_tree):
+        d = compare_courses(
+            mk("a", ["G/A/U1/t-topic-alpha"]),
+            mk("b", ["G/B/U3/t-topic-delta"]),
+            small_tree,
+        )
+        assert d.jaccard == 0.0
+        assert d.n_shared == 0
+
+    def test_out_of_tree_tags_dropped(self, small_tree):
+        d = compare_courses(
+            mk("a", ["G/A/U1/t-topic-alpha", "ELSEWHERE/x"]),
+            mk("b", ["G/A/U1/t-topic-alpha"]),
+            small_tree,
+        )
+        assert d.jaccard == 1.0
+
+    def test_without_tree_raw_comparison(self):
+        d = compare_courses(mk("a", ["x", "y"]), mk("b", ["y", "z"]))
+        assert d.shared == frozenset({"y"})
+        assert set(d.by_area) == {"?"}
+
+    def test_rankings(self, small_tree):
+        a = mk("a", ["G/A/U1/t-topic-alpha", "G/A/U1/t-topic-beta",
+                     "G/A/U2/t-topic-gamma"])
+        b = mk("b", ["G/A/U1/t-topic-alpha", "G/B/U3/t-topic-delta"])
+        d = compare_courses(a, b, small_tree)
+        assert d.most_shared_areas(1) == ["A"]
+        assert set(d.most_divergent_areas(2)) == {"A", "B"}
+
+    def test_symmetry_of_similarity(self, small_tree):
+        a = mk("a", ["G/A/U1/t-topic-alpha", "G/A/U1/t-topic-beta"])
+        b = mk("b", ["G/A/U1/t-topic-beta"])
+        d1 = compare_courses(a, b, small_tree)
+        d2 = compare_courses(b, a, small_tree)
+        assert d1.jaccard == d2.jaccard
+        assert d1.only_a == d2.only_b
+
+
+class TestCourseGraphAndMap:
+    def test_similarity_matrix_properties(self, courses, cs2013):
+        import numpy as np
+        from repro.materials.diff import course_similarity_matrix
+        s = course_similarity_matrix(list(courses), tree=cs2013)
+        assert s.shape == (20, 20)
+        assert np.allclose(np.diag(s), 1.0)
+        assert np.allclose(s, s.T)
+        assert (s >= 0).all() and (s <= 1).all()
+
+    def test_families_more_similar_than_background(self, courses, cs2013):
+        import itertools
+        import numpy as np
+        from repro.materials.course import CourseLabel
+        from repro.materials.diff import course_similarity_matrix
+        s = course_similarity_matrix(list(courses), tree=cs2013)
+        idx = {c.id: i for i, c in enumerate(courses)}
+        ds = [c.id for c in courses
+              if CourseLabel.DS in c.labels or CourseLabel.ALGO in c.labels]
+        within = np.mean([s[idx[a], idx[b]]
+                          for a, b in itertools.combinations(ds, 2)])
+        overall = s[np.triu_indices(len(courses), 1)].mean()
+        assert within > overall
+
+    def test_graph_threshold(self, courses, cs2013):
+        from repro.materials.diff import course_similarity_graph
+        g_all = course_similarity_graph(list(courses), tree=cs2013, threshold=0.0)
+        g_tight = course_similarity_graph(list(courses), tree=cs2013, threshold=0.3)
+        assert g_all.number_of_edges() > g_tight.number_of_edges()
+        assert g_all.number_of_nodes() == 20
+
+    def test_graph_bad_threshold(self, courses):
+        import pytest as _pytest
+        from repro.materials.diff import course_similarity_graph
+        with _pytest.raises(ValueError):
+            course_similarity_graph(list(courses), threshold=1.5)
+
+    def test_course_map_deterministic(self, courses, cs2013):
+        from repro.materials.diff import course_map
+        few = list(courses)[:6]
+        a, ra = course_map(few, tree=cs2013, seed=3)
+        b, rb = course_map(few, tree=cs2013, seed=3)
+        assert a == b
+        assert ra.stress == rb.stress
+
+    def test_course_map_needs_two(self, courses):
+        import pytest as _pytest
+        from repro.materials.diff import course_map
+        with _pytest.raises(ValueError):
+            course_map(list(courses)[:1])

@@ -1,0 +1,117 @@
+"""Tests for the tree diff and the corpus linter."""
+
+import pytest
+
+from repro.curriculum.pdc12 import load_pdc12
+from repro.curriculum.pdc12_beta import load_pdc12_beta, version_diff
+from repro.materials.course import Course
+from repro.materials.lint import Severity, has_errors, lint_corpus
+from repro.materials.material import Material, MaterialType
+from repro.ontology.builder import TreeBuilder
+from repro.ontology.diff import diff_trees
+
+
+class TestTreeDiff:
+    def test_identical_trees_empty_diff(self, small_tree):
+        d = diff_trees(small_tree, small_tree)
+        assert d.is_empty
+        assert d.n_changes == 0
+
+    def test_pdc12_beta_is_pure_addition(self):
+        d = diff_trees(load_pdc12(), load_pdc12_beta())
+        assert not d.removed
+        assert not d.relabeled
+        # 5 new units + their topics (matches the delta report).
+        n_units = sum(1 for p in d.added if p.count("/") == 1)
+        assert n_units == 5
+        assert len(d.added) - n_units == version_diff().n_added_topics
+
+    def test_reversed_diff_swaps_added_removed(self):
+        d = diff_trees(load_pdc12_beta(), load_pdc12())
+        assert not d.added
+        assert len(d.removed) == len(diff_trees(load_pdc12(), load_pdc12_beta()).added)
+
+    def test_relabel_detected(self):
+        def build(label):
+            b = TreeBuilder("V", "v")
+            a = b.area("A", label)
+            b.unit(a, "U", "unit")
+            return b.build()
+
+        d = diff_trees(build("Old name"), build("New name"))
+        assert d.relabeled == (("A", "Old name", "New name"),)
+        assert not d.added and not d.removed
+
+
+def mk(cid, materials):
+    return Course(cid, cid, materials=materials)
+
+
+class TestLint:
+    def test_clean_canonical_corpus(self, courses, cs2013, pdc12):
+        issues = lint_corpus(list(courses), [cs2013, pdc12])
+        assert not has_errors(issues)
+
+    def test_empty_course(self, cs2013):
+        issues = lint_corpus([mk("c", [])], [cs2013])
+        assert any(i.code == "empty-course" for i in issues)
+        assert has_errors(issues)
+
+    def test_no_mappings(self, cs2013):
+        c = mk("c", [Material("c/m", "m", MaterialType.LECTURE, frozenset())])
+        issues = lint_corpus([c], [cs2013])
+        codes = {i.code for i in issues}
+        assert "no-mappings" in codes
+        assert "unmapped-material" in codes
+
+    def test_unknown_tag(self, cs2013):
+        c = mk("c", [Material("c/m", "m", MaterialType.EXAM,
+                              frozenset({"NOT/A/TAG"}))])
+        issues = lint_corpus([c], [cs2013])
+        assert any(i.code == "unknown-tag" for i in issues)
+        assert has_errors(issues)
+
+    def test_unknown_tag_capped(self, cs2013):
+        tags = frozenset(f"GHOST/{i}" for i in range(12))
+        c = mk("c", [Material("c/m", "m", MaterialType.EXAM, tags)])
+        issues = [i for i in lint_corpus([c], [cs2013]) if i.code == "unknown-tag"]
+        assert len(issues) == 6  # 5 listed + 1 "... and N more"
+        assert "more" in issues[-1].message
+
+    def test_tag_known_in_second_tree_ok(self, cs2013, pdc12):
+        tag = pdc12.tag_ids()[0]
+        c = mk("c", [
+            Material("c/m", "m", MaterialType.EXAM, frozenset({tag})),
+        ])
+        issues = lint_corpus([c], [cs2013, pdc12])
+        assert not any(i.code == "unknown-tag" for i in issues)
+
+    def test_duplicate_title_warning(self, cs2013):
+        tag = cs2013.tag_ids()[0]
+        c = mk("c", [
+            Material("c/m1", "Week 1", MaterialType.LECTURE, frozenset({tag})),
+            Material("c/m2", "Week 1", MaterialType.EXAM, frozenset({tag})),
+        ])
+        issues = lint_corpus([c], [cs2013])
+        assert any(i.code == "duplicate-title" for i in issues)
+        assert not has_errors(issues)
+
+    def test_no_assessment_warning(self, cs2013):
+        tag = cs2013.tag_ids()[0]
+        c = mk("c", [Material("c/m", "m", MaterialType.LECTURE, frozenset({tag}))])
+        issues = lint_corpus([c], [cs2013])
+        assert any(i.code == "no-assessment" for i in issues)
+
+    def test_str_rendering(self, cs2013):
+        issues = lint_corpus([mk("c", [])], [cs2013])
+        assert str(issues[0]).startswith("[error] c:")
+
+
+class TestLintCli:
+    def test_lint_clean_corpus_exit_zero(self, tmp_path, capsys):
+        from repro.cli import main
+        corpus = tmp_path / "c.json"
+        main(["canonical", "--out", str(corpus)])
+        capsys.readouterr()
+        assert main(["lint", str(corpus)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out

@@ -1,0 +1,29 @@
+"""Every example script must run cleanly from a fresh process."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script, tmp_path):
+    args = [sys.executable, str(script)]
+    if script.name == "classify_a_course.py":
+        args.append(str(tmp_path / "out.svg"))
+    proc = subprocess.run(
+        args, capture_output=True, text=True, timeout=600, cwd=tmp_path,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_example_inventory():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3, "the deliverable requires at least three examples"

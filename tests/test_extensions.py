@@ -1,0 +1,229 @@
+"""Tests for the extension modules: external catalogs, material
+recommendations, expectation profiles, topic dependencies, and
+dual-guideline classification."""
+
+import pytest
+
+from repro.analysis.dependencies import topic_dependencies
+from repro.analysis.mastery import compare_expectations, expectation_profile
+from repro.anchors.material_recommender import coverage_gain, recommend_materials
+from repro.corpus.generator import generate_corpus, sample_pdc12_tags
+from repro.corpus.roster import ROSTER
+from repro.materials.course import Course, CourseLabel
+from repro.materials.external import external_collections, load_external_materials
+from repro.materials.material import Material, MaterialType
+from repro.ontology.node import Bloom, Mastery
+
+
+class TestExternalCatalog:
+    def test_collections_present(self):
+        groups = external_collections()
+        assert set(groups) == {"nifty", "peachy", "pdcunplugged"}
+        assert all(len(v) >= 5 for v in groups.values())
+
+    def test_all_mappings_resolve(self, cs2013, pdc12):
+        for m in load_external_materials():
+            for t in m.mappings:
+                tree = cs2013 if t.startswith("CS2013/") else pdc12
+                assert t in tree and tree[t].is_tag
+
+    def test_nifty_has_no_pdc_content(self):
+        """§2.2: Nifty assignments are 'unrelated to PDC'."""
+        for m in external_collections()["nifty"]:
+            assert not any(t.startswith("PDC12/") for t in m.mappings)
+
+    def test_peachy_and_unplugged_teach_pdc(self):
+        for coll in ("peachy", "pdcunplugged"):
+            for m in external_collections()[coll]:
+                assert any(t.startswith("PDC12/") for t in m.mappings), m.id
+
+    def test_ids_unique_and_namespaced(self):
+        mats = load_external_materials()
+        ids = [m.id for m in mats]
+        assert len(set(ids)) == len(ids)
+        assert all("/" in i for i in ids)
+
+
+class TestMaterialRecommender:
+    @pytest.fixture()
+    def ds_course(self, courses):
+        return next(c for c in courses if c.id == "uncc-2214-krs")
+
+    def test_ranked_descending(self, ds_course):
+        recs = recommend_materials(ds_course, load_external_materials())
+        scores = [r.score for r in recs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_anchored_materials_rank_above_unanchored(self, ds_course):
+        recs = recommend_materials(ds_course, load_external_materials())
+        first_unanchored = next(
+            (i for i, r in enumerate(recs) if not r.anchored), len(recs)
+        )
+        # Every anchored material with novelty outranks unanchored ones.
+        for r in recs[:first_unanchored]:
+            assert r.anchored
+
+    def test_pdc_teaching_material_shows_new_tags(self, ds_course):
+        recs = recommend_materials(ds_course, load_external_materials())
+        peachy = [r for r in recs if r.material.id.startswith("peachy/")]
+        assert peachy
+        assert all(r.new_pdc_tags for r in peachy)
+
+    def test_limit(self, ds_course):
+        recs = recommend_materials(ds_course, load_external_materials(), limit=3)
+        assert len(recs) == 3
+
+    def test_material_teaching_nothing_new_scores_low(self, pdc12):
+        # A course that already covers everything a material teaches.
+        pool = [m for m in load_external_materials()
+                if m.id == "pdcunplugged/card-merge"]
+        (mat,) = pool
+        course = Course("c", "C", materials=[
+            Material("c/m", "m", MaterialType.LECTURE, mat.mappings)
+        ])
+        (rec,) = recommend_materials(course, pool)
+        assert rec.new_pdc_tags == ()
+        # Score contains no novelty term: anchor coverage alone caps it at 1.
+        assert rec.score <= 1.0
+
+    def test_coverage_gain(self, ds_course):
+        mats = [m for m in load_external_materials()
+                if m.id.startswith("peachy/")][:3]
+        gained = coverage_gain(ds_course, mats)
+        assert gained
+        assert all(t.startswith("PDC12/") for t in gained)
+
+
+class TestExpectationProfiles:
+    def test_cs2013_profile(self, courses, cs2013):
+        c = next(c for c in courses if CourseLabel.DS in c.labels)
+        prof = expectation_profile(c, cs2013)
+        assert prof.n_outcomes > 0
+        assert 1.0 <= prof.mean_mastery <= 3.0
+        assert 0.0 <= prof.assessment_share <= 1.0
+
+    def test_pdc12_bloom_profile(self, cs2013, pdc12):
+        courses = generate_corpus(cs2013, seed=44, pdc_tree=pdc12)
+        pdc_course = next(c for c in courses if c.id == "uncc-3145-saule")
+        prof = expectation_profile(pdc_course, pdc12)
+        assert prof.bloom_counts
+        assert 1.0 <= prof.mean_bloom <= 3.0
+
+    def test_empty_course_zeroes(self, cs2013):
+        prof = expectation_profile(Course("c", "C"), cs2013)
+        assert prof.mean_mastery == 0.0
+        assert prof.mean_bloom == 0.0
+        assert prof.assessment_share == 0.0
+
+    def test_compare_covers_all(self, courses, cs2013):
+        profs = compare_expectations(list(courses)[:4], cs2013)
+        assert len(profs) == 4
+
+    def test_known_mastery_math(self, small_tree):
+        c = Course("c", "C", materials=[
+            Material("c/m", "m", MaterialType.LECTURE,
+                     frozenset({"G/A/U1/o-do-alpha-things",
+                                "G/B/U3/o-do-delta-things"})),
+        ])
+        prof = expectation_profile(c, small_tree)
+        # USAGE (2) + FAMILIARITY (1) -> mean 1.5.
+        assert prof.mean_mastery == pytest.approx(1.5)
+        assert prof.mastery_counts == {Mastery.USAGE: 1, Mastery.FAMILIARITY: 1}
+
+
+class TestTopicDependencies:
+    def test_acyclic_and_complete(self, courses):
+        c = list(courses)[0]
+        deps = topic_dependencies(c)
+        assert set(deps.graph.weights) == set(c.tag_set())
+        # TaskGraph construction validates acyclicity.
+        assert deps.chain_length() >= 1
+
+    def test_intro_positions_monotone(self, courses):
+        c = list(courses)[0]
+        deps = topic_dependencies(c)
+        for u, vs in deps.graph.successors.items():
+            for v in vs:
+                assert deps.intro_position[u] < deps.intro_position[v]
+
+    def test_handcrafted_chain(self):
+        c = Course("c", "C", materials=[
+            Material("c/1", "1", MaterialType.LECTURE, frozenset({"a"})),
+            Material("c/2", "2", MaterialType.LECTURE, frozenset({"a", "b"})),
+            Material("c/3", "3", MaterialType.LECTURE, frozenset({"b", "c"})),
+        ])
+        deps = topic_dependencies(c)
+        assert deps.longest_chain() == ["a", "b", "c"]
+        assert deps.prerequisite_depth("c") == 3
+        assert deps.prerequisite_depth("a") == 1
+
+    def test_no_edge_without_cooccurrence(self):
+        c = Course("c", "C", materials=[
+            Material("c/1", "1", MaterialType.LECTURE, frozenset({"a"})),
+            Material("c/2", "2", MaterialType.LECTURE, frozenset({"b"})),
+        ])
+        deps = topic_dependencies(c)
+        assert deps.graph.n_edges == 0
+
+    def test_foundational_tags(self):
+        mats = [Material("c/0", "0", MaterialType.LECTURE, frozenset({"root"}))]
+        mats += [
+            Material(f"c/{i}", str(i), MaterialType.LECTURE,
+                     frozenset({"root", f"leaf{i}"}))
+            for i in range(1, 5)
+        ]
+        deps = topic_dependencies(Course("c", "C", materials=mats))
+        assert deps.foundational_tags(min_dependents=3) == ["root"]
+
+
+class TestDualClassification:
+    def test_pdc_course_gets_pdc12_tags(self, cs2013, pdc12):
+        courses = generate_corpus(cs2013, seed=44, pdc_tree=pdc12)
+        pdc_tagged = {
+            c.id: sum(1 for t in c.tag_set() if t.startswith("PDC12/"))
+            for c in courses
+        }
+        assert pdc_tagged["uncc-3145-saule"] > 10
+        assert pdc_tagged["knox-309-bunde"] > 10
+        assert pdc_tagged["ccc-40-kerney"] == 0
+
+    def test_sample_pdc12_empty_for_plain_mixture(self, pdc12):
+        assert sample_pdc12_tags(pdc12, {"cs1-imperative": 1.0}, seed=0) == frozenset()
+
+    def test_sample_pdc12_deterministic(self, pdc12):
+        a = sample_pdc12_tags(pdc12, {"pdc": 1.0}, seed=4)
+        b = sample_pdc12_tags(pdc12, {"pdc": 1.0}, seed=4)
+        assert a == b and a
+
+    def test_canonical_dataset_unaffected(self, cs2013, courses):
+        """The canonical corpus (no pdc_tree) stays CS2013-only."""
+        regenerated = generate_corpus(cs2013, seed=44)
+        assert [c.tag_set() for c in regenerated] == [c.tag_set() for c in courses]
+        for c in regenerated:
+            assert all(t.startswith("CS2013/") for t in c.tag_set())
+
+    def test_bloom_levels_present_on_sampled(self, pdc12):
+        tags = sample_pdc12_tags(pdc12, {"pdc": 1.0}, seed=1)
+        blooms = {pdc12[t].bloom for t in tags}
+        assert blooms & {Bloom.KNOW, Bloom.COMPREHEND, Bloom.APPLY}
+
+
+class TestCurriculumParallelism:
+    """Topic-dependency DAGs double as 'how parallel is this course' models."""
+
+    def test_parallelism_defined_for_all_courses(self, courses):
+        from repro.analysis.dependencies import topic_dependencies
+        for c in list(courses)[:5]:
+            deps = topic_dependencies(c)
+            p = deps.graph.parallelism()
+            assert p >= 1.0
+            # Parallelism cannot exceed the topic count.
+            assert p <= deps.graph.n_tasks
+
+    def test_course_topics_schedule_like_tasks(self, courses):
+        from repro.analysis.dependencies import topic_dependencies
+        from repro.taskgraph import list_schedule
+        deps = topic_dependencies(list(courses)[0])
+        s = list_schedule(deps.graph, 4)
+        s.validate()
+        assert s.speedup() <= deps.graph.parallelism() + 1e-9

@@ -1,0 +1,204 @@
+"""Tests for the NMF implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.factorization.nmf import NMF, nndsvd_init
+
+
+@pytest.fixture()
+def low_rank(rng):
+    w = rng.random((15, 3))
+    h = rng.random((3, 40))
+    return w @ h
+
+
+nonneg_matrices = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(3, 10), st.integers(3, 12)),
+    elements=st.floats(0.0, 5.0, allow_nan=False),
+)
+
+
+class TestBasics:
+    @pytest.mark.parametrize("solver", ["mu", "hals"])
+    def test_shapes(self, low_rank, solver):
+        model = NMF(3, solver=solver, seed=0)
+        w = model.fit_transform(low_rank)
+        assert w.shape == (15, 3)
+        assert model.components_.shape == (3, 40)
+
+    @pytest.mark.parametrize("solver", ["mu", "hals"])
+    def test_factors_nonnegative(self, low_rank, solver):
+        model = NMF(3, solver=solver, seed=0)
+        w = model.fit_transform(low_rank)
+        assert (w >= 0).all()
+        assert (model.components_ >= 0).all()
+
+    def test_hals_recovers_low_rank(self, low_rank):
+        model = NMF(3, solver="hals", seed=0, max_iter=500)
+        w = model.fit_transform(low_rank)
+        rel = np.linalg.norm(low_rank - w @ model.components_) / np.linalg.norm(low_rank)
+        assert rel < 0.05
+
+    def test_kl_loss_runs(self, low_rank):
+        model = NMF(3, solver="mu", loss="kullback-leibler", seed=0)
+        w = model.fit_transform(low_rank)
+        assert np.isfinite(model.reconstruction_err_)
+        assert (w >= 0).all()
+
+    def test_reconstruction_err_matches_frobenius(self, low_rank):
+        model = NMF(3, solver="hals", seed=0)
+        w = model.fit_transform(low_rank)
+        err = np.linalg.norm(low_rank - w @ model.components_)
+        assert model.reconstruction_err_ == pytest.approx(err)
+
+    def test_more_components_fit_better(self, low_rank):
+        errs = []
+        for k in (1, 2, 3):
+            m = NMF(k, solver="hals", seed=0)
+            m.fit_transform(low_rank)
+            errs.append(m.reconstruction_err_)
+        assert errs[0] >= errs[1] >= errs[2]
+
+    def test_seeded_determinism(self, low_rank):
+        w1 = NMF(3, seed=11).fit_transform(low_rank)
+        w2 = NMF(3, seed=11).fit_transform(low_rank)
+        np.testing.assert_array_equal(w1, w2)
+
+    def test_strong_regularization_shrinks_factors(self, low_rank):
+        plain = NMF(3, solver="mu", seed=0)
+        wp = plain.fit_transform(low_rank)
+        reg = NMF(3, solver="mu", seed=0, l2_reg=50.0)
+        wr = reg.fit_transform(low_rank)
+        # A penalty dwarfing the data term collapses the factors.
+        assert np.linalg.norm(wr) < np.linalg.norm(wp)
+        assert reg.reconstruction_err_ >= plain.reconstruction_err_
+
+
+class TestMUMonotonicity:
+    @settings(max_examples=20, deadline=None)
+    @given(nonneg_matrices)
+    def test_mu_frobenius_never_increases(self, a):
+        # Run MU step by step; Lee-Seung guarantees monotone objective.
+        model = NMF(2, solver="mu", seed=0, max_iter=1, tol=0)
+        w = model.fit_transform(a)
+        h = model.components_
+        prev = np.linalg.norm(a - w @ h)
+        for _ in range(5):
+            model2 = NMF(2, solver="mu", init="custom", max_iter=1, tol=0)
+            w = model2.fit_transform(a, W0=w, H0=h)
+            h = model2.components_
+            err = np.linalg.norm(a - w @ h)
+            assert err <= prev + 1e-7
+            prev = err
+
+    @settings(max_examples=20, deadline=None)
+    @given(nonneg_matrices)
+    def test_outputs_always_nonnegative_and_finite(self, a):
+        model = NMF(2, solver="hals", seed=1, max_iter=30)
+        w = model.fit_transform(a)
+        assert np.isfinite(w).all() and (w >= 0).all()
+        assert np.isfinite(model.components_).all()
+
+
+class TestTransform:
+    def test_transform_new_rows(self, low_rank, rng):
+        model = NMF(3, solver="hals", seed=0)
+        model.fit_transform(low_rank)
+        new = rng.random((4, 3)) @ rng.random((3, 40))
+        w_new = model.transform(new)
+        assert w_new.shape == (4, 3)
+        assert (w_new >= 0).all()
+        rel = np.linalg.norm(new - w_new @ model.components_) / np.linalg.norm(new)
+        assert rel < 0.6
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            NMF(2).transform(np.ones((2, 2)))
+
+    def test_transform_feature_mismatch(self, low_rank):
+        model = NMF(3, seed=0).fit(low_rank)
+        with pytest.raises(ValueError):
+            model.transform(np.ones((2, 7)))
+
+    def test_inverse_transform(self, low_rank):
+        model = NMF(3, solver="hals", seed=0)
+        w = model.fit_transform(low_rank)
+        recon = model.inverse_transform(w)
+        assert recon.shape == low_rank.shape
+
+
+class TestValidation:
+    def test_rejects_negative_input(self):
+        with pytest.raises(ValueError):
+            NMF(2, seed=0).fit_transform(np.array([[1.0, -0.1], [0.2, 0.3]]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            NMF(2, seed=0).fit_transform(np.array([[1.0, np.nan], [0.2, 0.3]]))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            NMF(0)
+        with pytest.raises(ValueError):
+            NMF(2, solver="nope")
+        with pytest.raises(ValueError):
+            NMF(2, loss="nope")
+        with pytest.raises(ValueError):
+            NMF(2, solver="hals", loss="kullback-leibler")
+        with pytest.raises(ValueError):
+            NMF(2, max_iter=0)
+        with pytest.raises(ValueError):
+            NMF(2, l2_reg=-1)
+
+    def test_custom_init_requires_both(self, low_rank):
+        with pytest.raises(ValueError):
+            NMF(3, init="custom").fit_transform(low_rank)
+
+    def test_custom_init_shape_checked(self, low_rank):
+        with pytest.raises(ValueError):
+            NMF(3, init="custom").fit_transform(
+                low_rank, W0=np.ones((2, 3)), H0=np.ones((3, 40))
+            )
+
+    def test_unknown_init_rejected(self, low_rank):
+        with pytest.raises(ValueError):
+            NMF(3, init="wat").fit_transform(low_rank)
+
+
+class TestNNDSVD:
+    def test_nonnegative(self, low_rank):
+        w, h = nndsvd_init(low_rank, 4)
+        assert (w >= 0).all() and (h >= 0).all()
+        assert w.shape == (15, 4) and h.shape == (4, 40)
+
+    def test_nndsvda_fills_zeros(self, low_rank):
+        w, h = nndsvd_init(low_rank, 4, variant="nndsvda")
+        assert (w > 0).all() and (h > 0).all()
+
+    def test_nndsvdar_random_fill(self, low_rank):
+        w, h = nndsvd_init(low_rank, 4, variant="nndsvdar", seed=0)
+        assert (w > 0).all() and (h > 0).all()
+
+    def test_unknown_variant(self, low_rank):
+        with pytest.raises(ValueError):
+            nndsvd_init(low_rank, 2, variant="bogus")
+
+    def test_deterministic(self, low_rank):
+        w1, h1 = nndsvd_init(low_rank, 3)
+        w2, h2 = nndsvd_init(low_rank, 3)
+        np.testing.assert_array_equal(w1, w2)
+        np.testing.assert_array_equal(h1, h2)
+
+    def test_init_quality_beats_random_start(self, low_rank):
+        """NNDSVD should start closer to A than a random init."""
+        w, h = nndsvd_init(low_rank, 3)
+        err_nndsvd = np.linalg.norm(low_rank - w @ h)
+        model = NMF(3, init="random", seed=0, max_iter=1, tol=0)
+        w_r = model.fit_transform(low_rank)
+        # After a single iteration from random, error is typically larger
+        # than the NNDSVD starting point.
+        assert err_nndsvd < np.linalg.norm(low_rank) * 0.9

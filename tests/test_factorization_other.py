@@ -1,0 +1,224 @@
+"""Tests for PCA, MDS, k-means, spectral co-clustering, and leaf ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.factorization.bicluster import SpectralCoclustering
+from repro.factorization.kmeans import KMeans, kmeans_plus_plus
+from repro.factorization.mds import classical_mds, smacof, stress
+from repro.factorization.ordering import hierarchical_order
+from repro.factorization.pca import PCA
+
+
+def pairwise(x):
+    return np.sqrt(np.maximum(
+        np.sum(x**2, 1)[:, None] + np.sum(x**2, 1)[None, :] - 2 * x @ x.T, 0,
+    ))
+
+
+class TestPCA:
+    def test_variance_ordering(self, rng):
+        x = rng.normal(size=(100, 5)) * np.array([5, 3, 1, 0.5, 0.1])
+        p = PCA(5).fit(x)
+        ev = p.explained_variance_
+        assert all(a >= b for a, b in zip(ev, ev[1:]))
+        assert p.explained_variance_ratio_.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_transform_centers(self, rng):
+        x = rng.normal(loc=10.0, size=(50, 4))
+        p = PCA(2).fit(x)
+        z = p.transform(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_round_trip_full_rank(self, rng):
+        x = rng.normal(size=(20, 4))
+        p = PCA(4).fit(x)
+        np.testing.assert_allclose(p.inverse_transform(p.transform(x)), x, atol=1e-8)
+
+    def test_reconstruction_error_decreases_with_rank(self, rng):
+        x = rng.normal(size=(30, 6))
+        errs = [PCA(k).fit(x).reconstruction_error(x) for k in (1, 3, 6)]
+        assert errs[0] >= errs[1] >= errs[2]
+        assert errs[2] == pytest.approx(0.0, abs=1e-8)
+
+    def test_components_orthonormal(self, rng):
+        x = rng.normal(size=(40, 5))
+        p = PCA(3).fit(x)
+        gram = p.components_ @ p.components_.T
+        np.testing.assert_allclose(gram, np.eye(3), atol=1e-8)
+
+    def test_errors(self, rng):
+        with pytest.raises(ValueError):
+            PCA(0)
+        with pytest.raises(RuntimeError):
+            PCA(2).transform(np.ones((2, 2)))
+        p = PCA(2).fit(rng.normal(size=(5, 3)))
+        with pytest.raises(ValueError):
+            p.transform(np.ones((2, 7)))
+
+
+class TestClassicalMDS:
+    def test_exact_on_euclidean(self, rng):
+        x = rng.normal(size=(12, 2))
+        d = pairwise(x)
+        res = classical_mds(d, 2)
+        np.testing.assert_allclose(pairwise(res.embedding), d, atol=1e-5)
+        assert res.stress == pytest.approx(0.0, abs=1e-6)
+
+    def test_higher_dim_input_approximates(self, rng):
+        x = rng.normal(size=(15, 6))
+        d = pairwise(x)
+        res2 = classical_mds(d, 2)
+        res5 = classical_mds(d, 5)
+        assert res5.stress <= res2.stress + 1e-9
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            classical_mds(np.ones((3, 4)))          # not square
+        bad = np.zeros((3, 3)); bad[0, 1] = 1.0      # asymmetric
+        with pytest.raises(ValueError):
+            classical_mds(bad)
+        neg = -pairwise(np.random.default_rng(0).normal(size=(4, 2)))
+        with pytest.raises(ValueError):
+            classical_mds(neg)
+        diag = np.ones((3, 3))
+        with pytest.raises(ValueError):
+            classical_mds(diag)
+
+    def test_n_components_bounds(self, rng):
+        d = pairwise(rng.normal(size=(5, 2)))
+        with pytest.raises(ValueError):
+            classical_mds(d, 0)
+        with pytest.raises(ValueError):
+            classical_mds(d, 6)
+
+
+class TestSmacof:
+    def test_recovers_euclidean(self, rng):
+        x = rng.normal(size=(10, 2)) * 3
+        d = pairwise(x)
+        res = smacof(d, 2, seed=0)
+        assert res.stress < 1e-3
+
+    def test_stress_nonincreasing_vs_random_start(self, rng):
+        x = rng.normal(size=(10, 3))
+        d = pairwise(x)
+        x0 = rng.normal(size=(10, 2))
+        res = smacof(d, 2, init=x0, max_iter=100)
+        assert res.stress <= stress(d, x0) + 1e-9
+
+    def test_weights_shape_checked(self, rng):
+        d = pairwise(rng.normal(size=(5, 2)))
+        with pytest.raises(ValueError):
+            smacof(d, 2, weights=np.ones((3, 3)))
+
+    def test_init_shape_checked(self, rng):
+        d = pairwise(rng.normal(size=(5, 2)))
+        with pytest.raises(ValueError):
+            smacof(d, 2, init=np.ones((4, 2)))
+
+    @settings(max_examples=15, deadline=None)
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(3, 7), st.integers(2, 3)),
+                      elements=st.floats(-5, 5)))
+    def test_stress_nonnegative(self, x):
+        d = pairwise(x)
+        res = smacof(d, 2, seed=0, max_iter=20, n_init=1)
+        assert res.stress >= -1e-9
+
+
+class TestKMeans:
+    def test_separated_clusters_recovered(self, rng):
+        pts = np.vstack([rng.normal(c, 0.3, size=(20, 2)) for c in (0, 10, 20)])
+        km = KMeans(3, seed=0).fit(pts)
+        labels = km.labels_
+        for grp in (labels[:20], labels[20:40], labels[40:]):
+            assert len(set(grp.tolist())) == 1
+        assert len(set(labels.tolist())) == 3
+
+    def test_inertia_decreases_with_k(self, rng):
+        pts = rng.normal(size=(60, 2))
+        inertias = [KMeans(k, seed=0).fit(pts).inertia_ for k in (1, 3, 6)]
+        assert inertias[0] >= inertias[1] >= inertias[2]
+
+    def test_predict_assigns_nearest(self, rng):
+        pts = np.vstack([rng.normal(0, 0.1, (10, 2)), rng.normal(5, 0.1, (10, 2))])
+        km = KMeans(2, seed=0).fit(pts)
+        lab_near_0 = km.predict(np.array([[0.0, 0.0]]))[0]
+        assert lab_near_0 == km.labels_[0]
+
+    def test_kmeanspp_centers_are_data_points(self, rng):
+        pts = rng.normal(size=(30, 3))
+        centers = kmeans_plus_plus(pts, 4, rng)
+        for c in centers:
+            assert any(np.allclose(c, p) for p in pts)
+
+    def test_requires_enough_points(self, rng):
+        with pytest.raises(ValueError):
+            KMeans(5).fit(rng.normal(size=(3, 2)))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KMeans(2).predict(np.ones((2, 2)))
+
+    def test_duplicate_points_ok(self):
+        pts = np.ones((10, 2))
+        km = KMeans(2, seed=0, n_init=2).fit(pts)
+        assert km.inertia_ == pytest.approx(0.0)
+
+
+class TestSpectralCoclustering:
+    def test_block_diagonal_recovered(self, rng):
+        a = np.zeros((10, 14))
+        a[:5, :7] = 1.0
+        a[5:, 7:] = 1.0
+        a += 0.01 * rng.random(a.shape)
+        cc = SpectralCoclustering(2, seed=0).fit(a)
+        assert len(set(cc.row_labels_[:5].tolist())) == 1
+        assert len(set(cc.row_labels_[5:].tolist())) == 1
+        assert cc.row_labels_[0] != cc.row_labels_[5]
+        # Column clusters pair with the matching row clusters.
+        assert cc.column_labels_[0] == cc.row_labels_[0]
+        assert cc.column_labels_[7] == cc.row_labels_[5]
+
+    def test_block_order_is_permutation(self, rng):
+        a = rng.random((8, 9))
+        cc = SpectralCoclustering(2, seed=0).fit(a)
+        rows, cols = cc.block_order()
+        assert sorted(rows.tolist()) == list(range(8))
+        assert sorted(cols.tolist()) == list(range(9))
+
+    def test_too_small_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            SpectralCoclustering(4).fit(np.ones((3, 10)))
+
+    def test_requires_two_clusters(self):
+        with pytest.raises(ValueError):
+            SpectralCoclustering(1)
+
+    def test_unfitted_block_order(self):
+        with pytest.raises(RuntimeError):
+            SpectralCoclustering(2).block_order()
+
+
+class TestHierarchicalOrder:
+    def test_permutation(self, rng):
+        x = rng.normal(size=(9, 3))
+        order = hierarchical_order(pairwise(x))
+        assert sorted(order) == list(range(9))
+
+    def test_groups_adjacent(self, rng):
+        # Two tight clusters: members should end up contiguous.
+        pts = np.vstack([rng.normal(0, 0.1, (4, 2)), rng.normal(10, 0.1, (4, 2))])
+        order = hierarchical_order(pairwise(pts))
+        first_half = set(order[:4])
+        assert first_half in ({0, 1, 2, 3}, {4, 5, 6, 7})
+
+    def test_empty_and_single(self):
+        assert hierarchical_order(np.zeros((0, 0))) == []
+        assert hierarchical_order(np.zeros((1, 1))) == [0]
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            hierarchical_order(np.zeros((2, 3)))

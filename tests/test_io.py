@@ -1,0 +1,161 @@
+"""Tests for JSON course serialization and CSV matrix export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.matrix import build_course_matrix
+from repro.io import (
+    course_from_dict,
+    course_to_dict,
+    load_courses,
+    load_matrix_csv,
+    material_from_dict,
+    material_to_dict,
+    save_courses,
+    save_matrix_csv,
+)
+from repro.materials.course import Course, CourseLabel
+from repro.materials.material import Material, MaterialType
+
+
+@pytest.fixture()
+def sample_course():
+    return Course(
+        "c1", "Course One", institution="U", instructor="I",
+        labels=frozenset({CourseLabel.CS1, CourseLabel.DS}),
+        materials=[
+            Material("c1/m1", "Lecture", MaterialType.LECTURE,
+                     frozenset({"t/a", "t/b"}), author="X", language="C",
+                     datasets=("quakes",), description="desc", url="http://x"),
+            Material("c1/m2", "Exam", MaterialType.EXAM, frozenset({"t/b"})),
+        ],
+    )
+
+
+class TestMaterialRoundTrip:
+    def test_round_trip_full(self, sample_course):
+        m = sample_course.materials[0]
+        back = material_from_dict(material_to_dict(m))
+        assert back == m
+
+    def test_round_trip_minimal(self):
+        m = Material("m", "t", MaterialType.LAB)
+        assert material_from_dict(material_to_dict(m)) == m
+
+    def test_empty_fields_omitted(self):
+        d = material_to_dict(Material("m", "t", MaterialType.LAB))
+        assert "author" not in d and "datasets" not in d
+
+    def test_mappings_sorted_for_stable_diffs(self, sample_course):
+        d = material_to_dict(sample_course.materials[0])
+        assert d["mappings"] == sorted(d["mappings"])
+
+
+class TestCourseRoundTrip:
+    def test_round_trip(self, sample_course):
+        back = course_from_dict(course_to_dict(sample_course))
+        assert back.id == sample_course.id
+        assert back.labels == sample_course.labels
+        assert back.materials == sample_course.materials
+
+    def test_file_round_trip(self, sample_course, tmp_path):
+        path = tmp_path / "courses.json"
+        save_courses([sample_course], path)
+        loaded = load_courses(path)
+        assert len(loaded) == 1
+        assert loaded[0].tag_set() == sample_course.tag_set()
+
+    def test_file_is_valid_json(self, sample_course, tmp_path):
+        path = tmp_path / "c.json"
+        save_courses([sample_course], path)
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "repro-courses"
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="not a repro course file"):
+            load_courses(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "repro-courses", "version": 999}')
+        with pytest.raises(ValueError, match="version"):
+            load_courses(path)
+
+    def test_canonical_corpus_round_trips(self, courses, tmp_path):
+        path = tmp_path / "canonical.json"
+        save_courses(list(courses), path)
+        loaded = load_courses(path)
+        assert [c.id for c in loaded] == [c.id for c in courses]
+        for a, b in zip(loaded, courses):
+            assert a.tag_set() == b.tag_set()
+            assert len(a.materials) == len(b.materials)
+
+
+class TestMatrixCsv:
+    def test_round_trip(self, courses, tmp_path):
+        matrix = build_course_matrix(list(courses)[:5])
+        path = tmp_path / "m.csv"
+        save_matrix_csv(matrix, path)
+        back = load_matrix_csv(path)
+        assert back.course_ids == matrix.course_ids
+        assert back.tag_ids == matrix.tag_ids
+        np.testing.assert_array_equal(back.matrix, matrix.matrix)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "e.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_matrix_csv(path)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "b.csv"
+        path.write_text("nope,t1\nx,1\n")
+        with pytest.raises(ValueError, match="course_id"):
+            load_matrix_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("course_id,t1,t2\nc1,1\n")
+        with pytest.raises(ValueError, match="expected 3 fields"):
+            load_matrix_csv(path)
+
+
+class TestTaskGraphIO:
+    def test_round_trip(self, tmp_path):
+        from repro.io.dag_io import load_taskgraph, save_taskgraph
+        from repro.taskgraph import layered_random_dag
+        g = layered_random_dag(4, 5, seed=2)
+        path = tmp_path / "dag.json"
+        save_taskgraph(g, path)
+        back = load_taskgraph(path)
+        assert back.weights == g.weights
+        assert {k: tuple(sorted(v)) for k, v in back.successors.items()} == \
+            {k: tuple(sorted(v)) for k, v in g.successors.items()}
+
+    def test_bad_format_rejected(self):
+        from repro.io.dag_io import taskgraph_from_dict
+        with pytest.raises(ValueError, match="not a repro task-graph"):
+            taskgraph_from_dict({"format": "nope"})
+        with pytest.raises(ValueError, match="version"):
+            taskgraph_from_dict({"format": "repro-taskgraph", "version": 9})
+
+    def test_bad_edge_rejected(self):
+        from repro.io.dag_io import taskgraph_from_dict
+        with pytest.raises(ValueError, match="pair"):
+            taskgraph_from_dict({
+                "format": "repro-taskgraph", "version": 1,
+                "tasks": {"a": 1.0}, "edges": [["a"]],
+            })
+
+    def test_cycle_rejected_on_load(self):
+        from repro.io.dag_io import taskgraph_from_dict
+        with pytest.raises(ValueError, match="cycle"):
+            taskgraph_from_dict({
+                "format": "repro-taskgraph", "version": 1,
+                "tasks": {"a": 1.0, "b": 1.0},
+                "edges": [["a", "b"], ["b", "a"]],
+            })

@@ -1,0 +1,245 @@
+"""Tests for similarity, coverage/alignment, hit-trees, and the matrix view."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.materials.coverage import alignment, coverage
+from repro.materials.course import Course
+from repro.materials.hittree import alignment_hit_tree, build_hit_tree
+from repro.materials.material import Material, MaterialRole, MaterialType
+from repro.materials.matrixview import build_matrix_view
+from repro.materials.similarity import (
+    cosine_similarity,
+    jaccard_similarity,
+    search_map,
+    similarity_graph,
+    similarity_matrix,
+)
+
+
+def mat(mid, tags, mtype=MaterialType.LECTURE):
+    return Material(mid, mid, mtype, frozenset(tags))
+
+
+tag_sets = st.frozensets(st.sampled_from([f"t{i}" for i in range(12)]), max_size=8)
+
+
+class TestSimilarity:
+    @given(tag_sets, tag_sets)
+    def test_jaccard_bounds_and_symmetry(self, a, b):
+        j = jaccard_similarity(a, b)
+        assert 0.0 <= j <= 1.0
+        assert j == jaccard_similarity(b, a)
+
+    @given(tag_sets)
+    def test_jaccard_identity(self, a):
+        assert jaccard_similarity(a, a) == 1.0
+
+    @given(tag_sets, tag_sets)
+    def test_cosine_bounds(self, a, b):
+        c = cosine_similarity(a, b)
+        assert 0.0 <= c <= 1.0 + 1e-12
+        assert c == cosine_similarity(b, a)
+
+    def test_disjoint_sets(self):
+        assert jaccard_similarity(frozenset("ab"), frozenset("cd")) == 0.0
+        assert cosine_similarity(frozenset("ab"), frozenset("cd")) == 0.0
+
+    def test_empty_vs_nonempty(self):
+        assert cosine_similarity(frozenset(), frozenset("a")) == 0.0
+
+    def test_similarity_matrix_diagonal(self):
+        mats = [mat("a", ["x"]), mat("b", ["x", "y"]), mat("c", ["z"])]
+        s = similarity_matrix(mats)
+        assert np.allclose(np.diag(s), 1.0)
+        assert np.allclose(s, s.T)
+        assert s[0, 1] == pytest.approx(0.5)
+        assert s[0, 2] == 0.0
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            similarity_matrix([mat("a", ["x"])], metric="euclid")
+
+    def test_similarity_graph_threshold(self):
+        mats = [mat("a", ["x"]), mat("b", ["x", "y"]), mat("c", ["z"])]
+        g = similarity_graph(mats, threshold=0.4)
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("a", "c")
+        assert g.number_of_nodes() == 3
+
+    def test_search_map_places_similars_close(self):
+        mats = [
+            mat("q", ["a", "b", "c"]),
+            mat("close", ["a", "b", "c", "d"]),
+            mat("far", ["x", "y", "z"]),
+        ]
+        coords, res = search_map(mats, seed=0)
+        q, close, far = (np.array(coords[k]) for k in ("q", "close", "far"))
+        assert np.linalg.norm(q - close) < np.linalg.norm(q - far)
+        assert res.stress >= 0
+
+    def test_search_map_needs_two(self):
+        with pytest.raises(ValueError):
+            search_map([mat("only", ["a"])])
+
+
+class TestCoverage:
+    def test_counts(self, small_tree):
+        c = Course("c", "C", materials=[
+            mat("m", ["G/A/U1/t-topic-alpha", "G/A/U1/t-topic-beta"]),
+        ])
+        rep = coverage(c, small_tree)
+        assert rep.n_tags_covered == 2
+        assert rep.n_tags_total == 6
+        assert rep.by_area["A"] == (2, 4)
+        assert rep.by_area["B"] == (0, 2)
+        assert rep.by_unit["G/A/U1"] == (2, 3)
+
+    def test_core_fractions(self, small_tree):
+        c = Course("c", "C", materials=[mat("m", ["G/A/U1/t-topic-alpha"])])
+        rep = coverage(c, small_tree)
+        # U1 tags default to unit tier CORE1 except beta (CORE2).
+        assert rep.core1_total == 2  # alpha + outcome
+        assert rep.core1_covered == 1
+        assert 0 < rep.core1_fraction < 1
+        assert not rep.meets_core_requirements()
+
+    def test_out_of_tree_tags_ignored(self, small_tree):
+        c = Course("c", "C", materials=[mat("m", ["PDC12/other/tag"])])
+        assert coverage(c, small_tree).n_tags_covered == 0
+
+    def test_full_coverage_meets_core(self, small_tree):
+        c = Course("c", "C", materials=[mat("m", [t.id for t in small_tree.tags()])])
+        rep = coverage(c, small_tree)
+        assert rep.fraction == 1.0
+        assert rep.meets_core_requirements()
+
+
+class TestAlignment:
+    def test_balance_signs(self):
+        c = Course("c", "C", materials=[
+            mat("lec", ["a", "b"], MaterialType.LECTURE),
+            mat("ex", ["b", "z"], MaterialType.EXAM),
+        ])
+        rep = alignment(c)
+        assert rep.only_a == frozenset({"a"})
+        assert rep.only_b == frozenset({"z"})
+        assert rep.shared == frozenset({"b"})
+        assert rep.balance["a"] == -1.0
+        assert rep.balance["z"] == 1.0
+        assert rep.balance["b"] == 0.0
+        assert rep.alignment_fraction == pytest.approx(1 / 3)
+
+    def test_same_role_rejected(self):
+        c = Course("c", "C")
+        with pytest.raises(ValueError):
+            alignment(c, MaterialRole.DELIVERY, MaterialRole.DELIVERY)
+
+    def test_empty_course_fully_aligned(self):
+        assert alignment(Course("c", "C")).alignment_fraction == 1.0
+
+    def test_weighted_balance(self):
+        c = Course("c", "C", materials=[
+            mat("lec1", ["a"], MaterialType.LECTURE),
+            mat("lec2", ["a"], MaterialType.LECTURE),
+            mat("ex", ["a"], MaterialType.EXAM),
+        ])
+        rep = alignment(c)
+        assert rep.balance["a"] == pytest.approx((1 - 2) / 3)
+
+
+class TestHitTree:
+    def test_weights_roll_up(self, small_tree):
+        mats = [
+            mat("m1", ["G/A/U1/t-topic-alpha"]),
+            mat("m2", ["G/A/U1/t-topic-alpha", "G/A/U2/t-topic-gamma"]),
+        ]
+        ht = build_hit_tree(mats, small_tree)
+        assert ht.weight("G/A/U1/t-topic-alpha") == 2
+        assert ht.weight("G/A/U1") == 2
+        assert ht.weight("G/A") == 3
+        assert ht.weight("G") == 3
+
+    def test_untouched_branches_pruned(self, small_tree):
+        ht = build_hit_tree([mat("m", ["G/A/U1/t-topic-alpha"])], small_tree)
+        assert "G/B" not in ht.tree
+
+    def test_alignment_colors(self, small_tree):
+        a = [mat("a", ["G/A/U1/t-topic-alpha"])]
+        b = [mat("b", ["G/B/U3/t-topic-delta"])]
+        ht = alignment_hit_tree(a, b, small_tree)
+        assert ht.color("G/A/U1/t-topic-alpha") == -1.0
+        assert ht.color("G/B/U3/t-topic-delta") == 1.0
+        assert ht.color("G") == 0.0  # balanced at the root
+
+    def test_color_range(self, small_tree):
+        a = [mat("a", [t.id for t in small_tree.tags()][:3])]
+        b = [mat("b", [t.id for t in small_tree.tags()][1:])]
+        ht = alignment_hit_tree(a, b, small_tree)
+        assert all(-1.0 <= v <= 1.0 for v in ht.colors.values())
+
+
+class TestMatrixView:
+    def test_shape_and_contents(self):
+        mats = [mat("m1", ["a", "b"]), mat("m2", ["b"])]
+        mv = build_matrix_view(mats)
+        assert mv.matrix.shape == (2, 2)
+        assert mv.tag_ids == ("a", "b")
+        i, j = mv.tag_ids.index("b"), mv.material_ids.index("m2")
+        assert mv.matrix[i, j] == 1.0
+
+    def test_reordered_preserves_mass(self):
+        mats = [mat(f"m{i}", [f"t{j}" for j in range(i, i + 3)]) for i in range(6)]
+        mv = build_matrix_view(mats, n_clusters=2, seed=0)
+        assert mv.reordered().sum() == mv.matrix.sum()
+
+    def test_biclustering_blocks(self, rng):
+        # Two disjoint blocks of materials should be separated.
+        mats = [mat(f"a{i}", [f"x{j}" for j in range(4)]) for i in range(4)]
+        mats += [mat(f"b{i}", [f"y{j}" for j in range(4)]) for i in range(4)]
+        mv = build_matrix_view(mats, n_clusters=2, seed=0)
+        a_labels = {mv.col_labels[i] for i, m in enumerate(mv.material_ids) if m.startswith("a")}
+        b_labels = {mv.col_labels[i] for i, m in enumerate(mv.material_ids) if m.startswith("b")}
+        assert len(a_labels) == 1 and len(b_labels) == 1 and a_labels != b_labels
+
+    def test_set_cell_returns_copy(self):
+        mats = [mat("m1", ["a"])]
+        mv = build_matrix_view(mats)
+        mv2 = mv.set_cell("a", "m1", False)
+        assert mv.matrix[0, 0] == 1.0
+        assert mv2.matrix[0, 0] == 0.0
+
+
+class TestVectorizedSimilarityMatrix:
+    def test_matches_pairwise_functions(self, rng):
+        pool = [f"t{i}" for i in range(15)]
+        mats = []
+        for i in range(12):
+            k = int(rng.integers(0, 8))
+            tags = rng.choice(pool, size=k, replace=False) if k else []
+            mats.append(mat(f"m{i}", list(tags)))
+        for metric, fn in (("jaccard", jaccard_similarity),
+                           ("cosine", cosine_similarity)):
+            s = similarity_matrix(mats, metric=metric)
+            for i in range(len(mats)):
+                for j in range(len(mats)):
+                    expected = fn(mats[i].mappings, mats[j].mappings)
+                    assert s[i, j] == pytest.approx(expected), (metric, i, j)
+
+    def test_empty_materials(self):
+        mats = [mat("a", []), mat("b", []), mat("c", ["x"])]
+        sj = similarity_matrix(mats, metric="jaccard")
+        sc = similarity_matrix(mats, metric="cosine")
+        assert sj[0, 1] == 1.0 and sc[0, 1] == 1.0   # empty-empty
+        assert sj[0, 2] == 0.0 and sc[0, 2] == 0.0   # empty-nonempty
+
+    def test_scales_to_corpus(self, rng):
+        pool = [f"t{i}" for i in range(200)]
+        mats = [
+            mat(f"m{i}", list(rng.choice(pool, size=6, replace=False)))
+            for i in range(300)
+        ]
+        s = similarity_matrix(mats)
+        assert s.shape == (300, 300)
+        assert np.allclose(np.diag(s), 1.0)

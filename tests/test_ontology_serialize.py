@@ -1,0 +1,50 @@
+"""Round-trip tests for guideline tree serialization."""
+
+import json
+
+import pytest
+
+from repro.ontology.serialize import tree_from_dict, tree_to_dict
+
+
+class TestRoundTrip:
+    def test_small_tree_round_trips(self, small_tree):
+        data = tree_to_dict(small_tree)
+        back = tree_from_dict(data)
+        assert set(back.node_ids()) == set(small_tree.node_ids())
+        for nid in small_tree.node_ids():
+            a, b = small_tree[nid], back[nid]
+            assert (a.label, a.kind, a.tier, a.mastery, a.bloom) == (
+                b.label, b.kind, b.tier, b.mastery, b.bloom
+            )
+            assert back.child_ids(nid) == small_tree.child_ids(nid)
+
+    def test_json_serializable(self, small_tree):
+        text = json.dumps(tree_to_dict(small_tree))
+        back = tree_from_dict(json.loads(text))
+        assert len(back) == len(small_tree)
+
+    def test_cs2013_round_trips(self, cs2013):
+        back = tree_from_dict(tree_to_dict(cs2013))
+        assert len(back) == len(cs2013)
+        assert back.tag_ids() == cs2013.tag_ids()
+
+    def test_pdc12_round_trips(self, pdc12):
+        back = tree_from_dict(tree_to_dict(pdc12))
+        assert len(back) == len(pdc12)
+        # Bloom levels survive the trip.
+        blooms_a = [n.bloom for n in pdc12.tags()]
+        blooms_b = [n.bloom for n in back.tags()]
+        assert blooms_a == blooms_b
+
+    def test_duplicate_id_rejected_on_load(self, small_tree):
+        data = tree_to_dict(small_tree)
+        data["children"].append(dict(data["children"][0]))
+        with pytest.raises(ValueError, match="duplicate"):
+            tree_from_dict(data)
+
+    def test_meta_preserved(self, cs2013):
+        data = tree_to_dict(cs2013)
+        back = tree_from_dict(data)
+        sdf = back["CS2013/SDF"]
+        assert sdf.meta.get("code") == "SDF"

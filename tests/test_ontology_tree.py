@@ -1,0 +1,201 @@
+"""Tests for the guideline tree container and builder."""
+
+import pytest
+
+from repro.ontology.builder import TreeBuilder
+from repro.ontology.node import Mastery, NodeKind, OntologyNode, Tier
+from repro.ontology.tree import GuidelineTree
+
+
+class TestNode:
+    def test_tag_kinds(self):
+        assert NodeKind.TOPIC.is_tag and NodeKind.OUTCOME.is_tag
+        assert not NodeKind.AREA.is_tag and not NodeKind.UNIT.is_tag
+
+    def test_rejects_empty_id(self):
+        with pytest.raises(ValueError):
+            OntologyNode("", "x", NodeKind.TOPIC)
+
+    def test_rejects_mastery_on_topic(self):
+        with pytest.raises(ValueError):
+            OntologyNode("t", "x", NodeKind.TOPIC, mastery=Mastery.USAGE)
+
+    def test_short_id(self):
+        n = OntologyNode("A/B/c", "x", NodeKind.TOPIC)
+        assert n.short_id == "c"
+
+
+class TestTreeStructure:
+    def test_len_and_contains(self, small_tree):
+        assert len(small_tree) == 12
+        assert "G/A/U1" in small_tree
+        assert "G/nope" not in small_tree
+
+    def test_getitem_raises_keyerror(self, small_tree):
+        with pytest.raises(KeyError):
+            small_tree["missing"]
+        assert small_tree.get("missing") is None
+
+    def test_parent_child_symmetry(self, small_tree):
+        for nid in small_tree.node_ids():
+            for kid in small_tree.child_ids(nid):
+                assert small_tree.parent_id(kid) == nid
+
+    def test_root_has_no_parent(self, small_tree):
+        assert small_tree.parent(small_tree.root_id) is None
+
+    def test_depths(self, small_tree):
+        assert small_tree.depth("G") == 0
+        assert small_tree.depth("G/A") == 1
+        assert small_tree.depth("G/A/U1") == 2
+        assert small_tree.height() == 3
+
+    def test_level_sizes_sum_to_len(self, small_tree):
+        assert sum(small_tree.level_sizes()) == len(small_tree)
+
+    def test_preorder_starts_at_root_and_visits_all(self, small_tree):
+        order = list(small_tree.iter_preorder_ids())
+        assert order[0] == small_tree.root_id
+        assert len(order) == len(small_tree)
+        assert len(set(order)) == len(order)
+
+    def test_preorder_parents_before_children(self, small_tree):
+        seen = set()
+        for nid in small_tree.iter_preorder_ids():
+            pid = small_tree.parent_id(nid)
+            assert pid is None or pid in seen
+            seen.add(nid)
+
+    def test_ancestors(self, small_tree):
+        anc = [a.id for a in small_tree.ancestors("G/A/U1/t-topic-alpha")]
+        assert anc == ["G/A/U1", "G/A", "G"]
+
+    def test_descendants(self, small_tree):
+        desc = small_tree.descendant_ids("G/A")
+        assert "G/A/U1/t-topic-alpha" in desc
+        assert "G/B/U3/t-topic-delta" not in desc
+
+    def test_leaves_have_no_children(self, small_tree):
+        for leaf in small_tree.leaves():
+            assert small_tree.child_ids(leaf.id) == ()
+
+    def test_tags_are_topics_and_outcomes(self, small_tree):
+        tags = small_tree.tags()
+        assert len(tags) == 6
+        assert all(t.is_tag for t in tags)
+
+    def test_areas(self, small_tree):
+        assert [a.id for a in small_tree.areas()] == ["G/A", "G/B"]
+
+    def test_find_by_label_case_insensitive(self, small_tree):
+        assert len(small_tree.find_by_label("TOPIC ALPHA")) == 1
+
+    def test_subtree(self, small_tree):
+        sub = small_tree.subtree("G/A")
+        assert sub.root_id == "G/A"
+        assert len(sub) == 7
+        assert sub.depth("G/A") == 0
+
+
+class TestFilter:
+    def test_filter_keeps_ancestors(self, small_tree):
+        sub = small_tree.filter(lambda n: n.id == "G/A/U1/t-topic-alpha")
+        assert set(sub.node_ids()) == {"G", "G/A", "G/A/U1", "G/A/U1/t-topic-alpha"}
+
+    def test_filter_empty_keeps_root(self, small_tree):
+        sub = small_tree.filter(lambda n: False)
+        assert set(sub.node_ids()) == {"G"}
+
+    def test_filter_all_is_identity(self, small_tree):
+        sub = small_tree.filter(lambda n: True)
+        assert set(sub.node_ids()) == set(small_tree.node_ids())
+
+    def test_filter_preserves_child_order(self, small_tree):
+        sub = small_tree.filter(lambda n: True)
+        for nid in sub.node_ids():
+            assert sub.child_ids(nid) == small_tree.child_ids(nid)
+
+
+class TestTreeValidation:
+    def test_rejects_unknown_root(self):
+        with pytest.raises(ValueError):
+            GuidelineTree({}, {}, "missing")
+
+    def test_rejects_unknown_child(self):
+        nodes = {"r": OntologyNode("r", "root", NodeKind.ROOT)}
+        with pytest.raises(ValueError):
+            GuidelineTree(nodes, {"r": ("ghost",)}, "r")
+
+    def test_rejects_multiple_parents(self):
+        nodes = {
+            "r": OntologyNode("r", "root", NodeKind.ROOT),
+            "a": OntologyNode("a", "a", NodeKind.AREA),
+            "b": OntologyNode("b", "b", NodeKind.AREA),
+            "t": OntologyNode("t", "t", NodeKind.UNIT),
+        }
+        children = {"r": ("a", "b"), "a": ("t",), "b": ("t",)}
+        with pytest.raises(ValueError, match="multiple parents"):
+            GuidelineTree(nodes, children, "r")
+
+    def test_rejects_orphans(self):
+        nodes = {
+            "r": OntologyNode("r", "root", NodeKind.ROOT),
+            "x": OntologyNode("x", "x", NodeKind.AREA),
+        }
+        with pytest.raises(ValueError, match="unreachable"):
+            GuidelineTree(nodes, {"r": ()}, "r")
+
+    def test_validate_kind_nesting(self):
+        b = TreeBuilder("R", "root")
+        area = b.area("A", "area")
+        tree = b.build()
+        tree.validate()  # fine: area under root
+
+
+class TestBuilder:
+    def test_duplicate_id_rejected(self):
+        b = TreeBuilder("R", "root")
+        a = b.area("A", "area")
+        u = b.unit(a, "U", "unit")
+        b.topic(u, "same label")
+        with pytest.raises(ValueError, match="duplicate"):
+            b.topic(u, "same label")
+
+    def test_key_override_avoids_collision(self):
+        b = TreeBuilder("R", "root")
+        a = b.area("A", "area")
+        u = b.unit(a, "U", "unit")
+        b.topic(u, "same label")
+        tid = b.topic(u, "same label", key="second")
+        assert tid.endswith("t-second")
+
+    def test_unknown_parent_rejected(self):
+        b = TreeBuilder("R", "root")
+        with pytest.raises(KeyError):
+            b.unit("R/missing", "U", "unit")
+
+    def test_slug_generation(self):
+        b = TreeBuilder("R", "root")
+        a = b.area("A", "area")
+        u = b.unit(a, "U", "unit")
+        tid = b.topic(u, "Big O notation: use (Theta and Omega)")
+        assert tid == "R/A/U/t-big-o-notation-use-theta-and-omega"
+
+    def test_tier_inheritance_not_applied_by_builder(self):
+        # The builder stores exactly what it is given; inheritance is the
+        # curriculum schema's job.
+        b = TreeBuilder("R", "root")
+        a = b.area("A", "area")
+        u = b.unit(a, "U", "unit", tier=Tier.CORE1)
+        tid = b.topic(u, "topic")
+        tree = b.build()
+        assert tree[tid].tier is None
+
+
+class TestLevelIteration:
+    def test_iter_level_ids(self, small_tree):
+        areas = set(small_tree.iter_level_ids(1))
+        assert areas == {"G/A", "G/B"}
+        assert set(small_tree.iter_level_ids(0)) == {"G"}
+        assert len(list(small_tree.iter_level_ids(3))) == 6
+        assert list(small_tree.iter_level_ids(99)) == []

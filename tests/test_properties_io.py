@@ -1,0 +1,101 @@
+"""Property-based round-trip tests for the persistence layer."""
+
+import string
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.io.json_io import course_from_dict, course_to_dict
+from repro.io.dag_io import taskgraph_from_dict, taskgraph_to_dict
+from repro.materials.course import Course, CourseLabel
+from repro.materials.material import Material, MaterialType
+from repro.taskgraph.dag import TaskGraph
+
+_ident = st.text(alphabet=string.ascii_lowercase + "-", min_size=1, max_size=12)
+_tag = st.text(alphabet=string.ascii_lowercase + "/-", min_size=1, max_size=20)
+
+
+@st.composite
+def materials_strategy(draw, prefix: str):
+    n = draw(st.integers(0, 5))
+    out = []
+    for i in range(n):
+        out.append(
+            Material(
+                id=f"{prefix}/m{i}",
+                title=draw(_ident),
+                mtype=draw(st.sampled_from(list(MaterialType))),
+                mappings=frozenset(draw(st.sets(_tag, max_size=6))),
+                author=draw(st.one_of(st.just(""), _ident)),
+                course_level=draw(st.one_of(st.just(""), _ident)),
+                language=draw(st.one_of(st.just(""), _ident)),
+                datasets=tuple(draw(st.lists(_ident, max_size=2))),
+            )
+        )
+    return out
+
+
+@st.composite
+def courses_strategy(draw):
+    cid = draw(_ident)
+    return Course(
+        id=cid,
+        name=draw(_ident),
+        institution=draw(st.one_of(st.just(""), _ident)),
+        instructor=draw(st.one_of(st.just(""), _ident)),
+        labels=frozenset(draw(st.sets(st.sampled_from(list(CourseLabel)), max_size=3))),
+        materials=draw(materials_strategy(cid)),
+    )
+
+
+class TestCourseJsonProperties:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(courses_strategy())
+    def test_round_trip_exact(self, course):
+        back = course_from_dict(course_to_dict(course))
+        assert back.id == course.id
+        assert back.name == course.name
+        assert back.institution == course.institution
+        assert back.instructor == course.instructor
+        assert back.labels == course.labels
+        assert back.materials == course.materials
+
+    @settings(max_examples=20, deadline=None)
+    @given(courses_strategy())
+    def test_serialized_form_is_plain_data(self, course):
+        import json
+        text = json.dumps(course_to_dict(course))
+        assert isinstance(text, str)
+
+
+@st.composite
+def dag_strategy(draw):
+    n = draw(st.integers(1, 8))
+    names = [f"t{i}" for i in range(n)]
+    weights = {
+        t: draw(st.floats(0.0, 50.0, allow_nan=False, allow_infinity=False))
+        for t in names
+    }
+    edges = []
+    for i in range(1, n):
+        for j in range(i):
+            if draw(st.booleans()):
+                edges.append((names[j], names[i]))
+    return TaskGraph.from_edges(weights, edges)
+
+
+class TestDagJsonProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(dag_strategy())
+    def test_round_trip_preserves_structure(self, graph):
+        back = taskgraph_from_dict(taskgraph_to_dict(graph))
+        assert back.weights == graph.weights
+        assert {k: frozenset(v) for k, v in back.successors.items()} == \
+            {k: frozenset(v) for k, v in graph.successors.items()}
+
+    @settings(max_examples=25, deadline=None)
+    @given(dag_strategy())
+    def test_round_trip_preserves_metrics(self, graph):
+        back = taskgraph_from_dict(taskgraph_to_dict(graph))
+        assert back.work() == graph.work()
+        assert back.span() == graph.span()

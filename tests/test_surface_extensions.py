@@ -1,0 +1,163 @@
+"""Tests for the later surface additions: flavor naming, new DAG
+generators, schedule stats/export, repository stats, and the analytic
+tag-probability calibration check."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_flavors
+from repro.corpus.generator import (
+    CorpusConfig,
+    expected_tag_probability,
+    sample_course_tags,
+)
+from repro.materials import MaterialRepository
+from repro.materials.course import CourseLabel
+from repro.taskgraph import TaskGraph, list_schedule
+from repro.taskgraph.dag import pipeline_dag, reduction_tree_dag
+
+
+class TestFlavorNaming:
+    def test_canonical_cs1_types_named_sensibly(self, matrix, cs1_courses, cs2013):
+        sub = matrix.subset([c.id for c in cs1_courses])
+        fa = analyze_flavors(sub, cs2013, 3, seed=1)
+        descriptions = [p.describe() for p in fa.profiles]
+        text = " | ".join(descriptions)
+        assert "object-oriented" in text
+        assert "imperative" in text
+        assert "algorithmic" in text or "combinatorial" in text
+
+    def test_empty_profile(self):
+        from repro.analysis.flavors import TypeProfile
+        p = TypeProfile(index=0, area_mass={}, top_tags=(), member_courses=())
+        assert "(empty)" in p.describe()
+
+    def test_describe_includes_percentages(self, matrix, cs1_courses, cs2013):
+        sub = matrix.subset([c.id for c in cs1_courses])
+        fa = analyze_flavors(sub, cs2013, 3, seed=1)
+        for p in fa.profiles:
+            assert "%" in p.describe()
+
+
+class TestNewDagGenerators:
+    def test_reduction_tree_counts(self):
+        g = reduction_tree_dag(8)
+        assert g.n_tasks == 8 + 7  # leaves + internal combines
+        assert len(g.sinks()) == 1
+        assert g.span() == pytest.approx(1 + 3)  # leaf + log2(8) combines
+
+    def test_reduction_tree_odd_leaves(self):
+        g = reduction_tree_dag(5)
+        assert len(g.sinks()) == 1
+        assert g.n_tasks == 5 + 4
+
+    def test_reduction_tree_single_leaf(self):
+        g = reduction_tree_dag(1)
+        assert g.n_tasks == 1
+
+    def test_reduction_speedup_logarithmic(self):
+        g = reduction_tree_dag(64)
+        s = list_schedule(g, 64)
+        s.validate()
+        # Work ~127, span ~7: speedup well above 10 with enough processors.
+        assert s.speedup() > 10
+
+    def test_pipeline_shape(self):
+        g = pipeline_dag(3, 5)
+        assert g.n_tasks == 15
+        # Span = path through first item's stages then remaining items at
+        # the last stage: n_stages + n_items - 1.
+        assert g.span() == pytest.approx(3 + 5 - 1)
+
+    def test_pipeline_parallelism_bounded_by_stages(self):
+        g = pipeline_dag(3, 30)
+        s = list_schedule(g, 16)
+        s.validate()
+        assert s.speedup() <= 3 + 1e-9
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            reduction_tree_dag(0)
+        with pytest.raises(ValueError):
+            pipeline_dag(0, 3)
+
+
+class TestScheduleStats:
+    @pytest.fixture()
+    def schedule(self):
+        g = TaskGraph.from_edges(
+            {"a": 2.0, "b": 2.0, "c": 2.0}, [("a", "c")]
+        )
+        return list_schedule(g, 2)
+
+    def test_utilization_range(self, schedule):
+        u = schedule.utilization()
+        assert len(u) == 2
+        assert all(0.0 <= v <= 1.0 + 1e-9 for v in u)
+
+    def test_idle_plus_busy_consistent(self, schedule):
+        idle = schedule.idle_time()
+        busy = schedule.graph.work()
+        total = schedule.n_processors * schedule.makespan
+        assert idle + busy == pytest.approx(total)
+
+    def test_to_dict_round(self, schedule):
+        import json
+        d = schedule.to_dict()
+        assert d["format"] == "repro-schedule"
+        assert len(d["placements"]) == 3
+        json.dumps(d)  # JSON-compatible
+        for p in d["placements"]:
+            assert p["finish"] >= p["start"]
+
+    def test_empty_schedule_utilization(self):
+        s = list_schedule(TaskGraph({}), 3)
+        assert s.utilization() == [0.0, 0.0, 0.0]
+
+
+class TestRepositoryStats:
+    def test_counts(self, courses):
+        repo = MaterialRepository()
+        for c in list(courses)[:3]:
+            repo.add_course(c)
+        stats = repo.stats()
+        assert sum(stats["by_type"].values()) == repo.n_materials
+        assert "lecture" in stats["by_type"]
+        assert "exam" in stats["by_type"]
+
+    def test_empty_repo(self):
+        stats = MaterialRepository().stats()
+        assert stats == {"by_type": {}, "by_level": {}, "by_language": {}}
+
+
+class TestAnalyticTagProbability:
+    def test_matches_monte_carlo(self, cs2013):
+        """Analytic inclusion probability ≈ empirical frequency.
+
+        The jitter is lognormal with median 1 (mean e^{σ²/2} > 1), so the
+        analytic value underestimates slightly; accept a generous band.
+        """
+        mixture = {"pdc": 1.0}
+        # A high-probability PD tag.
+        tag = next(
+            t.id for t in cs2013.tags() if t.id.startswith("CS2013/PD/PF/t-")
+        )
+        p_analytic = expected_tag_probability(cs2013, tag, mixture)
+        hits = sum(
+            tag in sample_course_tags(cs2013, mixture, seed=s)
+            for s in range(300)
+        )
+        p_mc = hits / 300
+        assert abs(p_mc - p_analytic) < 0.2
+        assert p_analytic > 0.5
+
+    def test_zero_profile_tag_is_noise_only(self, cs2013):
+        config = CorpusConfig()
+        tag = next(t.id for t in cs2013.tags() if t.id.startswith("CS2013/NC/"))
+        p = expected_tag_probability(cs2013, tag, {"cs1-imperative": 1.0},
+                                     config=config)
+        assert p == pytest.approx(config.noise_rate)
+
+    def test_non_tag_rejected(self, cs2013):
+        with pytest.raises(ValueError):
+            expected_tag_probability(cs2013, "CS2013/PD", {"pdc": 1.0})

@@ -1,0 +1,253 @@
+"""Tests for the task-graph substrate: DAGs, scheduling, laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.taskgraph.dag import (
+    TaskGraph,
+    divide_and_conquer_dag,
+    fork_join_dag,
+    layered_random_dag,
+    wavefront_dag,
+)
+from repro.taskgraph.laws import amdahl_speedup, brent_bound, gustafson_speedup
+from repro.taskgraph.scheduling import PRIORITY_POLICIES, list_schedule
+
+
+@pytest.fixture()
+def diamond():
+    """a -> {b, c} -> d with unit-ish weights."""
+    return TaskGraph.from_edges(
+        {"a": 1.0, "b": 2.0, "c": 3.0, "d": 1.0},
+        [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+    )
+
+
+class TestTaskGraph:
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            TaskGraph.from_edges({"a": 1, "b": 1}, [("a", "b"), ("b", "a")])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            TaskGraph.from_edges({"a": 1}, [("a", "a")])
+
+    def test_unknown_edge_target_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGraph.from_edges({"a": 1}, [("a", "ghost")])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGraph({"a": -1.0})
+
+    def test_topological_order_respects_edges(self, diamond):
+        order = diamond.topological_order()
+        pos = {t: i for i, t in enumerate(order)}
+        for u, vs in diamond.successors.items():
+            for v in vs:
+                assert pos[u] < pos[v]
+
+    def test_work_and_span(self, diamond):
+        assert diamond.work() == 7.0
+        assert diamond.span() == 5.0  # a -> c -> d
+        assert diamond.parallelism() == pytest.approx(7.0 / 5.0)
+
+    def test_critical_path(self, diamond):
+        assert diamond.critical_path() == ["a", "c", "d"]
+
+    def test_sources_sinks(self, diamond):
+        assert diamond.sources() == ["a"]
+        assert diamond.sinks() == ["d"]
+
+    def test_bottom_levels(self, diamond):
+        levels = diamond.bottom_levels()
+        assert levels["d"] == 1.0
+        assert levels["c"] == 4.0
+        assert levels["b"] == 3.0
+        assert levels["a"] == 5.0
+
+    def test_empty_graph(self):
+        g = TaskGraph({})
+        assert g.work() == 0.0
+        assert g.span() == 0.0
+        assert g.parallelism() == 0.0
+        assert g.topological_order() == []
+
+    def test_independent_tasks(self):
+        g = TaskGraph({"a": 2.0, "b": 3.0})
+        assert g.span() == 3.0
+        assert g.work() == 5.0
+
+
+class TestGenerators:
+    def test_layered_shape(self):
+        g = layered_random_dag(4, 5, seed=0)
+        assert g.n_tasks == 20
+        assert g.n_edges >= 15  # at least one parent per non-source task
+
+    def test_layered_deterministic(self):
+        a = layered_random_dag(3, 4, seed=2)
+        b = layered_random_dag(3, 4, seed=2)
+        assert a.weights == b.weights and a.successors == b.successors
+
+    def test_fork_join(self):
+        g = fork_join_dag(6, seed=0)
+        assert g.n_tasks == 8
+        assert g.sources() == ["fork"]
+        assert g.sinks() == ["join"]
+        assert g.parallelism() > 2
+
+    def test_divide_and_conquer_counts(self):
+        g = divide_and_conquer_dag(3)
+        # 2^3 leaves + 2*(2^3 - 1) internal split/merge nodes.
+        assert g.n_tasks == 8 + 2 * 7
+        assert len(g.sources()) == 1 and len(g.sinks()) == 1
+
+    def test_divide_and_conquer_depth_zero(self):
+        g = divide_and_conquer_dag(0)
+        assert g.n_tasks == 1
+
+    def test_wavefront_span(self):
+        g = wavefront_dag(4, 6, weight=1.0)
+        # Longest path = rows + cols - 1 cells.
+        assert g.span() == 9.0
+        assert g.work() == 24.0
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            layered_random_dag(0, 3)
+        with pytest.raises(ValueError):
+            fork_join_dag(0)
+        with pytest.raises(ValueError):
+            divide_and_conquer_dag(-1)
+        with pytest.raises(ValueError):
+            wavefront_dag(0, 3)
+
+
+class TestListScheduling:
+    @pytest.mark.parametrize("policy", sorted(PRIORITY_POLICIES))
+    def test_schedule_valid_all_policies(self, policy):
+        g = layered_random_dag(5, 6, seed=1)
+        s = list_schedule(g, 3, policy=policy)
+        s.validate()
+
+    def test_single_processor_serial(self, diamond):
+        s = list_schedule(diamond, 1)
+        s.validate()
+        assert s.makespan == pytest.approx(diamond.work())
+        assert s.speedup() == pytest.approx(1.0)
+
+    def test_many_processors_hit_span(self, diamond):
+        s = list_schedule(diamond, 10)
+        s.validate()
+        assert s.makespan == pytest.approx(diamond.span())
+
+    def test_lower_bound_respected(self):
+        g = layered_random_dag(6, 8, seed=4)
+        for p in (1, 2, 4, 8):
+            s = list_schedule(g, p)
+            assert s.makespan >= s.lower_bound() - 1e-9
+
+    def test_graham_bound(self):
+        """Any list schedule is within (2 - 1/p) of the lower bound."""
+        g = layered_random_dag(6, 8, seed=5)
+        for p in (2, 4, 8):
+            s = list_schedule(g, p)
+            assert s.makespan <= (2 - 1 / p) * s.lower_bound() + 1e-9
+
+    def test_brent_bound_respected(self):
+        g = divide_and_conquer_dag(5)
+        for p in (2, 4, 16):
+            s = list_schedule(g, p)
+            assert s.makespan <= brent_bound(g.work(), g.span(), p) + 1e-9
+
+    def test_speedup_monotone_no_worse_than_half(self):
+        # More processors never hurt a greedy schedule by much; efficiency
+        # decreases monotonically.
+        g = layered_random_dag(8, 10, seed=6)
+        eff = [list_schedule(g, p).efficiency() for p in (1, 2, 4, 8)]
+        assert all(a >= b - 1e-9 for a, b in zip(eff, eff[1:]))
+
+    def test_bottom_level_beats_or_ties_fifo_usually(self):
+        wins = 0
+        for seed in range(8):
+            g = layered_random_dag(6, 8, seed=seed)
+            cp = list_schedule(g, 4, policy="bottom-level").makespan
+            ff = list_schedule(g, 4, policy="fifo").makespan
+            wins += cp <= ff + 1e-9
+        assert wins >= 5
+
+    def test_unknown_policy(self, diamond):
+        with pytest.raises(ValueError):
+            list_schedule(diamond, 2, policy="magic")
+
+    def test_zero_processors(self, diamond):
+        with pytest.raises(ValueError):
+            list_schedule(diamond, 0)
+
+    def test_processor_timeline_ordered(self):
+        g = layered_random_dag(4, 4, seed=7)
+        s = list_schedule(g, 2)
+        for p in range(2):
+            tl = s.processor_timeline(p)
+            for a, b in zip(tl, tl[1:]):
+                assert a.finish <= b.start + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 5), st.integers(2, 6), st.integers(1, 6),
+           st.integers(0, 1000))
+    def test_random_dags_schedule_feasibly(self, layers, width, p, seed):
+        g = layered_random_dag(layers, width, seed=seed)
+        s = list_schedule(g, p)
+        s.validate()
+        assert s.lower_bound() - 1e-9 <= s.makespan
+        assert s.makespan <= brent_bound(g.work(), g.span(), p) + 1e-9
+
+
+class TestLaws:
+    def test_amdahl_limits(self):
+        assert amdahl_speedup(0.0, 8) == pytest.approx(8.0)
+        assert amdahl_speedup(1.0, 8) == pytest.approx(1.0)
+        # Ceiling: 1/f as p -> infinity.
+        assert amdahl_speedup(0.25, 10**6) == pytest.approx(4.0, rel=1e-3)
+
+    def test_amdahl_monotone_in_p(self):
+        s = [amdahl_speedup(0.2, p) for p in (1, 2, 4, 8, 16)]
+        assert all(a <= b for a, b in zip(s, s[1:]))
+
+    def test_gustafson_linear(self):
+        assert gustafson_speedup(0.0, 16) == pytest.approx(16.0)
+        assert gustafson_speedup(1.0, 16) == pytest.approx(1.0)
+        assert gustafson_speedup(0.5, 10) == pytest.approx(5.5)
+
+    def test_gustafson_geq_amdahl(self):
+        for f in (0.1, 0.3, 0.7):
+            for p in (2, 8, 32):
+                assert gustafson_speedup(f, p) >= amdahl_speedup(f, p) - 1e-12
+
+    def test_brent(self):
+        assert brent_bound(100.0, 10.0, 10) == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(1.5, 2)
+        with pytest.raises(ValueError):
+            amdahl_speedup(0.5, 0)
+        with pytest.raises(ValueError):
+            gustafson_speedup(-0.1, 2)
+        with pytest.raises(ValueError):
+            brent_bound(-1, 0, 1)
+
+
+class TestPathLengths:
+    def test_critical_path_lengths(self, diamond):
+        lengths = diamond.critical_path_lengths()
+        assert lengths["a"] == 1.0
+        assert lengths["b"] == 3.0   # a + b
+        assert lengths["c"] == 4.0   # a + c
+        assert lengths["d"] == 5.0   # a + c + d
+
+    def test_predecessors(self, diamond):
+        assert set(diamond.predecessors("d")) == {"b", "c"}
+        assert diamond.predecessors("a") == ()

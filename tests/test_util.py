@@ -1,0 +1,143 @@
+"""Tests for repro.util: rng plumbing, tables, validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rng import as_rng, spawn_child
+from repro.util.tables import format_kv, format_table
+from repro.util.validation import (
+    check_finite,
+    check_matrix,
+    check_nonnegative,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        assert as_rng(7).random() == as_rng(7).random()
+
+    def test_different_seeds_differ(self):
+        assert as_rng(1).random() != as_rng(2).random()
+
+    def test_generator_passthrough_shares_state(self):
+        g = np.random.default_rng(0)
+        assert as_rng(g) is g
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(42)
+        assert isinstance(as_rng(ss), np.random.Generator)
+
+
+class TestSpawnChild:
+    def test_children_are_independent_of_draw_count(self):
+        # Consuming draws from one child must not perturb a sibling.
+        parent_a = as_rng(5)
+        kids_a = spawn_child(parent_a, n=2)
+        _ = kids_a[0].random(100)
+        val_a = kids_a[1].random()
+
+        parent_b = as_rng(5)
+        kids_b = spawn_child(parent_b, n=2)
+        val_b = kids_b[1].random()
+        assert val_a == val_b
+
+    def test_children_differ_from_each_other(self):
+        kids = spawn_child(as_rng(0), n=3)
+        vals = {k.random() for k in kids}
+        assert len(vals) == 3
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            spawn_child(as_rng(0), n=0)
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == ""
+
+    def test_alignment_and_header(self):
+        out = format_table([("a", 1), ("bbb", 22)], header=["name", "v"])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert lines[2].index("1") == lines[3].index("2")
+
+    def test_right_alignment(self):
+        out = format_table([("x", 1), ("y", 100)], align_right=[False, True])
+        lines = out.splitlines()
+        assert lines[0].endswith("1")
+        assert lines[1].endswith("100")
+
+    def test_ragged_rows_padded(self):
+        out = format_table([("a",), ("b", "c")])
+        assert len(out.splitlines()) == 2
+
+    @given(st.lists(
+        st.tuples(
+            st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=5),
+            st.integers(),
+        ),
+        max_size=8,
+    ))
+    def test_row_count_preserved(self, rows):
+        out = format_table(rows)
+        expected = len(rows) if rows else 0
+        assert len(out.splitlines()) == expected
+
+    def test_format_kv(self):
+        out = format_kv([("alpha", 1), ("b", 2)])
+        lines = out.splitlines()
+        assert lines[0].startswith("alpha")
+        assert ":" in lines[1]
+
+    def test_format_kv_empty(self):
+        assert format_kv([]) == ""
+
+
+class TestValidation:
+    def test_positive_int_ok(self):
+        assert check_positive_int(3, "n") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_positive_int_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError):
+            check_positive_int(bad, "n")
+
+    @pytest.mark.parametrize("bad", [1.5, "3", True])
+    def test_positive_int_rejects_wrong_type(self, bad):
+        with pytest.raises(TypeError):
+            check_positive_int(bad, "n")
+
+    def test_probability_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.01, "p")
+        with pytest.raises(ValueError):
+            check_probability(-0.01, "p")
+
+    def test_check_matrix_coerces(self):
+        m = check_matrix([[1, 2], [3, 4]])
+        assert m.dtype == float and m.shape == (2, 2)
+
+    def test_check_matrix_rejects_1d(self):
+        with pytest.raises(ValueError):
+            check_matrix(np.zeros(3))
+
+    def test_check_nonnegative(self):
+        check_nonnegative(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            check_nonnegative(np.array([[-1.0]]))
+
+    def test_check_finite(self):
+        check_finite(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            check_finite(np.array([[np.nan]]))
+        with pytest.raises(ValueError):
+            check_finite(np.array([[np.inf]]))

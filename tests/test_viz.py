@@ -1,0 +1,196 @@
+"""Tests for the visualization package."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.materials.hittree import HitTree, build_hit_tree
+from repro.materials.material import Material, MaterialType
+from repro.viz.ascii import ascii_bars, ascii_heatmap, ascii_histogram, ascii_matrix
+from repro.viz.color import diverging_color, hex_color, sequential_color
+from repro.viz.radial import _circular_mean, radial_layout
+from repro.viz.svg import SvgCanvas, render_heatmap_svg, render_radial_svg
+
+
+class TestAsciiHeatmap:
+    def test_row_count(self):
+        out = ascii_heatmap(np.random.default_rng(0).random((3, 4)))
+        assert len(out.splitlines()) == 3
+
+    def test_labels_included(self):
+        out = ascii_heatmap(np.ones((2, 2)), ["row-a", "row-b"], ["c1", "c2"])
+        assert "row-a" in out and "c1" in out
+        assert len(out.splitlines()) == 3
+
+    def test_zero_matrix_renders_blank_glyphs(self):
+        out = ascii_heatmap(np.zeros((2, 3)))
+        assert set(out.replace("\n", "")) <= {" "}
+
+    def test_max_value_uses_darkest_glyph(self):
+        out = ascii_heatmap(np.array([[0.0, 1.0]]))
+        assert "@" in out
+
+    def test_row_normalization(self):
+        m = np.array([[1.0, 0.5], [100.0, 50.0]])
+        rows = ascii_heatmap(m, normalize="row").splitlines()
+        # Identical patterns per row when normalized by row.
+        assert rows[0] == rows[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros(3))
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros((2, 2)), row_labels=["only-one"])
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros((2, 2)), normalize="wat")
+
+
+class TestAsciiHistogram:
+    def test_empty(self):
+        assert "(empty)" in ascii_histogram([])
+
+    def test_reports_stats(self):
+        out = ascii_histogram([5, 4, 3, 1], label="x ")
+        assert "n=4" in out and "max=5" in out and out.startswith("x ")
+
+    def test_width_respected(self):
+        out = ascii_histogram(list(range(200, 0, -1)), width=30)
+        strip = out.split("  ")[0]
+        assert len(strip) <= 31
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=100))
+    def test_never_crashes(self, values):
+        assert ascii_histogram(values)
+
+
+class TestAsciiBarsMatrix:
+    def test_bars(self):
+        out = ascii_bars([("SDF", 10.0), ("AL", 5.0)])
+        lines = out.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_bars_empty(self):
+        assert ascii_bars([]) == "(empty)"
+
+    def test_matrix(self):
+        out = ascii_matrix(np.array([[1, 0], [0, 1]]))
+        assert out == "x.\n.x"
+
+    def test_matrix_validation(self):
+        with pytest.raises(ValueError):
+            ascii_matrix(np.zeros(3))
+
+
+class TestColors:
+    def test_diverging_endpoints(self):
+        lo, mid, hi = diverging_color(-1), diverging_color(0), diverging_color(1)
+        assert lo != mid != hi
+        assert lo[2] > lo[0]   # negative side is blue
+        assert hi[0] > hi[2]   # positive side is red
+
+    def test_diverging_clamps(self):
+        assert diverging_color(-5) == diverging_color(-1)
+        assert diverging_color(5) == diverging_color(1)
+
+    def test_sequential_monotone_darkness(self):
+        vals = [sum(sequential_color(v)) for v in (0.0, 0.5, 1.0)]
+        assert vals[0] > vals[1] > vals[2]
+
+    def test_hex(self):
+        assert hex_color((255, 0, 16)) == "#ff0010"
+        with pytest.raises(ValueError):
+            hex_color((300, 0, 0))
+
+    @given(st.floats(-1, 1, allow_nan=False))
+    def test_diverging_valid_rgb(self, v):
+        rgb = diverging_color(v)
+        assert all(0 <= c <= 255 for c in rgb)
+
+
+class TestRadialLayout:
+    def test_reference_nodes_on_same_ring(self, small_tree):
+        layout = radial_layout(small_tree, ring_radius=50.0)
+        ref = layout.reference_level
+        radii = [
+            math.hypot(*layout.positions[nid])
+            for nid in small_tree.iter_preorder_ids()
+            if small_tree.depth(nid) == ref
+        ]
+        for r in radii:
+            assert r == pytest.approx(ref * 50.0, abs=1e-6)
+
+    def test_reference_angles_uniform(self, small_tree):
+        layout = radial_layout(small_tree)
+        ref_ids = [
+            nid for nid in small_tree.iter_preorder_ids()
+            if small_tree.depth(nid) == layout.reference_level
+        ]
+        angles = sorted(layout.angles[nid] for nid in ref_ids)
+        diffs = {round(b - a, 9) for a, b in zip(angles, angles[1:])}
+        assert len(diffs) == 1  # uniform spacing
+
+    def test_root_at_origin(self, small_tree):
+        layout = radial_layout(small_tree)
+        assert layout.positions[small_tree.root_id] == (0.0, 0.0)
+
+    def test_all_nodes_positioned(self, cs2013):
+        layout = radial_layout(cs2013)
+        assert set(layout.positions) == set(cs2013.node_ids())
+
+    def test_circular_mean_wraps(self):
+        m = _circular_mean([2 * math.pi - 0.1, 0.1])
+        assert m == pytest.approx(0.0, abs=1e-9) or m == pytest.approx(2 * math.pi, abs=1e-9)
+
+
+class TestSvg:
+    def test_canvas_document(self):
+        c = SvgCanvas(100, 50)
+        c.line(0, 0, 10, 10)
+        c.circle(5, 5, 2)
+        c.rect(1, 1, 3, 3)
+        c.text(0, 10, "hi <&>")
+        s = c.to_string()
+        assert s.startswith("<svg") and s.rstrip().endswith("</svg>")
+        assert "&lt;" in s and "&amp;" in s  # escaping
+
+    def test_canvas_validation(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(0, 10)
+
+    def test_radial_svg_well_formed(self, small_tree):
+        mats = [Material("m", "m", MaterialType.LECTURE,
+                         frozenset({"G/A/U1/t-topic-alpha"}))]
+        ht = build_hit_tree(mats, small_tree)
+        svg = render_radial_svg(ht)
+        import xml.etree.ElementTree as ET
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        circles = [e for e in root.iter() if e.tag.endswith("circle")]
+        assert len(circles) == len(ht.tree)
+
+    def test_radial_svg_root_red(self, small_tree):
+        mats = [Material("m", "m", MaterialType.LECTURE,
+                         frozenset({"G/A/U1/t-topic-alpha"}))]
+        svg = render_radial_svg(build_hit_tree(mats, small_tree))
+        assert "#d62728" in svg  # the paper's red root
+
+    def test_heatmap_svg_cells(self):
+        svg = render_heatmap_svg(np.random.default_rng(0).random((3, 5)), ["a", "b", "c"])
+        assert svg.count("<rect") == 15
+        assert svg.count("<text") == 3
+
+    def test_heatmap_validation(self):
+        with pytest.raises(ValueError):
+            render_heatmap_svg(np.zeros(4))
+        with pytest.raises(ValueError):
+            render_heatmap_svg(np.zeros((2, 2)), normalize="wat")
+
+
+class TestRadiusOf:
+    def test_radius_scales_with_depth(self, small_tree):
+        layout = radial_layout(small_tree, ring_radius=40.0)
+        assert layout.radius_of(small_tree.root_id) == 0.0
+        assert layout.radius_of("G/A") == 40.0
+        assert layout.radius_of("G/A/U1") == 80.0

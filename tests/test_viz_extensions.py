@@ -1,0 +1,108 @@
+"""Tests for the Gantt and text-tree renderers."""
+
+import pytest
+
+from repro.materials.hittree import build_hit_tree, alignment_hit_tree
+from repro.materials.material import Material, MaterialType
+from repro.taskgraph import TaskGraph, layered_random_dag, list_schedule
+from repro.viz.gantt import ascii_gantt
+from repro.viz.treetext import render_hit_tree_text, render_tree_text
+
+
+class TestGantt:
+    def test_line_per_processor(self):
+        g = layered_random_dag(3, 4, seed=0)
+        s = list_schedule(g, 3)
+        out = ascii_gantt(s, width=50)
+        lines = out.splitlines()
+        assert len(lines) == 3 + 2  # processors + frame + time scale
+        assert lines[0].startswith("P0")
+
+    def test_empty_schedule(self):
+        s = list_schedule(TaskGraph({}), 2)
+        assert "(empty schedule)" in ascii_gantt(s)
+
+    def test_busy_processor_has_no_leading_idle(self):
+        g = TaskGraph({"a": 4.0})
+        s = list_schedule(g, 1)
+        row = ascii_gantt(s, width=40).splitlines()[0]
+        body = row.split("|")[1]
+        assert "." not in body  # single task fills the whole makespan
+
+    def test_width_validated(self):
+        g = TaskGraph({"a": 1.0})
+        with pytest.raises(ValueError):
+            ascii_gantt(list_schedule(g, 1), width=5)
+
+    def test_idle_shown_when_parallel(self):
+        # Two tasks of unequal size on two processors -> idle tail on one.
+        g = TaskGraph({"a": 1.0, "b": 10.0})
+        s = list_schedule(g, 2)
+        out = ascii_gantt(s, width=40)
+        assert "." in out
+
+
+class TestTreeText:
+    def test_connector_structure(self, small_tree):
+        out = render_tree_text(small_tree)
+        assert out.splitlines()[0] == "Tiny guideline"
+        assert "├─ " in out and "└─ " in out
+        assert len(out.splitlines()) == len(small_tree)
+
+    def test_custom_labels(self, small_tree):
+        out = render_tree_text(small_tree, label_of=lambda nid: nid)
+        assert "G/A/U1" in out
+
+    def test_truncation(self, small_tree):
+        out = render_tree_text(small_tree, max_label=5)
+        assert "…" in out
+
+    def test_hit_tree_weights_shown(self, small_tree):
+        mats = [Material("m", "m", MaterialType.LECTURE,
+                         frozenset({"G/A/U1/t-topic-alpha"}))]
+        ht = build_hit_tree(mats, small_tree)
+        out = render_hit_tree_text(ht)
+        assert "[1]" in out
+
+    def test_alignment_colors_shown(self, small_tree):
+        a = [Material("a", "a", MaterialType.LECTURE,
+                      frozenset({"G/A/U1/t-topic-alpha"}))]
+        b = [Material("b", "b", MaterialType.EXAM,
+                      frozenset({"G/B/U3/t-topic-delta"}))]
+        ht = alignment_hit_tree(a, b, small_tree)
+        out = render_hit_tree_text(ht)
+        assert "(-1.00)" in out and "(+1.00)" in out
+
+
+class TestAsciiScatter:
+    def test_empty(self):
+        from repro.viz.ascii import ascii_scatter
+        assert ascii_scatter({}) == "(no points)"
+
+    def test_framed_grid(self):
+        from repro.viz.ascii import ascii_scatter
+        out = ascii_scatter({"aa": (0.0, 0.0), "bb": (1.0, 1.0)},
+                            width=20, height=6)
+        lines = out.splitlines()
+        assert lines[0].startswith("+") and lines[-1].startswith("+")
+        assert len(lines) == 8
+        assert all(len(l) == 22 for l in lines)
+
+    def test_extremes_placed_at_corners(self):
+        from repro.viz.ascii import ascii_scatter
+        out = ascii_scatter({"lo": (0.0, 0.0), "hi": (1.0, 1.0)},
+                            width=10, height=5, label_points=False)
+        lines = out.splitlines()[1:-1]
+        assert lines[0][1] == " " and lines[0][-2] == "o"   # hi at top-right
+        assert lines[-1][1] == "o"                          # lo at bottom-left
+
+    def test_degenerate_single_point(self):
+        from repro.viz.ascii import ascii_scatter
+        out = ascii_scatter({"only": (3.0, 3.0)}, width=12, height=5)
+        assert "o" in out
+
+    def test_too_small_rejected(self):
+        import pytest as _pytest
+        from repro.viz.ascii import ascii_scatter
+        with _pytest.raises(ValueError):
+            ascii_scatter({"a": (0, 0)}, width=4, height=2)

@@ -1,0 +1,157 @@
+"""Tests for the workshop-series simulation."""
+
+import pytest
+
+from repro.workshops.simulation import (
+    ClassificationNoise,
+    Workshop,
+    WorkshopSeries,
+    simulate_workshop_series,
+)
+from repro.materials.material import Material, MaterialType
+from repro.corpus.roster import ROSTER
+
+
+@pytest.fixture(scope="module")
+def result(cs2013_module):
+    return simulate_workshop_series(WorkshopSeries(cs2013_module), seed=7)
+
+
+@pytest.fixture(scope="module")
+def cs2013_module():
+    from repro.curriculum import load_cs2013
+    return load_cs2013()
+
+
+class TestSeriesShape:
+    def test_counts(self, result):
+        assert result.n_classified == 31
+        assert len(result.retained) == 20
+        assert len(result.excluded) == 11
+
+    def test_exclusion_log_matches(self, result):
+        assert set(result.exclusion_log) == {c.id for c in result.excluded}
+        assert all(reason for reason in result.exclusion_log.values())
+
+    def test_attendee_count_per_workshop(self, result):
+        for w in result.workshops[:-1]:
+            assert len(w.attendees) == 10
+        assert sum(len(w.attendees) for w in result.workshops) == 31
+
+    def test_retained_order_follows_roster(self, result):
+        assert [c.id for c in result.retained] == [e.id for e in ROSTER]
+
+    def test_deterministic(self, cs2013_module):
+        a = simulate_workshop_series(WorkshopSeries(cs2013_module), seed=9)
+        b = simulate_workshop_series(WorkshopSeries(cs2013_module), seed=9)
+        assert [c.tag_set() for c in a.retained] == [c.tag_set() for c in b.retained]
+
+    def test_courses_nonempty(self, result):
+        for c in result.retained:
+            assert len(c.materials) > 0
+            assert len(c.tag_set()) > 0
+
+
+class TestWorkshopValidation:
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            Workshop("w", "here", "hybrid", ())
+
+
+class TestClassificationNoise:
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ValueError):
+            ClassificationNoise(drop_rate=1.0)
+        with pytest.raises(ValueError):
+            ClassificationNoise(displace_rate=-0.1)
+
+    def test_zero_noise_is_identity(self, cs2013_module, rng):
+        tags = frozenset(cs2013_module.tag_ids()[:10])
+        m = Material("m", "t", MaterialType.LECTURE, tags)
+        noise = ClassificationNoise(0.0, 0.0)
+        assert noise.apply(m, cs2013_module, rng).mappings == tags
+
+    def test_drop_only_shrinks(self, cs2013_module, rng):
+        tags = frozenset(cs2013_module.tag_ids()[:50])
+        m = Material("m", "t", MaterialType.LECTURE, tags)
+        noise = ClassificationNoise(0.5, 0.0)
+        out = noise.apply(m, cs2013_module, rng).mappings
+        assert out < tags
+
+    def test_displacement_keeps_tags_in_tree(self, cs2013_module, rng):
+        tags = frozenset(cs2013_module.tag_ids()[:50])
+        m = Material("m", "t", MaterialType.LECTURE, tags)
+        noise = ClassificationNoise(0.0, 0.9)
+        out = noise.apply(m, cs2013_module, rng).mappings
+        assert all(t in cs2013_module for t in out)
+
+    def test_displacement_moves_to_siblings(self, cs2013_module, rng):
+        tags = frozenset(list(cs2013_module.tag_ids())[:30])
+        m = Material("m", "t", MaterialType.LECTURE, tags)
+        noise = ClassificationNoise(0.0, 0.9)
+        out = noise.apply(m, cs2013_module, rng).mappings
+        displaced = out - tags
+        for t in displaced:
+            parent = cs2013_module.parent_id(t)
+            assert any(
+                cs2013_module.parent_id(orig) == parent for orig in tags
+            )
+
+    def test_empty_material_passthrough(self, cs2013_module, rng):
+        m = Material("m", "t", MaterialType.LECTURE, frozenset())
+        noise = ClassificationNoise(0.5, 0.5)
+        assert noise.apply(m, cs2013_module, rng) is m
+
+    def test_noise_applied_in_series(self, cs2013_module):
+        """With heavy drop noise, retained courses shrink measurably."""
+        clean = simulate_workshop_series(
+            WorkshopSeries(cs2013_module, noise=ClassificationNoise(0.0, 0.0)),
+            seed=3,
+        )
+        noisy = simulate_workshop_series(
+            WorkshopSeries(cs2013_module, noise=ClassificationNoise(0.4, 0.0)),
+            seed=3,
+        )
+        clean_total = sum(len(c.tag_set()) for c in clean.retained)
+        noisy_total = sum(len(c.tag_set()) for c in noisy.retained)
+        assert noisy_total < clean_total
+
+
+class TestCollectionGrowth:
+    def test_three_year_buildup(self, cs2013_module):
+        from repro.workshops import WorkshopSeries, simulate_collection_growth
+        snaps = simulate_collection_growth(
+            WorkshopSeries(cs2013_module), n_years=3, seed=44
+        )
+        assert [s.year for s in snaps] == [1, 2, 3]
+        sizes = [len(s.cumulative) for s in snaps]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == 20
+        # Waves partition the roster without overlap.
+        all_new = [cid for s in snaps for cid in s.new_course_ids]
+        assert len(all_new) == len(set(all_new)) == 20
+
+    def test_content_matches_single_shot(self, cs2013_module):
+        from repro.workshops import (
+            WorkshopSeries, simulate_collection_growth, simulate_workshop_series,
+        )
+        series = WorkshopSeries(cs2013_module)
+        snaps = simulate_collection_growth(series, n_years=3, seed=7)
+        single = simulate_workshop_series(series, seed=7)
+        final = {c.id: c.tag_set() for c in snaps[-1].cumulative}
+        direct = {c.id: c.tag_set() for c in single.retained}
+        assert final == direct
+
+    def test_single_year_is_everything(self, cs2013_module):
+        from repro.workshops import WorkshopSeries, simulate_collection_growth
+        snaps = simulate_collection_growth(
+            WorkshopSeries(cs2013_module), n_years=1, seed=1
+        )
+        assert len(snaps) == 1
+        assert len(snaps[0].cumulative) == 20
+
+    def test_bad_years_rejected(self, cs2013_module):
+        import pytest as _pytest
+        from repro.workshops import WorkshopSeries, simulate_collection_growth
+        with _pytest.raises(ValueError):
+            simulate_collection_growth(WorkshopSeries(cs2013_module), n_years=0)

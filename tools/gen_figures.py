@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Regenerate every figure artifact (SVGs + heat maps) into a directory.
+
+Usage:  python tools/gen_figures.py [outdir]   (default: figures/)
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro import (
+    CourseLabel,
+    FIG2_NMF_SEED,
+    FIG5_NMF_SEED,
+    FIG7_NMF_SEED,
+    agreement,
+    agreement_tree,
+    analyze_flavors,
+    load_canonical_dataset,
+    type_courses,
+)
+from repro.materials.hittree import HitTree
+from repro.viz import render_heatmap_svg, render_radial_svg
+
+
+def main() -> None:
+    outdir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "figures")
+    outdir.mkdir(parents=True, exist_ok=True)
+    tree, courses, matrix = load_canonical_dataset()
+    written: list[pathlib.Path] = []
+
+    def write(name: str, content: str) -> None:
+        path = outdir / name
+        path.write_text(content)
+        written.append(path)
+
+    # Figure 2 — W heat map of the all-course factorization.
+    typing = type_courses(matrix, 4, seed=FIG2_NMF_SEED)
+    write("fig2_w_matrix.svg",
+          render_heatmap_svg(typing.w_normalized, list(matrix.course_ids)))
+
+    # Figures 4/6/8 — agreement trees.
+    families = {
+        "fig4_cs1": ([c for c in courses if CourseLabel.CS1 in c.labels], (2, 3, 4)),
+        "fig6_ds": ([c for c in courses if CourseLabel.DS in c.labels], (2, 3, 4)),
+        "fig8_pdc": ([c for c in courses if CourseLabel.PDC in c.labels], (2,)),
+    }
+    for prefix, (family, thresholds) in families.items():
+        res = agreement(family, tree=tree)
+        for thr in thresholds:
+            sub = agreement_tree(family, tree, thr)
+            ht = HitTree(sub, {n: res.counts.get(n, 1) for n in sub.node_ids()})
+            write(f"{prefix}_agreement_{thr}.svg", render_radial_svg(ht))
+
+    # Figures 5/7 — family W heat maps.
+    cs1_ids = [c.id for c in courses if CourseLabel.CS1 in c.labels]
+    fa = analyze_flavors(matrix.subset(cs1_ids), tree, 3, seed=FIG5_NMF_SEED)
+    write("fig5_cs1_w_matrix.svg",
+          render_heatmap_svg(fa.typing.w_normalized, cs1_ids))
+    ds_ids = [
+        c.id for c in courses
+        if CourseLabel.DS in c.labels or CourseLabel.ALGO in c.labels
+    ]
+    fd = analyze_flavors(matrix.subset(ds_ids), tree, 3, seed=FIG7_NMF_SEED)
+    write("fig7_ds_w_matrix.svg",
+          render_heatmap_svg(fd.typing.w_normalized, ds_ids))
+
+    for path in written:
+        print(f"wrote {path}")
+    print(f"{len(written)} figures in {outdir}/")
+
+
+if __name__ == "__main__":
+    main()
