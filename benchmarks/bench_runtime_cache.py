@@ -1,0 +1,100 @@
+"""Performance P2 — content-addressed factorization caching.
+
+Figure and benchmark sessions re-run identical factorizations constantly
+(same canonical matrix, same solver config, same seeds).  This bench
+measures what :mod:`repro.runtime.cache` buys: the warm path must be an
+order of magnitude faster than the cold path while returning bit-identical
+arrays, and the on-disk layer must survive a "process restart" (modeled as
+a fresh :class:`ResultCache` over the same directory).
+"""
+
+import time
+
+import numpy as np
+
+from repro.factorization.nmf import nmf_restart_specs
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import run_nmf_fits
+
+
+def _workload():
+    """A batch big enough that solving dwarfs hashing (~200x500, 6 fits)."""
+    rng = np.random.default_rng(23)
+    a = np.abs(rng.standard_normal((200, 500)))
+    specs = nmf_restart_specs(
+        a, 5, seed=0, solver="mu", init="random", n_restarts=6,
+        max_iter=100, tol=0.0,
+    )
+    return a, specs
+
+
+def _assert_identical(xs, ys):
+    for x, y in zip(xs, ys):
+        assert np.array_equal(x["w"], y["w"])
+        assert np.array_equal(x["h"], y["h"])
+        assert float(x["err"]) == float(y["err"])
+
+
+def test_warm_cache_is_10x_faster(tmp_path):
+    """Second identical batch ≥10x faster than the cold run, same bits."""
+    a, specs = _workload()
+    cache = ResultCache(cache_dir=tmp_path / "cache")
+
+    t0 = time.perf_counter()
+    cold = run_nmf_fits(a, specs, cache=cache)
+    t_cold = time.perf_counter() - t0
+    assert cache.stats.misses == len(specs)
+
+    t0 = time.perf_counter()
+    warm = run_nmf_fits(a, specs, cache=cache)
+    t_warm = time.perf_counter() - t0
+    assert cache.stats.hits == len(specs)
+
+    _assert_identical(cold, warm)
+    ratio = t_cold / max(t_warm, 1e-9)
+    print(f"\ncold {t_cold * 1e3:.1f}ms, warm {t_warm * 1e3:.1f}ms "
+          f"-> {ratio:.0f}x")
+    assert ratio >= 10.0, (
+        f"warm cache only {ratio:.1f}x faster (cold {t_cold:.3f}s, "
+        f"warm {t_warm:.3f}s)"
+    )
+
+
+def test_disk_layer_survives_restart(tmp_path):
+    """A fresh cache over the same directory serves every fit from disk."""
+    a, specs = _workload()
+    cache_dir = tmp_path / "cache"
+
+    first = ResultCache(cache_dir=cache_dir)
+    t0 = time.perf_counter()
+    cold = run_nmf_fits(a, specs, cache=first)
+    t_cold = time.perf_counter() - t0
+
+    reborn = ResultCache(cache_dir=cache_dir)  # empty memory, warm disk
+    t0 = time.perf_counter()
+    warm = run_nmf_fits(a, specs, cache=reborn)
+    t_disk = time.perf_counter() - t0
+    assert reborn.stats.disk_hits == len(specs)
+
+    _assert_identical(cold, warm)
+    print(f"\ncold {t_cold * 1e3:.1f}ms, disk-warm {t_disk * 1e3:.1f}ms "
+          f"-> {t_cold / max(t_disk, 1e-9):.0f}x")
+    assert t_disk < t_cold
+
+
+def test_cache_distinguishes_configs(tmp_path):
+    """Nearby-but-different inputs never alias to the same entry."""
+    a, specs = _workload()
+    cache = ResultCache(cache_dir=tmp_path / "cache")
+    run_nmf_fits(a, specs[:1], cache=cache)
+
+    # Different solver parameters -> miss.
+    tweaked = dict(specs[0], max_iter=101)
+    run_nmf_fits(a, [tweaked], cache=cache)
+    # Different matrix content (one bit) -> miss.
+    a2 = a.copy()
+    a2[0, 0] += 1.0
+    run_nmf_fits(a2, specs[:1], cache=cache)
+
+    assert cache.stats.hits == 0
+    assert cache.stats.misses == 3

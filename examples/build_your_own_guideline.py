@@ -11,6 +11,17 @@ in this library works for any tree-structured standard.
 Usage:  python examples/build_your_own_guideline.py
 """
 
+# Bootstrap for source checkouts: when `repro` is not installed (and
+# PYTHONPATH is unset), make ../src importable so this script runs
+# standalone from any directory.
+import pathlib as _pathlib
+import sys as _sys
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    _sys.path.insert(0, str(_pathlib.Path(__file__).resolve().parent.parent / "src"))
+
 from repro import Course, Material, MaterialType, agreement, build_hit_tree, coverage
 from repro.ontology import TreeBuilder, reference_level
 from repro.ontology.node import Mastery, Tier

@@ -9,6 +9,17 @@ alignment, and a radial hit-tree exported as SVG.
 Usage:  python examples/classify_a_course.py [output.svg]
 """
 
+# Bootstrap for source checkouts: when `repro` is not installed (and
+# PYTHONPATH is unset), make ../src importable so this script runs
+# standalone from any directory.
+import pathlib as _pathlib
+import sys as _sys
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    _sys.path.insert(0, str(_pathlib.Path(__file__).resolve().parent.parent / "src"))
+
 import sys
 
 from repro import (

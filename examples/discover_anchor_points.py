@@ -10,6 +10,17 @@
 Usage:  python examples/discover_anchor_points.py [seed]
 """
 
+# Bootstrap for source checkouts: when `repro` is not installed (and
+# PYTHONPATH is unset), make ../src importable so this script runs
+# standalone from any directory.
+import pathlib as _pathlib
+import sys as _sys
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    _sys.path.insert(0, str(_pathlib.Path(__file__).resolve().parent.parent / "src"))
+
 import sys
 
 import numpy as np

@@ -14,6 +14,17 @@ counts until speedup saturates at the graph's parallelism.
 Usage:  python examples/parallel_taskgraph_assignment.py
 """
 
+# Bootstrap for source checkouts: when `repro` is not installed (and
+# PYTHONPATH is unset), make ../src importable so this script runs
+# standalone from any directory.
+import pathlib as _pathlib
+import sys as _sys
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    _sys.path.insert(0, str(_pathlib.Path(__file__).resolve().parent.parent / "src"))
+
 from repro.taskgraph import (
     amdahl_speedup,
     brent_bound,

@@ -12,6 +12,17 @@ picks.
 Usage:  python examples/recommend_pdc_materials.py
 """
 
+# Bootstrap for source checkouts: when `repro` is not installed (and
+# PYTHONPATH is unset), make ../src importable so this script runs
+# standalone from any directory.
+import pathlib as _pathlib
+import sys as _sys
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    _sys.path.insert(0, str(_pathlib.Path(__file__).resolve().parent.parent / "src"))
+
 from repro import load_canonical_dataset, load_pdc12
 from repro.anchors import coverage_gain, recommend_materials
 from repro.materials import external_collections, load_external_materials

@@ -11,6 +11,17 @@ against another section of the same course.
 Usage:  python examples/workshop_day2_analysis.py [course-id]
 """
 
+# Bootstrap for source checkouts: when `repro` is not installed (and
+# PYTHONPATH is unset), make ../src importable so this script runs
+# standalone from any directory.
+import pathlib as _pathlib
+import sys as _sys
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    _sys.path.insert(0, str(_pathlib.Path(__file__).resolve().parent.parent / "src"))
+
 import sys
 
 from repro import (

@@ -96,6 +96,7 @@ from repro.materials import (
     similarity_graph,
 )
 from repro.workshops import WorkshopSeries, simulate_workshop_series
+from repro import runtime
 
 __version__ = "1.0.0"
 
@@ -160,4 +161,6 @@ __all__ = [
     "duplicate_dimension_score",
     "singleton_dimension_score",
     "stability_score",
+    # execution substrate
+    "runtime",
 ]

@@ -17,6 +17,7 @@ from repro.analysis.matrix import CourseMatrix
 from repro.analysis.typing import CourseTyping, type_courses
 from repro.ontology.queries import area_of
 from repro.ontology.tree import GuidelineTree
+from repro.runtime.metrics import metrics
 from repro.util.rng import RngLike
 
 
@@ -110,6 +111,7 @@ def analyze_flavors(
     init: str = "random",
     top_n: int = 15,
     membership_threshold: float = 0.25,
+    workers: int | None = None,
 ) -> FlavorAnalysis:
     """Factor a family matrix and interpret each type.
 
@@ -117,7 +119,10 @@ def analyze_flavors(
     analyses (k=2 under-separates, k=4 duplicates a dimension — verified by
     :mod:`~repro.analysis.model_selection`).
     """
-    typing = type_courses(matrix, k, seed=seed, solver=solver, init=init)
+    typing = type_courses(
+        matrix, k, seed=seed, solver=solver, init=init, workers=workers
+    )
+    metrics.inc("flavors.analyses")
     h, w_n = typing.h, typing.w_normalized
     profiles = []
     for t in range(k):

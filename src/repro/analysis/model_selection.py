@@ -22,7 +22,9 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis.matrix import CourseMatrix
-from repro.factorization.nmf import NMF
+from repro.factorization.nmf import nmf_restart_specs
+from repro.runtime.executor import run_nmf_fits
+from repro.runtime.metrics import metrics
 from repro.util.rng import RngLike, as_rng
 
 _EPS = np.finfo(np.float64).eps
@@ -86,6 +88,15 @@ def _match_types(h_a: np.ndarray, h_b: np.ndarray) -> float:
     return total / k
 
 
+def _stability_from_hs(hs: Sequence[np.ndarray]) -> float:
+    """Mean pairwise matched-type similarity over a set of H matrices."""
+    n = len(hs)
+    scores = [
+        _match_types(hs[i], hs[j]) for i in range(n) for j in range(i + 1, n)
+    ]
+    return float(np.mean(scores))
+
+
 def stability_score(
     matrix: CourseMatrix,
     k: int,
@@ -93,27 +104,22 @@ def stability_score(
     n_runs: int = 5,
     seed: RngLike = None,
     solver: str = "hals",
+    workers: int | None = None,
 ) -> float:
     """Mean pairwise matched-type similarity across random restarts.
 
     1.0 = every restart finds the same types; low values flag ranks where
-    the factorization is re-initialization-dependent.
+    the factorization is re-initialization-dependent.  The restarts fan
+    out through :mod:`repro.runtime` (identical results for any
+    ``workers``).
     """
     if n_runs < 2:
         raise ValueError("stability needs at least 2 runs")
-    rng = as_rng(seed)
-    hs = []
-    for _ in range(n_runs):
-        model = NMF(k, solver=solver, init="random", seed=rng)
-        model.fit_transform(matrix.matrix)
-        assert model.components_ is not None
-        hs.append(model.components_)
-    scores = [
-        _match_types(hs[i], hs[j])
-        for i in range(n_runs)
-        for j in range(i + 1, n_runs)
-    ]
-    return float(np.mean(scores))
+    specs = nmf_restart_specs(
+        matrix.matrix, k, seed=seed, solver=solver, init="random", n_restarts=n_runs
+    )
+    results = run_nmf_fits(matrix.matrix, specs, workers=workers)
+    return _stability_from_hs([r["h"] for r in results])
 
 
 @dataclass(frozen=True)
@@ -134,23 +140,50 @@ def k_sweep(
     seed: RngLike = None,
     solver: str = "hals",
     stability_runs: int = 4,
+    workers: int | None = None,
 ) -> list[KSweepEntry]:
-    """Fit every ``k`` and collect all three diagnostics (ablation A1)."""
+    """Fit every ``k`` and collect all three diagnostics (ablation A1).
+
+    The sweep is a single runtime batch: every fit — one diagnostic fit
+    plus ``stability_runs`` stability fits per candidate ``k`` — has its
+    initialization pre-drawn in the order the sequential loop would draw
+    it, then all of them dispatch together through
+    :func:`repro.runtime.run_nmf_fits`.  Results are bit-identical to the
+    serial sweep while parallelism spans candidate ranks *and* restarts.
+    """
+    if stability_runs < 2:
+        raise ValueError("stability needs at least 2 runs")
     rng = as_rng(seed)
-    out: list[KSweepEntry] = []
+    specs: list[dict] = []
+    layout: list[tuple[int, int, slice]] = []
     for k in ks:
-        model = NMF(k, solver=solver, init="random", seed=rng)
-        w = model.fit_transform(matrix.matrix)
-        assert model.components_ is not None
+        main = len(specs)
+        specs.extend(
+            nmf_restart_specs(
+                matrix.matrix, k, seed=rng, solver=solver, init="random",
+                n_restarts=1,
+            )
+        )
+        stab = slice(len(specs), len(specs) + stability_runs)
+        specs.extend(
+            nmf_restart_specs(
+                matrix.matrix, k, seed=rng, solver=solver, init="random",
+                n_restarts=stability_runs,
+            )
+        )
+        layout.append((k, main, stab))
+    with metrics.timer("model_selection.k_sweep"):
+        results = run_nmf_fits(matrix.matrix, specs, workers=workers)
+    out: list[KSweepEntry] = []
+    for k, main, stab in layout:
+        bundle = results[main]
         out.append(
             KSweepEntry(
                 k=k,
-                reconstruction_err=model.reconstruction_err_,
-                duplicate_score=duplicate_dimension_score(model.components_),
-                singleton_score=singleton_dimension_score(w),
-                stability=stability_score(
-                    matrix, k, n_runs=stability_runs, seed=rng, solver=solver
-                ),
+                reconstruction_err=float(bundle["err"]),
+                duplicate_score=duplicate_dimension_score(bundle["h"]),
+                singleton_score=singleton_dimension_score(bundle["w"]),
+                stability=_stability_from_hs([r["h"] for r in results[stab]]),
             )
         )
     return out

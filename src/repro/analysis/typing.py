@@ -18,8 +18,9 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis.matrix import CourseMatrix
-from repro.factorization.nmf import NMF
+from repro.factorization.nmf import nmf_restart_specs
 from repro.materials.course import Course, CourseLabel
+from repro.runtime.executor import run_nmf_fits
 from repro.util.rng import RngLike
 
 
@@ -122,6 +123,7 @@ def type_courses(
     solver: str = "hals",
     init: str = "random",
     n_restarts: int = 4,
+    workers: int | None = None,
 ) -> CourseTyping:
     """Fit NNMF with ``k`` dimensions to a course matrix.
 
@@ -130,21 +132,24 @@ def type_courses(
     solver family), k=4 for the all-course analysis.  Random init is
     restarted ``n_restarts`` times and the lowest-reconstruction-error fit
     kept (deterministic inits run once).
-    """
-    from repro.util.rng import as_rng
 
-    rng = as_rng(seed)
-    runs = n_restarts if init in ("random",) else 1
+    Restarts dispatch through :mod:`repro.runtime`: initializations are
+    drawn up front from the shared generator (so results are bit-identical
+    to the sequential loop for any ``workers``), solves fan out across
+    processes, and repeated identical fits are served from the result
+    cache.
+    """
+    specs = nmf_restart_specs(
+        matrix.matrix, k, seed=seed, solver=solver, init=init, n_restarts=n_restarts
+    )
+    results = run_nmf_fits(matrix.matrix, specs, workers=workers)
     best: CourseTyping | None = None
-    for _ in range(max(runs, 1)):
-        model = NMF(k, solver=solver, init=init, seed=rng)
-        w = model.fit_transform(matrix.matrix)
-        assert model.components_ is not None
+    for bundle in results:
         cand = CourseTyping(
             matrix=matrix,
-            w=w,
-            h=model.components_,
-            reconstruction_err=model.reconstruction_err_,
+            w=bundle["w"],
+            h=bundle["h"],
+            reconstruction_err=float(bundle["err"]),
         )
         if best is None or cand.reconstruction_err < best.reconstruction_err:
             best = cand

@@ -320,6 +320,27 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction toolkit for 'Data-Driven Discovery of "
                     "Anchor Points for PDC Content' (SC-W 2023).",
     )
+    p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool size for parallel analyses "
+             "(default: $REPRO_WORKERS or serial; results are identical "
+             "for any value)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist factorization results under DIR so repeated runs "
+             "skip redundant solves (default: $REPRO_CACHE_DIR or "
+             "memory-only)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable factorization memoization entirely",
+    )
+    p.add_argument(
+        "--runtime-summary", action="store_true",
+        help="print runtime metrics (timers, counters, cache stats) after "
+             "the command",
+    )
     sub = p.add_subparsers(dest="command", required=True)
 
     c = sub.add_parser("canonical", help="export the canonical 20-course dataset")
@@ -431,8 +452,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    return args.func(args)
+    import repro.runtime as runtime
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    runtime.configure(
+        workers=args.workers,
+        cache_dir=args.cache_dir if args.cache_dir is not None else ...,
+        cache_enabled=False if args.no_cache else None,
+    )
+    status = args.func(args)
+    if args.runtime_summary:
+        print(runtime.summary(), file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

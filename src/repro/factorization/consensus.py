@@ -15,7 +15,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.factorization.nmf import NMF
+from repro.factorization.nmf import nmf_restart_specs
+from repro.runtime.executor import run_nmf_fits
+from repro.runtime.metrics import metrics
 from repro.util.rng import RngLike, as_rng
 from repro.util.validation import check_matrix, check_nonnegative
 
@@ -29,21 +31,30 @@ def consensus_matrix(
     n_runs: int = 20,
     solver: str = "hals",
     seed: RngLike = None,
+    workers: int | None = None,
 ) -> np.ndarray:
-    """(n x n) fraction of runs in which each row pair shares a dominant type."""
+    """(n x n) fraction of runs in which each row pair shares a dominant type.
+
+    The ``n_runs`` factorizations are independent and dispatch through
+    :mod:`repro.runtime` — initializations are pre-drawn in generator
+    order, so the consensus matrix is identical for any ``workers``.
+    """
     a = check_nonnegative(check_matrix(a))
     if n_runs < 2:
         raise ValueError("consensus needs at least 2 runs")
-    rng = as_rng(seed)
+    specs = nmf_restart_specs(
+        a, k, seed=seed, solver=solver, init="random", n_restarts=n_runs
+    )
+    results = run_nmf_fits(a, specs, workers=workers)
     n = a.shape[0]
     consensus = np.zeros((n, n))
-    for _ in range(n_runs):
-        model = NMF(k, solver=solver, init="random", seed=rng)
-        w = model.fit_transform(a)
-        labels = np.argmax(w, axis=1)
-        same = labels[:, None] == labels[None, :]
-        consensus += same
+    with metrics.timer("consensus.accumulate"):
+        for bundle in results:
+            labels = np.argmax(bundle["w"], axis=1)
+            same = labels[:, None] == labels[None, :]
+            consensus += same
     consensus /= n_runs
+    metrics.inc("consensus.matrices")
     return consensus
 
 
@@ -112,12 +123,15 @@ def cophenetic_k_profile(
     n_runs: int = 20,
     solver: str = "hals",
     seed: RngLike = None,
+    workers: int | None = None,
 ) -> dict[int, float]:
     """Cophenetic correlation for each candidate rank (Brunet's k plot)."""
     rng = as_rng(seed)
     return {
         k: cophenetic_correlation(
-            consensus_matrix(a, k, n_runs=n_runs, solver=solver, seed=rng)
+            consensus_matrix(
+                a, k, n_runs=n_runs, solver=solver, seed=rng, workers=workers
+            )
         )
         for k in ks
     }

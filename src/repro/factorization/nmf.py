@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.linalg
 
+from repro.runtime.metrics import metrics
 from repro.util.rng import RngLike, as_rng
 from repro.util.validation import check_finite, check_matrix, check_nonnegative
 
@@ -110,6 +111,52 @@ def _random_init(
     return w, h
 
 
+def nmf_restart_specs(
+    a: np.ndarray,
+    n_components: int,
+    *,
+    seed: RngLike = None,
+    solver: str = "hals",
+    init: str = "random",
+    n_restarts: int = 1,
+    **nmf_kwargs,
+) -> list[dict]:
+    """Pre-drawn fit specs for a multi-restart batch (one dict per run).
+
+    Randomness is resolved *here*, in the caller's generator order: each
+    spec carries an explicit ``W0``/``H0`` starting point and is therefore
+    fully deterministic, which is what lets
+    :func:`repro.runtime.run_nmf_fits` execute the batch serially, in a
+    process pool, or from the result cache with bit-identical output.
+    ``init="random"`` draws ``n_restarts`` starting points from the shared
+    generator exactly as the sequential restart loop would; deterministic
+    inits (``nndsvd`` family) produce a single run.
+    """
+    if init == "custom":
+        raise ValueError("nmf_restart_specs resolves inits itself; "
+                         "pass init='random' or an NNDSVD variant")
+    a = np.asarray(a, dtype=float)
+    rng = as_rng(seed)
+    runs = max(n_restarts if init == "random" else 1, 1)
+    specs: list[dict] = []
+    for _ in range(runs):
+        if init == "random":
+            w0, h0 = _random_init(a, n_components, rng)
+        else:
+            w0, h0 = nndsvd_init(a, n_components, variant=init, seed=rng)
+        specs.append(
+            dict(
+                n_components=n_components,
+                solver=solver,
+                init="custom",
+                W0=w0,
+                H0=h0,
+                **nmf_kwargs,
+            )
+        )
+    return specs
+
+
 @dataclass
 class NMF:
     """Non-negative matrix factorization estimator.
@@ -185,13 +232,18 @@ class NMF:
     ) -> np.ndarray:
         """Factor ``a``; returns ``W`` and stores ``H`` in ``components_``."""
         a = check_finite(check_nonnegative(check_matrix(a)))
-        w, h = self._initialize(a, W0, H0)
-        if self.solver == "mu":
-            w, h = self._solve_mu(a, w, h)
-        else:
-            w, h = self._solve_hals(a, w, h)
+        with metrics.timer("nmf.fit"):
+            w, h = self._initialize(a, W0, H0)
+            if self.solver == "mu":
+                w, h = self._solve_mu(a, w, h)
+            else:
+                w, h = self._solve_hals(a, w, h)
         self.components_ = h
         self.reconstruction_err_ = self._objective(a, w, h)
+        metrics.inc("nmf.fits")
+        metrics.inc("nmf.iterations", self.n_iter_)
+        if self.converged_:
+            metrics.inc("nmf.converged")
         return w
 
     def fit(self, a: np.ndarray) -> "NMF":

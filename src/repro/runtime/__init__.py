@@ -1,0 +1,102 @@
+"""repro.runtime — execution substrate for the paper's analyses.
+
+The analyses are embarrassingly parallel (multi-restart NMF, consensus
+resampling, k-sweep model selection) and highly repetitive (the same
+factorization of the same matrix recomputed across figures, benchmarks,
+and examples).  This package supplies the three primitives that exploit
+that, while guaranteeing results identical to the plain serial code:
+
+* :mod:`~repro.runtime.executor` — ordered process-pool fan-out with a
+  serial fallback and explicit per-task random state
+  (:func:`spawn_seeds` / pre-drawn initializations);
+* :mod:`~repro.runtime.cache` — content-addressed memoization of
+  factorization results (in-memory LRU + optional on-disk layer);
+* :mod:`~repro.runtime.metrics` — named counters, wall-time timers, and
+  cache statistics behind one :func:`summary` report.
+
+Typical configuration, once, at process start::
+
+    import repro.runtime as runtime
+    runtime.configure(workers=8, cache_dir="~/.cache/repro")
+    ...
+    print(runtime.summary())
+
+or from the environment: ``REPRO_WORKERS=8`` (or ``auto``) and
+``REPRO_CACHE_DIR=/path``.  Every analysis entry point also takes a
+``workers=`` keyword for per-call control.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.runtime.cache import (
+    CacheStats,
+    ResultCache,
+    array_digest,
+    content_key,
+    result_cache,
+)
+from repro.runtime.executor import (
+    parallel_map,
+    resolve_workers,
+    run_nmf_fits,
+    set_default_workers,
+    spawn_seeds,
+    workers_from_env,
+)
+from repro.runtime.metrics import MetricsRegistry, TimerStat, metrics
+
+__all__ = [
+    "CacheStats",
+    "MetricsRegistry",
+    "ResultCache",
+    "TimerStat",
+    "array_digest",
+    "configure",
+    "content_key",
+    "metrics",
+    "parallel_map",
+    "reset",
+    "resolve_workers",
+    "result_cache",
+    "run_nmf_fits",
+    "set_default_workers",
+    "spawn_seeds",
+    "summary",
+    "workers_from_env",
+]
+
+
+def configure(
+    *,
+    workers: int | None = None,
+    cache_dir: str | os.PathLike | None | object = ...,
+    cache_enabled: bool | None = None,
+    cache_max_entries: int | None = None,
+) -> None:
+    """Configure the process-global runtime in one call.
+
+    ``workers=None`` leaves worker resolution to the environment
+    (``REPRO_WORKERS``); ``cache_dir=None`` switches the cache to
+    memory-only; omitted keywords keep their current values.
+    """
+    if workers is not None:
+        set_default_workers(workers)
+    result_cache.configure(
+        cache_dir=cache_dir,
+        enabled=cache_enabled,
+        max_entries=cache_max_entries,
+    )
+
+
+def summary() -> str:
+    """The metrics/cache report for everything run so far."""
+    return metrics.summary()
+
+
+def reset() -> None:
+    """Reset metrics and the in-memory cache layer (test/bench isolation)."""
+    metrics.reset()
+    result_cache.clear()
+    result_cache.stats = CacheStats()

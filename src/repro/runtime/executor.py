@@ -1,0 +1,226 @@
+"""Process-pool fan-out for the library's embarrassingly parallel loops.
+
+Multi-restart NMF, consensus resampling, and k-sweep model selection all
+have the same shape: N independent factorizations of the same matrix that
+differ only in their starting point.  This module fans such batches out
+across a :class:`~concurrent.futures.ProcessPoolExecutor` while keeping
+the results **bit-identical** to the serial path:
+
+* every task carries its *entire* random state explicitly — either a
+  pre-drawn initialization (``W0``/``H0``) or a
+  :class:`numpy.random.SeedSequence` child derived with
+  :meth:`~numpy.random.SeedSequence.spawn` — so the amount of randomness
+  one task consumes can never perturb another;
+* tasks are dispatched and collected in submission order, so reductions
+  over the results see the same sequence regardless of completion order;
+* worker count 1 (the default) bypasses the pool entirely, and any pool
+  failure (no ``fork``, unpicklable payload, dead worker) degrades to the
+  same serial loop rather than erroring out.
+
+Worker selection: explicit ``workers=`` argument > ``configure(workers=)``
+> the ``REPRO_WORKERS`` environment variable (an integer, or ``auto`` for
+the CPU count) > serial.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Mapping, Sequence, TypeVar
+
+import numpy as np
+
+from repro.runtime.cache import (
+    ResultCache,
+    array_digest,
+    content_key,
+    result_cache,
+)
+from repro.runtime.metrics import metrics
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Default worker count set via :func:`repro.runtime.configure`;
+#: ``None`` defers to the environment.
+_configured_workers: int | None = None
+
+
+def set_default_workers(workers: int | None) -> None:
+    """Set (or with ``None`` clear) the configured default worker count."""
+    global _configured_workers
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    _configured_workers = workers
+
+
+def workers_from_env() -> int | None:
+    """Parse ``REPRO_WORKERS`` (int or ``auto``); ``None`` if unset/invalid."""
+    raw = os.environ.get("REPRO_WORKERS", "").strip().lower()
+    if not raw:
+        return None
+    if raw == "auto":
+        return os.cpu_count() or 1
+    try:
+        n = int(raw)
+    except ValueError:
+        return None
+    return max(n, 1)
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Effective worker count: argument > configure() > env > 1."""
+    if workers is not None:
+        return max(int(workers), 1)
+    if _configured_workers is not None:
+        return _configured_workers
+    env = workers_from_env()
+    if env is not None:
+        return env
+    return 1
+
+
+def spawn_seeds(seed: Any, n: int) -> list[np.random.SeedSequence]:
+    """``n`` independent child seeds derived from ``seed``.
+
+    The children are statistically independent streams with a
+    deterministic derivation (``SeedSequence.spawn``), so a batch seeded
+    this way produces the same results whether its tasks run serially, in
+    any process layout, or in any completion order.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if isinstance(seed, np.random.SeedSequence):
+        ss = seed
+    elif isinstance(seed, np.random.Generator):
+        ss = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+    else:
+        ss = np.random.SeedSequence(seed)
+    return ss.spawn(n)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    workers: int | None = None,
+    chunksize: int = 1,
+) -> list[R]:
+    """Map ``fn`` over ``items``, preserving order.
+
+    Serial when the resolved worker count is 1 (or there is at most one
+    item); otherwise a :class:`ProcessPoolExecutor` with at most one
+    worker per item.  Pool failures fall back to the serial loop, counted
+    under the ``executor.fallback`` metric — the result is always the
+    same list, parallelism is only ever an optimization.
+    """
+    items = list(items)
+    n_workers = min(resolve_workers(workers), max(len(items), 1))
+    metrics.inc("executor.tasks", len(items))
+    if n_workers <= 1 or len(items) <= 1:
+        metrics.inc("executor.serial_batches")
+        with metrics.timer("executor.map"):
+            return [fn(item) for item in items]
+    t0 = time.perf_counter()
+    try:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            out = list(pool.map(fn, items, chunksize=max(chunksize, 1)))
+        metrics.inc("executor.parallel_batches")
+        return out
+    except Exception:
+        # No usable pool (sandboxed platform, unpicklable payload, killed
+        # worker): the work itself is still valid — do it here.
+        metrics.inc("executor.fallback")
+        return [fn(item) for item in items]
+    finally:
+        metrics.record_time("executor.map", time.perf_counter() - t0)
+
+
+# -- NMF batch driver --------------------------------------------------------
+#
+# The one fan-out every analysis layer shares.  A *spec* is the keyword
+# dict for repro.factorization.nmf.NMF plus optional "W0"/"H0" arrays;
+# the driver handles caching, dispatch, and result bundling.
+
+
+def _fit_nmf_task(payload: tuple) -> dict[str, np.ndarray]:
+    """Worker-side single fit.  Module-level for picklability."""
+    a, params, w0, h0 = payload
+    from repro.factorization.nmf import NMF
+
+    model = NMF(**params)
+    w = model.fit_transform(a, W0=w0, H0=h0)
+    assert model.components_ is not None
+    return {
+        "w": w,
+        "h": model.components_,
+        "err": np.float64(model.reconstruction_err_),
+        "n_iter": np.int64(model.n_iter_),
+        "converged": np.bool_(model.converged_),
+    }
+
+
+def _spec_key(a_digest: str, spec: Mapping[str, Any]) -> str:
+    """Key for one spec; the (batch-constant) matrix digest is precomputed."""
+    h = hashlib.sha256()
+    h.update(b"nmf-batch:")
+    h.update(a_digest.encode())
+    params = {}
+    for name, val in spec.items():
+        if name in ("W0", "H0"):
+            if val is not None:
+                h.update(f"|{name}:".encode())
+                h.update(array_digest(np.asarray(val)).encode())
+            continue
+        params[name] = val
+    h.update(content_key("nmf", [], params).encode())
+    return h.hexdigest()
+
+
+def run_nmf_fits(
+    a: np.ndarray,
+    specs: Sequence[Mapping[str, Any]],
+    *,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    use_cache: bool = True,
+) -> list[dict[str, np.ndarray]]:
+    """Fit a batch of NMF configurations against one matrix.
+
+    Each spec holds :class:`~repro.factorization.nmf.NMF` constructor
+    keywords plus optional ``W0``/``H0`` initialization arrays.  Specs
+    must be fully deterministic (pre-drawn inits or deterministic init
+    schemes) — that is what makes both the cache and the process pool
+    transparent.  Returns one bundle per spec, in spec order, each with
+    ``w``, ``h``, ``err``, ``n_iter``, ``converged``.
+    """
+    a = np.ascontiguousarray(a, dtype=float)
+    store = cache if cache is not None else result_cache
+    results: list[dict[str, np.ndarray] | None] = [None] * len(specs)
+    pending: list[tuple[int, str, tuple]] = []
+    with metrics.timer("runtime.nmf_batch"):
+        a_digest = array_digest(a) if use_cache else ""
+        for i, spec in enumerate(specs):
+            key = _spec_key(a_digest, spec) if use_cache else ""
+            if use_cache:
+                hit = store.get(key)
+                if hit is not None:
+                    results[i] = hit
+                    continue
+            params = {k: v for k, v in spec.items() if k not in ("W0", "H0")}
+            payload = (a, params, spec.get("W0"), spec.get("H0"))
+            pending.append((i, key, payload))
+        if pending:
+            fresh = parallel_map(
+                _fit_nmf_task, [p for _, _, p in pending], workers=workers
+            )
+            for (i, key, _), bundle in zip(pending, fresh):
+                results[i] = bundle
+                if use_cache:
+                    store.put(key, bundle)
+        metrics.inc("runtime.nmf_fits", len(specs))
+        metrics.inc("runtime.nmf_fits_computed", len(pending))
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]

@@ -1,0 +1,143 @@
+"""Lightweight named counters and wall-time timers.
+
+A process-global :class:`MetricsRegistry` collects what the analysis
+runtime does — factorizations solved, solver iterations, cache hits and
+misses, seconds spent in each hot region — so that a benchmark or a CLI
+run can end with one ``runtime.summary()`` report instead of ad-hoc
+prints.  Everything is optional and cheap: a counter bump is a dict add
+under a lock, a timer is two ``perf_counter`` calls.
+
+Metrics recorded inside ``ProcessPoolExecutor`` workers live in those
+worker processes and are *not* merged back; the dispatch sites in
+:mod:`repro.runtime.executor` account for submitted/completed tasks in
+the parent so parallel runs still produce a meaningful report.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class TimerStat:
+    """Accumulated wall-time for one named region."""
+
+    total_s: float = 0.0
+    count: int = 0
+    max_s: float = 0.0
+
+    def add(self, elapsed: float) -> None:
+        self.total_s += elapsed
+        self.count += 1
+        if elapsed > self.max_s:
+            self.max_s = elapsed
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+@dataclass
+class MetricsRegistry:
+    """Thread-safe registry of named counters and timers."""
+
+    counters: dict[str, int] = field(default_factory=dict)
+    timers: dict[str, TimerStat] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    # -- counters ------------------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (creating it at zero)."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self.counters.get(name, 0)
+
+    # -- timers --------------------------------------------------------------
+
+    def record_time(self, name: str, elapsed_s: float) -> None:
+        """Fold an externally measured duration into timer ``name``."""
+        with self._lock:
+            self.timers.setdefault(name, TimerStat()).add(elapsed_s)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """``with metrics.timer("nmf.fit"): ...`` wall-time context."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_time(name, time.perf_counter() - t0)
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy of all metrics (counters + timer stats)."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "timers": {
+                    k: {
+                        "total_s": v.total_s,
+                        "count": v.count,
+                        "mean_s": v.mean_s,
+                        "max_s": v.max_s,
+                    }
+                    for k, v in self.timers.items()
+                },
+            }
+
+    def cache_stats(self, prefix: str = "cache") -> dict[str, int | float]:
+        """Hit/miss/rate view over the ``{prefix}.hit``/``.miss`` counters."""
+        hits = self.get(f"{prefix}.hit")
+        misses = self.get(f"{prefix}.miss")
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+        }
+
+    def summary(self) -> str:
+        """Human-readable report of everything recorded so far."""
+        snap = self.snapshot()
+        lines = ["== runtime metrics =="]
+        if snap["counters"]:
+            lines.append("counters:")
+            for name in sorted(snap["counters"]):
+                lines.append(f"  {name:<32s} {snap['counters'][name]}")
+        if snap["timers"]:
+            lines.append("timers:")
+            for name in sorted(snap["timers"]):
+                t = snap["timers"][name]
+                lines.append(
+                    f"  {name:<32s} total {t['total_s']:8.3f}s  "
+                    f"n={t['count']:<6d} mean {t['mean_s'] * 1e3:8.2f}ms"
+                )
+        cs = self.cache_stats()
+        if cs["hits"] or cs["misses"]:
+            lines.append(
+                f"cache: {cs['hits']} hit(s), {cs['misses']} miss(es) "
+                f"({cs['hit_rate']:.0%} hit rate)"
+            )
+        if len(lines) == 1:
+            lines.append("(nothing recorded)")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop every counter and timer (tests and benchmark isolation)."""
+        with self._lock:
+            self.counters.clear()
+            self.timers.clear()
+
+
+#: The process-global registry every library component records into.
+metrics = MetricsRegistry()

@@ -1,14 +1,30 @@
 """Every example script must run cleanly from a fresh process."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
-)
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def _example_env() -> dict[str, str]:
+    """Subprocess environment with ``<repo>/src`` importable.
+
+    The test process may know about ``src`` only through its own
+    ``sys.path`` (pytest rootdir tricks, editable installs, a ``.pth``
+    file); a child interpreter inherits none of that, so ``repro`` must be
+    put on PYTHONPATH explicitly.  The repo root is derived from this
+    file's location — the tests run from any CWD.
+    """
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    prior = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not prior else src + os.pathsep + prior
+    return env
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
@@ -18,6 +34,7 @@ def test_example_runs(script, tmp_path):
         args.append(str(tmp_path / "out.svg"))
     proc = subprocess.run(
         args, capture_output=True, text=True, timeout=600, cwd=tmp_path,
+        env=_example_env(),
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert proc.stdout.strip(), "example produced no output"

@@ -1,0 +1,380 @@
+"""Tests for the repro.runtime execution substrate.
+
+Three invariants matter:
+
+1. **Determinism** — parallel dispatch produces results bit-identical to
+   the serial path for a fixed seed, at every layer (raw batch driver,
+   typing, consensus, stability, k-sweep).
+2. **Cache correctness** — a repeated call returns identical arrays and
+   records a hit; distinct inputs never alias.
+3. **Metrics accounting** — counters and timers reflect what actually ran.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro.runtime as runtime
+from repro.analysis import build_course_matrix, type_courses
+from repro.analysis.model_selection import k_sweep, stability_score
+from repro.factorization.consensus import consensus_matrix
+from repro.factorization.nmf import nmf_restart_specs
+from repro.runtime.cache import ResultCache, array_digest, content_key
+from repro.runtime.executor import (
+    parallel_map,
+    resolve_workers,
+    run_nmf_fits,
+    set_default_workers,
+    spawn_seeds,
+)
+from repro.runtime.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def a():
+    rng = np.random.default_rng(3)
+    return np.abs(rng.standard_normal((25, 40)))
+
+
+@pytest.fixture
+def small_matrix(a):
+    from repro.materials.course import Course
+    from repro.materials.material import Material, MaterialType
+
+    courses = []
+    for i in range(a.shape[0]):
+        tags = [f"t{j}" for j in range(a.shape[1]) if a[i, j] > 1.0] or ["t0"]
+        courses.append(
+            Course(
+                f"c{i}", f"c{i}",
+                materials=[
+                    Material(
+                        f"c{i}/m", "m", MaterialType.LECTURE, frozenset(tags)
+                    )
+                ],
+            )
+        )
+    return build_course_matrix(courses)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runtime():
+    """Each test starts with fresh metrics, empty cache, default workers."""
+    runtime.reset()
+    set_default_workers(None)
+    yield
+    runtime.reset()
+    set_default_workers(None)
+
+
+# -- worker resolution -------------------------------------------------------
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers() == 1
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers() == 5
+
+    def test_env_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "auto")
+        assert resolve_workers() == (os.cpu_count() or 1)
+
+    def test_env_garbage_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        assert resolve_workers() == 1
+
+    def test_configured_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        runtime.configure(workers=2)
+        assert resolve_workers() == 2
+
+    def test_floor_of_one(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-3) == 1
+
+
+# -- seeds -------------------------------------------------------------------
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        a = [s.generate_state(2).tolist() for s in spawn_seeds(42, 4)]
+        b = [s.generate_state(2).tolist() for s in spawn_seeds(42, 4)]
+        assert a == b
+
+    def test_children_distinct(self):
+        states = {tuple(s.generate_state(2)) for s in spawn_seeds(0, 16)}
+        assert len(states) == 16
+
+    def test_accepts_generator_and_seedseq(self):
+        g = np.random.default_rng(1)
+        assert len(spawn_seeds(g, 3)) == 3
+        ss = np.random.SeedSequence(9)
+        assert len(spawn_seeds(ss, 2)) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+# -- parallel map ------------------------------------------------------------
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        assert parallel_map(_square, range(10), workers=1) == [
+            x * x for x in range(10)
+        ]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, workers=3) == parallel_map(
+            _square, items, workers=1
+        )
+
+    def test_unpicklable_falls_back_to_serial(self):
+        items = list(range(6))
+        out = parallel_map(lambda x: x + 1, items, workers=2)  # closures can't pickle
+        assert out == [x + 1 for x in items]
+        assert runtime.metrics.get("executor.fallback") == 1
+
+    def test_empty(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+
+# -- determinism through the analysis layers ---------------------------------
+
+
+class TestDeterminism:
+    def test_batch_parallel_equals_serial(self, a):
+        specs = nmf_restart_specs(a, 3, seed=0, n_restarts=6)
+        serial = run_nmf_fits(a, specs, workers=1, use_cache=False)
+        parallel = run_nmf_fits(a, specs, workers=4, use_cache=False)
+        for s, p in zip(serial, parallel):
+            assert np.array_equal(s["w"], p["w"])
+            assert np.array_equal(s["h"], p["h"])
+            assert float(s["err"]) == float(p["err"])
+
+    def test_type_courses_workers_invariant(self, small_matrix):
+        t1 = type_courses(small_matrix, 3, seed=7, workers=1)
+        t2 = type_courses(small_matrix, 3, seed=7, workers=3)
+        assert np.array_equal(t1.w, t2.w)
+        assert np.array_equal(t1.h, t2.h)
+        assert t1.reconstruction_err == t2.reconstruction_err
+
+    def test_consensus_workers_invariant(self, a):
+        c1 = consensus_matrix(a, 3, n_runs=5, seed=0, workers=1)
+        c2 = consensus_matrix(a, 3, n_runs=5, seed=0, workers=2)
+        assert np.array_equal(c1, c2)
+
+    def test_stability_workers_invariant(self, small_matrix):
+        s1 = stability_score(small_matrix, 2, n_runs=3, seed=1, workers=1)
+        s2 = stability_score(small_matrix, 2, n_runs=3, seed=1, workers=2)
+        assert s1 == s2
+
+    def test_k_sweep_workers_invariant(self, small_matrix):
+        e1 = k_sweep(small_matrix, [2, 3], seed=0, stability_runs=2, workers=1)
+        e2 = k_sweep(small_matrix, [2, 3], seed=0, stability_runs=2, workers=2)
+        assert e1 == e2
+
+    def test_spawned_seed_specs_are_layout_independent(self, a):
+        """Seeds derived via spawn fan out identically in any batch split."""
+        seeds = [int(s.generate_state(1)[0]) for s in spawn_seeds(5, 4)]
+        whole = [
+            run_nmf_fits(
+                a,
+                nmf_restart_specs(a, 2, seed=s, n_restarts=1),
+                workers=1, use_cache=False,
+            )[0]
+            for s in seeds
+        ]
+        rerun = [
+            run_nmf_fits(
+                a,
+                nmf_restart_specs(a, 2, seed=s, n_restarts=1),
+                workers=2, use_cache=False,
+            )[0]
+            for s in seeds
+        ]
+        for x, y in zip(whole, rerun):
+            assert np.array_equal(x["w"], y["w"])
+
+
+# -- cache -------------------------------------------------------------------
+
+
+class TestCache:
+    def test_second_call_hits_and_matches(self, a):
+        cache = ResultCache()
+        specs = nmf_restart_specs(a, 3, seed=2, n_restarts=3)
+        first = run_nmf_fits(a, specs, cache=cache)
+        assert cache.stats.misses == 3 and cache.stats.hits == 0
+        second = run_nmf_fits(a, specs, cache=cache)
+        assert cache.stats.hits == 3
+        for x, y in zip(first, second):
+            assert np.array_equal(x["w"], y["w"])
+            assert np.array_equal(x["h"], y["h"])
+
+    def test_hit_recorded_in_metrics(self, a):
+        specs = nmf_restart_specs(a, 2, seed=0, n_restarts=1)
+        run_nmf_fits(a, specs)       # global cache: miss
+        run_nmf_fits(a, specs)       # hit
+        stats = runtime.metrics.cache_stats()
+        assert stats["hits"] >= 1 and stats["misses"] >= 1
+
+    def test_returned_arrays_are_copies(self, a):
+        cache = ResultCache()
+        specs = nmf_restart_specs(a, 2, seed=0, n_restarts=1)
+        first = run_nmf_fits(a, specs, cache=cache)
+        first[0]["w"][:] = -1.0       # vandalize the returned copy
+        second = run_nmf_fits(a, specs, cache=cache)
+        assert not np.array_equal(first[0]["w"], second[0]["w"])
+        assert (second[0]["w"] >= 0).all()
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        for i in range(3):
+            cache.put(f"k{i}", {"x": np.array([i])})
+        assert "k0" not in cache
+        assert "k1" in cache and "k2" in cache
+        assert cache.stats.evictions == 1
+
+    def test_lru_touch_on_get(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("k0", {"x": np.array([0])})
+        cache.put("k1", {"x": np.array([1])})
+        cache.get("k0")               # k0 now most recent
+        cache.put("k2", {"x": np.array([2])})
+        assert "k0" in cache and "k1" not in cache
+
+    def test_disk_roundtrip(self, tmp_path, a):
+        specs = nmf_restart_specs(a, 2, seed=4, n_restarts=2)
+        first = run_nmf_fits(a, specs, cache=ResultCache(cache_dir=tmp_path))
+        reborn = ResultCache(cache_dir=tmp_path)
+        second = run_nmf_fits(a, specs, cache=reborn)
+        assert reborn.stats.disk_hits == 2
+        for x, y in zip(first, second):
+            assert np.array_equal(x["w"], y["w"])
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        cache.put("key", {"x": np.array([1.0])})
+        cache.clear()                 # drop memory, keep disk
+        (tmp_path / "key.npz").write_bytes(b"not a zipfile")
+        assert cache.get("key") is None
+
+    def test_disabled_cache_never_stores(self, a):
+        cache = ResultCache(enabled=False)
+        specs = nmf_restart_specs(a, 2, seed=0, n_restarts=1)
+        run_nmf_fits(a, specs, cache=cache)
+        run_nmf_fits(a, specs, cache=cache)
+        assert len(cache) == 0 and cache.stats.hits == 0
+
+    def test_content_key_sensitivity(self):
+        x = np.arange(6, dtype=float).reshape(2, 3)
+        base = content_key("nmf", [x], {"k": 2})
+        assert content_key("nmf", [x], {"k": 2}) == base
+        assert content_key("nmf", [x], {"k": 3}) != base
+        assert content_key("nmf", [x + 1], {"k": 2}) != base
+        assert content_key("other", [x], {"k": 2}) != base
+        # type-tagged params: 1 vs 1.0 vs "1" are distinct configurations
+        assert content_key("nmf", [x], {"k": 1}) != content_key(
+            "nmf", [x], {"k": 1.0}
+        )
+
+    def test_array_digest_shape_sensitive(self):
+        flat = np.arange(6, dtype=float)
+        assert array_digest(flat) != array_digest(flat.reshape(2, 3))
+
+
+# -- metrics -----------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counters(self):
+        m = MetricsRegistry()
+        m.inc("x")
+        m.inc("x", 4)
+        assert m.get("x") == 5
+        assert m.get("never") == 0
+
+    def test_timer_accumulates(self):
+        m = MetricsRegistry()
+        for _ in range(3):
+            with m.timer("t"):
+                pass
+        snap = m.snapshot()["timers"]["t"]
+        assert snap["count"] == 3
+        assert snap["total_s"] >= 0
+        assert snap["mean_s"] == pytest.approx(snap["total_s"] / 3)
+
+    def test_fit_accounting(self, a):
+        """One batch of N fits records N solver runs and their iterations."""
+        specs = nmf_restart_specs(a, 2, seed=0, n_restarts=4)
+        results = run_nmf_fits(a, specs, workers=1, use_cache=False)
+        m = runtime.metrics
+        assert m.get("runtime.nmf_fits") == 4
+        assert m.get("runtime.nmf_fits_computed") == 4
+        assert m.get("nmf.fits") == 4
+        total_iters = sum(int(r["n_iter"]) for r in results)
+        assert m.get("nmf.iterations") == total_iters
+        assert m.snapshot()["timers"]["nmf.fit"]["count"] == 4
+
+    def test_cached_batch_computes_nothing(self, a):
+        specs = nmf_restart_specs(a, 2, seed=0, n_restarts=2)
+        cache = ResultCache()
+        run_nmf_fits(a, specs, cache=cache)
+        before = runtime.metrics.get("nmf.fits")
+        run_nmf_fits(a, specs, cache=cache)
+        assert runtime.metrics.get("nmf.fits") == before
+        assert runtime.metrics.get("runtime.nmf_fits_computed") == 2
+
+    def test_summary_mentions_everything(self, a):
+        specs = nmf_restart_specs(a, 2, seed=0, n_restarts=2)
+        run_nmf_fits(a, specs)
+        run_nmf_fits(a, specs)
+        text = runtime.summary()
+        assert "nmf.fit" in text
+        assert "cache:" in text
+        assert "hit" in text
+
+    def test_reset(self, a):
+        run_nmf_fits(a, nmf_restart_specs(a, 2, seed=0, n_restarts=1))
+        runtime.reset()
+        assert runtime.metrics.snapshot() == {"counters": {}, "timers": {}}
+        assert runtime.summary().endswith("(nothing recorded)")
+
+
+# -- configuration -----------------------------------------------------------
+
+
+class TestConfigure:
+    def test_cache_dir_and_disable(self, tmp_path, a):
+        runtime.configure(cache_dir=tmp_path)
+        specs = nmf_restart_specs(a, 2, seed=0, n_restarts=1)
+        try:
+            run_nmf_fits(a, specs)
+            assert list(tmp_path.glob("*.npz"))
+            runtime.configure(cache_enabled=False)
+            assert runtime.result_cache.get("anything") is None
+        finally:
+            runtime.configure(cache_dir=None, cache_enabled=True)
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            runtime.configure(workers=0)
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
