@@ -31,6 +31,7 @@ from repro.curriculum import load_cs2013
 from repro.io import load_courses, save_courses, save_matrix_csv
 from repro.materials import build_hit_tree
 from repro.materials.course import CourseLabel
+from repro.materials.material import MaterialType
 from repro.util.tables import format_table
 from repro.viz import ascii_heatmap, ascii_histogram, render_radial_svg
 
@@ -40,6 +41,29 @@ def _load(path: str):
     if not courses:
         raise SystemExit(f"{path}: no courses")
     return courses
+
+
+def _repository(courses):
+    from repro.materials import MaterialRepository
+
+    repo = MaterialRepository()
+    for c in courses:
+        repo.add_course(c)
+    return repo
+
+
+def _nonneg_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _filter_label(courses, label: str | None):
@@ -300,6 +324,46 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_search(args) -> int:
+    from repro.materials import SearchQuery
+
+    tree = load_cs2013()
+    repo = _repository(_load(args.courses))
+    query = SearchQuery(
+        tags=frozenset(args.tag or []),
+        text=args.text,
+        mtype=MaterialType(args.type) if args.type else None,
+        author=args.author,
+        course_level=args.level,
+        language=args.language,
+        dataset=args.dataset,
+    )
+    hits = repo.search(query, tree=tree, limit=args.limit)
+    rows = [
+        (h.material.id, f"{h.score:.3f}", h.material.mtype.value, h.material.title)
+        for h in hits
+    ]
+    if rows:
+        print(format_table(rows, header=["material", "score", "type", "title"]))
+    print(f"{len(hits)} hit(s) across {repo.n_materials} materials")
+    return 0
+
+
+def cmd_similar(args) -> int:
+    repo = _repository(_load(args.courses))
+    try:
+        hits = repo.find_similar(args.material_id, limit=args.limit)
+    except KeyError:
+        raise SystemExit(
+            f"no material {args.material_id!r} in {args.courses}"
+        ) from None
+    rows = [
+        (h.material.id, f"{h.score:.3f}", h.material.title) for h in hits
+    ]
+    print(format_table(rows, header=["material", "score", "title"]))
+    return 0
+
+
 def cmd_hit_tree(args) -> int:
     tree = load_cs2013()
     courses = _load(args.courses)
@@ -441,6 +505,30 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--course-id", required=True)
     d.add_argument("--min-dependents", type=int, default=3)
     d.set_defaults(func=cmd_deps)
+
+    se = sub.add_parser("search", help="ranked material search (§3.1.2, indexed)")
+    se.add_argument("courses")
+    se.add_argument("--tag", action="append", metavar="TAG_ID",
+                    help="guideline tag or internal-node id; repeatable "
+                         "(internal nodes expand to the tags beneath them)")
+    se.add_argument("--text", default="", help="title/description substring")
+    se.add_argument("--type", default=None,
+                    choices=sorted(t.value for t in MaterialType),
+                    help="material type filter")
+    se.add_argument("--author", default="", help="author substring")
+    se.add_argument("--level", default="", help="course level (e.g. CS1)")
+    se.add_argument("--language", default="", help="programming language")
+    se.add_argument("--dataset", default="", help="dataset substring")
+    se.add_argument("--limit", type=_nonneg_int, default=10,
+                    help="max results (must be >= 0)")
+    se.set_defaults(func=cmd_search)
+
+    si = sub.add_parser("similar", help="materials most similar to one material")
+    si.add_argument("courses")
+    si.add_argument("--material-id", required=True)
+    si.add_argument("--limit", type=_positive_int, default=10,
+                    help="results to return (must be >= 1)")
+    si.set_defaults(func=cmd_similar)
 
     h = sub.add_parser("hit-tree", help="radial hit-tree SVG for a course")
     h.add_argument("courses")

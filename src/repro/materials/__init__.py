@@ -18,11 +18,14 @@ package reproduces its data model and analyses:
 
 from repro.materials.material import Material, MaterialRole, MaterialType
 from repro.materials.course import Course, CourseLabel
+from repro.materials.index import QueryPlan, RepositoryIndex
 from repro.materials.repository import MaterialRepository, SearchQuery, SearchResult
 from repro.materials.similarity import (
     cosine_similarity,
+    incidence_matrix,
     jaccard_similarity,
     search_map,
+    similarity_from_incidence,
     similarity_graph,
     similarity_matrix,
 )
@@ -46,11 +49,15 @@ __all__ = [
     "Course",
     "CourseLabel",
     "MaterialRepository",
+    "QueryPlan",
+    "RepositoryIndex",
     "SearchQuery",
     "SearchResult",
     "cosine_similarity",
+    "incidence_matrix",
     "jaccard_similarity",
     "search_map",
+    "similarity_from_incidence",
     "similarity_graph",
     "similarity_matrix",
     "AlignmentReport",

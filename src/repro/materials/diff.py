@@ -18,7 +18,12 @@ import numpy as np
 
 from repro.factorization.mds import MDSResult, smacof
 from repro.materials.course import Course
-from repro.materials.similarity import cosine_similarity, jaccard_similarity
+from repro.materials.similarity import (
+    cosine_similarity,
+    incidence_matrix,
+    jaccard_similarity,
+    similarity_from_incidence,
+)
 from repro.ontology.queries import area_of
 from repro.ontology.tree import GuidelineTree
 from repro.util.rng import RngLike
@@ -106,12 +111,12 @@ def course_similarity_matrix(
         if tree is not None:
             tags = frozenset(t for t in tags if t in tree)
         tag_sets.append(tags)
-    n = len(courses)
-    s = np.eye(n)
-    for i in range(n):
-        for j in range(i + 1, n):
-            s[i, j] = s[j, i] = jaccard_similarity(tag_sets[i], tag_sets[j])
-    return s
+    if not courses:
+        return np.eye(0)
+    # One X @ X.T over the course-tag incidence matrix instead of n^2
+    # Python-set Jaccards; intersection/union counts are exact integers so
+    # the entries are bit-identical to the pairwise loop it replaced.
+    return similarity_from_incidence(incidence_matrix(tag_sets), metric="jaccard")
 
 
 def course_similarity_graph(
@@ -128,10 +133,8 @@ def course_similarity_graph(
     g = nx.Graph()
     for c in courses:
         g.add_node(c.id, course=c)
-    for i in range(len(courses)):
-        for j in range(i + 1, len(courses)):
-            if s[i, j] > threshold:
-                g.add_edge(courses[i].id, courses[j].id, weight=float(s[i, j]))
+    for i, j in np.argwhere(np.triu(s > threshold, k=1)):
+        g.add_edge(courses[i].id, courses[j].id, weight=float(s[i, j]))
     return g
 
 

@@ -1,0 +1,491 @@
+"""Indexed query engine for :class:`~repro.materials.repository.MaterialRepository`.
+
+The CS Materials deployment answers every §3.1.2 search with a full scan:
+re-casefold every field of every material, walk the guideline tree per
+material for mastery/Bloom filters, and compute one Python-set Jaccard per
+candidate.  At corpus scale (~1700 materials today, "heavy traffic" on the
+roadmap) that is O(n) string work per query and O(n²) for similarity.
+
+:class:`RepositoryIndex` replaces the scan with structures maintained
+incrementally as materials are added:
+
+* an **inverted tag index** — tag id → sorted posting list of material
+  rows (rows only grow, so appends keep the lists sorted);
+* **exact-match field indexes** for material type, course level, and
+  programming language (casefolded keys);
+* precomputed **casefolded haystacks** for the ``text`` / ``author`` /
+  ``dataset`` substring filters, so residual predicates never re-casefold;
+* a lazily built, dirty-flagged **binary incidence matrix** (materials ×
+  tag universe) shared by search ranking, ``find_similar`` top-k, and
+  ``similarity_matrix`` — one BLAS matvec instead of n Python Jaccards;
+* per-tree memos for guideline-tag expansion and mastery/Bloom row masks,
+  so level filters become one boolean gather instead of a tree walk per
+  material.
+
+A small **query planner** (:meth:`RepositoryIndex.plan`) intersects the
+most selective posting lists first and reports which rows still need the
+residual substring predicates; queries with no indexed filter fall back to
+a scan over all rows.  Every decision is recorded in the PR-1 runtime
+metrics (``repro.runtime.metrics``), so ``runtime.summary()`` shows index
+builds, invalidations, planner choices, and rows scanned vs. skipped.
+
+Results are **bit-identical** to the scan implementations: intersection
+and union counts are exact small integers, and IEEE-754 division of those
+integers yields the same float whether it happens in Python or NumPy.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.materials.material import Material, MaterialType
+from repro.ontology.node import Bloom, Mastery
+from repro.ontology.tree import GuidelineTree
+from repro.runtime.metrics import metrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (repository imports us)
+    from repro.materials.repository import SearchQuery
+
+_MASTERY_RANK = {Mastery.FAMILIARITY: 1, Mastery.USAGE: 2, Mastery.ASSESSMENT: 3}
+_BLOOM_RANK = {Bloom.KNOW: 1, Bloom.COMPREHEND: 2, Bloom.APPLY: 3}
+
+#: Cap on memoized tag expansions per tree (cleared wholesale on overflow).
+_EXPAND_MEMO_LIMIT = 1024
+
+
+@dataclass
+class QueryPlan:
+    """What the planner decided for one query.
+
+    ``rows`` are the candidate rows after all *indexed* filters (posting
+    list intersections and level masks), in ascending row order.  The
+    residual substring predicates (text/author/dataset) still have to be
+    applied to them.  ``indexed`` is False when no filter had an index and
+    the candidates are simply every row (scan fallback).
+
+    For tag queries, ``inter`` holds |mappings ∩ query tags| per candidate
+    row (aligned with ``rows``) — a free by-product of deduplicating the
+    posting-list union, so ranking needs no second pass.
+    """
+
+    rows: np.ndarray
+    inter: np.ndarray | None
+    indexed: bool
+    n_rows_total: int
+
+    @property
+    def n_skipped(self) -> int:
+        return self.n_rows_total - len(self.rows)
+
+
+@dataclass
+class _Incidence:
+    """The lazily built dense view over the tag universe."""
+
+    x: np.ndarray                  # (n, max(t, 1)) float64 binary incidence
+    sizes: np.ndarray              # (n,) float64 — |mappings| per row
+    universe: list[str]            # sorted tag ids
+    tag_col: dict[str, int]        # tag id -> column
+    title_order: np.ndarray        # rows sorted by (title, id)
+    title_rank: np.ndarray         # row -> rank in (title, id) order
+
+
+class RepositoryIndex:
+    """Incrementally maintained indexes over a repository's materials.
+
+    The repository owns one instance and feeds it every accepted material
+    through :meth:`add`; removal is not supported (repositories only
+    grow), which keeps every posting list append-only and sorted.
+    """
+
+    def __init__(self) -> None:
+        self._rows: list[Material] = []
+        self._row_of: dict[str, int] = {}
+        self._tag_postings: dict[str, list[int]] = {}
+        self._mtype_postings: dict[MaterialType, list[int]] = {}
+        self._level_postings: dict[str, list[int]] = {}
+        self._language_postings: dict[str, list[int]] = {}
+        self._text_haystacks: list[str] = []
+        self._author_haystacks: list[str] = []
+        self._dataset_haystacks: list[tuple[str, ...]] = []
+        self._incidence: _Incidence | None = None
+        self._dirty = False
+        self._version = 0
+        # Posting lists are Python lists (cheap appends); queries want numpy
+        # arrays.  Converted arrays are cached per (table, key) and reused
+        # until the underlying list grows.
+        self._array_cache: dict[tuple[int, object], np.ndarray] = {}
+        self._sizes_cache: np.ndarray | None = None
+        self._title_rank_cache: np.ndarray | None = None
+        # tree -> {frozenset(raw tags): frozenset(expanded tags)}
+        self._expand_memo: weakref.WeakKeyDictionary[
+            GuidelineTree, dict[frozenset[str], frozenset[str]]
+        ] = weakref.WeakKeyDictionary()
+        # tree -> {("mastery"|"bloom", level value): (version, bool mask)}
+        self._mask_memo: weakref.WeakKeyDictionary[
+            GuidelineTree, dict[tuple[str, str], tuple[int, np.ndarray]]
+        ] = weakref.WeakKeyDictionary()
+
+    # -- maintenance ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every accepted material."""
+        return self._version
+
+    def add(self, material: Material) -> None:
+        """Index ``material`` as the next row; O(|mappings| + fields)."""
+        row = len(self._rows)
+        self._rows.append(material)
+        self._row_of[material.id] = row
+        for tag in material.mappings:
+            self._tag_postings.setdefault(tag, []).append(row)
+        self._mtype_postings.setdefault(material.mtype, []).append(row)
+        self._level_postings.setdefault(
+            material.course_level.casefold(), []
+        ).append(row)
+        self._language_postings.setdefault(
+            material.language.casefold(), []
+        ).append(row)
+        self._text_haystacks.append(
+            (material.title + " " + material.description).casefold()
+        )
+        self._author_haystacks.append(material.author.casefold())
+        self._dataset_haystacks.append(
+            tuple(d.casefold() for d in material.datasets)
+        )
+        self._version += 1
+        if self._incidence is not None and not self._dirty:
+            metrics.inc("repo.index.invalidations")
+        self._dirty = True
+
+    def material_at(self, row: int) -> Material:
+        return self._rows[row]
+
+    def row_of(self, material_id: str) -> int:
+        return self._row_of[material_id]
+
+    def _posting_array(self, table: dict, key: object) -> np.ndarray:
+        """Cached ``np.intp`` view of one posting list (sorted, unique)."""
+        posting = table.get(key)
+        if not posting:
+            return np.empty(0, dtype=np.intp)
+        cache_key = (id(table), key)
+        cached = self._array_cache.get(cache_key)
+        if cached is not None and len(cached) == len(posting):
+            return cached
+        arr = np.asarray(posting, dtype=np.intp)
+        self._array_cache[cache_key] = arr
+        return arr
+
+    def mapping_sizes(self) -> np.ndarray:
+        """|mappings| per row as an int64 array (cached until rows grow)."""
+        if self._sizes_cache is None or len(self._sizes_cache) != len(self._rows):
+            self._sizes_cache = np.fromiter(
+                (len(m.mappings) for m in self._rows),
+                dtype=np.int64,
+                count=len(self._rows),
+            )
+        return self._sizes_cache
+
+    def row_materials(self) -> list[Material]:
+        """Materials in row (= insertion) order; do not mutate."""
+        return self._rows
+
+    def title_rank(self) -> np.ndarray:
+        """row -> rank in (title, id) order; the scan's tie-break key.
+
+        Cached separately from the incidence matrix so text-only queries
+        never pay for a matrix build.
+        """
+        if self._title_rank_cache is None or len(self._title_rank_cache) != len(
+            self._rows
+        ):
+            n = len(self._rows)
+            order = sorted(
+                range(n), key=lambda r: (self._rows[r].title, self._rows[r].id)
+            )
+            rank = np.empty(n, dtype=np.intp)
+            rank[np.asarray(order, dtype=np.intp)] = np.arange(n, dtype=np.intp)
+            self._title_rank_cache = rank
+        return self._title_rank_cache
+
+    # -- incidence matrix ----------------------------------------------------
+
+    def incidence(self) -> _Incidence:
+        """The binary (materials × tag universe) matrix, rebuilt if stale."""
+        if self._incidence is None or self._dirty:
+            with metrics.timer("repo.index.build"):
+                self._incidence = self._build_incidence()
+            metrics.inc("repo.index.builds")
+            self._dirty = False
+        return self._incidence
+
+    def _build_incidence(self) -> _Incidence:
+        n = len(self._rows)
+        universe = sorted(self._tag_postings)
+        tag_col = {t: j for j, t in enumerate(universe)}
+        x = np.zeros((n, max(len(universe), 1)))
+        for tag, rows in self._tag_postings.items():
+            x[rows, tag_col[tag]] = 1.0
+        sizes = x.sum(axis=1)
+        title_rank = self.title_rank()
+        title_order = np.argsort(title_rank)
+        return _Incidence(
+            x=x,
+            sizes=sizes,
+            universe=universe,
+            tag_col=tag_col,
+            title_order=title_order,
+            title_rank=title_rank,
+        )
+
+    def query_vector(self, tags: Iterable[str]) -> np.ndarray:
+        """Binary column vector over the tag universe for ``tags``.
+
+        Tags outside the universe (mapped by no material) contribute no
+        column — they can never intersect a material's mappings.
+        """
+        inc = self.incidence()
+        q = np.zeros(inc.x.shape[1])
+        for t in tags:
+            col = inc.tag_col.get(t)
+            if col is not None:
+                q[col] = 1.0
+        return q
+
+    # -- tag expansion and level masks --------------------------------------
+
+    def expand_tags(
+        self, tags: frozenset[str], tree: GuidelineTree | None
+    ) -> frozenset[str]:
+        """Expand internal-node ids to the tags beneath them (memoized).
+
+        Matches ``MaterialRepository._expand_tags`` exactly; the memo is
+        keyed per tree (weakly, so dropped trees free their cache) and
+        never needs invalidation because trees are immutable after
+        construction.
+        """
+        if tree is None or not tags:
+            return frozenset(tags)
+        memo = self._expand_memo.setdefault(tree, {})
+        key = frozenset(tags)
+        hit = memo.get(key)
+        if hit is not None:
+            metrics.inc("repo.expand_tags.hits")
+            return hit
+        metrics.inc("repo.expand_tags.misses")
+        out: set[str] = set()
+        for t in key:
+            if t in tree:
+                node = tree[t]
+                if node.is_tag:
+                    out.add(t)
+                else:
+                    out.update(
+                        d for d in tree.descendant_ids(t) if tree[d].is_tag
+                    )
+            else:
+                out.add(t)
+        expanded = frozenset(out)
+        if len(memo) >= _EXPAND_MEMO_LIMIT:
+            memo.clear()
+        memo[key] = expanded
+        return expanded
+
+    def level_mask(
+        self,
+        tree: GuidelineTree,
+        *,
+        mastery: Mastery | None = None,
+        bloom: Bloom | None = None,
+    ) -> np.ndarray:
+        """Boolean row mask: materials with ≥1 mapping at/above the level.
+
+        Reproduces ``MaterialRepository._meets_level``: a material passes
+        when any of its mapped tags resolves to a tree node whose mastery
+        (resp. Bloom) level ranks at or above the threshold.  The mask is
+        memoized per (tree, level) and rebuilt when materials were added
+        since it was computed.
+        """
+        if (mastery is None) == (bloom is None):
+            raise ValueError("exactly one of mastery/bloom must be set")
+        key = (
+            ("mastery", mastery.value)
+            if mastery is not None
+            else ("bloom", bloom.value)  # type: ignore[union-attr]
+        )
+        memo = self._mask_memo.setdefault(tree, {})
+        cached = memo.get(key)
+        if cached is not None and cached[0] == self._version:
+            metrics.inc("repo.level_mask.hits")
+            return cached[1]
+        metrics.inc("repo.level_mask.misses")
+        if mastery is not None:
+            floor = _MASTERY_RANK[mastery]
+            qualified = (
+                n.id
+                for n in tree.iter_preorder()
+                if n.mastery is not None and _MASTERY_RANK[n.mastery] >= floor
+            )
+        else:
+            floor = _BLOOM_RANK[bloom]  # type: ignore[index]
+            qualified = (
+                n.id
+                for n in tree.iter_preorder()
+                if n.bloom is not None and _BLOOM_RANK[n.bloom] >= floor
+            )
+        mask = np.zeros(len(self._rows), dtype=bool)
+        for tag in qualified:
+            rows = self._tag_postings.get(tag)
+            if rows:
+                mask[rows] = True
+        memo[key] = (self._version, mask)
+        return mask
+
+    # -- planning ------------------------------------------------------------
+
+    def plan(
+        self,
+        query: "SearchQuery",
+        expanded_tags: frozenset[str],
+        tree: GuidelineTree | None,
+    ) -> QueryPlan:
+        """Candidate rows after every indexed filter.
+
+        Indexed filters each yield a sorted, unique row array; the planner
+        intersects them smallest-first so the working set shrinks as fast
+        as possible.  An indexed filter that matches nothing short-circuits
+        to an empty plan.
+        """
+        n = len(self._rows)
+        lists: list[np.ndarray] = []
+
+        tag_rows: np.ndarray | None = None
+        inter: np.ndarray | None = None
+        if expanded_tags:
+            # "any overlap" semantics: the union of the tags' posting lists.
+            # Deduplicating the concatenated postings with return_counts
+            # doubles as scoring: the multiplicity of a row IS its
+            # |mappings ∩ query tags|.
+            postings = [
+                arr
+                for t in expanded_tags
+                if len(arr := self._posting_array(self._tag_postings, t))
+            ]
+            if not postings:
+                return QueryPlan(np.empty(0, dtype=np.intp), None, True, n)
+            if len(postings) == 1:
+                tag_rows = postings[0]
+                inter = np.ones(len(tag_rows), dtype=np.int64)
+            else:
+                tag_rows, inter = np.unique(
+                    np.concatenate(postings), return_counts=True
+                )
+        if query.mtype is not None:
+            lists.append(self._posting_array(self._mtype_postings, query.mtype))
+        if query.course_level:
+            lists.append(self._posting_array(
+                self._level_postings, query.course_level.casefold()
+            ))
+        if query.language:
+            lists.append(self._posting_array(
+                self._language_postings, query.language.casefold()
+            ))
+        if query.min_mastery is not None:
+            assert tree is not None  # validated by the repository
+            lists.append(np.flatnonzero(
+                self.level_mask(tree, mastery=query.min_mastery)
+            ))
+        if query.min_bloom is not None:
+            assert tree is not None
+            lists.append(np.flatnonzero(
+                self.level_mask(tree, bloom=query.min_bloom)
+            ))
+
+        if tag_rows is None and not lists:
+            return QueryPlan(np.arange(n, dtype=np.intp), None, False, n)
+        if lists:
+            lists.sort(key=len)
+            other = lists[0]
+            for more in lists[1:]:
+                if not len(other):
+                    break
+                other = np.intersect1d(other, more, assume_unique=True)
+            if tag_rows is None:
+                return QueryPlan(other, None, True, n)
+            rows, keep, _ = np.intersect1d(
+                tag_rows, other, assume_unique=True, return_indices=True
+            )
+            return QueryPlan(rows, inter[keep], True, n)  # type: ignore[index]
+        return QueryPlan(tag_rows, inter, True, n)  # type: ignore[arg-type]
+
+    def residual_positions(
+        self, query: "SearchQuery", rows: np.ndarray
+    ) -> np.ndarray | None:
+        """Positions (into ``rows``) passing the unindexed substring filters.
+
+        Uses the precomputed casefolded haystacks, so no per-query
+        casefolding of material fields ever happens.  Returns ``None`` when
+        the query has no residual filter (every row passes).
+        """
+        needle = query.text.casefold()
+        author = query.author.casefold()
+        dataset = query.dataset.casefold()
+        if not (needle or author or dataset):
+            return None
+        keep: list[int] = []
+        for pos, row in enumerate(rows.tolist()):
+            if author and author not in self._author_haystacks[row]:
+                continue
+            if dataset and not any(
+                dataset in d for d in self._dataset_haystacks[row]
+            ):
+                continue
+            if needle and needle not in self._text_haystacks[row]:
+                continue
+            keep.append(pos)
+        return np.asarray(keep, dtype=np.intp)
+
+    # -- scoring -------------------------------------------------------------
+
+    def jaccard_scores(
+        self, inter: np.ndarray, sizes: np.ndarray, n_query_tags: int
+    ) -> np.ndarray:
+        """Jaccard from exact intersection counts and set sizes.
+
+        ``union == 0`` (both sets empty) is defined as fully similar, as in
+        :func:`repro.materials.similarity.jaccard_similarity`.
+        """
+        union = sizes + float(n_query_tags) - inter
+        return np.where(union > 0, inter / np.maximum(union, 1.0), 1.0)
+
+    def top_k(
+        self,
+        scores: np.ndarray,
+        rows: np.ndarray,
+        k: int,
+    ) -> list[int]:
+        """The ``k`` best of ``rows`` by (score desc, title, id) — exact.
+
+        ``np.argpartition`` narrows to the k highest scores, boundary ties
+        are re-admitted by score threshold, and the survivors are ordered
+        with ``np.lexsort`` on (−score, title rank), which reproduces the
+        scan's ``(-score, title, id)`` sort key bit for bit.
+        """
+        inc = self.incidence()
+        m = len(rows)
+        if k < m:
+            part = np.argpartition(-scores, k - 1)[:k]
+            threshold = scores[part].min()
+            keep = np.flatnonzero(scores >= threshold)
+            scores, rows = scores[keep], rows[keep]
+        order = np.lexsort((inc.title_rank[rows], -scores))[:k]
+        return rows[order].tolist()

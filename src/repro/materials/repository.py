@@ -4,18 +4,29 @@
 language and datasets used" — plus by guideline topics/outcomes, ranked by
 mapping overlap with the query's tag set so results that best match the
 requested learning objectives rank first.
+
+Since PR 2 every read path is served by the indexed query engine of
+:mod:`repro.materials.index` — inverted posting lists, a lazily built
+incidence matrix, and a small planner — while returning results
+bit-identical to the original full scans (which survive as
+``_search_scan`` / ``_find_similar_scan``, the reference implementations
+the equivalence suite and benchmarks compare against).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
 
 from repro.materials.course import Course
+from repro.materials.index import RepositoryIndex
 from repro.materials.material import Material, MaterialType
-from repro.materials.similarity import jaccard_similarity
+from repro.materials.similarity import jaccard_similarity, similarity_from_incidence
 from repro.ontology.node import Bloom, Mastery
 from repro.ontology.tree import GuidelineTree
+from repro.runtime.metrics import metrics
 
 _MASTERY_RANK = {Mastery.FAMILIARITY: 1, Mastery.USAGE: 2, Mastery.ASSESSMENT: 3}
 _BLOOM_RANK = {Bloom.KNOW: 1, Bloom.COMPREHEND: 2, Bloom.APPLY: 3}
@@ -62,13 +73,16 @@ class MaterialRepository:
     """Holds materials and courses; answers searches.
 
     The CS Materials deployment stores ~1700 materials and 30+ courses; this
-    in-memory version has no practical size limit (search is O(n) per query
-    over course-scale collections).
+    in-memory version has no practical size limit.  Queries run against the
+    incrementally maintained :class:`~repro.materials.index.RepositoryIndex`
+    (sublinear for indexed filters, BLAS-vectorized for ranking) and every
+    planner decision is visible in ``repro.runtime.summary()``.
     """
 
     def __init__(self) -> None:
         self._materials: dict[str, Material] = {}
         self._courses: dict[str, Course] = {}
+        self._index = RepositoryIndex()
 
     # -- ingestion -----------------------------------------------------------
 
@@ -76,6 +90,7 @@ class MaterialRepository:
         if material.id in self._materials:
             raise ValueError(f"material id {material.id!r} already in repository")
         self._materials[material.id] = material
+        self._index.add(material)
 
     def add_course(self, course: Course) -> None:
         """Register ``course`` and any of its materials not yet stored.
@@ -89,6 +104,7 @@ class MaterialRepository:
             existing = self._materials.get(m.id)
             if existing is None:
                 self._materials[m.id] = m
+                self._index.add(m)
             elif existing != m:
                 raise ValueError(f"conflicting definitions for material id {m.id!r}")
         self._courses[course.id] = course
@@ -120,6 +136,11 @@ class MaterialRepository:
     @property
     def n_courses(self) -> int:
         return len(self._courses)
+
+    @property
+    def index(self) -> RepositoryIndex:
+        """The live query-engine index (read-only use)."""
+        return self._index
 
     def stats(self) -> dict[str, dict[str, int]]:
         """Repository composition: counts by type, level, and language.
@@ -158,8 +179,168 @@ class MaterialRepository:
         query tag set, ties broken by title.  Without tag filters the score
         is 1 for every hit and ordering is by title.
         """
+        self._validate_limit(limit)
+        self._validate_level_filters(query, tree)
+        with metrics.timer("repo.search"):
+            metrics.inc("repo.search.queries")
+            tags = self._index.expand_tags(query.tags, tree)
+            rows, inter = self._plan_rows(query, tags, tree)
+            hits = self._ranked_hits(rows, tags, inter=inter)
+        return hits[:limit] if limit is not None else hits
+
+    def search_many(
+        self,
+        queries: Sequence[SearchQuery],
+        *,
+        tree: GuidelineTree | None = None,
+        limit: int | None = None,
+    ) -> list[list[SearchResult]]:
+        """Batch search: one result list per query, as :meth:`search` would.
+
+        All tag queries are scored against the incidence matrix in a single
+        materials × queries matmul, so scoring cost is one BLAS call rather
+        than one pass per query.
+        """
+        self._validate_limit(limit)
+        for query in queries:
+            self._validate_level_filters(query, tree)
+        if not queries:
+            return []
+        with metrics.timer("repo.search_many"):
+            metrics.inc("repo.search_many.queries", len(queries))
+            expanded = [self._index.expand_tags(q.tags, tree) for q in queries]
+            inc = self._index.incidence()
+            qmat = np.zeros((len(queries), inc.x.shape[1]))
+            for qi, tags in enumerate(expanded):
+                for t in tags:
+                    col = inc.tag_col.get(t)
+                    if col is not None:
+                        qmat[qi, col] = 1.0
+            inter_all = inc.x @ qmat.T  # (n materials, n queries)
+            results: list[list[SearchResult]] = []
+            for qi, (query, tags) in enumerate(zip(queries, expanded)):
+                rows, _ = self._plan_rows(query, tags, tree)
+                hits = self._ranked_hits(
+                    rows, tags, inter=inter_all[rows, qi] if tags else None
+                )
+                results.append(hits[:limit] if limit is not None else hits)
+        return results
+
+    def find_similar(
+        self, material_id: str, *, limit: int = 10
+    ) -> list[SearchResult]:
+        """Materials most similar (Jaccard over mappings) to a given one.
+
+        Top-k selection over one incidence matrix–vector product; ties are
+        broken exactly as the full sort would (score desc, title, id).
+        """
+        if limit < 1:
+            raise ValueError(f"find_similar limit must be >= 1, got {limit}")
+        ref = self.material(material_id)
+        with metrics.timer("repo.find_similar"):
+            metrics.inc("repo.find_similar.queries")
+            inc = self._index.incidence()
+            ref_row = self._index.row_of(material_id)
+            inter = inc.x @ inc.x[ref_row]
+            union = inc.sizes + inc.sizes[ref_row] - inter
+            scores = np.where(union > 0, inter / np.maximum(union, 1.0), 1.0)
+            rows = np.delete(np.arange(len(inc.sizes), dtype=np.intp), ref_row)
+            k = min(limit, len(rows))
+            best = self._index.top_k(scores[rows], rows, k) if k else []
+        return [
+            SearchResult(self._index.material_at(r), float(scores[r]))
+            for r in best
+        ]
+
+    def similarity_matrix(self, *, metric: str = "jaccard") -> np.ndarray:
+        """Pairwise similarity over all materials, in insertion order.
+
+        Served from the cached incidence matrix; bit-identical to
+        ``repro.materials.similarity.similarity_matrix(list(self.materials()))``.
+        """
+        with metrics.timer("repo.similarity_matrix"):
+            return similarity_from_incidence(self._index.incidence().x, metric=metric)
+
+    # -- query engine internals ----------------------------------------------
+
+    @staticmethod
+    def _validate_limit(limit: int | None) -> None:
+        if limit is not None and limit < 0:
+            raise ValueError(f"search limit must be >= 0, got {limit}")
+
+    @staticmethod
+    def _validate_level_filters(
+        query: SearchQuery, tree: GuidelineTree | None
+    ) -> None:
         if (query.min_mastery or query.min_bloom) and tree is None:
             raise ValueError("min_mastery/min_bloom filters require a guideline tree")
+
+    def _plan_rows(
+        self,
+        query: SearchQuery,
+        tags: frozenset[str],
+        tree: GuidelineTree | None,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Candidate rows (planner + residual predicates) and, for tag
+        queries, the per-row intersection counts aligned with them."""
+        plan = self._index.plan(query, tags, tree)
+        metrics.inc(
+            "repo.search.plan.indexed" if plan.indexed else "repo.search.plan.scan"
+        )
+        metrics.inc("repo.search.rows.scanned", len(plan.rows))
+        metrics.inc("repo.search.rows.skipped", plan.n_skipped)
+        positions = self._index.residual_positions(query, plan.rows)
+        if positions is None:
+            return plan.rows, plan.inter
+        rows = plan.rows[positions]
+        inter = plan.inter[positions] if plan.inter is not None else None
+        return rows, inter
+
+    def _ranked_hits(
+        self,
+        rows: np.ndarray,
+        tags: frozenset[str],
+        inter: np.ndarray | None = None,
+    ) -> list[SearchResult]:
+        """Score candidate ``rows`` and order them exactly as the scan does.
+
+        The ordering is done with one ``np.lexsort`` on (−score, title rank)
+        — ``title_rank`` encodes the (title, id) order, so this reproduces
+        the scan's ``(-score, title, id)`` sort key bit for bit without a
+        Python comparison sort.
+        """
+        if not len(rows):
+            return []
+        ranks = self._index.title_rank()[rows]
+        if not tags:
+            ordered = rows[np.argsort(ranks)]
+            return [
+                SearchResult(self._index.material_at(r), 1.0)
+                for r in ordered.tolist()
+            ]
+        assert inter is not None  # tag plans always carry counts
+        sizes = self._index.mapping_sizes()[rows]
+        scores = self._index.jaccard_scores(inter, sizes, len(tags))
+        order = np.lexsort((ranks, -scores))
+        return [
+            SearchResult(self._index.material_at(r), s)
+            for r, s in zip(rows[order].tolist(), scores[order].tolist())
+        ]
+
+    # -- reference scans ------------------------------------------------------
+    # The original O(n) implementations, kept verbatim as the ground truth
+    # the equivalence tests and benchmarks measure the index against.
+
+    def _search_scan(
+        self,
+        query: SearchQuery,
+        *,
+        tree: GuidelineTree | None = None,
+        limit: int | None = None,
+    ) -> list[SearchResult]:
+        """Reference brute-force search (pre-index implementation)."""
+        self._validate_limit(limit)
+        self._validate_level_filters(query, tree)
         tags = self._expand_tags(query.tags, tree)
         hits: list[SearchResult] = []
         needle = query.text.casefold()
@@ -196,10 +377,12 @@ class MaterialRepository:
         hits.sort(key=lambda r: (-r.score, r.material.title, r.material.id))
         return hits[:limit] if limit is not None else hits
 
-    def find_similar(
+    def _find_similar_scan(
         self, material_id: str, *, limit: int = 10
     ) -> list[SearchResult]:
-        """Materials most similar (Jaccard over mappings) to a given one."""
+        """Reference brute-force similarity ranking (pre-index implementation)."""
+        if limit < 1:
+            raise ValueError(f"find_similar limit must be >= 1, got {limit}")
         ref = self.material(material_id)
         scored = [
             SearchResult(m, jaccard_similarity(ref.mappings, m.mappings))

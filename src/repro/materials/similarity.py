@@ -38,25 +38,32 @@ def cosine_similarity(a: frozenset[str], b: frozenset[str]) -> float:
 _METRICS = {"jaccard": jaccard_similarity, "cosine": cosine_similarity}
 
 
-def similarity_matrix(
-    materials: Sequence[Material], *, metric: str = "jaccard"
-) -> np.ndarray:
-    """Symmetric (n x n) similarity matrix over material mappings.
+def incidence_matrix(tag_sets: Sequence[frozenset[str]]) -> np.ndarray:
+    """Binary (n × max(t, 1)) incidence matrix over the sorted tag universe.
 
-    Vectorized: mappings become a binary incidence matrix ``X`` so all
-    pairwise intersections come from one ``X @ X.T`` — the difference
+    Row i marks the tags of ``tag_sets[i]``; the column universe is the
+    sorted union of all sets.  This is the shared representation behind
+    every vectorized similarity in this package (and the repository's
+    cached index builds the same matrix).
+    """
+    universe = sorted({t for s in tag_sets for t in s})
+    index = {t: j for j, t in enumerate(universe)}
+    x = np.zeros((len(tag_sets), max(len(universe), 1)))
+    for i, s in enumerate(tag_sets):
+        for t in s:
+            x[i, index[t]] = 1.0
+    return x
+
+
+def similarity_from_incidence(x: np.ndarray, *, metric: str = "jaccard") -> np.ndarray:
+    """Symmetric pairwise similarity from a binary incidence matrix.
+
+    All pairwise intersections come from one ``X @ X.T`` — the difference
     between O(n^2) Python set operations and a single BLAS call matters at
     CS-Materials scale (~1700 materials).
     """
     if metric not in _METRICS:
         raise ValueError(f"unknown metric {metric!r}; choose from {sorted(_METRICS)}")
-    n = len(materials)
-    universe = sorted({t for m in materials for t in m.mappings})
-    index = {t: j for j, t in enumerate(universe)}
-    x = np.zeros((n, max(len(universe), 1)))
-    for i, m in enumerate(materials):
-        for t in m.mappings:
-            x[i, index[t]] = 1.0
     inter = x @ x.T
     sizes = x.sum(axis=1)
     if metric == "jaccard":
@@ -72,6 +79,15 @@ def similarity_matrix(
         s[np.ix_(~empty, empty)] = 0.0
     np.fill_diagonal(s, 1.0)
     return s
+
+
+def similarity_matrix(
+    materials: Sequence[Material], *, metric: str = "jaccard"
+) -> np.ndarray:
+    """Symmetric (n x n) similarity matrix over material mappings."""
+    return similarity_from_incidence(
+        incidence_matrix([m.mappings for m in materials]), metric=metric
+    )
 
 
 def similarity_graph(
@@ -91,10 +107,10 @@ def similarity_graph(
     g = nx.Graph()
     for m in materials:
         g.add_node(m.id, material=m)
-    for i in range(len(materials)):
-        for j in range(i + 1, len(materials)):
-            if s[i, j] > threshold:
-                g.add_edge(materials[i].id, materials[j].id, weight=float(s[i, j]))
+    # Upper-triangle argwhere replaces the O(n^2) Python double loop; the
+    # row-major order of the edge pairs matches the loop it replaced.
+    for i, j in np.argwhere(np.triu(s > threshold, k=1)):
+        g.add_edge(materials[i].id, materials[j].id, weight=float(s[i, j]))
     return g
 
 

@@ -183,3 +183,45 @@ class TestMapCli:
         out = capsys.readouterr().out
         assert "MDS stress" in out
         assert out.startswith("+")
+
+
+class TestSearchCli:
+    def test_search_by_type(self, corpus_file, capsys):
+        assert main(["search", str(corpus_file), "--type", "lecture",
+                     "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "material" in out and "score" in out
+        assert "5 hit(s)" in out
+
+    def test_search_by_internal_node_tag(self, corpus_file, capsys):
+        # An area id expands to every tag beneath it.
+        assert main(["search", str(corpus_file), "--tag", "CS2013/SDF"]) == 0
+        out = capsys.readouterr().out
+        assert "10 hit(s)" in out
+
+    def test_search_no_hits(self, corpus_file, capsys):
+        assert main(["search", str(corpus_file), "--text", "zzz-nope"]) == 0
+        assert "0 hit(s)" in capsys.readouterr().out
+
+    def test_search_negative_limit_rejected(self, corpus_file):
+        with pytest.raises(SystemExit):
+            main(["search", str(corpus_file), "--limit", "-1"])
+
+    def test_similar(self, corpus_file, capsys):
+        from repro.io import load_courses
+
+        mid = load_courses(str(corpus_file))[0].materials[0].id
+        assert main(["similar", str(corpus_file), "--material-id", mid,
+                     "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert mid not in out.splitlines()[0]  # header row
+        assert len(out.splitlines()) == 5  # header + rule + 3 hits
+
+    def test_similar_zero_limit_rejected(self, corpus_file):
+        with pytest.raises(SystemExit):
+            main(["similar", str(corpus_file), "--material-id", "x",
+                  "--limit", "0"])
+
+    def test_similar_unknown_material(self, corpus_file):
+        with pytest.raises(SystemExit, match="no material"):
+            main(["similar", str(corpus_file), "--material-id", "nope"])

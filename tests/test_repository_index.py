@@ -1,0 +1,332 @@
+"""Equivalence suite for the indexed query engine (PR 2).
+
+The contract of :mod:`repro.materials.index` is exact: every indexed read
+path must return **bit-identical** results — same hits, same float scores,
+same tie-break ordering — to the reference scans it replaced
+(``MaterialRepository._search_scan`` / ``_find_similar_scan``).  These
+tests drive both implementations over randomized corpora and adversarial
+edge cases (duplicate titles for tie-breaks, empty mappings, empty tag
+expansions, post-``add_course`` invalidation) and compare verbatim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.materials import (
+    MaterialRepository,
+    SearchQuery,
+    jaccard_similarity,
+    similarity_graph,
+    similarity_matrix,
+)
+from repro.materials.course import Course
+from repro.materials.diff import course_similarity_matrix
+from repro.materials.material import Material, MaterialType
+from repro.ontology.builder import TreeBuilder
+from repro.ontology.node import Bloom, Mastery
+from repro.runtime.metrics import metrics
+
+LEVELS = ["", "CS1", "CS2", "DS", "Algo"]
+LANGUAGES = ["", "Java", "C", "Python"]
+AUTHORS = ["", "Saule", "Bourke", "Subramanian", "Wong"]
+DATASETS = [(), ("earthquakes",), ("movies", "earthquakes"), ("airports",)]
+TITLES = ["Loops lab", "Trees lecture", "Sorting", "Loops lab", "Exam"]
+
+
+def _random_corpus(seed: int, n: int = 60, n_tags: int = 25) -> list[Material]:
+    """Materials with colliding titles, empty mappings, and mixed fields."""
+    rng = np.random.default_rng(seed)
+    tags = [f"t/{i:03d}" for i in range(n_tags)]
+    out = []
+    for i in range(n):
+        k = int(rng.integers(0, 6))  # 0 => empty mappings
+        mappings = frozenset(
+            rng.choice(tags, size=k, replace=False).tolist()
+        ) if k else frozenset()
+        out.append(Material(
+            id=f"m{i:03d}",
+            title=TITLES[int(rng.integers(0, len(TITLES)))],
+            mtype=list(MaterialType)[int(rng.integers(0, len(MaterialType)))],
+            mappings=mappings,
+            author=AUTHORS[int(rng.integers(0, len(AUTHORS)))],
+            course_level=LEVELS[int(rng.integers(0, len(LEVELS)))],
+            language=LANGUAGES[int(rng.integers(0, len(LANGUAGES)))],
+            datasets=DATASETS[int(rng.integers(0, len(DATASETS)))],
+            description=f"material number {i}",
+        ))
+    return out
+
+
+def _random_queries(seed: int, tags: list[str]) -> list[SearchQuery]:
+    rng = np.random.default_rng(seed)
+    queries = [SearchQuery()]
+    for _ in range(40):
+        kw = {}
+        if rng.random() < 0.7:
+            k = int(rng.integers(1, 5))
+            kw["tags"] = frozenset(rng.choice(tags, size=k, replace=False).tolist())
+        if rng.random() < 0.3:
+            kw["mtype"] = list(MaterialType)[int(rng.integers(0, len(MaterialType)))]
+        if rng.random() < 0.3:
+            kw["language"] = LANGUAGES[int(rng.integers(1, len(LANGUAGES)))]
+        if rng.random() < 0.3:
+            kw["course_level"] = LEVELS[int(rng.integers(1, len(LEVELS)))]
+        if rng.random() < 0.2:
+            kw["author"] = AUTHORS[int(rng.integers(1, len(AUTHORS)))][:3].lower()
+        if rng.random() < 0.2:
+            kw["text"] = ["loops", "tre", "material", "zzz"][int(rng.integers(0, 4))]
+        if rng.random() < 0.2:
+            kw["dataset"] = ["earth", "movie", "xyz"][int(rng.integers(0, 3))]
+        queries.append(SearchQuery(**kw))
+    return queries
+
+
+def _repo(materials) -> MaterialRepository:
+    repo = MaterialRepository()
+    for m in materials:
+        repo.add_material(m)
+    return repo
+
+
+def _key(hits):
+    return [(h.material.id, h.score) for h in hits]
+
+
+class TestSearchEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_randomized_corpora(self, seed):
+        mats = _random_corpus(seed)
+        repo = _repo(mats)
+        tags = [f"t/{i:03d}" for i in range(25)]
+        for q in _random_queries(seed + 100, tags):
+            for limit in (None, 0, 3):
+                indexed = repo.search(q, limit=limit)
+                scan = repo._search_scan(q, limit=limit)
+                assert _key(indexed) == _key(scan), q
+
+    def test_canonical_with_tree(self, dataset, cs2013):
+        _, courses, _ = dataset
+        repo = MaterialRepository()
+        for c in courses:
+            repo.add_course(c)
+        rng = np.random.default_rng(7)
+        tag_ids = cs2013.tag_ids()
+        internal = [n for n in cs2013.node_ids() if not cs2013[n].is_tag]
+        queries = [
+            SearchQuery(tags=frozenset(rng.choice(tag_ids, size=3).tolist()))
+            for _ in range(15)
+        ]
+        # Internal-node ids must expand to the tags beneath them.
+        queries += [
+            SearchQuery(tags=frozenset({internal[int(i)]}))
+            for i in rng.integers(0, len(internal), size=5)
+        ]
+        queries.append(SearchQuery(min_mastery=Mastery.USAGE))
+        queries.append(SearchQuery(
+            min_mastery=Mastery.FAMILIARITY,
+            tags=frozenset(rng.choice(tag_ids, size=4).tolist()),
+        ))
+        for q in queries:
+            assert _key(repo.search(q, tree=cs2013)) == _key(
+                repo._search_scan(q, tree=cs2013)
+            ), q
+
+    def test_bloom_filter_equivalence(self, dataset, pdc12):
+        _, courses, _ = dataset
+        repo = MaterialRepository()
+        for c in courses:
+            repo.add_course(c)
+        q = SearchQuery(min_bloom=Bloom.COMPREHEND)
+        assert _key(repo.search(q, tree=pdc12)) == _key(
+            repo._search_scan(q, tree=pdc12)
+        )
+
+    def test_search_many_matches_search(self, dataset, cs2013):
+        _, courses, _ = dataset
+        repo = MaterialRepository()
+        for c in courses:
+            repo.add_course(c)
+        rng = np.random.default_rng(3)
+        tag_ids = cs2013.tag_ids()
+        queries = [
+            SearchQuery(tags=frozenset(rng.choice(tag_ids, size=3).tolist()))
+            for _ in range(8)
+        ] + [SearchQuery(), SearchQuery(text="lecture")]
+        batched = repo.search_many(queries, tree=cs2013, limit=7)
+        for q, hits in zip(queries, batched):
+            assert _key(hits) == _key(repo.search(q, tree=cs2013, limit=7))
+
+    def test_search_many_empty(self):
+        assert _repo(_random_corpus(0)).search_many([]) == []
+
+
+class TestSearchEdgeCases:
+    def test_limit_zero(self):
+        repo = _repo(_random_corpus(0))
+        assert repo.search(SearchQuery(), limit=0) == []
+        assert repo.search(SearchQuery(), limit=0) == repo._search_scan(
+            SearchQuery(), limit=0
+        )
+
+    def test_negative_limit_raises(self):
+        repo = _repo(_random_corpus(0))
+        with pytest.raises(ValueError, match=">= 0"):
+            repo.search(SearchQuery(), limit=-1)
+        with pytest.raises(ValueError, match=">= 0"):
+            repo.search_many([SearchQuery()], limit=-2)
+
+    def test_find_similar_bad_limit_raises(self):
+        repo = _repo(_random_corpus(0))
+        with pytest.raises(ValueError, match=">= 1"):
+            repo.find_similar("m000", limit=0)
+        with pytest.raises(ValueError, match=">= 1"):
+            repo.find_similar("m000", limit=-3)
+
+    def test_empty_tag_expansion_matches_scan(self):
+        # A unit with no tag descendants expands to the empty set; the scan
+        # then treats the query as untagged (score 1.0 for every hit).
+        b = TreeBuilder("G", "tiny")
+        a = b.area("A", "Area")
+        b.unit(a, "EMPTY", "No tags here")
+        u = b.unit(a, "U", "Unit")
+        b.topic(u, "Topic one")
+        tree = b.build()
+        repo = _repo([
+            Material("m1", "M1", MaterialType.LAB, frozenset({"G/A/U/t-topic-one"})),
+            Material("m2", "M2", MaterialType.LAB, frozenset()),
+        ])
+        q = SearchQuery(tags=frozenset({"G/A/EMPTY"}))
+        indexed, scan = repo.search(q, tree=tree), repo._search_scan(q, tree=tree)
+        assert _key(indexed) == _key(scan)
+        assert [h.score for h in indexed] == [1.0, 1.0]
+
+    def test_unknown_tag_matches_nothing(self):
+        repo = _repo(_random_corpus(1))
+        q = SearchQuery(tags=frozenset({"no/such/tag"}))
+        assert repo.search(q) == repo._search_scan(q) == []
+
+    def test_level_filter_without_tree_raises(self):
+        repo = _repo(_random_corpus(1))
+        with pytest.raises(ValueError, match="guideline tree"):
+            repo.search(SearchQuery(min_mastery=Mastery.USAGE))
+
+    def test_scores_are_plain_floats(self):
+        repo = _repo(_random_corpus(2))
+        hits = repo.search(SearchQuery(tags=frozenset({"t/001", "t/002"})))
+        assert hits and all(type(h.score) is float for h in hits)
+
+
+class TestFindSimilarEquivalence:
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_randomized(self, seed):
+        mats = _random_corpus(seed)
+        repo = _repo(mats)
+        for m in mats[::7]:
+            for limit in (1, 4, 10, len(mats) + 5):
+                assert _key(repo.find_similar(m.id, limit=limit)) == _key(
+                    repo._find_similar_scan(m.id, limit=limit)
+                ), (m.id, limit)
+
+    def test_canonical(self, dataset):
+        _, courses, _ = dataset
+        repo = MaterialRepository()
+        for c in courses:
+            repo.add_course(c)
+        ids = [m.id for m in repo.materials()][::37]
+        for mid in ids:
+            assert _key(repo.find_similar(mid, limit=10)) == _key(
+                repo._find_similar_scan(mid, limit=10)
+            )
+
+
+class TestIndexMaintenance:
+    def test_post_add_course_invalidation(self):
+        repo = _repo(_random_corpus(4, n=20))
+        q = SearchQuery(tags=frozenset({"t/001"}))
+        before = repo.search(q)
+        repo.similarity_matrix()  # force an incidence build
+        extra = Course("late", "Late course", materials=[
+            Material("late-m1", "Aardvark primer", MaterialType.LECTURE,
+                     frozenset({"t/001", "t/002"})),
+        ])
+        repo.add_course(extra)
+        after = repo.search(q)
+        assert _key(after) == _key(repo._search_scan(q))
+        assert {h.material.id for h in after} == (
+            {h.material.id for h in before} | {"late-m1"}
+        )
+        # find_similar and similarity_matrix see the new row too.
+        assert _key(repo.find_similar("late-m1")) == _key(
+            repo._find_similar_scan("late-m1")
+        )
+        assert repo.similarity_matrix().shape[0] == repo.n_materials
+
+    def test_similarity_matrix_bit_identical(self):
+        repo = _repo(_random_corpus(6))
+        for metric in ("jaccard", "cosine"):
+            via_index = repo.similarity_matrix(metric=metric)
+            via_scan = similarity_matrix(list(repo.materials()), metric=metric)
+            assert np.array_equal(via_index, via_scan)
+
+    def test_level_mask_memoized_until_materials_change(self, cs2013, dataset):
+        _, courses, _ = dataset
+        repo = MaterialRepository()
+        for c in courses:
+            repo.add_course(c)
+        metrics.reset()
+        q = SearchQuery(min_mastery=Mastery.USAGE)
+        repo.search(q, tree=cs2013)
+        repo.search(q, tree=cs2013)
+        assert metrics.get("repo.level_mask.misses") == 1
+        assert metrics.get("repo.level_mask.hits") == 1
+        repo.add_material(Material("fresh", "Fresh", MaterialType.QUIZ))
+        repo.search(q, tree=cs2013)
+        assert metrics.get("repo.level_mask.misses") == 2
+
+    def test_query_metrics_reported(self):
+        metrics.reset()
+        repo = _repo(_random_corpus(7, n=10))
+        repo.search(SearchQuery(tags=frozenset({"t/003"})))
+        repo.search(SearchQuery(text="material"))  # no indexed filter -> scan
+        repo.find_similar("m000")
+        import repro.runtime as runtime
+
+        text = runtime.summary()
+        assert "repo.search.queries" in text
+        assert "repo.search.plan.indexed" in text
+        assert "repo.search.plan.scan" in text
+        assert "repo.search.rows.scanned" in text
+        assert "repo.find_similar" in text
+        assert "repo.index.build" in text
+
+
+class TestVectorizedGraphs:
+    def test_similarity_graph_matches_double_loop(self):
+        mats = _random_corpus(8, n=30)
+        g = similarity_graph(mats, threshold=0.1)
+        s = similarity_matrix(mats)
+        expected = {
+            (mats[i].id, mats[j].id): s[i, j]
+            for i in range(len(mats))
+            for j in range(i + 1, len(mats))
+            if s[i, j] > 0.1
+        }
+        assert {tuple(e) for e in g.edges} == set(expected)
+        for (u, v), w in expected.items():
+            assert g.edges[u, v]["weight"] == float(w)
+
+    def test_course_similarity_matrix_matches_pairwise(self, dataset, cs2013):
+        _, courses, _ = dataset
+        courses = list(courses)
+        s = course_similarity_matrix(courses, tree=cs2013)
+        tag_sets = [
+            frozenset(t for t in c.tag_set() if t in cs2013) for c in courses
+        ]
+        n = len(courses)
+        ref = np.eye(n)
+        for i in range(n):
+            for j in range(i + 1, n):
+                ref[i, j] = ref[j, i] = jaccard_similarity(tag_sets[i], tag_sets[j])
+        assert np.array_equal(s, ref)
