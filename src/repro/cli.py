@@ -401,6 +401,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable factorization memoization entirely",
     )
     p.add_argument(
+        "--nmf-kernel", choices=("auto", "batched", "serial"), default=None,
+        help="NMF execution strategy: 'batched' vectorizes all restarts in "
+             "one kernel, 'serial' fits one at a time, 'auto' picks "
+             "(default: $REPRO_NMF_KERNEL or auto; results are identical)",
+    )
+    p.add_argument(
         "--runtime-summary", action="store_true",
         help="print runtime metrics (timers, counters, cache stats) after "
              "the command",
@@ -550,6 +556,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         workers=args.workers,
         cache_dir=args.cache_dir if args.cache_dir is not None else ...,
         cache_enabled=False if args.no_cache else None,
+        nmf_kernel=args.nmf_kernel,
     )
     status = args.func(args)
     if args.runtime_summary:

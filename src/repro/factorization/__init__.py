@@ -13,9 +13,12 @@ is self-contained:
   CS Materials' 2-D search-result maps (§3.1.2).
 * :class:`KMeans` — k-means++ (substrate for spectral co-clustering).
 * :class:`SpectralCoclustering` — the bi-clustered matrix view (§3.1.1).
+* :func:`batched_nmf_fits` — vectorized multi-restart NMF kernels (stacked
+  tensor updates, sparse-aware hot loops), bit-identical to :class:`NMF`.
 """
 
 from repro.factorization.nmf import NMF, nndsvd_init
+from repro.factorization.kernels import batched_nmf_fits, sparse_fit_single
 from repro.factorization.pca import PCA
 from repro.factorization.mds import MDSResult, classical_mds, smacof, stress
 from repro.factorization.kmeans import KMeans
@@ -29,7 +32,9 @@ from repro.factorization.consensus import (
 
 __all__ = [
     "NMF",
+    "batched_nmf_fits",
     "nndsvd_init",
+    "sparse_fit_single",
     "PCA",
     "MDSResult",
     "classical_mds",

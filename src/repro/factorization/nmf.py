@@ -20,6 +20,15 @@ Initialization: ``"random"`` (what the paper used), ``"nndsvd"`` and
 Conventions follow scikit-learn where sensible (``tol=1e-4``,
 ``max_iter=200``, ``components_`` holding ``H``) so the paper's
 "default parameters" setting translates directly.
+
+``fit_transform`` also accepts a ``scipy.sparse`` matrix for ``A``; the
+solve is then delegated to the sparse path of
+:mod:`repro.factorization.kernels`, which keeps ``A`` sparse in the hot
+loops (``W.T @ A`` / ``A @ H.T`` as sparse matmuls) and evaluates the
+Frobenius objective with the Gram trick instead of forming the dense
+residual.  Multi-restart batches dispatch through the same module's
+batched engine (see :func:`repro.runtime.run_nmf_fits`), with results
+bit-identical to this serial implementation.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 import scipy.linalg
+import scipy.sparse
 
 from repro.runtime.metrics import metrics
 from repro.util.rng import RngLike, as_rng
@@ -64,6 +74,10 @@ def nndsvd_init(
     zeros with the matrix mean (useful for multiplicative updates, which
     cannot escape exact zeros); ``"nndsvd"`` leaves them at zero.
     """
+    if scipy.sparse.issparse(a):
+        # NNDSVD needs a dense SVD; this is a one-time init cost, the
+        # solver hot loops stay sparse (see repro.factorization.kernels).
+        a = a.toarray()
     a = check_nonnegative(check_matrix(a))
     n, m = a.shape
     k = min(n_components, min(n, m))
@@ -135,7 +149,8 @@ def nmf_restart_specs(
     if init == "custom":
         raise ValueError("nmf_restart_specs resolves inits itself; "
                          "pass init='random' or an NNDSVD variant")
-    a = np.asarray(a, dtype=float)
+    if not scipy.sparse.issparse(a):
+        a = np.asarray(a, dtype=float)
     rng = as_rng(seed)
     runs = max(n_restarts if init == "random" else 1, 1)
     specs: list[dict] = []
@@ -218,6 +233,10 @@ class NMF:
             raise ValueError("max_iter must be >= 1")
         if self.tol < 0:
             raise ValueError("tol must be >= 0")
+        if self.check_every < 1:
+            raise ValueError(
+                f"check_every must be >= 1, got {self.check_every}"
+            )
         if self.l2_reg < 0 or self.l1_reg < 0:
             raise ValueError("regularization strengths must be >= 0")
 
@@ -230,16 +249,42 @@ class NMF:
         W0: np.ndarray | None = None,
         H0: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Factor ``a``; returns ``W`` and stores ``H`` in ``components_``."""
+        """Factor ``a``; returns ``W`` and stores ``H`` in ``components_``.
+
+        ``a`` may be a ``scipy.sparse`` matrix, in which case the solve
+        runs through the sparse kernels (Frobenius loss only) without
+        ever materializing a dense ``n x m`` array in the hot loop.
+        """
+        if scipy.sparse.issparse(a):
+            from repro.factorization.kernels import sparse_fit_single
+
+            with metrics.timer("nmf.fit"):
+                w, h, err, n_iter, converged = sparse_fit_single(
+                    self, a, W0=W0, H0=H0
+                )
+            self.components_ = h
+            self.reconstruction_err_ = err
+            self.n_iter_ = n_iter
+            self.converged_ = converged
+            metrics.inc("nmf.fits")
+            metrics.inc("nmf.iterations", self.n_iter_)
+            if self.converged_:
+                metrics.inc("nmf.converged")
+            return w
         a = check_finite(check_nonnegative(check_matrix(a)))
         with metrics.timer("nmf.fit"):
-            w, h = self._initialize(a, W0, H0)
-            if self.solver == "mu":
-                w, h = self._solve_mu(a, w, h)
-            else:
-                w, h = self._solve_hals(a, w, h)
+            w, h, last_err = (
+                self._solve_mu(a, *self._initialize(a, W0, H0))
+                if self.solver == "mu"
+                else self._solve_hals(a, *self._initialize(a, W0, H0))
+            )
         self.components_ = h
-        self.reconstruction_err_ = self._objective(a, w, h)
+        # The solver hands back the objective it evaluated on the
+        # converging check iteration (the factors have not moved since);
+        # only recompute when no such evaluation exists.
+        self.reconstruction_err_ = (
+            last_err if last_err is not None else self._objective(a, w, h)
+        )
         metrics.inc("nmf.fits")
         metrics.inc("nmf.iterations", self.n_iter_)
         if self.converged_:
@@ -307,9 +352,16 @@ class NMF:
 
     def _solve_mu(
         self, a: np.ndarray, w: np.ndarray, h: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray, float | None]:
+        """MU iterations; returns ``(W, H, last_err)``.
+
+        ``last_err`` is the objective evaluated on the converging check
+        iteration (``None`` if the run hit ``max_iter`` or ``tol == 0``)
+        — callers can reuse it instead of re-deriving the final error.
+        """
         err_init = self._objective(a, w, h)
         err_prev = err_init
+        last_err: float | None = None
         self.converged_ = False
         for it in range(1, self.max_iter + 1):
             if self.loss == "frobenius":
@@ -325,16 +377,21 @@ class NMF:
                 err = self._objective(a, w, h)
                 if (err_prev - err) / max(err_init, _EPS) < self.tol:
                     self.converged_ = True
+                    last_err = err
                     break
                 err_prev = err
-        return w, h
+        return w, h, last_err
 
     def _solve_hals(
         self, a: np.ndarray, w: np.ndarray, h: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """HALS: cyclic rank-one updates of W's columns and H's rows."""
+    ) -> tuple[np.ndarray, np.ndarray, float | None]:
+        """HALS: cyclic rank-one updates of W's columns and H's rows.
+
+        Returns ``(W, H, last_err)`` like :meth:`_solve_mu`.
+        """
         err_init = _frobenius_error(a, w, h)
         err_prev = err_init
+        last_err: float | None = None
         self.converged_ = False
         for it in range(1, self.max_iter + 1):
             # Update H rows given W.
@@ -356,6 +413,7 @@ class NMF:
                 err = _frobenius_error(a, w, h)
                 if (err_prev - err) / max(err_init, _EPS) < self.tol:
                     self.converged_ = True
+                    last_err = err
                     break
                 err_prev = err
-        return w, h
+        return w, h, last_err

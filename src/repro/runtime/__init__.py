@@ -35,12 +35,17 @@ from repro.runtime.cache import (
     ResultCache,
     array_digest,
     content_key,
+    matrix_digest,
     result_cache,
 )
 from repro.runtime.executor import (
+    NMF_KERNELS,
+    nmf_kernel_from_env,
     parallel_map,
+    resolve_nmf_kernel,
     resolve_workers,
     run_nmf_fits,
+    set_default_nmf_kernel,
     set_default_workers,
     spawn_seeds,
     workers_from_env,
@@ -50,17 +55,22 @@ from repro.runtime.metrics import MetricsRegistry, TimerStat, metrics
 __all__ = [
     "CacheStats",
     "MetricsRegistry",
+    "NMF_KERNELS",
     "ResultCache",
     "TimerStat",
     "array_digest",
     "configure",
     "content_key",
+    "matrix_digest",
     "metrics",
+    "nmf_kernel_from_env",
     "parallel_map",
     "reset",
+    "resolve_nmf_kernel",
     "resolve_workers",
     "result_cache",
     "run_nmf_fits",
+    "set_default_nmf_kernel",
     "set_default_workers",
     "spawn_seeds",
     "summary",
@@ -74,15 +84,20 @@ def configure(
     cache_dir: str | os.PathLike | None | object = ...,
     cache_enabled: bool | None = None,
     cache_max_entries: int | None = None,
+    nmf_kernel: str | None = None,
 ) -> None:
     """Configure the process-global runtime in one call.
 
     ``workers=None`` leaves worker resolution to the environment
     (``REPRO_WORKERS``); ``cache_dir=None`` switches the cache to
-    memory-only; omitted keywords keep their current values.
+    memory-only; ``nmf_kernel`` pins the NMF execution strategy
+    (``auto``/``batched``/``serial``, see :func:`run_nmf_fits`); omitted
+    keywords keep their current values.
     """
     if workers is not None:
         set_default_workers(workers)
+    if nmf_kernel is not None:
+        set_default_nmf_kernel(nmf_kernel)
     result_cache.configure(
         cache_dir=cache_dir,
         enabled=cache_enabled,

@@ -49,6 +49,28 @@ def array_digest(a: np.ndarray) -> str:
     return h.hexdigest()
 
 
+def matrix_digest(a) -> str:
+    """Digest for a dense or ``scipy.sparse`` matrix.
+
+    Dense input goes through :func:`array_digest`.  Sparse input is
+    hashed over its canonical CSR structure (shape + data/indices/indptr
+    bytes), prefixed so a sparse matrix can never collide with the dense
+    array holding the same values.
+    """
+    import scipy.sparse
+
+    if not scipy.sparse.issparse(a):
+        return array_digest(np.asarray(a))
+    csr = scipy.sparse.csr_array(a)
+    csr.sum_duplicates()
+    h = hashlib.sha256()
+    h.update(b"csr:")
+    h.update(repr(csr.shape).encode())
+    for part in (csr.data, csr.indices, csr.indptr):
+        h.update(array_digest(np.ascontiguousarray(part)).encode())
+    return h.hexdigest()
+
+
 def content_key(
     kind: str,
     arrays: Sequence[np.ndarray],

@@ -20,6 +20,15 @@ the results **bit-identical** to the serial path:
 Worker selection: explicit ``workers=`` argument > ``configure(workers=)``
 > the ``REPRO_WORKERS`` environment variable (an integer, or ``auto`` for
 the CPU count) > serial.
+
+NMF batches additionally choose an in-process *kernel strategy* (see
+:func:`run_nmf_fits`): the default ``auto`` runs the whole batch through
+the vectorized engine in :mod:`repro.factorization.kernels` — one Python
+loop iteration advancing every restart — and reserves the process pool
+for large dense matrices where BLAS time dwarfs dispatch overhead.
+``REPRO_NMF_KERNEL`` / ``--nmf-kernel`` / ``configure(nmf_kernel=...)``
+override the choice; every strategy returns bit-identical bundles, so
+the cache layer is oblivious to which one ran.
 """
 
 from __future__ import annotations
@@ -31,11 +40,13 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Mapping, Sequence, TypeVar
 
 import numpy as np
+import scipy.sparse
 
 from repro.runtime.cache import (
     ResultCache,
     array_digest,
     content_key,
+    matrix_digest,
     result_cache,
 )
 from repro.runtime.metrics import metrics
@@ -80,6 +91,47 @@ def resolve_workers(workers: int | None = None) -> int:
     if env is not None:
         return env
     return 1
+
+
+#: Valid NMF kernel strategies (see :func:`run_nmf_fits`).
+NMF_KERNELS = ("auto", "batched", "serial")
+
+#: Kernel strategy set via :func:`repro.runtime.configure`.
+_configured_nmf_kernel: str | None = None
+
+#: ``auto`` only pays process-pool overhead when the matrix is at least
+#: this many elements — below it, batch dispatch beats pickling.
+_POOL_MIN_ELEMS = 200_000
+
+
+def set_default_nmf_kernel(kernel: str | None) -> None:
+    """Set (or with ``None`` clear) the configured NMF kernel strategy."""
+    global _configured_nmf_kernel
+    if kernel is not None and kernel not in NMF_KERNELS:
+        raise ValueError(
+            f"nmf_kernel must be one of {NMF_KERNELS}, got {kernel!r}"
+        )
+    _configured_nmf_kernel = kernel
+
+
+def nmf_kernel_from_env() -> str | None:
+    """Parse ``REPRO_NMF_KERNEL``; ``None`` if unset or invalid."""
+    raw = os.environ.get("REPRO_NMF_KERNEL", "").strip().lower()
+    return raw if raw in NMF_KERNELS else None
+
+
+def resolve_nmf_kernel(kernel: str | None = None) -> str:
+    """Effective kernel strategy: argument > configure() > env > ``auto``."""
+    if kernel is not None:
+        if kernel not in NMF_KERNELS:
+            raise ValueError(
+                f"nmf_kernel must be one of {NMF_KERNELS}, got {kernel!r}"
+            )
+        return kernel
+    if _configured_nmf_kernel is not None:
+        return _configured_nmf_kernel
+    env = nmf_kernel_from_env()
+    return env if env is not None else "auto"
 
 
 def spawn_seeds(seed: Any, n: int) -> list[np.random.SeedSequence]:
@@ -186,22 +238,38 @@ def run_nmf_fits(
     workers: int | None = None,
     cache: ResultCache | None = None,
     use_cache: bool = True,
+    kernel: str | None = None,
 ) -> list[dict[str, np.ndarray]]:
     """Fit a batch of NMF configurations against one matrix.
 
     Each spec holds :class:`~repro.factorization.nmf.NMF` constructor
     keywords plus optional ``W0``/``H0`` initialization arrays.  Specs
     must be fully deterministic (pre-drawn inits or deterministic init
-    schemes) — that is what makes both the cache and the process pool
-    transparent.  Returns one bundle per spec, in spec order, each with
-    ``w``, ``h``, ``err``, ``n_iter``, ``converged``.
+    schemes) — that is what makes the cache and every execution strategy
+    transparent.  ``a`` may also be a ``scipy.sparse`` matrix, which the
+    batched kernels keep sparse in the solver hot loops.  Returns one
+    bundle per spec, in spec order, each with ``w``, ``h``, ``err``,
+    ``n_iter``, ``converged``.
+
+    ``kernel`` picks the execution strategy for cache-miss specs:
+
+    * ``"batched"`` — stack the batch and advance all restarts at once
+      through :func:`repro.factorization.kernels.batched_nmf_fits`;
+    * ``"serial"`` — the legacy one-fit-at-a-time loop (or process pool
+      when ``workers > 1``);
+    * ``"auto"`` (default) — the pool for large dense matrices when
+      ``workers > 1``, the batched engine otherwise.
+
+    All strategies produce bit-identical bundles.
     """
-    a = np.ascontiguousarray(a, dtype=float)
+    is_sparse = scipy.sparse.issparse(a)
+    if not is_sparse:
+        a = np.ascontiguousarray(a, dtype=float)
     store = cache if cache is not None else result_cache
     results: list[dict[str, np.ndarray] | None] = [None] * len(specs)
     pending: list[tuple[int, str, tuple]] = []
     with metrics.timer("runtime.nmf_batch"):
-        a_digest = array_digest(a) if use_cache else ""
+        a_digest = matrix_digest(a) if use_cache else ""
         for i, spec in enumerate(specs):
             key = _spec_key(a_digest, spec) if use_cache else ""
             if use_cache:
@@ -213,9 +281,31 @@ def run_nmf_fits(
             payload = (a, params, spec.get("W0"), spec.get("H0"))
             pending.append((i, key, payload))
         if pending:
-            fresh = parallel_map(
-                _fit_nmf_task, [p for _, _, p in pending], workers=workers
-            )
+            strategy = resolve_nmf_kernel(kernel)
+            if strategy == "auto":
+                use_pool = (
+                    not is_sparse
+                    and len(pending) > 1
+                    and resolve_workers(workers) > 1
+                    and a.size >= _POOL_MIN_ELEMS
+                )
+                strategy = "serial" if use_pool else "batched"
+            if strategy == "batched":
+                from repro.factorization.kernels import batched_nmf_fits
+
+                metrics.inc("runtime.nmf_strategy.batched")
+                fresh = batched_nmf_fits(
+                    a, [dict(p[1], W0=p[2], H0=p[3]) for _, _, p in pending]
+                )
+            else:
+                metrics.inc(
+                    "runtime.nmf_strategy.pool"
+                    if resolve_workers(workers) > 1 and len(pending) > 1
+                    else "runtime.nmf_strategy.serial"
+                )
+                fresh = parallel_map(
+                    _fit_nmf_task, [p for _, _, p in pending], workers=workers
+                )
             for (i, key, _), bundle in zip(pending, fresh):
                 results[i] = bundle
                 if use_cache:
