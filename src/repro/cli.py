@@ -207,16 +207,32 @@ def cmd_deps(args) -> int:
 
 def cmd_lint(args) -> int:
     from repro.curriculum import load_pdc12
-    from repro.materials.lint import Severity, lint_corpus
+    from repro.materials.lint import lint_corpus
+    from repro.quality.report import fails_threshold, render_json, render_text
 
     courses = _load(args.courses)
     issues = lint_corpus(courses, [load_cs2013(), load_pdc12()])
-    for issue in issues:
-        print(issue)
-    n_err = sum(1 for i in issues if i.severity is Severity.ERROR)
-    n_warn = len(issues) - n_err
-    print(f"{n_err} error(s), {n_warn} warning(s) across {len(courses)} courses")
-    return 1 if n_err else 0
+    records = [i.to_record() for i in issues]
+    if args.format == "json":
+        print(render_json(
+            records, tool="repro.materials.lint", n_files=len(courses)
+        ))
+    else:
+        print(render_text(records, n_files=len(courses), noun="course"))
+    return 1 if fails_threshold(records, args.fail_on) else 0
+
+
+def cmd_lint_code(args) -> int:
+    from repro.quality import run_lint_code
+
+    try:
+        report, status = run_lint_code(
+            args.paths, fmt=args.format, fail_on=args.fail_on, select=args.select
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    print(report)
+    return status
 
 
 def cmd_map(args) -> int:
@@ -458,7 +474,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     ln = sub.add_parser("lint", help="data-quality screen over a corpus")
     ln.add_argument("courses")
+    ln.add_argument("--format", choices=("text", "json"), default="text",
+                    help="report format (default: text)")
+    ln.add_argument("--fail-on", choices=("error", "warning"), default="error",
+                    help="exit non-zero when findings at/above this severity "
+                         "exist (default: error)")
     ln.set_defaults(func=cmd_lint)
+
+    lc = sub.add_parser(
+        "lint-code",
+        help="static analysis of the codebase itself (repro.quality)",
+    )
+    lc.add_argument("paths", nargs="*", default=["src"],
+                    help="files or directories to analyze (default: src)")
+    lc.add_argument("--format", choices=("text", "json"), default="text",
+                    help="report format (default: text)")
+    lc.add_argument("--fail-on", choices=("error", "warning"), default="error",
+                    help="exit non-zero when findings at/above this severity "
+                         "exist (default: error)")
+    lc.add_argument("--select", action="append", metavar="RPRnnn", default=None,
+                    help="run only the named rule(s); repeatable")
+    lc.set_defaults(func=cmd_lint_code)
 
     mp = sub.add_parser("map", help="2-D MDS map of whole courses")
     mp.add_argument("courses")

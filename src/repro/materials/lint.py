@@ -36,6 +36,21 @@ class LintIssue:
     def __str__(self) -> str:
         return f"[{self.severity.value}] {self.course_id}: {self.message}"
 
+    def to_record(self):
+        """Adapt to the shared reporter form (see :mod:`repro.quality.report`).
+
+        Corpus findings anchor to a course id instead of a file position,
+        so ``path``/``line``/``col`` stay ``None``.
+        """
+        from repro.quality.report import Record
+
+        return Record(
+            code=self.code,
+            severity=self.severity.value,
+            message=self.message,
+            location=self.course_id,
+        )
+
 
 def lint_corpus(
     courses: Sequence[Course],

@@ -284,9 +284,10 @@ class MaterialRepository:
         """Candidate rows (planner + residual predicates) and, for tag
         queries, the per-row intersection counts aligned with them."""
         plan = self._index.plan(query, tags, tree)
-        metrics.inc(
-            "repo.search.plan.indexed" if plan.indexed else "repo.search.plan.scan"
-        )
+        if plan.indexed:
+            metrics.inc("repo.search.plan.indexed")
+        else:
+            metrics.inc("repo.search.plan.scan")
         metrics.inc("repo.search.rows.scanned", len(plan.rows))
         metrics.inc("repo.search.rows.skipped", plan.n_skipped)
         positions = self._index.residual_positions(query, plan.rows)

@@ -1,0 +1,148 @@
+"""repro.quality — static analysis enforcing the library's own contracts.
+
+:mod:`repro.materials.lint` screens the *corpus* the way the paper's
+Figure 1 gate screened courses; this package applies the same
+discipline to the *code*.  The runtime's guarantees — bit-identical
+results under any worker count, a content-addressed cache that never
+aliases, a groupable metrics report — are invariants that one unseeded
+``np.random`` call or one forgotten cache-key field silently destroys.
+The rule engine (:mod:`~repro.quality.engine`) walks the AST of a file
+set and enforces them:
+
+========  ========================================================
+code      rule
+========  ========================================================
+RPR101    unseeded / global-state randomness in library code
+RPR102    wall-clock reads in library code
+RPR201    unpicklable callables handed to the process pool
+RPR202    NMF fields missing from the cache-key parameter list
+RPR301    metric names that are not dotted-lowercase literals
+RPR401    curriculum-table invariants (ids, links, crosswalk)
+RPR000    (reserved) file the engine could not parse
+========  ========================================================
+
+Run it as ``repro lint-code [paths]`` or ``python -m repro.quality``;
+suppress a finding inline with ``# repro: noqa[RPRnnn]``.  The
+codebase gates itself: ``tests/test_quality.py`` asserts the engine
+finds nothing in ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.quality.engine import (
+    PARSE_ERROR_CODE,
+    AnalysisResult,
+    FileContext,
+    Finding,
+    ImportMap,
+    ProjectContext,
+    Rule,
+    RULES,
+    Severity,
+    analyze_paths,
+    discover,
+    rule,
+)
+
+# Importing the rule modules registers every rule with the engine.
+from repro.quality import rules_determinism  # noqa: F401  (registration)
+from repro.quality import rules_runtime  # noqa: F401  (registration)
+from repro.quality import rules_data  # noqa: F401  (registration)
+from repro.quality.report import (
+    FAIL_ON,
+    Record,
+    fails_threshold,
+    record_from_finding,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "FAIL_ON",
+    "FileContext",
+    "Finding",
+    "ImportMap",
+    "PARSE_ERROR_CODE",
+    "ProjectContext",
+    "RULES",
+    "Record",
+    "Rule",
+    "Severity",
+    "analyze_paths",
+    "discover",
+    "fails_threshold",
+    "main",
+    "record_from_finding",
+    "render_json",
+    "render_text",
+    "rule",
+    "run_lint_code",
+]
+
+
+def run_lint_code(
+    paths: Sequence[str],
+    *,
+    fmt: str = "text",
+    fail_on: str = "error",
+    select: Sequence[str] | None = None,
+) -> tuple[str, int]:
+    """Analyze ``paths`` and return ``(rendered report, exit status)``.
+
+    Shared by ``repro lint-code`` and ``python -m repro.quality`` so the
+    two entry points cannot drift.
+    """
+    if fmt not in ("text", "json"):
+        raise ValueError(f"fmt must be 'text' or 'json', got {fmt!r}")
+    result = analyze_paths(paths, select=select)
+    records = [record_from_finding(f) for f in result.findings]
+    if fmt == "json":
+        report = render_json(records, tool="repro.quality", n_files=len(result.files))
+    else:
+        report = render_text(records, n_files=len(result.files))
+    status = 1 if fails_threshold(records, fail_on) else 0
+    return report, status
+
+
+def build_arg_parser(prog: str = "repro.quality") -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog=prog,
+        description="AST-based static analysis of the repro codebase "
+                    "(determinism, pool safety, cache-key integrity, "
+                    "curriculum-data invariants).",
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+        help="report format (default: text)",
+    )
+    p.add_argument(
+        "--fail-on", choices=FAIL_ON, default="error",
+        help="exit non-zero when findings at/above this severity exist "
+             "(default: error)",
+    )
+    p.add_argument(
+        "--select", action="append", metavar="RPRnnn", default=None,
+        help="run only the named rule(s); repeatable",
+    )
+    return p
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.quality`` entry point."""
+    args = build_arg_parser().parse_args(argv)
+    try:
+        report, status = run_lint_code(
+            args.paths, fmt=args.fmt, fail_on=args.fail_on, select=args.select
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    print(report)
+    return status

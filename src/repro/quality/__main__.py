@@ -1,0 +1,10 @@
+"""``python -m repro.quality`` — run the static analyzer standalone."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.quality import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Reporters shared by the code analyzer and the corpus linter.
+
+Both linters produce the same shape of result — a list of coded,
+severity-tagged findings — so both render through the helpers here.  A
+:class:`Record` is the neutral form: code, severity, message, and an
+anchor that is either ``path:line:col`` (code findings) or an opaque
+location string (corpus findings, anchored to a course id).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+#: Schema version of the JSON report.
+JSON_VERSION = 1
+
+#: Valid ``--fail-on`` thresholds, least to most strict.
+FAIL_ON = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Record:
+    """One reportable finding, source-agnostic."""
+
+    code: str
+    severity: str  # "error" | "warning"
+    message: str
+    location: str
+    path: str | None = None
+    line: int | None = None
+    col: int | None = None
+
+    def __str__(self) -> str:
+        return f"{self.location}: {self.severity} {self.code} {self.message}"
+
+
+def record_from_finding(finding) -> Record:
+    """Adapt a :class:`repro.quality.engine.Finding`."""
+    return Record(
+        code=finding.code,
+        severity=finding.severity.value,
+        message=finding.message,
+        location=finding.where,
+        path=finding.path,
+        line=finding.line,
+        col=finding.col,
+    )
+
+
+def summarize(records: Sequence[Record]) -> dict[str, int]:
+    errors = sum(1 for r in records if r.severity == "error")
+    return {
+        "findings": len(records),
+        "errors": errors,
+        "warnings": len(records) - errors,
+    }
+
+
+def render_text(
+    records: Sequence[Record],
+    *,
+    n_files: int | None = None,
+    noun: str = "file",
+) -> str:
+    """One line per finding plus a count summary (always non-empty)."""
+    lines = [str(r) for r in records]
+    s = summarize(records)
+    tail = f"{s['errors']} error(s), {s['warnings']} warning(s)"
+    if n_files is not None:
+        tail += f" across {n_files} {noun}(s)"
+    lines.append(tail)
+    return "\n".join(lines)
+
+
+def render_json(
+    records: Sequence[Record],
+    *,
+    tool: str,
+    n_files: int | None = None,
+) -> str:
+    """Stable machine-readable report (sorted keys, 2-space indent)."""
+    payload = {
+        "version": JSON_VERSION,
+        "tool": tool,
+        "summary": dict(summarize(records), files=n_files),
+        "findings": [
+            {
+                "code": r.code,
+                "severity": r.severity,
+                "message": r.message,
+                "location": r.location,
+                "path": r.path,
+                "line": r.line,
+                "col": r.col,
+            }
+            for r in records
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def fails_threshold(records: Iterable[Record], fail_on: str) -> bool:
+    """Whether the run should exit non-zero under ``--fail-on fail_on``."""
+    if fail_on not in FAIL_ON:
+        raise ValueError(f"fail_on must be one of {FAIL_ON}, got {fail_on!r}")
+    if fail_on == "warning":
+        return any(True for _ in records)
+    return any(r.severity == "error" for r in records)

@@ -1,0 +1,389 @@
+"""Curriculum-data invariants (RPR4xx).
+
+The curriculum guidelines live as declarative literal tables
+(:class:`~repro.curriculum._schema.AreaSpec` / ``UnitSpec`` / ``T`` /
+``O`` nests, merge dicts like ``EXTRA_UNITS``, the ``_LABEL_LINKS``
+crosswalk, and ``CS2013_TO_CS2023``-style migration maps).  Everything
+downstream — the course × tag matrix, the anchor recommender, the
+CS2023 profile — assumes those tables are internally consistent, a
+property previously only discovered when a loader raised at runtime.
+**RPR401** evaluates the invariants from the AST, without importing the
+data modules:
+
+* *unique ids / single parent* — duplicate area codes within a guideline
+  family, duplicate unit codes within an area (merge tables included),
+  and duplicate topic/outcome labels within a unit all derive colliding
+  node ids, i.e. a node with two parents — the static form of
+  :class:`~repro.ontology.tree.GuidelineTree`'s tree-shape (acyclicity)
+  validation;
+* *no orphaned parent links* — a merge-table key must name an area that
+  exists in its family;
+* *crosswalk endpoints exist in both guideline sets* — every
+  ``_LABEL_LINKS`` source must resolve to exactly one PDC12 tag and
+  every target to exactly one CS2013 tag, and sources must be unique;
+* *migration endpoints exist* — ``A_TO_B`` area maps must draw keys from
+  family A's declared area codes and values from family B's.
+
+A file's guideline *family* comes from its name (``cs2013_systems.py``
+→ ``cs2013``; ``pdc12_beta.py`` → ``pdc12``); beta files are excluded
+from the crosswalk label universe because the crosswalk resolves against
+the 2012 document.  Cross-file checks only fire when the relevant base
+tables are part of the analyzed set, so linting a single file never
+produces spurious "unknown code" findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.quality.engine import (
+    FileContext,
+    Finding,
+    ProjectContext,
+    Severity,
+    make_finding,
+    rule,
+)
+
+_FAMILY_RE = re.compile(r"([a-z]+\d+)")
+_AREAS_TABLE_RE = re.compile(r"([A-Za-z0-9]+)_AREAS$")
+_MIGRATION_RE = re.compile(r"([A-Za-z0-9]+)_TO_([A-Za-z0-9]+)$")
+
+#: The crosswalk's fixed orientation: sources are PDC12 topic labels,
+#: targets are CS2013 tag labels (see repro.curriculum.crosswalk).
+_LINK_SOURCE_FAMILY = "pdc12"
+_LINK_TARGET_FAMILY = "cs2013"
+
+
+def _call_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+    return None
+
+
+def _const_str(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+@dataclass(frozen=True)
+class _Entry:
+    """An extracted string with its source anchor."""
+
+    value: str
+    path: str
+    line: int
+
+
+@dataclass
+class _UnitDecl:
+    code: _Entry | None
+    topic_labels: list[_Entry] = field(default_factory=list)
+    outcome_labels: list[_Entry] = field(default_factory=list)
+
+
+@dataclass
+class _Tables:
+    """Everything RPR401 extracts from the analyzed file set."""
+
+    #: family → declared area codes.
+    area_codes: dict[str, list[_Entry]] = field(default_factory=dict)
+    #: (family, area_code) → declared units.
+    units: dict[tuple[str, str], list[_UnitDecl]] = field(default_factory=dict)
+    #: family → tag-label multiset for crosswalk resolution (beta excluded).
+    labels: dict[str, Counter] = field(default_factory=dict)
+    #: (from_family, to_family) → [(key_entry, value_entry)].
+    migrations: dict[tuple[str, str], list[tuple[_Entry, _Entry]]] = field(
+        default_factory=dict
+    )
+    #: crosswalk links: (source_entry, [target_entries]).
+    links: list[tuple[_Entry, list[_Entry]]] = field(default_factory=list)
+
+
+def _unit_decl(call: ast.Call, path: str) -> _UnitDecl:
+    args = list(call.args)
+    code = _const_str(args[0]) if args else None
+    decl = _UnitDecl(
+        code=_Entry(code, path, args[0].lineno) if code is not None else None
+    )
+    topics: ast.expr | None = args[3] if len(args) > 3 else None
+    outcomes: ast.expr | None = args[4] if len(args) > 4 else None
+    for kw in call.keywords:
+        if kw.arg == "topics":
+            topics = kw.value
+        elif kw.arg == "outcomes":
+            outcomes = kw.value
+    for seq, sink in ((topics, decl.topic_labels), (outcomes, decl.outcome_labels)):
+        if isinstance(seq, (ast.List, ast.Tuple)):
+            for elt in seq.elts:
+                if _call_name(elt) in ("T", "O") and elt.args:  # type: ignore[union-attr]
+                    label = _const_str(elt.args[0])  # type: ignore[union-attr]
+                    if label is not None:
+                        sink.append(_Entry(label, path, elt.lineno))
+    return decl
+
+
+def _unit_list(node: ast.expr | None, path: str) -> list[_UnitDecl]:
+    units: list[_UnitDecl] = []
+    if isinstance(node, (ast.List, ast.Tuple)):
+        for elt in node.elts:
+            if _call_name(elt) == "UnitSpec":
+                units.append(_unit_decl(elt, path))  # type: ignore[arg-type]
+    return units
+
+
+def _extract_file(ctx: FileContext, tables: _Tables) -> None:
+    base = Path(ctx.path).stem.lower()
+    fam_match = _FAMILY_RE.match(base)
+    family = fam_match.group(1) if fam_match else None
+    is_beta = "beta" in base
+
+    def record_unit(area_code: str, decl: _UnitDecl) -> None:
+        if family is None:
+            return
+        tables.units.setdefault((family, area_code), []).append(decl)
+        if not is_beta:
+            counter = tables.labels.setdefault(family, Counter())
+            for e in (*decl.topic_labels, *decl.outcome_labels):
+                counter[e.value] += 1
+
+    for node in ast.walk(ctx.tree):
+        # AreaSpec("CODE", "Label", units=[UnitSpec(...), ...])
+        if _call_name(node) == "AreaSpec":
+            call = node  # type: ignore[assignment]
+            args = list(call.args)
+            code = _const_str(args[0]) if args else None
+            if code is not None and family is not None:
+                tables.area_codes.setdefault(family, []).append(
+                    _Entry(code, ctx.path, args[0].lineno)
+                )
+                units_node: ast.expr | None = args[2] if len(args) > 2 else None
+                for kw in call.keywords:
+                    if kw.arg == "units":
+                        units_node = kw.value
+                for decl in _unit_list(units_node, ctx.path):
+                    record_unit(code, decl)
+            continue
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        value = node.value
+        if value is None:
+            continue
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        if not names:
+            continue
+        name = names[0]
+        # CS2023_AREAS = (("AI", "Artificial Intelligence"), ...)
+        m = _AREAS_TABLE_RE.search(name)
+        if m and isinstance(value, (ast.Tuple, ast.List)):
+            fam = m.group(1).lower()
+            for elt in value.elts:
+                if isinstance(elt, (ast.Tuple, ast.List)) and len(elt.elts) == 2:
+                    code = _const_str(elt.elts[0])
+                    if code is not None:
+                        tables.area_codes.setdefault(fam, []).append(
+                            _Entry(code, ctx.path, elt.lineno)
+                        )
+            continue
+        # CS2013_TO_CS2023 = {"AL": "AL", ...}
+        m = _MIGRATION_RE.search(name)
+        if m and isinstance(value, ast.Dict):
+            pairs = []
+            for k, v in zip(value.keys, value.values):
+                ks, vs = (_const_str(k) if k else None), _const_str(v)
+                if ks is not None and vs is not None:
+                    pairs.append((
+                        _Entry(ks, ctx.path, k.lineno),
+                        _Entry(vs, ctx.path, v.lineno),
+                    ))
+            if pairs:
+                tables.migrations.setdefault(
+                    (m.group(1).lower(), m.group(2).lower()), []
+                ).extend(pairs)
+            continue
+        # _LABEL_LINKS = [("pdc label", ["cs label", ...]), ...]
+        if name.endswith("LABEL_LINKS") and isinstance(value, (ast.List, ast.Tuple)):
+            for elt in value.elts:
+                if not (isinstance(elt, (ast.Tuple, ast.List)) and len(elt.elts) == 2):
+                    continue
+                src = _const_str(elt.elts[0])
+                tgt_node = elt.elts[1]
+                if src is None or not isinstance(tgt_node, (ast.List, ast.Tuple)):
+                    continue
+                targets_ = [
+                    _Entry(s, ctx.path, t.lineno)
+                    for t in tgt_node.elts
+                    if (s := _const_str(t)) is not None
+                ]
+                tables.links.append((_Entry(src, ctx.path, elt.lineno), targets_))
+            continue
+        # EXTRA_UNITS / _BETA_ADDED_UNITS: {"AREA": [UnitSpec(...), ...]}
+        if isinstance(value, ast.Dict):
+            merged = []
+            for k, v in zip(value.keys, value.values):
+                ks = _const_str(k) if k else None
+                if ks is None:
+                    continue
+                units = _unit_list(v, ctx.path)
+                if units:
+                    merged.append((_Entry(ks, ctx.path, k.lineno), units))
+            if merged and family is not None:
+                for key_entry, units in merged:
+                    tables.units.setdefault((family, "?merge"), [])
+                    # Defer existence checking; record under the named area.
+                    for decl in units:
+                        record_unit(key_entry.value, decl)
+                    tables.units[(family, "?merge")].append(
+                        _UnitDecl(code=key_entry)
+                    )
+
+
+@rule("RPR401", name="curriculum-invariants", severity=Severity.ERROR, scope="project")
+def check_curriculum_tables(project: ProjectContext) -> Iterator[Finding]:
+    """Curriculum table violating a structural invariant.
+
+    Duplicate codes/labels derive colliding tree-node ids; orphaned
+    merge keys, dangling crosswalk labels, and unknown migration
+    endpoints each break a loader or an analysis that trusts the
+    tables.  See the module docstring for the full sub-check list.
+    """  # (sub-checks 1-5 below mirror that list)
+    tables = _Tables()
+    for ctx in project.files:
+        _extract_file(ctx, tables)
+
+    # 1. Unique area codes per family.
+    for family, entries in sorted(tables.area_codes.items()):
+        seen: dict[str, _Entry] = {}
+        for e in entries:
+            if e.value in seen:
+                first = seen[e.value]
+                yield make_finding(
+                    "RPR401", e.path, e.line,
+                    f"duplicate {family} area code {e.value!r} (first "
+                    f"declared at {first.path}:{first.line}); node ids must "
+                    "be unique",
+                )
+            else:
+                seen[e.value] = e
+
+    # 2. Unique unit codes within an area + merge keys name real areas.
+    family_codes = {
+        fam: {e.value for e in entries}
+        for fam, entries in tables.area_codes.items()
+    }
+    for (family, area_code), decls in sorted(tables.units.items()):
+        if area_code == "?merge":
+            # Sentinel bucket: merge-table keys, checked for existence.
+            known = family_codes.get(family)
+            if known:
+                for decl in decls:
+                    if decl.code is not None and decl.code.value not in known:
+                        yield make_finding(
+                            "RPR401", decl.code.path, decl.code.line,
+                            f"merge table grafts units under unknown "
+                            f"{family} area {decl.code.value!r} (orphaned "
+                            "parent link)",
+                        )
+            continue
+        seen_units: dict[str, _Entry] = {}
+        for decl in decls:
+            if decl.code is None:
+                continue
+            if decl.code.value in seen_units:
+                first = seen_units[decl.code.value]
+                yield make_finding(
+                    "RPR401", decl.code.path, decl.code.line,
+                    f"duplicate unit code {decl.code.value!r} in {family} "
+                    f"area {area_code!r} (first declared at "
+                    f"{first.path}:{first.line})",
+                )
+            else:
+                seen_units[decl.code.value] = decl.code
+            # 3. Unique topic/outcome labels within one unit.
+            for kind, entries in (
+                ("topic", decl.topic_labels), ("outcome", decl.outcome_labels)
+            ):
+                seen_labels: dict[str, _Entry] = {}
+                for e in entries:
+                    if e.value in seen_labels:
+                        yield make_finding(
+                            "RPR401", e.path, e.line,
+                            f"duplicate {kind} label {e.value!r} in unit "
+                            f"{decl.code.value!r}; colliding tag ids give a "
+                            "node two parents",
+                        )
+                    else:
+                        seen_labels[e.value] = e
+
+    # 4. Crosswalk: unique sources; endpoints resolve uniquely per tree.
+    src_universe = tables.labels.get(_LINK_SOURCE_FAMILY, Counter())
+    tgt_universe = tables.labels.get(_LINK_TARGET_FAMILY, Counter())
+    seen_sources: dict[str, _Entry] = {}
+    for src, link_targets in tables.links:
+        if src.value in seen_sources:
+            first = seen_sources[src.value]
+            yield make_finding(
+                "RPR401", src.path, src.line,
+                f"duplicate crosswalk source {src.value!r} (first declared "
+                f"at {first.path}:{first.line})",
+            )
+        else:
+            seen_sources[src.value] = src
+        if src_universe:
+            n = src_universe.get(src.value, 0)
+            if n == 0:
+                yield make_finding(
+                    "RPR401", src.path, src.line,
+                    f"crosswalk source {src.value!r} does not exist in the "
+                    f"{_LINK_SOURCE_FAMILY} guideline",
+                )
+            elif n > 1:
+                yield make_finding(
+                    "RPR401", src.path, src.line,
+                    f"crosswalk source {src.value!r} is ambiguous in the "
+                    f"{_LINK_SOURCE_FAMILY} guideline ({n} tags)",
+                )
+        if tgt_universe:
+            for tgt in link_targets:
+                n = tgt_universe.get(tgt.value, 0)
+                if n == 0:
+                    yield make_finding(
+                        "RPR401", tgt.path, tgt.line,
+                        f"crosswalk target {tgt.value!r} does not exist in "
+                        f"the {_LINK_TARGET_FAMILY} guideline",
+                    )
+                elif n > 1:
+                    yield make_finding(
+                        "RPR401", tgt.path, tgt.line,
+                        f"crosswalk target {tgt.value!r} is ambiguous in "
+                        f"the {_LINK_TARGET_FAMILY} guideline ({n} tags)",
+                    )
+
+    # 5. Migration maps draw endpoints from declared area codes.
+    for (from_fam, to_fam), pairs in sorted(tables.migrations.items()):
+        from_codes = family_codes.get(from_fam)
+        to_codes = family_codes.get(to_fam)
+        for key, val in pairs:
+            if from_codes and key.value not in from_codes:
+                yield make_finding(
+                    "RPR401", key.path, key.line,
+                    f"migration source {key.value!r} is not a declared "
+                    f"{from_fam} area code",
+                )
+            if to_codes and val.value not in to_codes:
+                yield make_finding(
+                    "RPR401", val.path, val.line,
+                    f"migration target {val.value!r} is not a declared "
+                    f"{to_fam} area code",
+                )

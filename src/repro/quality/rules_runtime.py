@@ -1,0 +1,289 @@
+"""Parallel/cache-safety and convention rules (RPR2xx, RPR3xx).
+
+* **RPR201** — a callable that cannot cross a process boundary (lambda,
+  nested ``def``, bound method of a function-local object) handed to the
+  process-pool dispatchers.  The pool pickles the callable; these
+  payloads fail at submit time — and because
+  :func:`repro.runtime.parallel_map` degrades to its serial fallback on
+  pool errors, the failure is *silent*: the batch still completes, just
+  without any parallelism.
+* **RPR202** — the :class:`~repro.factorization.nmf.NMF` dataclass and
+  the ``NMF_KEY_PARAMS`` tuple consumed by the cache-key builder
+  (:mod:`repro.runtime.cache`) drifting apart.  A solver knob missing
+  from the key makes two different configurations alias one cache entry.
+* **RPR301** — a metric name that is not a dotted-lowercase string
+  literal.  ``runtime.summary()`` groups counters and timers by their
+  dotted prefixes; dynamic or free-form names fragment the report.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.quality.engine import (
+    FileContext,
+    Finding,
+    ProjectContext,
+    Severity,
+    make_finding,
+    rule,
+)
+
+#: Bare function names whose first argument is shipped to worker processes.
+_DISPATCH_FUNCS = frozenset({"parallel_map", "run_parallel"})
+
+#: ``<receiver>.submit(fn, ...)`` fires for any receiver; ``.map`` only
+#: for receivers that are conventionally executors, to spare unrelated
+#: ``.map`` APIs (pandas, ndarray methods).
+_POOL_RECEIVERS = frozenset({"pool", "executor"})
+
+_METRIC_METHODS = frozenset({"inc", "get", "timer", "record_time"})
+
+_METRIC_NAME_RE = re.compile(r"[a-z0-9_]+(\.[a-z0-9_]+)+")
+
+
+def _dispatched_callable(call: ast.Call) -> ast.expr | None:
+    """The callable argument of a pool-dispatch call, else ``None``."""
+    func = call.func
+    is_dispatch = False
+    if isinstance(func, ast.Name) and func.id in _DISPATCH_FUNCS:
+        is_dispatch = True
+    elif isinstance(func, ast.Attribute):
+        if func.attr in _DISPATCH_FUNCS or func.attr == "submit":
+            is_dispatch = True
+        elif func.attr == "map" and isinstance(func.value, ast.Name) \
+                and func.value.id in _POOL_RECEIVERS:
+            is_dispatch = True
+    if not is_dispatch or not call.args:
+        return None
+    return call.args[0]
+
+
+def _local_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> frozenset[str]:
+    """Names bound inside ``fn``: parameters and assignment targets."""
+    names: set[str] = set()
+    a = fn.args
+    for arg in (*a.posonlyargs, *a.args, *a.kwonlyargs):
+        names.add(arg.arg)
+    if a.vararg:
+        names.add(a.vararg.arg)
+    if a.kwarg:
+        names.add(a.kwarg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for t in targets:
+                for sub in ast.walk(t):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+        elif isinstance(node, ast.NamedExpr) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    for sub in ast.walk(item.optional_vars):
+                        if isinstance(sub, ast.Name):
+                            names.add(sub.id)
+    return frozenset(names)
+
+
+def _nested_def_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> frozenset[str]:
+    """Names of ``def``s declared anywhere inside ``fn`` (depth-agnostic)."""
+    return frozenset(
+        node.name
+        for node in ast.walk(fn)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and node is not fn
+    )
+
+
+@rule("RPR201", name="unpicklable-pool-payload", severity=Severity.ERROR)
+def check_pool_payloads(ctx: FileContext) -> Iterator[Finding]:
+    """Unpicklable callable handed to the process-pool dispatchers.
+
+    Lambdas and nested ``def``s cannot be pickled by the stdlib; bound
+    methods of function-local objects drag their whole instance through
+    the pickle boundary (and fail when the instance holds locks, open
+    files, or generators).  Use a module-level function and pass state
+    through its arguments.
+    """
+    findings: list[Finding] = []
+
+    def visit(node: ast.AST, stack: list[ast.FunctionDef | ast.AsyncFunctionDef]) -> None:
+        if isinstance(node, ast.Call):
+            target = _dispatched_callable(node)
+            if isinstance(target, ast.Lambda):
+                findings.append(make_finding(
+                    "RPR201", ctx.path, target,
+                    "lambda cannot be pickled into a worker process; "
+                    "use a module-level function",
+                ))
+            elif isinstance(target, ast.Name) and any(
+                target.id in _nested_def_names(fn) for fn in stack
+            ):
+                findings.append(make_finding(
+                    "RPR201", ctx.path, target,
+                    f"nested function {target.id!r} cannot be pickled into a "
+                    "worker process; move it to module level",
+                ))
+            elif isinstance(target, ast.Attribute) and isinstance(
+                target.value, ast.Name
+            ) and any(target.value.id in _local_names(fn) for fn in stack):
+                findings.append(make_finding(
+                    "RPR201", ctx.path, target,
+                    f"bound method {target.value.id}.{target.attr} of a "
+                    "function-local object is pickled with its whole "
+                    "instance; use a module-level function",
+                ))
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visit(child, stack + [child])
+            else:
+                visit(child, stack)
+
+    visit(ctx.tree, [])
+    yield from findings
+
+
+# -- RPR202: NMF dataclass fields vs the cache-key parameter list ------------
+
+
+def _is_dataclass_decorated(cls: ast.ClassDef) -> bool:
+    for dec in cls.decorator_list:
+        node = dec.func if isinstance(dec, ast.Call) else dec
+        name = node.attr if isinstance(node, ast.Attribute) else getattr(node, "id", None)
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _nmf_config_fields(cls: ast.ClassDef) -> list[tuple[str, int]]:
+    """Constructor-relevant field names of the NMF dataclass.
+
+    Fit artifacts follow the scikit-learn trailing-underscore convention
+    (``components_`` …) and never enter a cache key; everything else is
+    solver configuration.
+    """
+    fields: list[tuple[str, int]] = []
+    for stmt in cls.body:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(stmt.target, ast.Name):
+            continue
+        name = stmt.target.id
+        if name.endswith("_") or name.startswith("_"):
+            continue
+        fields.append((name, stmt.lineno))
+    return fields
+
+
+def _string_tuple_assignment(tree: ast.Module, varname: str) -> tuple[list[str], int] | None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        for t in targets:
+            if isinstance(t, ast.Name) and t.id == varname:
+                if isinstance(value, (ast.Tuple, ast.List)) and all(
+                    isinstance(e, ast.Constant) and isinstance(e.value, str)
+                    for e in value.elts
+                ):
+                    return [e.value for e in value.elts], node.lineno
+    return None
+
+
+@rule("RPR202", name="cache-key-completeness", severity=Severity.ERROR, scope="project")
+def check_cache_key_completeness(project: ProjectContext) -> Iterator[Finding]:
+    """NMF solver knob missing from the cache-key parameter list.
+
+    The content-addressed cache digests exactly the parameters named in
+    ``NMF_KEY_PARAMS`` (:mod:`repro.runtime.cache`).  A dataclass field
+    absent from that tuple would let two different solver configurations
+    hash to the same key and silently serve each other's results.
+    """
+    nmf_ctx = None
+    nmf_cls = None
+    for ctx in project.files:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and node.name == "NMF" \
+                    and _is_dataclass_decorated(node):
+                nmf_ctx, nmf_cls = ctx, node
+                break
+        if nmf_cls is not None:
+            break
+    key_ctx = None
+    key_params: list[str] | None = None
+    key_line = 1
+    for ctx in project.files:
+        found = _string_tuple_assignment(ctx.tree, "NMF_KEY_PARAMS")
+        if found is not None:
+            key_ctx, (key_params, key_line) = ctx, found
+            break
+    if nmf_cls is None or nmf_ctx is None or key_params is None or key_ctx is None:
+        return
+    fields = _nmf_config_fields(nmf_cls)
+    field_names = {name for name, _ in fields}
+    for name, line in fields:
+        if name not in key_params:
+            yield make_finding(
+                "RPR202", nmf_ctx.path, line,
+                f"NMF field {name!r} is not in NMF_KEY_PARAMS "
+                f"({key_ctx.path}:{key_line}); differing values would alias "
+                "cache entries",
+            )
+    for name in key_params:
+        if name not in field_names and name not in ("W0", "H0"):
+            yield make_finding(
+                "RPR202", key_ctx.path, key_line,
+                f"NMF_KEY_PARAMS names {name!r}, which is not a field of the "
+                "NMF dataclass (stale entry?)",
+            )
+
+
+@rule("RPR301", name="metric-name-discipline", severity=Severity.WARNING)
+def check_metric_names(ctx: FileContext) -> Iterator[Finding]:
+    """Metric name that is not a dotted-lowercase string literal.
+
+    Counter/timer names must be literal so one grep finds every site and
+    so ``runtime.summary()`` can group by prefix; they must be
+    dotted-lowercase (``subsystem.event``) so the groups are real.
+    Conditional names belong in an ``if``/``else`` with one literal per
+    branch, not in a ternary.
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in _METRIC_METHODS
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "metrics"
+        ):
+            continue
+        if not node.args:
+            continue
+        name_arg = node.args[0]
+        if not isinstance(name_arg, ast.Constant) or not isinstance(
+            name_arg.value, str
+        ):
+            yield make_finding(
+                "RPR301", ctx.path, name_arg,
+                f"metrics.{func.attr}() name must be a string literal "
+                "(dynamic names fragment runtime.summary())",
+            )
+        elif not _METRIC_NAME_RE.fullmatch(name_arg.value):
+            yield make_finding(
+                "RPR301", ctx.path, name_arg,
+                f"metric name {name_arg.value!r} is not dotted-lowercase "
+                "(expected 'subsystem.event')",
+            )

@@ -31,6 +31,7 @@ from __future__ import annotations
 import os
 
 from repro.runtime.cache import (
+    NMF_KEY_PARAMS,
     CacheStats,
     ResultCache,
     array_digest,
@@ -56,6 +57,7 @@ __all__ = [
     "CacheStats",
     "MetricsRegistry",
     "NMF_KERNELS",
+    "NMF_KEY_PARAMS",
     "ResultCache",
     "TimerStat",
     "array_digest",

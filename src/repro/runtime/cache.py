@@ -38,6 +38,25 @@ from repro.runtime.metrics import metrics
 #: Cache-format version; bump to invalidate all persisted entries.
 _FORMAT = 1
 
+#: Constructor fields of :class:`repro.factorization.nmf.NMF` that enter
+#: every NMF cache key (plus the ``W0``/``H0`` init arrays, digested
+#: separately).  The RPR202 static rule (:mod:`repro.quality`) keeps this
+#: tuple in lockstep with the dataclass: when the solver grows a knob it
+#: MUST be added here, or two different configurations would hash to the
+#: same key and silently serve each other's cached results.
+NMF_KEY_PARAMS: tuple[str, ...] = (
+    "n_components",
+    "solver",
+    "loss",
+    "init",
+    "max_iter",
+    "tol",
+    "check_every",
+    "l2_reg",
+    "l1_reg",
+    "seed",
+)
+
 
 def array_digest(a: np.ndarray) -> str:
     """SHA-256 hex digest of an array's dtype, shape, and raw bytes."""

@@ -43,6 +43,7 @@ import numpy as np
 import scipy.sparse
 
 from repro.runtime.cache import (
+    NMF_KEY_PARAMS,
     ResultCache,
     array_digest,
     content_key,
@@ -215,7 +216,21 @@ def _fit_nmf_task(payload: tuple) -> dict[str, np.ndarray]:
 
 
 def _spec_key(a_digest: str, spec: Mapping[str, Any]) -> str:
-    """Key for one spec; the (batch-constant) matrix digest is precomputed."""
+    """Key for one spec; the (batch-constant) matrix digest is precomputed.
+
+    Every scalar parameter must be declared in
+    :data:`repro.runtime.cache.NMF_KEY_PARAMS` — the canonical list of
+    key-bearing solver knobs that the RPR202 static rule holds in
+    lockstep with the ``NMF`` dataclass.  An undeclared name means the
+    key recipe and the solver have drifted, which is exactly the aliasing
+    bug the check exists to prevent, so it raises rather than guessing.
+    """
+    unknown = set(spec) - set(NMF_KEY_PARAMS) - {"W0", "H0"}
+    if unknown:
+        raise ValueError(
+            f"spec parameter(s) {sorted(unknown)} are not in NMF_KEY_PARAMS; "
+            "declare them in repro.runtime.cache so they enter the cache key"
+        )
     h = hashlib.sha256()
     h.update(b"nmf-batch:")
     h.update(a_digest.encode())
@@ -298,11 +313,10 @@ def run_nmf_fits(
                     a, [dict(p[1], W0=p[2], H0=p[3]) for _, _, p in pending]
                 )
             else:
-                metrics.inc(
-                    "runtime.nmf_strategy.pool"
-                    if resolve_workers(workers) > 1 and len(pending) > 1
-                    else "runtime.nmf_strategy.serial"
-                )
+                if resolve_workers(workers) > 1 and len(pending) > 1:
+                    metrics.inc("runtime.nmf_strategy.pool")
+                else:
+                    metrics.inc("runtime.nmf_strategy.serial")
                 fresh = parallel_map(
                     _fit_nmf_task, [p for _, _, p in pending], workers=workers
                 )

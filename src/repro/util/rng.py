@@ -9,6 +9,7 @@ pipeline deterministically derives the seeds of every stage below it.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Union
 
 import numpy as np
@@ -30,13 +31,62 @@ def as_rng(seed: RngLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def _seed_seq_from_state(bit_generator: np.random.BitGenerator) -> np.random.SeedSequence:
+    """Deterministic :class:`SeedSequence` derived from a bit generator's state.
+
+    Fallback for generators whose ``seed_seq`` is ``None`` — e.g. one
+    wrapped around a raw/legacy-seeded ``BitGenerator`` (such as
+    ``RandomState``'s) that was never built from a ``SeedSequence``.  The
+    full state dict (including any nested arrays) is hashed canonically,
+    so equal states always derive equal children.
+    """
+    h = hashlib.sha256()
+
+    def feed(obj: object) -> None:
+        if isinstance(obj, dict):
+            for key in sorted(obj):
+                h.update(str(key).encode())
+                feed(obj[key])
+        elif isinstance(obj, (list, tuple)):
+            for item in obj:
+                feed(item)
+        elif isinstance(obj, np.ndarray):
+            h.update(str(obj.dtype).encode())
+            h.update(np.ascontiguousarray(obj).tobytes())
+        else:
+            h.update(repr(obj).encode())
+
+    feed(bit_generator.state)
+    entropy = np.frombuffer(h.digest(), dtype=np.uint32)
+    return np.random.SeedSequence(entropy.tolist())
+
+
 def spawn_child(rng: np.random.Generator, *, n: int = 1) -> list[np.random.Generator]:
     """Derive ``n`` statistically independent child generators from ``rng``.
 
     Used by fan-out code (e.g. per-course corpus sampling) so that the
     number of draws consumed by one unit of work cannot perturb another —
     the property that makes parallel and sequential generation agree.
+
+    Prefers :meth:`numpy.random.Generator.spawn` (which advances the
+    parent's spawn counter, so successive calls yield fresh children).
+    Generators not built from a :class:`~numpy.random.SeedSequence`
+    (``seed_seq is None`` — e.g. wrapping a raw or legacy-seeded
+    ``BitGenerator``) cannot spawn; for those the children derive from a
+    hash of the bit generator's state instead.  That path is equally
+    deterministic, but repeated calls on an unadvanced parent return the
+    same children — draw from (or jump) the parent between calls if
+    distinct batches are needed.
     """
     if n < 1:
         raise ValueError(f"n must be >= 1, got {n}")
-    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]
+    try:
+        return list(rng.spawn(n))
+    except (AttributeError, TypeError):
+        # AttributeError: numpy < 1.25 (no Generator.spawn).
+        # TypeError: the underlying SeedSequence is None / can't spawn.
+        pass
+    seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+    if seed_seq is None or not hasattr(seed_seq, "spawn"):
+        seed_seq = _seed_seq_from_state(rng.bit_generator)
+    return [np.random.default_rng(s) for s in seed_seq.spawn(n)]

@@ -56,6 +56,32 @@ class TestSpawnChild:
         with pytest.raises(ValueError):
             spawn_child(as_rng(0), n=0)
 
+    def test_successive_calls_yield_fresh_children(self):
+        # Generator.spawn advances the parent's spawn counter, so two
+        # batches from the same parent must not repeat each other.
+        parent = as_rng(11)
+        first = spawn_child(parent, n=2)
+        second = spawn_child(parent, n=2)
+        assert first[0].random() != second[0].random()
+
+    @staticmethod
+    def _raw_bitgen_rng():
+        # A Generator wrapped around a raw legacy BitGenerator has
+        # bit_generator.seed_seq None and Generator.spawn raises.
+        return np.random.Generator(np.random.RandomState(123)._bit_generator)
+
+    def test_raw_bitgenerator_does_not_crash(self):
+        # Regression: this used to raise AttributeError on seed_seq.spawn.
+        kids = spawn_child(self._raw_bitgen_rng(), n=3)
+        assert len(kids) == 3
+        assert all(isinstance(k, np.random.Generator) for k in kids)
+
+    def test_raw_bitgenerator_fallback_is_deterministic(self):
+        vals_a = [k.random() for k in spawn_child(self._raw_bitgen_rng(), n=3)]
+        vals_b = [k.random() for k in spawn_child(self._raw_bitgen_rng(), n=3)]
+        assert vals_a == vals_b
+        assert len(set(vals_a)) == 3  # children differ from each other
+
 
 class TestFormatTable:
     def test_empty(self):
@@ -114,6 +140,16 @@ class TestValidation:
         with pytest.raises(TypeError):
             check_positive_int(bad, "n")
 
+    def test_positive_int_rejects_bool_despite_int_subclass(self):
+        # bool is a subclass of int; True would otherwise pass as 1.
+        with pytest.raises(TypeError):
+            check_positive_int(True, "n")
+
+    @pytest.mark.parametrize("np_int", [np.int32(5), np.int64(2), np.uint8(1)])
+    def test_positive_int_accepts_numpy_integers(self, np_int):
+        out = check_positive_int(np_int, "n")
+        assert out == int(np_int) and type(out) is int
+
     def test_probability_bounds(self):
         assert check_probability(0.0, "p") == 0.0
         assert check_probability(1.0, "p") == 1.0
@@ -122,6 +158,16 @@ class TestValidation:
         with pytest.raises(ValueError):
             check_probability(-0.01, "p")
 
+    def test_probability_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_probability(float("nan"), "p")
+
+    @pytest.mark.parametrize("bad", [np.nextafter(0.0, -1.0), np.nextafter(1.0, 2.0)])
+    def test_probability_rejects_open_endpoint_neighbours(self, bad):
+        # The values closest to [0, 1] from outside must still be rejected.
+        with pytest.raises(ValueError):
+            check_probability(bad, "p")
+
     def test_check_matrix_coerces(self):
         m = check_matrix([[1, 2], [3, 4]])
         assert m.dtype == float and m.shape == (2, 2)
@@ -129,6 +175,10 @@ class TestValidation:
     def test_check_matrix_rejects_1d(self):
         with pytest.raises(ValueError):
             check_matrix(np.zeros(3))
+
+    def test_check_matrix_rejects_3d_with_shape_in_message(self):
+        with pytest.raises(ValueError, match=r"2-D.*\(2, 2, 2\)"):
+            check_matrix(np.zeros((2, 2, 2)), name="X")
 
     def test_check_nonnegative(self):
         check_nonnegative(np.zeros((2, 2)))
