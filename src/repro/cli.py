@@ -59,6 +59,13 @@ def _nonneg_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -394,6 +401,76 @@ def cmd_hit_tree(args) -> int:
     return 0
 
 
+def cmd_ingest(args) -> int:
+    import json as _json
+
+    from repro.corpus.ingest import load_courses_tolerant
+
+    trees = [load_cs2013()] if args.validate_tags else []
+    try:
+        report = load_courses_tolerant(
+            args.courses, trees=trees, strict=args.strict
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.summary())
+    return 0 if not report.excluded or args.allow_excluded else 1
+
+
+def cmd_faults(args) -> int:
+    """Demonstrate fault recovery: a faulty run must match a clean one."""
+    import os as _os
+
+    import repro.runtime as runtime
+
+    plan = runtime.parse_fault_plan(args.plan)
+    rng = np.random.default_rng(args.seed)
+    a = rng.random((args.rows, args.cols))
+    specs = [
+        {"n_components": 4, "max_iter": 40, "seed": i}
+        for i in range(args.fits)
+    ]
+    workers = max(runtime.resolve_workers(args.workers), 2)
+
+    def run() -> list[dict]:
+        return runtime.run_nmf_fits(
+            a, specs, workers=workers, use_cache=False, kernel="serial"
+        )
+
+    # Clean reference: no configured plan, and shield from REPRO_FAULTS.
+    env_plan = _os.environ.pop("REPRO_FAULTS", None)
+    try:
+        runtime.configure(fault_plan=None)
+        baseline = run()
+    finally:
+        if env_plan is not None:
+            _os.environ["REPRO_FAULTS"] = env_plan
+    runtime.reset()
+    runtime.configure(fault_plan=plan)
+    try:
+        faulty = run()
+    finally:
+        runtime.configure(fault_plan=None)
+    identical = all(
+        all(np.array_equal(b[k], f[k]) for k in b)
+        for b, f in zip(baseline, faulty)
+    )
+    report = runtime.failure_report()
+    print(f"plan: {plan.describe()}")
+    print(f"fits: {args.fits} on a {args.rows}x{args.cols} matrix, "
+          f"{workers} workers")
+    print(f"recovery events: {report.summary()}")
+    print("bit-identical to fault-free run:", "yes" if identical else "NO")
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"wrote failure report to {args.report_out}")
+    return 0 if identical else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -421,6 +498,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="NMF execution strategy: 'batched' vectorizes all restarts in "
              "one kernel, 'serial' fits one at a time, 'auto' picks "
              "(default: $REPRO_NMF_KERNEL or auto; results are identical)",
+    )
+    p.add_argument(
+        "--task-timeout", type=_positive_float, default=None, metavar="S",
+        help="per-task wall-clock budget in seconds; a task that exceeds it "
+             "is killed and retried (default: $REPRO_TASK_TIMEOUT or "
+             "unbounded)",
+    )
+    p.add_argument(
+        "--retries", type=_nonneg_int, default=None, metavar="N",
+        help="per-task recovery budget for transient/infrastructure "
+             "failures; 0 disables retries (default: $REPRO_TASK_RETRIES "
+             "or 2)",
     )
     p.add_argument(
         "--runtime-summary", action="store_true",
@@ -578,6 +667,43 @@ def build_parser() -> argparse.ArgumentParser:
     h.add_argument("--out", required=True)
     h.set_defaults(func=cmd_hit_tree)
 
+    ig = sub.add_parser(
+        "ingest",
+        help="tolerant corpus load: report the retained/excluded split "
+             "instead of crashing on malformed records",
+    )
+    ig.add_argument("courses")
+    ig.add_argument("--strict", action="store_true",
+                    help="fail (listing every bad record) if anything is "
+                         "excluded")
+    ig.add_argument("--validate-tags", action="store_true",
+                    help="also exclude courses whose mappings reference "
+                         "tags outside the CS2013 tree")
+    ig.add_argument("--allow-excluded", action="store_true",
+                    help="exit 0 even when records were excluded")
+    ig.add_argument("--format", choices=("text", "json"), default="text")
+    ig.set_defaults(func=cmd_ingest)
+
+    fa = sub.add_parser(
+        "faults",
+        help="fault-injection demo: run an NMF batch under a chaos plan "
+             "and verify recovery reproduces the fault-free results",
+    )
+    fa.add_argument(
+        "--plan",
+        default="seed=7,task_error=0.2,pool_crash=0.1,task_hang=0.05,"
+                "hang_s=0.2,only_first_attempt=1",
+        help="REPRO_FAULTS-syntax fault plan to inject",
+    )
+    fa.add_argument("--fits", type=_positive_int, default=8,
+                    help="batch size (number of NMF fits)")
+    fa.add_argument("--rows", type=_positive_int, default=30)
+    fa.add_argument("--cols", type=_positive_int, default=24)
+    fa.add_argument("--seed", type=int, default=0)
+    fa.add_argument("--report-out", default=None, metavar="PATH",
+                    help="write the FailureReport JSON here")
+    fa.set_defaults(func=cmd_faults)
+
     return p
 
 
@@ -593,6 +719,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         cache_dir=args.cache_dir if args.cache_dir is not None else ...,
         cache_enabled=False if args.no_cache else None,
         nmf_kernel=args.nmf_kernel,
+        task_timeout=args.task_timeout if args.task_timeout is not None else ...,
+        task_retries=args.retries,
     )
     status = args.func(args)
     if args.runtime_summary:

@@ -30,6 +30,8 @@ from repro.corpus.generator import (
     sample_pdc12_tags,
     synthetic_roster,
 )
+from repro.corpus.ingest import ingest_courses, load_courses_tolerant
+from repro.materials.ingest import ExcludedRecord, IngestReport
 
 __all__ = [
     "Archetype",
@@ -38,6 +40,10 @@ __all__ = [
     "EXCLUDED_ROSTER",
     "RosterEntry",
     "CorpusConfig",
+    "ExcludedRecord",
+    "IngestReport",
+    "ingest_courses",
+    "load_courses_tolerant",
     "expected_tag_probability",
     "generate_corpus",
     "generate_course",

@@ -1,0 +1,185 @@
+"""Quarantine-style course ingestion: split, don't crash.
+
+:func:`repro.io.json_io.load_courses` is strict — the first malformed
+record aborts the whole load.  Right for round-tripping our own files;
+wrong for a corpus of instructor-submitted classifications, where the
+paper itself retained 20 of 31 courses and reported the rest excluded.
+This module is the tolerant counterpart: every record is validated
+independently, malformed ones land in an
+:class:`~repro.materials.ingest.ExcludedRecord` with a stable reason
+code, and the caller gets the full retained/excluded split as an
+:class:`~repro.materials.ingest.IngestReport`.  ``strict=True`` restores
+fail-fast behavior — after the full pass, so the error enumerates every
+bad record at once.
+
+Validation per record, in order (first failure excludes the course):
+
+1. the record is a JSON object — else ``unparsable``;
+2. it carries a non-empty string ``id`` — else ``missing-id``;
+3. the id is new in this batch — else ``duplicate-course-id``;
+4. every material parses — else ``bad-material`` (with the material id
+   when one is present);
+5. material ids are unique within the course — else
+   ``duplicate-material-id``;
+6. when guideline ``trees`` are supplied, every mapping references a
+   known node — else ``unknown-tag``.
+
+File-envelope problems (not a ``repro-courses`` file, wrong version,
+invalid JSON) still raise: those are caller errors, not corpus noise.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.io.json_io import FORMAT_VERSION, course_from_dict, material_from_dict
+from repro.materials.course import Course
+from repro.materials.ingest import (
+    REASON_BAD_MATERIAL,
+    REASON_DUPLICATE_COURSE,
+    REASON_DUPLICATE_MATERIAL,
+    REASON_MISSING_ID,
+    REASON_UNKNOWN_TAG,
+    REASON_UNPARSABLE,
+    ExcludedRecord,
+    IngestReport,
+)
+from repro.ontology.tree import GuidelineTree
+from repro.runtime.metrics import metrics
+
+
+def _check_materials(
+    course_id: str,
+    raw_materials: Any,
+    trees: Sequence[GuidelineTree],
+) -> ExcludedRecord | None:
+    """First material-level fault in a course record, or ``None``."""
+    if not isinstance(raw_materials, (list, tuple)):
+        return ExcludedRecord(
+            course_id, REASON_UNPARSABLE, detail="materials is not a list"
+        )
+    seen_ids: set[str] = set()
+    for pos, raw in enumerate(raw_materials):
+        mat_id = str(raw.get("id", "")) if isinstance(raw, dict) else ""
+        try:
+            material = material_from_dict(raw)
+        except Exception as exc:
+            return ExcludedRecord(
+                course_id,
+                REASON_BAD_MATERIAL,
+                detail=f"material #{pos}: {type(exc).__name__}: {exc}",
+                material_id=mat_id,
+            )
+        if material.id in seen_ids:
+            return ExcludedRecord(
+                course_id,
+                REASON_DUPLICATE_MATERIAL,
+                detail=f"material id {material.id!r} appears twice",
+                material_id=material.id,
+            )
+        seen_ids.add(material.id)
+        if trees:
+            unknown = sorted(
+                t for t in material.mappings
+                if not any(t in tree for tree in trees)
+            )
+            if unknown:
+                return ExcludedRecord(
+                    course_id,
+                    REASON_UNKNOWN_TAG,
+                    detail=f"mappings reference unknown tag(s) {unknown}",
+                    material_id=material.id,
+                )
+    return None
+
+
+def ingest_courses(
+    records: Iterable[Any],
+    *,
+    trees: Sequence[GuidelineTree] = (),
+    strict: bool = False,
+) -> IngestReport:
+    """Validate raw course dicts into a retained/excluded split.
+
+    ``records`` are course-shaped JSON objects (the ``courses`` array of
+    a corpus file, or any equivalent source).  ``trees`` arms the
+    unknown-tag check; without them mappings are taken on faith.
+    ``strict=True`` raises ``ValueError`` naming every excluded record.
+    """
+    report = IngestReport()
+    seen_course_ids: set[str] = set()
+    for pos, raw in enumerate(records):
+        record = _ingest_one(pos, raw, seen_course_ids, trees)
+        if isinstance(record, ExcludedRecord):
+            report.excluded.append(record)
+            metrics.inc("corpus.ingest.excluded")
+        else:
+            seen_course_ids.add(record.id)
+            report.retained.append(record)
+            metrics.inc("corpus.ingest.retained")
+    if strict:
+        report.raise_if_excluded()
+    return report
+
+
+def _ingest_one(
+    pos: int,
+    raw: Any,
+    seen_course_ids: set[str],
+    trees: Sequence[GuidelineTree],
+) -> Course | ExcludedRecord:
+    """Validate one raw record; a :class:`Course` iff it is clean."""
+    if not isinstance(raw, dict):
+        return ExcludedRecord(
+            "", REASON_UNPARSABLE,
+            detail=f"record #{pos} is {type(raw).__name__}, not an object",
+        )
+    course_id = raw.get("id")
+    if not isinstance(course_id, str) or not course_id:
+        return ExcludedRecord(
+            "", REASON_MISSING_ID, detail=f"record #{pos} has no usable id"
+        )
+    if course_id in seen_course_ids:
+        return ExcludedRecord(
+            course_id, REASON_DUPLICATE_COURSE,
+            detail=f"course id {course_id!r} already seen in this batch",
+        )
+    fault = _check_materials(course_id, raw.get("materials", []), trees)
+    if fault is not None:
+        return fault
+    try:
+        return course_from_dict(raw)
+    except Exception as exc:
+        # Course-level fields (name, labels, …) failed to parse.
+        return ExcludedRecord(
+            course_id, REASON_UNPARSABLE,
+            detail=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def load_courses_tolerant(
+    path: str | Path,
+    *,
+    trees: Sequence[GuidelineTree] = (),
+    strict: bool = False,
+) -> IngestReport:
+    """Tolerant counterpart of :func:`repro.io.json_io.load_courses`.
+
+    The file envelope (JSON syntax, ``repro-courses`` format marker,
+    version) must be valid — those failures raise.  Individual course
+    records inside it go through :func:`ingest_courses`.
+    """
+    doc = json.loads(Path(path).read_text())
+    if doc.get("format") != "repro-courses":
+        raise ValueError(f"{path}: not a repro course file")
+    if doc.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported version {doc.get('version')} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    courses = doc.get("courses", ())
+    if not isinstance(courses, list):
+        raise ValueError(f"{path}: 'courses' is not a list")
+    return ingest_courses(courses, trees=trees, strict=strict)

@@ -1,0 +1,139 @@
+"""Exclusion reporting for quarantine-style corpus ingestion.
+
+The paper classified 31 courses but retained only 20 — 11 were dropped
+"for technical reasons" (Figure 1).  That split is part of the method:
+a loader that crashes on the first malformed record hides how much of
+the corpus was unusable, and one that silently skips records fakes
+coverage.  This module defines the report vocabulary shared by the
+tolerant loaders in :mod:`repro.corpus.ingest` and
+:meth:`repro.materials.repository.MaterialRepository.ingest`: every
+rejected course is an :class:`ExcludedRecord` with a machine-readable
+reason, and every load ends in an :class:`IngestReport` carrying the
+retained/excluded split.
+
+It lives in ``repro.materials`` (not ``repro.corpus``) because the
+corpus package already imports materials; the report types must sit at
+or below the lowest layer that uses them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.materials.course import Course
+
+#: Machine-readable exclusion reasons (stable vocabulary; tests and the
+#: CLI key off these strings).
+REASON_UNPARSABLE = "unparsable"            # record is not a course dict
+REASON_MISSING_ID = "missing-id"            # no/empty course id
+REASON_DUPLICATE_COURSE = "duplicate-course-id"
+REASON_BAD_MATERIAL = "bad-material"        # a material failed to parse
+REASON_DUPLICATE_MATERIAL = "duplicate-material-id"
+REASON_CONFLICTING_MATERIAL = "conflicting-material-id"
+REASON_UNKNOWN_TAG = "unknown-tag"          # mapping references no tree node
+
+
+@dataclass(frozen=True)
+class ExcludedRecord:
+    """One rejected course and why.
+
+    ``course_id`` may be empty when the record was too malformed to
+    carry one; ``material_id`` pins material-level faults to the
+    offending material.
+    """
+
+    course_id: str
+    reason: str
+    detail: str = ""
+    material_id: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "course_id": self.course_id,
+            "reason": self.reason,
+            "detail": self.detail,
+            "material_id": self.material_id,
+        }
+
+    def __str__(self) -> str:
+        who = self.course_id or "<unidentified record>"
+        if self.material_id:
+            who += f" (material {self.material_id})"
+        out = f"{who}: {self.reason}"
+        return f"{out} — {self.detail}" if self.detail else out
+
+
+@dataclass
+class IngestReport:
+    """The retained/excluded split of one ingestion run.
+
+    Mirrors the paper's roster accounting: ``n_retained`` of
+    ``n_seen`` records survived, the rest are enumerated with
+    per-record reasons rather than silently dropped.
+    """
+
+    retained: list[Course] = field(default_factory=list)
+    excluded: list[ExcludedRecord] = field(default_factory=list)
+
+    @property
+    def n_retained(self) -> int:
+        return len(self.retained)
+
+    @property
+    def n_excluded(self) -> int:
+        return len(self.excluded)
+
+    @property
+    def n_seen(self) -> int:
+        return self.n_retained + self.n_excluded
+
+    @property
+    def reasons(self) -> dict[str, int]:
+        """Exclusion-reason histogram."""
+        out: dict[str, int] = {}
+        for rec in self.excluded:
+            out[rec.reason] = out.get(rec.reason, 0) + 1
+        return out
+
+    def raise_if_excluded(self) -> None:
+        """The ``strict=`` escape hatch: fail loudly instead of splitting."""
+        if self.excluded:
+            listing = "; ".join(str(r) for r in self.excluded)
+            raise ValueError(
+                f"{self.n_excluded} of {self.n_seen} record(s) malformed: "
+                f"{listing}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n_seen": self.n_seen,
+            "n_retained": self.n_retained,
+            "n_excluded": self.n_excluded,
+            "retained": [c.id for c in self.retained],
+            "excluded": [r.to_dict() for r in self.excluded],
+            "reasons": self.reasons,
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary(self) -> str:
+        """Human-readable split, one line per exclusion."""
+        lines = [
+            f"retained {self.n_retained} of {self.n_seen} course(s), "
+            f"excluded {self.n_excluded}"
+        ]
+        for rec in self.excluded:
+            lines.append(f"  - {rec}")
+        return "\n".join(lines)
+
+
+def merge_reports(reports: Sequence[IngestReport]) -> IngestReport:
+    """Concatenate several per-source reports into one corpus-level view."""
+    merged = IngestReport()
+    for r in reports:
+        merged.retained.extend(r.retained)
+        merged.excluded.extend(r.excluded)
+    return merged

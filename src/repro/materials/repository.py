@@ -96,18 +96,71 @@ class MaterialRepository:
         """Register ``course`` and any of its materials not yet stored.
 
         A material shared between courses (same id, same object contents) is
-        accepted; a conflicting re-definition of an id raises.
+        accepted; a conflicting re-definition of an id raises.  Validation
+        runs over the whole course *before* anything is stored, so a
+        rejected course leaves the repository untouched (no partially
+        ingested materials).
         """
+        self._validate_course(course)
+        self._commit_course(course)
+
+    def _validate_course(self, course: Course) -> None:
+        """Raise if ``course`` cannot be committed; mutate nothing."""
         if course.id in self._courses:
             raise ValueError(f"course id {course.id!r} already in repository")
         for m in course.materials:
             existing = self._materials.get(m.id)
-            if existing is None:
+            if existing is not None and existing != m:
+                raise ValueError(f"conflicting definitions for material id {m.id!r}")
+
+    def _commit_course(self, course: Course) -> None:
+        for m in course.materials:
+            if m.id not in self._materials:
                 self._materials[m.id] = m
                 self._index.add(m)
-            elif existing != m:
-                raise ValueError(f"conflicting definitions for material id {m.id!r}")
         self._courses[course.id] = course
+
+    def ingest(
+        self, courses: Iterable[Course], *, strict: bool = False
+    ) -> "IngestReport":
+        """Add many courses, quarantining the ones that don't fit.
+
+        Each course is validated against the current repository state
+        (duplicate course ids, conflicting material definitions); a
+        failing course is excluded with a per-record reason instead of
+        aborting the load — the paper's 20-retained/11-excluded roster
+        accounting.  ``strict=True`` raises on the first report with
+        exclusions (after the full pass, so the error names every bad
+        record).  Committed courses are never rolled back.
+        """
+        from repro.materials.ingest import (
+            REASON_CONFLICTING_MATERIAL,
+            REASON_DUPLICATE_COURSE,
+            ExcludedRecord,
+            IngestReport,
+        )
+
+        report = IngestReport()
+        for course in courses:
+            try:
+                self._validate_course(course)
+            except ValueError as exc:
+                reason = (
+                    REASON_DUPLICATE_COURSE
+                    if course.id in self._courses
+                    else REASON_CONFLICTING_MATERIAL
+                )
+                report.excluded.append(
+                    ExcludedRecord(course.id, reason, detail=str(exc))
+                )
+                metrics.inc("repo.ingest.excluded")
+                continue
+            self._commit_course(course)
+            report.retained.append(course)
+            metrics.inc("repo.ingest.retained")
+        if strict:
+            report.raise_if_excluded()
+        return report
 
     # -- access ---------------------------------------------------------------
 

@@ -40,42 +40,82 @@ from repro.runtime.cache import (
     result_cache,
 )
 from repro.runtime.executor import (
+    DEFAULT_TASK_RETRIES,
     NMF_KERNELS,
+    FailureEvent,
+    FailureReport,
+    TaskError,
+    failure_report,
     nmf_kernel_from_env,
     parallel_map,
     resolve_nmf_kernel,
+    resolve_task_retries,
+    resolve_task_timeout,
     resolve_workers,
     run_nmf_fits,
     set_default_nmf_kernel,
+    set_default_task_retries,
+    set_default_task_timeout,
     set_default_workers,
     spawn_seeds,
+    task_retries_from_env,
+    task_timeout_from_env,
     workers_from_env,
+)
+from repro.runtime.faults import (
+    FaultPlan,
+    InjectedTaskError,
+    TransientTaskError,
+    active_fault_plan,
+    fault_plan_from_env,
+    faults_active,
+    parse_fault_plan,
+    set_fault_plan,
 )
 from repro.runtime.metrics import MetricsRegistry, TimerStat, metrics
 
 __all__ = [
     "CacheStats",
+    "DEFAULT_TASK_RETRIES",
+    "FailureEvent",
+    "FailureReport",
+    "FaultPlan",
+    "InjectedTaskError",
     "MetricsRegistry",
     "NMF_KERNELS",
     "NMF_KEY_PARAMS",
     "ResultCache",
+    "TaskError",
     "TimerStat",
+    "TransientTaskError",
+    "active_fault_plan",
     "array_digest",
     "configure",
     "content_key",
+    "failure_report",
+    "fault_plan_from_env",
+    "faults_active",
     "matrix_digest",
     "metrics",
     "nmf_kernel_from_env",
     "parallel_map",
+    "parse_fault_plan",
     "reset",
     "resolve_nmf_kernel",
+    "resolve_task_retries",
+    "resolve_task_timeout",
     "resolve_workers",
     "result_cache",
     "run_nmf_fits",
     "set_default_nmf_kernel",
+    "set_default_task_retries",
+    "set_default_task_timeout",
     "set_default_workers",
+    "set_fault_plan",
     "spawn_seeds",
     "summary",
+    "task_retries_from_env",
+    "task_timeout_from_env",
     "workers_from_env",
 ]
 
@@ -87,19 +127,33 @@ def configure(
     cache_enabled: bool | None = None,
     cache_max_entries: int | None = None,
     nmf_kernel: str | None = None,
+    task_timeout: float | None | object = ...,
+    task_retries: int | None = None,
+    fault_plan: FaultPlan | str | None | object = ...,
 ) -> None:
     """Configure the process-global runtime in one call.
 
     ``workers=None`` leaves worker resolution to the environment
     (``REPRO_WORKERS``); ``cache_dir=None`` switches the cache to
     memory-only; ``nmf_kernel`` pins the NMF execution strategy
-    (``auto``/``batched``/``serial``, see :func:`run_nmf_fits`); omitted
-    keywords keep their current values.
+    (``auto``/``batched``/``serial``, see :func:`run_nmf_fits`);
+    ``task_timeout`` sets the per-task wall-clock budget in seconds
+    (``None`` clears it back to ``REPRO_TASK_TIMEOUT``/off);
+    ``task_retries`` bounds per-task recovery attempts (0 disables
+    retries); ``fault_plan`` arms fault injection (a :class:`FaultPlan`
+    or ``REPRO_FAULTS``-syntax string; ``None`` disarms, deferring to
+    the environment).  Omitted keywords keep their current values.
     """
     if workers is not None:
         set_default_workers(workers)
     if nmf_kernel is not None:
         set_default_nmf_kernel(nmf_kernel)
+    if task_timeout is not ...:
+        set_default_task_timeout(task_timeout)  # type: ignore[arg-type]
+    if task_retries is not None:
+        set_default_task_retries(task_retries)
+    if fault_plan is not ...:
+        set_fault_plan(fault_plan)  # type: ignore[arg-type]
     result_cache.configure(
         cache_dir=cache_dir,
         enabled=cache_enabled,
@@ -108,12 +162,16 @@ def configure(
 
 
 def summary() -> str:
-    """The metrics/cache report for everything run so far."""
-    return metrics.summary()
+    """The metrics/cache report, plus failure events when any occurred."""
+    report = failure_report()
+    if not report:
+        return metrics.summary()
+    return metrics.summary() + "\n" + report.summary()
 
 
 def reset() -> None:
-    """Reset metrics and the in-memory cache layer (test/bench isolation)."""
+    """Reset metrics, the in-memory cache layer, and the failure report."""
     metrics.reset()
     result_cache.clear()
     result_cache.stats = CacheStats()
+    failure_report().clear()

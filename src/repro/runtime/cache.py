@@ -19,6 +19,14 @@ Two layers:
 
 Both layers store *copies* and return *copies*, so cached arrays can never
 be mutated by one caller and observed corrupted by another.
+
+Disk entries are **self-verifying**: every ``.npz`` carries its own
+schema (payload keys, dtypes, shapes) and a SHA-256 checksum over the
+payload bytes.  A read that fails any of those checks — a truncated
+write, bit rot, a foreign or pre-integrity file — is *quarantined*
+(moved to ``<cache_dir>/quarantine/``, counted under
+``cache.quarantined``) rather than silently treated as a plain miss or
+rewritten in place, so corruption leaves evidence.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ import hashlib
 import os
 import pathlib
 import tempfile
+import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Mapping, Sequence
@@ -118,11 +127,34 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     disk_hits: int = 0
+    quarantined: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+#: Metadata arrays stored alongside the payload inside every ``.npz``.
+#: Payload keys may not collide with these (enforced by ``put``).
+_META_PREFIX = "__"
+_META_FORMAT = "__format__"
+_META_KEYS = "__keys__"
+_META_DTYPES = "__dtypes__"
+_META_SHAPES = "__shapes__"
+_META_CHECKSUM = "__checksum__"
+
+
+def bundle_checksum(bundle: Mapping[str, np.ndarray]) -> str:
+    """SHA-256 over a bundle's sorted (key, dtype, shape, bytes) stream."""
+    h = hashlib.sha256()
+    for k in sorted(bundle):
+        v = np.ascontiguousarray(bundle[k])
+        h.update(k.encode())
+        h.update(str(v.dtype).encode())
+        h.update(repr(v.shape).encode())
+        h.update(v.tobytes())
+    return h.hexdigest()
 
 
 class ResultCache:
@@ -193,18 +225,36 @@ class ResultCache:
         return None
 
     def put(self, key: str, bundle: Mapping[str, np.ndarray]) -> None:
-        """Store a bundle under ``key`` in both layers."""
+        """Store a bundle under ``key`` in both layers.
+
+        Keys starting with ``__`` are reserved for the integrity
+        metadata serialized next to the payload.
+        """
         if not self.enabled:
             return
+        reserved = [k for k in bundle if k.startswith(_META_PREFIX)]
+        if reserved:
+            raise ValueError(
+                f"bundle keys {reserved} are reserved for cache metadata"
+            )
         copied = {k: np.asarray(v).copy() for k, v in bundle.items()}
         self._mem_put(key, copied)
         self._disk_put(key, copied)
 
     def clear(self, *, disk: bool = False) -> None:
-        """Drop the memory layer; optionally delete persisted entries too."""
+        """Drop the memory layer; optionally delete persisted entries too.
+
+        ``disk=True`` also sweeps orphaned ``.tmp-*.npz`` files left by
+        interrupted writes and everything under ``quarantine/``.
+        """
         self._mem.clear()
         if disk and self.cache_dir is not None and self.cache_dir.is_dir():
-            for p in self.cache_dir.glob("*.npz"):
+            doomed = list(self.cache_dir.glob("*.npz"))
+            doomed += list(self.cache_dir.glob(".tmp-*.npz"))
+            qdir = self.cache_dir / "quarantine"
+            if qdir.is_dir():
+                doomed += list(qdir.glob("*.npz"))
+            for p in doomed:
                 try:
                     p.unlink()
                 except OSError:
@@ -214,7 +264,11 @@ class ResultCache:
         return len(self._mem)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._mem or self._disk_path(key).is_file()
+        if key in self._mem:
+            return True
+        if self.cache_dir is None:
+            return False        # no disk layer: never probe the CWD
+        return self._disk_path(key).is_file()
 
     # -- memory layer --------------------------------------------------------
 
@@ -232,8 +286,62 @@ class ResultCache:
     # -- disk layer ----------------------------------------------------------
 
     def _disk_path(self, key: str) -> pathlib.Path:
-        base = self.cache_dir if self.cache_dir is not None else pathlib.Path(".")
-        return base / f"{key}.npz"
+        if self.cache_dir is None:
+            raise ValueError(
+                "disk layer is disabled (cache_dir is None); "
+                "refusing to derive a path in the working directory"
+            )
+        return self.cache_dir / f"{key}.npz"
+
+    def _quarantine(self, path: pathlib.Path, reason: str) -> None:
+        """Move a failed entry aside (evidence, not a rewrite) and count it."""
+        assert self.cache_dir is not None
+        qdir = self.cache_dir / "quarantine"
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+        except OSError:
+            # Can't even move it — delete so it stops poisoning reads.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.stats.quarantined += 1
+        metrics.inc("cache.quarantined")
+        from repro.runtime.executor import failure_report
+
+        failure_report().add(
+            "cache_quarantined", detail=f"{path.name}: {reason}"
+        )
+
+    @staticmethod
+    def _verify(raw: dict[str, np.ndarray]) -> tuple[dict[str, np.ndarray] | None, str]:
+        """Split payload from metadata and check schema + checksum.
+
+        Returns ``(payload, "")`` on success, ``(None, reason)`` on any
+        integrity failure.
+        """
+        meta_keys = (_META_FORMAT, _META_KEYS, _META_DTYPES,
+                     _META_SHAPES, _META_CHECKSUM)
+        if any(k not in raw for k in meta_keys):
+            return None, "missing integrity metadata"
+        if int(raw[_META_FORMAT]) != _FORMAT:
+            return None, f"format {int(raw[_META_FORMAT])} != {_FORMAT}"
+        payload = {
+            k: v for k, v in raw.items() if not k.startswith(_META_PREFIX)
+        }
+        keys = [str(k) for k in raw[_META_KEYS].tolist()]
+        if sorted(payload) != sorted(keys):
+            return None, "payload keys do not match recorded schema"
+        dtypes = [str(d) for d in raw[_META_DTYPES].tolist()]
+        shapes = [str(s) for s in raw[_META_SHAPES].tolist()]
+        for k, dt, shp in zip(sorted(keys), dtypes, shapes):
+            v = payload[k]
+            if str(v.dtype) != dt or repr(v.shape) != shp:
+                return None, f"array {k!r} does not match recorded schema"
+        if bundle_checksum(payload) != str(raw[_META_CHECKSUM]):
+            return None, "checksum mismatch"
+        return payload, ""
 
     def _disk_get(self, key: str) -> dict[str, np.ndarray] | None:
         if self.cache_dir is None:
@@ -243,24 +351,51 @@ class ResultCache:
             return None
         try:
             with np.load(path) as npz:
-                return {k: npz[k] for k in npz.files}
-        except (OSError, ValueError, KeyError):
-            # Unreadable/corrupt entry: treat as a miss, let it be rewritten.
+                raw = {k: npz[k] for k in npz.files}
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+            # Unreadable (truncated zip, torn write): quarantine, recompute.
+            self._quarantine(path, "unreadable npz")
             return None
+        try:
+            payload, reason = self._verify(raw)
+        except Exception as exc:  # malformed meta in a foreign file
+            payload, reason = None, f"malformed metadata ({type(exc).__name__})"
+        if payload is None:
+            self._quarantine(path, reason)
+            return None
+        return payload
 
     def _disk_put(self, key: str, bundle: Mapping[str, np.ndarray]) -> None:
         if self.cache_dir is None:
             return
+        from repro.runtime.faults import active_fault_plan, record_injection
+
+        plan = active_fault_plan()
+        target = self._disk_path(key)
         try:
+            if plan is not None and plan.should("disk_error", token=key):
+                record_injection("disk_error")
+                raise OSError(f"injected disk write failure for {key}")
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+            meta = {
+                _META_FORMAT: np.asarray(_FORMAT),
+                _META_KEYS: np.asarray(sorted(bundle)),
+                _META_DTYPES: np.asarray(
+                    [str(np.asarray(bundle[k]).dtype) for k in sorted(bundle)]
+                ),
+                _META_SHAPES: np.asarray(
+                    [repr(np.asarray(bundle[k]).shape) for k in sorted(bundle)]
+                ),
+                _META_CHECKSUM: np.asarray(bundle_checksum(bundle)),
+            }
             # Write-then-rename so concurrent readers never see a torn file.
             fd, tmp = tempfile.mkstemp(
                 dir=self.cache_dir, prefix=".tmp-", suffix=".npz"
             )
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    np.savez(fh, **bundle)
-                os.replace(tmp, self._disk_path(key))
+                    np.savez(fh, **bundle, **meta)
+                os.replace(tmp, target)
             except BaseException:
                 try:
                     os.unlink(tmp)
@@ -269,6 +404,15 @@ class ResultCache:
                 raise
         except OSError:
             metrics.inc("cache.disk_write_error")
+            return
+        if plan is not None and plan.should("cache_corrupt", token=key):
+            record_injection("cache_corrupt")
+            try:
+                size = target.stat().st_size
+                with open(target, "r+b") as fh:
+                    fh.truncate(max(size // 2, 1))
+            except OSError:
+                pass
 
 
 def default_cache_dir_from_env() -> str | None:

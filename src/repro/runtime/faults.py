@@ -1,0 +1,260 @@
+"""Deterministic, seeded fault injection for the analysis runtime.
+
+The paper's own pipeline had to drop 11 of 31 classified courses "for
+technical reasons" — real infrastructure misbehaves.  The recovery paths
+in :mod:`repro.runtime.executor` and :mod:`repro.runtime.cache` (pool
+rebuilds, per-task retries, timeouts, cache quarantine) are only
+trustworthy if they can be exercised *on demand*, not just when the OS
+happens to fail.  This module is that switch: a :class:`FaultPlan`
+describes which faults to inject at what rate, and every injection
+decision is a pure function of ``(plan seed, site, task index, attempt,
+token)`` — no global counters, no wall clock — so a faulty run is exactly
+reproducible in any process layout and any completion order.
+
+Injection sites:
+
+* ``task_error`` — the task raises :class:`InjectedTaskError` (a
+  :class:`TransientTaskError`) before doing any work; the executor
+  retries it like any transient task failure.
+* ``pool_crash`` — the worker process dies via ``os._exit`` (a *real*
+  worker crash: the parent observes ``BrokenProcessPool`` and must
+  rebuild the pool).  Outside a worker the site is inert.
+* ``task_hang`` — the task sleeps ``hang_s`` seconds before running,
+  which trips the executor's per-task timeout when one is configured.
+* ``cache_corrupt`` — a persisted cache entry is truncated after the
+  atomic rename, so the next read must detect and quarantine it.
+* ``disk_error`` — a cache write raises :class:`OSError` before writing.
+
+Activation: ``configure(fault_plan=...)`` /
+:func:`set_fault_plan` (wins) or the ``REPRO_FAULTS`` environment
+variable, e.g.::
+
+    REPRO_FAULTS="seed=7,task_error=0.1,pool_crash=0.05,only_first_attempt=1"
+
+``only_first_attempt=1`` restricts every fault to attempt 0 of each
+task, which guarantees that a single retry recovers — the setting the
+chaos CI job runs the test suite under.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass, fields
+
+from repro.runtime.metrics import metrics
+
+
+class TransientTaskError(RuntimeError):
+    """A task-level failure worth retrying (flaky environment, not a bug).
+
+    The executor retries tasks that raise this (or a subclass) up to the
+    retry budget; any other exception from a task is treated as a
+    deterministic task bug and propagates immediately as a
+    :class:`~repro.runtime.executor.TaskError`.
+    """
+
+
+class InjectedTaskError(TransientTaskError):
+    """The exception raised by a ``task_error`` injection."""
+
+
+#: Injection-site name -> metric counter (literal names for RPR301).
+_SITE_COUNTERS = {
+    "task_error": "faults.task_error",
+    "pool_crash": "faults.pool_crash",
+    "task_hang": "faults.task_hang",
+    "cache_corrupt": "faults.cache_corrupt",
+    "disk_error": "faults.disk_error",
+}
+
+#: Fault sites whose plan field is a probability in [0, 1].
+FAULT_SITES = tuple(_SITE_COUNTERS)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible schedule of injected faults.
+
+    Every rate is an independent per-decision probability; decisions are
+    derived by hashing ``(seed, site, index, attempt, token)``, so the
+    same plan produces the same faults regardless of worker layout,
+    scheduling, or completion order.
+    """
+
+    seed: int = 0
+    task_error: float = 0.0
+    pool_crash: float = 0.0
+    task_hang: float = 0.0
+    hang_s: float = 0.25
+    cache_corrupt: float = 0.0
+    disk_error: float = 0.0
+    only_first_attempt: bool = False
+
+    def __post_init__(self) -> None:
+        for site in FAULT_SITES:
+            rate = getattr(self, site)
+            if not 0.0 <= float(rate) <= 1.0:
+                raise ValueError(f"{site} rate must be in [0, 1], got {rate}")
+        if self.hang_s < 0:
+            raise ValueError(f"hang_s must be >= 0, got {self.hang_s}")
+
+    # -- decisions -----------------------------------------------------------
+
+    def should(
+        self, site: str, *, index: int = 0, attempt: int = 0, token: str = ""
+    ) -> bool:
+        """Deterministically decide whether to inject ``site`` here.
+
+        ``index``/``attempt`` identify a task execution; ``token`` is a
+        free-form discriminator (e.g. a cache key).  The decision is a
+        pure function of the plan seed and these coordinates.
+        """
+        rate = float(getattr(self, site))
+        if rate <= 0.0:
+            return False
+        if self.only_first_attempt and attempt > 0:
+            return False
+        if rate >= 1.0:
+            return True
+        digest = hashlib.sha256(
+            f"{self.seed}|{site}|{index}|{attempt}|{token}".encode()
+        ).digest()
+        u = int.from_bytes(digest[:8], "big") / 2.0**64
+        return u < rate
+
+    def any_task_faults(self) -> bool:
+        """Whether this plan can perturb task execution at all."""
+        return (self.task_error > 0 or self.pool_crash > 0 or self.task_hang > 0)
+
+    # -- serialization -------------------------------------------------------
+
+    def describe(self) -> str:
+        """The plan in ``REPRO_FAULTS`` syntax (round-trips via parse)."""
+        parts = [f"seed={self.seed}"]
+        for f in fields(self):
+            if f.name == "seed":
+                continue
+            val = getattr(self, f.name)
+            if f.name == "only_first_attempt":
+                if val:
+                    parts.append("only_first_attempt=1")
+            elif val != f.default:
+                parts.append(f"{f.name}={val:g}")
+        return ",".join(parts)
+
+
+def parse_fault_plan(text: str) -> FaultPlan:
+    """Parse the ``REPRO_FAULTS`` mini-language into a :class:`FaultPlan`.
+
+    Comma-separated ``key=value`` pairs; keys are the :class:`FaultPlan`
+    fields.  Unknown keys and unparsable values raise ``ValueError`` —
+    a chaos plan that is silently misread would fake coverage.
+    """
+    kwargs: dict[str, object] = {}
+    valid = {f.name: f.type for f in fields(FaultPlan)}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(f"fault plan entry {part!r} is not key=value")
+        key, _, raw = part.partition("=")
+        key = key.strip()
+        raw = raw.strip()
+        if key not in valid:
+            raise ValueError(
+                f"unknown fault plan key {key!r}; valid keys: {sorted(valid)}"
+            )
+        try:
+            if key == "seed":
+                kwargs[key] = int(raw)
+            elif key == "only_first_attempt":
+                kwargs[key] = raw.lower() in ("1", "true", "yes", "on")
+            else:
+                kwargs[key] = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"fault plan value {raw!r} for {key!r} is not numeric"
+            ) from None
+    return FaultPlan(**kwargs)  # type: ignore[arg-type]
+
+
+#: Plan set via :func:`repro.runtime.configure`; ``None`` defers to the env.
+_configured_plan: FaultPlan | None = None
+
+#: Memoized parse of the last-seen ``REPRO_FAULTS`` string.
+_env_memo: tuple[str, FaultPlan] | None = None
+
+
+def set_fault_plan(plan: FaultPlan | str | None) -> None:
+    """Set (or with ``None`` clear) the configured fault plan.
+
+    A string is parsed with :func:`parse_fault_plan`.
+    """
+    global _configured_plan
+    if isinstance(plan, str):
+        plan = parse_fault_plan(plan)
+    _configured_plan = plan
+
+
+def fault_plan_from_env() -> FaultPlan | None:
+    """The ``REPRO_FAULTS`` plan, or ``None`` when unset.
+
+    Malformed plans raise: a chaos run that silently injected nothing
+    would report a clean bill of health it never earned.
+    """
+    global _env_memo
+    raw = os.environ.get("REPRO_FAULTS", "").strip()
+    if not raw:
+        return None
+    if _env_memo is not None and _env_memo[0] == raw:
+        return _env_memo[1]
+    plan = parse_fault_plan(raw)
+    _env_memo = (raw, plan)
+    return plan
+
+
+def active_fault_plan() -> FaultPlan | None:
+    """Effective plan: ``configure(fault_plan=...)`` > ``REPRO_FAULTS`` > off."""
+    if _configured_plan is not None:
+        return _configured_plan
+    return fault_plan_from_env()
+
+
+def faults_active() -> bool:
+    """Whether any fault plan is currently in force."""
+    return active_fault_plan() is not None
+
+
+def record_injection(site: str) -> None:
+    """Count one injected fault under its ``faults.*`` metric."""
+    # Names stay greppable: every value of _SITE_COUNTERS is a literal.
+    metrics.inc(_SITE_COUNTERS[site])  # repro: noqa[RPR301]
+
+
+def apply_task_faults(
+    plan: FaultPlan, index: int, attempt: int, *, in_worker: bool
+) -> None:
+    """Run the task-level injection sites for one task execution.
+
+    Called by the executor's task wrapper before the real work.  Site
+    order is fixed (crash, hang, error) so a plan's behavior is stable.
+    ``pool_crash`` only fires inside a pool worker — ``os._exit`` in the
+    parent would kill the whole analysis rather than simulate a lost
+    worker.
+    """
+    if in_worker and plan.should("pool_crash", index=index, attempt=attempt):
+        # A real worker death: the parent sees BrokenProcessPool.  No
+        # metric here — this process is gone; the parent counts the
+        # rebuild it observes.
+        os._exit(1)
+    if plan.should("task_hang", index=index, attempt=attempt):
+        record_injection("task_hang")
+        time.sleep(plan.hang_s)
+    if plan.should("task_error", index=index, attempt=attempt):
+        record_injection("task_error")
+        raise InjectedTaskError(
+            f"injected task error (task {index}, attempt {attempt})"
+        )

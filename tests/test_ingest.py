@@ -1,0 +1,213 @@
+"""Quarantine-style ingestion: malformed rosters split, they don't crash.
+
+Covers :mod:`repro.corpus.ingest`, the report types in
+:mod:`repro.materials.ingest`, and
+:meth:`~repro.materials.repository.MaterialRepository.ingest` — the
+paper's 20-retained/11-excluded roster accounting applied to our own
+loaders.
+"""
+
+import json
+
+import pytest
+
+import repro.runtime as runtime
+from repro.corpus.ingest import ingest_courses, load_courses_tolerant
+from repro.curriculum import load_cs2013
+from repro.io.json_io import course_from_dict
+from repro.materials.ingest import (
+    REASON_BAD_MATERIAL,
+    REASON_DUPLICATE_COURSE,
+    REASON_DUPLICATE_MATERIAL,
+    REASON_MISSING_ID,
+    REASON_UNKNOWN_TAG,
+    REASON_UNPARSABLE,
+    ExcludedRecord,
+    IngestReport,
+    merge_reports,
+)
+from repro.materials.repository import MaterialRepository
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runtime():
+    runtime.reset()
+    yield
+    runtime.reset()
+
+
+@pytest.fixture
+def tree():
+    return load_cs2013()
+
+
+@pytest.fixture
+def tag(tree):
+    return sorted(tree.tag_ids())[0]
+
+
+def _course(course_id, materials=()):
+    return {"id": course_id, "name": course_id, "materials": list(materials)}
+
+
+def _material(mat_id, **over):
+    d = {"id": mat_id, "title": mat_id, "type": "slides"}
+    d.update(over)
+    return d
+
+
+@pytest.fixture
+def messy_roster(tag):
+    """Eight records exercising every exclusion reason once."""
+    return [
+        _course("c1", [_material("m1", mappings=[tag])]),
+        _course("c1"),                                   # duplicate course id
+        {"name": "anonymous"},                           # missing id
+        ["not", "a", "course"],                          # unparsable record
+        _course("c2", [_material("m2", type="hologram")]),   # bad material
+        _course("c3", [_material("m3"), _material("m3")]),   # duplicate material
+        _course("c4", [_material("m4", mappings=["no/such/tag"])]),  # unknown tag
+        _course("c5"),
+    ]
+
+
+class TestIngestCourses:
+    def test_split_with_per_record_reasons(self, messy_roster, tree):
+        report = ingest_courses(messy_roster, trees=[tree])
+        assert report.n_retained == 2
+        assert report.n_excluded == 6
+        assert report.n_seen == 8
+        assert [c.id for c in report.retained] == ["c1", "c5"]
+        assert report.reasons == {
+            REASON_DUPLICATE_COURSE: 1,
+            REASON_MISSING_ID: 1,
+            REASON_UNPARSABLE: 1,
+            REASON_BAD_MATERIAL: 1,
+            REASON_DUPLICATE_MATERIAL: 1,
+            REASON_UNKNOWN_TAG: 1,
+        }
+
+    def test_material_level_faults_name_the_material(self, messy_roster, tree):
+        report = ingest_courses(messy_roster, trees=[tree])
+        by_reason = {r.reason: r for r in report.excluded}
+        assert by_reason[REASON_BAD_MATERIAL].material_id == "m2"
+        assert by_reason[REASON_DUPLICATE_MATERIAL].material_id == "m3"
+        assert by_reason[REASON_UNKNOWN_TAG].material_id == "m4"
+        assert "no/such/tag" in by_reason[REASON_UNKNOWN_TAG].detail
+
+    def test_clean_roster_excludes_nothing(self, tag):
+        records = [_course(f"c{i}", [_material(f"m{i}", mappings=[tag])])
+                   for i in range(5)]
+        report = ingest_courses(records)
+        assert report.n_excluded == 0 and report.n_retained == 5
+
+    def test_tag_check_requires_trees(self):
+        # Without trees, mappings are taken on faith.
+        records = [_course("c", [_material("m", mappings=["no/such/tag"])])]
+        assert ingest_courses(records).n_retained == 1
+
+    def test_strict_raises_listing_every_record(self, messy_roster, tree):
+        with pytest.raises(ValueError) as exc_info:
+            ingest_courses(messy_roster, trees=[tree], strict=True)
+        message = str(exc_info.value)
+        assert "6 of 8" in message
+        for rid in ("c2", "c3", "c4"):
+            assert rid in message
+
+    def test_metrics_count_the_split(self, messy_roster, tree):
+        ingest_courses(messy_roster, trees=[tree])
+        assert runtime.metrics.get("corpus.ingest.retained") == 2
+        assert runtime.metrics.get("corpus.ingest.excluded") == 6
+
+
+class TestLoadCoursesTolerant:
+    def test_roundtrip_with_bad_records(self, tmp_path, messy_roster, tree):
+        path = tmp_path / "corpus.json"
+        path.write_text(json.dumps(
+            {"format": "repro-courses", "version": 1, "courses": messy_roster}
+        ))
+        report = load_courses_tolerant(path, trees=[tree])
+        assert report.n_retained == 2 and report.n_excluded == 6
+
+    def test_envelope_errors_still_raise(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something-else", "courses": []}))
+        with pytest.raises(ValueError, match="not a repro course file"):
+            load_courses_tolerant(path)
+        path.write_text(json.dumps({"format": "repro-courses", "version": 99}))
+        with pytest.raises(ValueError, match="unsupported version"):
+            load_courses_tolerant(path)
+
+
+class TestReportTypes:
+    def test_report_json_shape(self, messy_roster, tree):
+        report = ingest_courses(messy_roster, trees=[tree])
+        data = json.loads(report.to_json())
+        assert data["n_seen"] == 8
+        assert data["retained"] == ["c1", "c5"]
+        assert len(data["excluded"]) == 6
+        assert all(
+            set(e) == {"course_id", "reason", "detail", "material_id"}
+            for e in data["excluded"]
+        )
+
+    def test_summary_lists_exclusions(self, messy_roster, tree):
+        text = ingest_courses(messy_roster, trees=[tree]).summary()
+        assert "retained 2 of 8" in text
+        assert REASON_UNKNOWN_TAG in text
+
+    def test_excluded_record_str(self):
+        rec = ExcludedRecord("c9", REASON_BAD_MATERIAL,
+                             detail="boom", material_id="m9")
+        assert "c9" in str(rec) and "m9" in str(rec) and "boom" in str(rec)
+
+    def test_merge_reports(self):
+        r1 = IngestReport(excluded=[ExcludedRecord("a", REASON_MISSING_ID)])
+        r2 = IngestReport(excluded=[ExcludedRecord("b", REASON_MISSING_ID)])
+        merged = merge_reports([r1, r2])
+        assert merged.n_excluded == 2
+        assert merged.reasons == {REASON_MISSING_ID: 2}
+
+
+class TestRepositoryIngest:
+    def test_ingest_splits_against_repository_state(self, tag):
+        repo = MaterialRepository()
+        c1 = course_from_dict(_course("c1", [_material("m1", mappings=[tag])]))
+        c1_dup = course_from_dict(
+            {"id": "c1", "name": "imposter", "materials": []}
+        )
+        conflict = course_from_dict(
+            _course("c2", [_material("m1", title="CONFLICT")])
+        )
+        clean = course_from_dict(_course("c3"))
+        report = repo.ingest([c1, c1_dup, conflict, clean])
+        assert [c.id for c in report.retained] == ["c1", "c3"]
+        assert report.reasons == {
+            REASON_DUPLICATE_COURSE: 1,
+            "conflicting-material-id": 1,
+        }
+        assert repo.n_courses == 2
+
+    def test_ingest_strict_raises(self):
+        repo = MaterialRepository()
+        c = course_from_dict(_course("c1"))
+        repo.ingest([c])
+        with pytest.raises(ValueError):
+            repo.ingest([c], strict=True)
+
+    def test_add_course_is_atomic(self, tag):
+        """A rejected course must not leave materials behind."""
+        repo = MaterialRepository()
+        repo.add_course(course_from_dict(
+            _course("c1", [_material("shared", mappings=[tag])])
+        ))
+        bad = course_from_dict(_course("c2", [
+            _material("fresh"),
+            _material("shared", title="CONFLICT"),
+        ]))
+        before = repo.n_materials
+        with pytest.raises(ValueError, match="conflicting"):
+            repo.add_course(bad)
+        assert repo.n_materials == before
+        with pytest.raises(KeyError):
+            repo.material("fresh")
