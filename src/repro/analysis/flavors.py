@@ -109,6 +109,7 @@ def analyze_flavors(
     seed: RngLike = None,
     solver: str = "hals",
     init: str = "random",
+    n_restarts: int = 4,
     top_n: int = 15,
     membership_threshold: float = 0.25,
     workers: int | None = None,
@@ -120,7 +121,8 @@ def analyze_flavors(
     :mod:`~repro.analysis.model_selection`).
     """
     typing = type_courses(
-        matrix, k, seed=seed, solver=solver, init=init, workers=workers
+        matrix, k, seed=seed, solver=solver, init=init,
+        n_restarts=n_restarts, workers=workers,
     )
     metrics.inc("flavors.analyses")
     h, w_n = typing.h, typing.w_normalized

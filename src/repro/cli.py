@@ -329,15 +329,24 @@ def cmd_materials(args) -> int:
 
 
 def cmd_report(args) -> int:
-    from repro.report import ReportConfig, build_report
+    from repro.report import ReportConfig
 
     tree = load_cs2013()
     courses = _load(args.courses)
-    text = build_report(
-        courses, tree,
-        config=ReportConfig(typing_seed=args.seed, flavors_seed=args.seed),
-        title=args.title,
-    )
+    config = ReportConfig(typing_seed=args.seed, flavors_seed=args.seed)
+    if args.engine == "direct":
+        from repro.report import build_report_direct
+
+        text = build_report_direct(courses, tree, config=config, title=args.title)
+    else:
+        from repro.pipeline import build_report_pipeline
+
+        run = build_report_pipeline(
+            courses, tree, config=config, title=args.title,
+        ).run(workers=args.workers, use_cache=not args.no_cache)
+        text = run.value("report")
+        if args.explain:
+            print(run.explain(), file=sys.stderr)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(text)
@@ -621,6 +630,14 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--out", default=None, help="write to file instead of stdout")
     rep.add_argument("--seed", type=int, default=1)
     rep.add_argument("--title", default="Course corpus analysis")
+    rep.add_argument("--engine", default="dag", choices=["dag", "direct"],
+                     help="'dag' runs the memoized incremental pipeline; "
+                          "'direct' is the straight-line reference path")
+    rep.add_argument("--no-cache", action="store_true",
+                     help="recompute every DAG node, ignoring memoized results")
+    rep.add_argument("--explain", action="store_true",
+                     help="print per-node cached/computed stats to stderr "
+                          "(dag engine)")
     rep.set_defaults(func=cmd_report)
 
     pg = sub.add_parser("pdc-gap", help="program-level PD coverage gap")

@@ -1,0 +1,43 @@
+"""repro.pipeline — the incremental analysis DAG.
+
+Declares the paper pipeline (corpus → matrix → NMF → typing/flavors →
+agreement → anchors → report) as an explicit dependency DAG of
+content-addressed nodes, executed through the fault-tolerant runtime
+executor and memoized in the checksummed result cache, so re-running
+after a small corpus change recomputes only the affected nodes.
+
+* :mod:`~repro.pipeline.core` — the engine: :class:`Pipeline`,
+  :class:`PipelineNode`, content keys with early cutoff, wave execution.
+* :mod:`~repro.pipeline.report` — the report DAG:
+  :func:`build_report_pipeline` plus the course/tree digest helpers.
+"""
+
+from repro.pipeline.core import (
+    PIPELINE_FORMAT,
+    NodeRecord,
+    Pipeline,
+    PipelineNode,
+    PipelineRun,
+    params_digest,
+    value_digest,
+)
+from repro.pipeline.report import (
+    build_report_pipeline,
+    corpus_digest,
+    course_digest,
+    tree_digest,
+)
+
+__all__ = [
+    "PIPELINE_FORMAT",
+    "NodeRecord",
+    "Pipeline",
+    "PipelineNode",
+    "PipelineRun",
+    "build_report_pipeline",
+    "corpus_digest",
+    "course_digest",
+    "params_digest",
+    "tree_digest",
+    "value_digest",
+]

@@ -18,7 +18,12 @@ from __future__ import annotations
 import heapq
 
 from repro.taskgraph.dag import TaskGraph
-from repro.taskgraph.scheduling import PRIORITY_POLICIES, Schedule, ScheduledTask
+from repro.taskgraph.scheduling import (
+    PRIORITY_POLICIES,
+    TIME_EPS,
+    Schedule,
+    ScheduledTask,
+)
 
 
 def list_schedule_comm(
@@ -73,7 +78,7 @@ def list_schedule_comm(
                 pf = placed[pred]
                 arrival = pf.finish + (comm_delay if pf.processor != p else 0.0)
                 start = max(start, arrival)
-            if start < best_start - 1e-12:
+            if start < best_start - TIME_EPS:
                 best_start, best_proc = start, p
         finish = best_start + graph.weights[task]
         placed[task] = ScheduledTask(task, best_proc, best_start, finish)
@@ -99,15 +104,15 @@ def validate_comm_schedule(schedule: Schedule, comm_delay: float) -> None:
     for proc in range(schedule.n_processors):
         tl = schedule.processor_timeline(proc)
         for a, b in zip(tl, tl[1:]):
-            if b.start < a.finish - 1e-9:
+            if b.start < a.finish - TIME_EPS:
                 raise ValueError(f"overlap on processor {proc}")
     for p in schedule.placements:
-        if abs((p.finish - p.start) - schedule.graph.weights[p.task]) > 1e-9:
+        if abs((p.finish - p.start) - schedule.graph.weights[p.task]) > TIME_EPS:
             raise ValueError(f"duration mismatch for {p.task}")
         for pred in schedule.graph.predecessors(p.task):
             pf = by_task[pred]
             arrival = pf.finish + (comm_delay if pf.processor != p.processor else 0.0)
-            if p.start < arrival - 1e-9:
+            if p.start < arrival - TIME_EPS:
                 raise ValueError(
                     f"{p.task} starts before data from {pred} arrives"
                 )

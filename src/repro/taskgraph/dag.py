@@ -29,7 +29,12 @@ class TaskGraph:
     successors: dict[str, tuple[str, ...]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        self.successors = {t: tuple(self.successors.get(t, ())) for t in self.weights}
+        # dict.fromkeys drops duplicate successor entries (parallel edges)
+        # while preserving insertion order — see ``from_edges``.
+        self.successors = {
+            t: tuple(dict.fromkeys(self.successors.get(t, ())))
+            for t in self.weights
+        }
         for t, w in self.weights.items():
             if w < 0:
                 raise ValueError(f"task {t!r} has negative weight {w}")
@@ -52,9 +57,16 @@ class TaskGraph:
         weights: Mapping[str, float],
         edges: Iterable[tuple[str, str]],
     ) -> "TaskGraph":
-        succ: dict[str, list[str]] = {}
+        """Build from an edge list; duplicate ``(u, v)`` pairs collapse.
+
+        A repeated edge carries no extra dependency information, but if
+        kept it would inflate ``n_edges`` and ``predecessors()`` and make
+        ``list_schedule``'s readiness counting double-decrement.  First
+        occurrence wins, preserving insertion order.
+        """
+        succ: dict[str, dict[str, None]] = {}
         for u, v in edges:
-            succ.setdefault(u, []).append(v)
+            succ.setdefault(u, {})[v] = None
         return cls(dict(weights), {u: tuple(vs) for u, vs in succ.items()})
 
     # -- structure --------------------------------------------------------------

@@ -21,6 +21,13 @@ from typing import Callable
 
 from repro.taskgraph.dag import TaskGraph
 
+#: Time tolerance shared by the schedulers and their validators.  One
+#: constant for both sides: the simulators batch "simultaneous" events and
+#: break processor ties with the same epsilon that ``Schedule.validate`` /
+#: ``validate_comm_schedule`` accept, so a simulated schedule can never be
+#: rejected by its own feasibility check over float noise.
+TIME_EPS = 1e-9
+
 #: policy name -> (graph -> task -> priority); larger priority runs first.
 PRIORITY_POLICIES: dict[str, Callable[[TaskGraph], Callable[[str], float]]] = {
     "bottom-level": lambda g: (lambda levels: (lambda t: levels[t]))(g.bottom_levels()),
@@ -114,13 +121,13 @@ class Schedule:
         for proc in range(self.n_processors):
             timeline = self.processor_timeline(proc)
             for a, b in zip(timeline, timeline[1:]):
-                if b.start < a.finish - 1e-9:
+                if b.start < a.finish - TIME_EPS:
                     raise ValueError(f"overlap on processor {proc}: {a} vs {b}")
         for p in self.placements:
-            if abs((p.finish - p.start) - self.graph.weights[p.task]) > 1e-9:
+            if abs((p.finish - p.start) - self.graph.weights[p.task]) > TIME_EPS:
                 raise ValueError(f"duration mismatch for {p.task}")
             for pred in self.graph.predecessors(p.task):
-                if p.start < by_task[pred].finish - 1e-9:
+                if p.start < by_task[pred].finish - TIME_EPS:
                     raise ValueError(
                         f"{p.task} starts before predecessor {pred} finishes"
                     )
@@ -170,7 +177,7 @@ def list_schedule(
         # Advance to the next completion; release everything finishing then.
         now, task, proc = heapq.heappop(running)
         finished = [(task, proc)]
-        while running and running[0][0] <= now + 1e-12:
+        while running and running[0][0] <= now + TIME_EPS:
             _, t2, p2 = heapq.heappop(running)
             finished.append((t2, p2))
         for t2, p2 in finished:

@@ -1,0 +1,312 @@
+"""Tests for the incremental analysis DAG (:mod:`repro.pipeline`).
+
+Covers the engine (content keys, wave execution, taskgraph export), the
+report DAG's bit-identity with the straight-line path, invalidation
+granularity under corpus edits (add / remove / tag-preserving update),
+early cutoff, and chaos runs under ``REPRO_FAULTS``.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.runtime as runtime
+from repro.analysis import build_course_matrix
+from repro.materials.course import CourseLabel
+from repro.materials.material import Material, MaterialType
+from repro.pipeline import (
+    Pipeline,
+    build_report_pipeline,
+    course_digest,
+    params_digest,
+    value_digest,
+)
+from repro.report import FLAVOR_FAMILIES, ReportConfig, build_report, build_report_direct
+from repro.runtime.cache import ResultCache
+from repro.runtime.faults import set_fault_plan
+from repro.runtime.metrics import metrics
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runtime(monkeypatch):
+    """Fresh metrics/cache and a disarmed fault plan per test."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    runtime.reset()
+    set_fault_plan(None)
+    yield
+    runtime.reset()
+    set_fault_plan(None)
+
+
+# -- module-level node functions (picklable across the pool boundary) --------
+
+
+def _const(value, dep_values):
+    del dep_values
+    return value
+
+
+def _add(dep_values):
+    return sum(dep_values.values())
+
+
+def _double(dep_values):
+    (v,) = dep_values.values()
+    return 2 * v
+
+
+# -- engine ------------------------------------------------------------------
+
+
+class TestPipelineEngine:
+    def _diamond(self, a=1):
+        from functools import partial
+
+        p = Pipeline()
+        p.add("a", partial(_const, a), params={"a": a})
+        p.add("b", _double, deps=("a",))
+        p.add("c", _double, deps=("a",))
+        p.add("d", _add, deps=("b", "c"))
+        return p
+
+    def test_run_values(self):
+        run = self._diamond().run(workers=1, use_cache=False)
+        assert run.value("d") == 4
+        assert run.n_computed == 4 and run.n_hits == 0
+
+    def test_duplicate_name_rejected(self):
+        p = Pipeline()
+        p.add("a", _add)
+        with pytest.raises(ValueError, match="duplicate"):
+            p.add("a", _add)
+
+    def test_unknown_dep_rejected(self):
+        p = Pipeline()
+        with pytest.raises(ValueError, match="unregistered"):
+            p.add("b", _double, deps=("a",))
+
+    def test_bad_weight_rejected(self):
+        p = Pipeline()
+        with pytest.raises(ValueError, match="weight"):
+            p.add("a", _add, weight=0.0)
+
+    def test_warm_rerun_all_hits(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        cold = self._diamond().run(workers=1, cache=cache)
+        warm = self._diamond().run(workers=1, cache=cache)
+        assert cold.n_computed == 4 and cold.n_hits == 0
+        assert warm.n_hits == 4 and warm.n_computed == 0
+        assert warm.value("d") == cold.value("d")
+
+    def test_param_change_invalidates_downstream(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        self._diamond(a=1).run(workers=1, cache=cache)
+        run = self._diamond(a=2).run(workers=1, cache=cache)
+        assert run.n_hits == 0 and run.value("d") == 8
+
+    def test_early_cutoff(self, tmp_path):
+        """A recomputed-but-identical value stops invalidation cold.
+
+        ``a`` keys on its params, ``b``/``c``/``d`` key on upstream
+        *value* digests: two differently-parameterized ``a`` nodes that
+        produce the same value replay everything downstream.
+        """
+        from functools import partial
+
+        cache = ResultCache(cache_dir=tmp_path)
+        p1 = Pipeline()
+        p1.add("a", partial(_const, 5), params={"rev": 1})
+        p1.add("b", _double, deps=("a",))
+        p1.run(workers=1, cache=cache)
+
+        p2 = Pipeline()
+        p2.add("a", partial(_const, 5), params={"rev": 2})
+        p2.add("b", _double, deps=("a",))
+        run = p2.run(workers=1, cache=cache)
+        assert run.records["a"].status == "computed"
+        assert run.records["b"].status == "hit"
+
+    def test_use_cache_false_never_reads_or_writes(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        self._diamond().run(workers=1, cache=cache)
+        run = self._diamond().run(workers=1, cache=cache, use_cache=False)
+        assert run.n_computed == 4 and run.n_hits == 0
+
+    def test_to_taskgraph_metrics(self):
+        g = self._diamond().to_taskgraph()
+        assert g.n_tasks == 4 and g.n_edges == 4
+        assert g.work() == pytest.approx(4.0)
+        assert g.span() == pytest.approx(3.0)  # a -> b|c -> d
+        assert set(g.topological_order()) == {"a", "b", "c", "d"}
+
+    def test_digest_helpers_stable(self):
+        assert params_digest({"b": 1, "a": 2}) == params_digest({"a": 2, "b": 1})
+        assert value_digest(b"x") != value_digest(b"y")
+
+
+# -- the report DAG ----------------------------------------------------------
+
+
+def _tag_preserving_update(course):
+    """Copy of ``course`` with one extra material that adds no new tags."""
+    tags = sorted(course.tag_set())[:3]
+    extra = Material(
+        id=f"{course.id}-extra",
+        title="redundant worksheet",
+        mtype=MaterialType.LECTURE,
+        mappings=frozenset(tags),
+    )
+    return dataclasses.replace(course, materials=[*course.materials, extra])
+
+
+class TestReportPipeline:
+    def test_cold_warm_bit_identity(self, dataset, tmp_path):
+        tree, courses, _ = dataset
+        courses = list(courses)
+        cache = ResultCache(cache_dir=tmp_path)
+        direct = build_report_direct(courses, tree)
+        before_hits = metrics.get("pipeline.node_hit")
+        cold = build_report_pipeline(courses, tree).run(cache=cache)
+        warm = build_report_pipeline(courses, tree).run(cache=cache)
+        assert cold.value("report") == direct
+        assert warm.value("report") == direct
+        assert cold.n_hits == 0 and cold.n_computed == len(cold.records)
+        assert warm.n_computed == 0 and warm.n_hits == len(warm.records)
+        assert metrics.get("pipeline.node_hit") - before_hits == warm.n_hits
+        assert metrics.get("pipeline.runs") >= 2
+
+    def test_build_report_engines_agree(self, dataset, tmp_path):
+        tree, courses, _ = dataset
+        courses = list(courses)
+        cache = ResultCache(cache_dir=tmp_path)
+        dag = build_report(courses, tree, engine="dag", cache=cache)
+        direct = build_report(courses, tree, engine="direct")
+        assert dag == direct
+        with pytest.raises(ValueError, match="engine"):
+            build_report(courses, tree, engine="bogus")
+
+    def test_add_course_recomputes_only_downstream(self, dataset, tmp_path):
+        tree, courses, _ = dataset
+        courses = list(courses)
+        cache = ResultCache(cache_dir=tmp_path)
+        build_report_pipeline(courses, tree).run(cache=cache)
+
+        new = dataclasses.replace(
+            courses[0],
+            id="zz-new-pdc",
+            name="New PDC seminar",
+            labels=frozenset({CourseLabel.PDC}),
+        )
+        run = build_report_pipeline([*courses, new], tree).run(cache=cache)
+        computed = set(run.computed_nodes())
+        hits = set(run.hit_nodes())
+        # Whole-corpus stages see the new row.
+        for name in ("matrix", "typing", "section:dataset", "section:types",
+                     "anchors:zz-new-pdc", "section:anchors", "report"):
+            assert name in computed, name
+        # The new course is PDC-only: CS1/DS families and their memoized
+        # factorizations are untouched, as is every old anchors row.
+        for name in ("section:agreement:CS1", "section:agreement:DS",
+                     "family-matrix:cs1", "section:flavors:cs1",
+                     "family-matrix:ds", "section:flavors:ds"):
+            assert name in hits, name
+        for c in courses:
+            assert f"anchors:{c.id}" in hits
+        assert "section:agreement:PDC" in computed
+        assert run.value("report") == build_report_direct([*courses, new], tree)
+
+    def test_remove_course_recomputes_only_downstream(self, dataset, tmp_path):
+        tree, courses, _ = dataset
+        courses = list(courses)
+        cache = ResultCache(cache_dir=tmp_path)
+        build_report_pipeline(courses, tree).run(cache=cache)
+
+        # Drop a PDC-only course so CS1/DS family nodes stay memoized.
+        victim = next(
+            c for c in courses
+            if c.labels == frozenset({CourseLabel.PDC})
+        )
+        remaining = [c for c in courses if c.id != victim.id]
+        run = build_report_pipeline(remaining, tree).run(cache=cache)
+        hits = set(run.hit_nodes())
+        computed = set(run.computed_nodes())
+        for name in ("family-matrix:cs1", "section:flavors:cs1",
+                     "family-matrix:ds", "section:flavors:ds",
+                     "section:agreement:CS1", "section:agreement:DS"):
+            assert name in hits, name
+        for c in remaining:
+            assert f"anchors:{c.id}" in hits
+        assert "typing" in computed and "matrix" in computed
+        assert f"anchors:{victim.id}" not in run.records
+        assert run.value("report") == build_report_direct(remaining, tree)
+
+    def test_tag_preserving_update_early_cutoff(self, dataset, tmp_path):
+        """The headline incremental win: an edit that leaves every tag set
+        unchanged recomputes only cheap nodes; every factorization replays."""
+        tree, courses, _ = dataset
+        courses = list(courses)
+        cache = ResultCache(cache_dir=tmp_path)
+        build_report_pipeline(courses, tree).run(cache=cache)
+
+        updated = [_tag_preserving_update(courses[0]), *courses[1:]]
+        run = build_report_pipeline(updated, tree).run(cache=cache)
+        computed = set(run.computed_nodes())
+        # The course digest changed, so matrix/dataset/anchors re-run...
+        assert "matrix" in computed
+        assert f"anchors:{updated[0].id}" in computed
+        # ...but the matrix *value* is unchanged, so every NMF node (and
+        # everything keyed on values) replays from cache.
+        hits = set(run.hit_nodes())
+        assert "typing" in hits and "section:types" in hits
+        for slug, _, _ in FLAVOR_FAMILIES:
+            if f"section:flavors:{slug}" in run.records:
+                assert f"section:flavors:{slug}" in hits, slug
+        assert run.value("report") == build_report_direct(updated, tree)
+
+    def test_family_matrix_equals_subset(self, dataset):
+        """The family-node keying rests on this: building a matrix from the
+        family's courses bit-equals slicing the global matrix."""
+        tree, courses, _ = dataset
+        courses = list(courses)
+        full = build_course_matrix(courses, tree=tree)
+        for _, _, labels in FLAVOR_FAMILIES:
+            family = [c for c in courses if labels & c.labels]
+            direct = build_course_matrix(family, tree=tree)
+            sliced = full.subset([c.id for c in family])
+            assert direct.course_ids == sliced.course_ids
+            assert direct.tag_ids == sliced.tag_ids
+            assert np.array_equal(direct.matrix, sliced.matrix)
+
+    def test_course_digest_sensitivity(self, dataset):
+        _, courses, _ = dataset
+        c = list(courses)[0]
+        assert course_digest(c) == course_digest(c)
+        assert course_digest(c) != course_digest(_tag_preserving_update(c))
+
+
+class TestChaosPipeline:
+    def test_faulty_run_bit_identical_and_cache_clean(
+        self, dataset, tmp_path, monkeypatch
+    ):
+        """Node retries under an injected fault plan must neither change
+        the report nor poison the memoized node values."""
+        tree, courses, _ = dataset
+        courses = list(courses)[:8]
+        cache = ResultCache(cache_dir=tmp_path)
+        expected = build_report_direct(courses, tree)
+
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "seed=3,task_error=0.4,only_first_attempt=1"
+        )
+        chaotic = build_report_pipeline(courses, tree).run(
+            workers=2, cache=cache
+        )
+        assert metrics.get("executor.retry") > 0, "plan never fired"
+        assert chaotic.value("report") == expected
+
+        # Disarm and replay purely from the memoized values.
+        monkeypatch.delenv("REPRO_FAULTS")
+        warm = build_report_pipeline(courses, tree).run(cache=cache)
+        assert warm.n_computed == 0
+        assert warm.value("report") == expected

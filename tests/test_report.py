@@ -1,9 +1,12 @@
 """Tests for the Markdown report builder."""
 
+import dataclasses
+import inspect
+
 import pytest
 
 from repro.cli import main
-from repro.report import ReportConfig, build_report
+from repro.report import ReportConfig, build_report, build_report_direct
 
 
 @pytest.fixture(scope="module")
@@ -68,6 +71,30 @@ class TestBuildReport:
         tree, _ = dataset_module
         with pytest.raises(ValueError):
             build_report([], tree)
+
+
+class TestConfigDefault:
+    """Regression: ``config`` must not default to a shared instance.
+
+    A ``config: ReportConfig = ReportConfig()`` default is evaluated once
+    at import and shared by every call; the in-body ``config=None``
+    default plus the frozen dataclass make that class of bug impossible.
+    """
+
+    def test_signature_defaults_are_none(self):
+        for fn in (build_report, build_report_direct):
+            assert inspect.signature(fn).parameters["config"].default is None, fn
+
+    def test_config_is_frozen(self):
+        cfg = ReportConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.k_all = 99
+
+    def test_explicit_default_config_matches_none(self, dataset_module):
+        tree, courses = dataset_module
+        assert build_report(
+            list(courses), tree, config=ReportConfig(), engine="direct"
+        ) == build_report(list(courses), tree, config=None, engine="direct")
 
 
 class TestReportCli:

@@ -4,11 +4,14 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.taskgraph.comm import list_schedule_comm, validate_comm_schedule
 from repro.taskgraph.dag import (
     TaskGraph,
     divide_and_conquer_dag,
     fork_join_dag,
     layered_random_dag,
+    pipeline_dag,
+    reduction_tree_dag,
     wavefront_dag,
 )
 from repro.taskgraph.laws import amdahl_speedup, brent_bound, gustafson_speedup
@@ -251,3 +254,74 @@ class TestPathLengths:
     def test_predecessors(self, diamond):
         assert set(diamond.predecessors("d")) == {"b", "c"}
         assert diamond.predecessors("a") == ()
+
+
+class TestFromEdgesDedup:
+    """Duplicate ``(u, v)`` pairs must collapse, not double-count."""
+
+    def test_duplicate_edges_collapse(self):
+        g = TaskGraph.from_edges(
+            {"a": 1, "b": 1, "c": 1},
+            [("a", "b"), ("a", "b"), ("b", "c"), ("a", "b")],
+        )
+        assert g.n_edges == 2
+        assert g.successors["a"] == ("b",)
+        assert g.predecessors("b") == ("a",)
+
+    def test_first_occurrence_order_preserved(self):
+        g = TaskGraph.from_edges(
+            {"a": 1, "b": 1, "c": 1},
+            [("a", "c"), ("a", "b"), ("a", "c")],
+        )
+        assert g.successors["a"] == ("c", "b")
+
+    def test_constructor_dedups_parallel_edges(self):
+        g = TaskGraph({"a": 1.0, "b": 1.0}, {"a": ("b", "b")})
+        assert g.n_edges == 1
+        assert g.predecessors("b") == ("a",)
+
+    def test_schedule_readiness_not_double_decremented(self):
+        g = TaskGraph.from_edges(
+            {"a": 1, "b": 1, "c": 1},
+            [("a", "b"), ("a", "b"), ("b", "c")],
+        )
+        s = list_schedule(g, 2)
+        s.validate()
+        assert s.makespan == pytest.approx(3.0)
+
+
+_SWEEP_GRAPHS = [
+    ("layered", lambda: layered_random_dag(4, 4, seed=11)),
+    ("fork-join", lambda: fork_join_dag(9, seed=5)),
+    ("divide-conquer", lambda: divide_and_conquer_dag(3)),
+    ("reduction", lambda: reduction_tree_dag(10)),
+    ("pipeline", lambda: pipeline_dag(3, 4)),
+    ("wavefront", lambda: wavefront_dag(4, 5)),
+]
+
+
+class TestEverySchedulePassesOwnValidate:
+    """TIME_EPS regression sweep: simulators and validators share one
+    tolerance, so no simulated schedule may fail its own feasibility check."""
+
+    def test_one_shared_epsilon(self):
+        from repro.taskgraph import comm, scheduling
+
+        assert comm.TIME_EPS is scheduling.TIME_EPS
+
+    @pytest.mark.parametrize("policy", sorted(PRIORITY_POLICIES))
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    @pytest.mark.parametrize(
+        "make", [m for _, m in _SWEEP_GRAPHS], ids=[n for n, _ in _SWEEP_GRAPHS]
+    )
+    def test_list_schedule_validates(self, make, policy, p):
+        list_schedule(make(), p, policy=policy).validate()
+
+    @pytest.mark.parametrize("policy", sorted(PRIORITY_POLICIES))
+    @pytest.mark.parametrize("delay", [0.0, 1.5])
+    @pytest.mark.parametrize(
+        "make", [m for _, m in _SWEEP_GRAPHS], ids=[n for n, _ in _SWEEP_GRAPHS]
+    )
+    def test_comm_schedule_validates(self, make, policy, delay):
+        s = list_schedule_comm(make(), 3, comm_delay=delay, policy=policy)
+        validate_comm_schedule(s, delay)
