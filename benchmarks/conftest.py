@@ -14,6 +14,21 @@ from repro.canonical import load_canonical_dataset
 from repro.materials.course import CourseLabel
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run scale benchmarks at reduced corpus sizes (CI smoke mode)",
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke(request):
+    """True when ``--smoke`` was passed: small corpora, floors relaxed."""
+    return request.config.getoption("--smoke")
+
+
 @pytest.fixture(scope="session")
 def dataset():
     """(tree, courses, matrix) for the canonical corpus."""

@@ -28,6 +28,7 @@ from repro.canonical import load_canonical_dataset
 from repro.corpus.generator import generate_corpus
 from repro.corpus.roster import EXCLUDED_ROSTER, ROSTER
 from repro.curriculum import load_cs2013
+from repro.runtime import NMF_KERNELS
 from repro.io import load_courses, save_courses, save_matrix_csv
 from repro.materials import build_hit_tree
 from repro.materials.course import CourseLabel
@@ -98,6 +99,28 @@ def cmd_canonical(args) -> int:
 
 def cmd_generate(args) -> int:
     tree = load_cs2013()
+    if args.courses is not None or args.materials is not None:
+        # Scaled synthetic corpus: stream courses straight to disk so a
+        # 100k-material corpus never lives in memory.  A .jsonl suffix
+        # selects the line-oriented layout (streamable back with
+        # `repro ingest` / iter_course_records); otherwise the array
+        # layout is collected and saved whole.
+        from repro.corpus.stream import generate_stream, save_courses_jsonl
+
+        stream = generate_stream(
+            tree,
+            seed=args.seed,
+            n_courses=args.courses,
+            n_materials=args.materials,
+        )
+        if str(args.out).endswith(".jsonl"):
+            n = save_courses_jsonl(stream, args.out)
+        else:
+            courses = list(stream)
+            save_courses(courses, args.out)
+            n = len(courses)
+        print(f"wrote {n} synthetic courses (seed {args.seed}) to {args.out}")
+        return 0
     roster = list(ROSTER) + (list(EXCLUDED_ROSTER) if args.include_excluded else [])
     courses = generate_corpus(tree, seed=args.seed, roster=roster)
     save_courses(courses, args.out)
@@ -414,12 +437,24 @@ def cmd_ingest(args) -> int:
     import json as _json
 
     from repro.corpus.ingest import load_courses_tolerant
+    from repro.corpus.stream import ingest_stream, iter_course_records
+    from repro.materials import MaterialRepository
 
     trees = [load_cs2013()] if args.validate_tags else []
     try:
-        report = load_courses_tolerant(
-            args.courses, trees=trees, strict=args.strict
-        )
+        if str(args.courses).endswith(".jsonl"):
+            # Streamed layout: records flow through a throwaway repository
+            # in bounded-memory chunks; same accounting, any corpus size.
+            report = ingest_stream(
+                MaterialRepository(),
+                iter_course_records(args.courses),
+                trees=trees,
+                strict=args.strict,
+            )
+        else:
+            report = load_courses_tolerant(
+                args.courses, trees=trees, strict=args.strict
+            )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
     if args.format == "json":
@@ -503,9 +538,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable factorization memoization entirely",
     )
     p.add_argument(
-        "--nmf-kernel", choices=("auto", "batched", "serial"), default=None,
+        "--nmf-kernel", choices=NMF_KERNELS, default=None,
         help="NMF execution strategy: 'batched' vectorizes all restarts in "
-             "one kernel, 'serial' fits one at a time, 'auto' picks "
+             "one kernel, 'serial' fits one at a time, 'online' streams "
+             "row blocks out-of-core, 'auto' picks "
              "(default: $REPRO_NMF_KERNEL or auto; results are identical)",
     )
     p.add_argument(
@@ -535,6 +571,17 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--seed", type=int, default=0)
     g.add_argument("--out", required=True)
     g.add_argument("--include-excluded", action="store_true")
+    scale = g.add_mutually_exclusive_group()
+    scale.add_argument(
+        "--courses", type=_positive_int, default=None, metavar="M",
+        help="generate M synthetic courses instead of the paper roster "
+             "(streamed; use a .jsonl --out for bounded memory)",
+    )
+    scale.add_argument(
+        "--materials", type=_positive_int, default=None, metavar="N",
+        help="generate synthetic courses until ~N materials exist "
+             "(streamed; use a .jsonl --out for bounded memory)",
+    )
     g.set_defaults(func=cmd_generate)
 
     a = sub.add_parser("agreement", help="tag-agreement analysis (Figure 3)")

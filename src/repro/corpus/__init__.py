@@ -31,6 +31,14 @@ from repro.corpus.generator import (
     synthetic_roster,
 )
 from repro.corpus.ingest import ingest_courses, load_courses_tolerant
+from repro.corpus.stream import (
+    StreamIngestReport,
+    generate_stream,
+    ingest_stream,
+    iter_course_records,
+    load_courses_jsonl,
+    save_courses_jsonl,
+)
 from repro.materials.ingest import ExcludedRecord, IngestReport
 
 __all__ = [
@@ -44,6 +52,12 @@ __all__ = [
     "IngestReport",
     "ingest_courses",
     "load_courses_tolerant",
+    "StreamIngestReport",
+    "generate_stream",
+    "ingest_stream",
+    "iter_course_records",
+    "load_courses_jsonl",
+    "save_courses_jsonl",
     "expected_tag_probability",
     "generate_corpus",
     "generate_course",

@@ -319,19 +319,23 @@ def synthetic_roster(
     n_courses: int,
     *,
     seed: RngLike = None,
+    start: int = 0,
 ) -> list[RosterEntry]:
     """Random roster for scaling experiments.
 
     Courses draw a dominant archetype plus (30% of the time) a 70/30 blend
     with a second archetype — the mixture structure observed in the real
-    roster.
+    roster.  ``start`` offsets the generated ids/names, so successive
+    windows (``start=0``, ``start=n``, …) drawn from one shared rng stream
+    concatenate into exactly the roster a single big call would produce —
+    the streamed generator's batching hook.
     """
     if n_courses < 1:
         raise ValueError("n_courses must be >= 1")
     rng = as_rng(seed)
     names = sorted(ARCHETYPES)
     entries: list[RosterEntry] = []
-    for i in range(n_courses):
+    for i in range(start, start + n_courses):
         primary = names[int(rng.integers(len(names)))]
         if rng.random() < 0.3:
             secondary = names[int(rng.integers(len(names)))]

@@ -1,0 +1,302 @@
+"""Streamed corpus generation and bounded-memory chunked ingestion.
+
+The tolerant loaders of :mod:`repro.corpus.ingest` parse a whole corpus
+file into RAM before validating — fine at paper scale (31 records), fatal
+at the 100k–1M-material corpora the roadmap targets.  This module is the
+scale-out counterpart:
+
+* :func:`generate_stream` yields synthetic courses one at a time, drawing
+  roster windows from a single shared rng stream so the concatenation of
+  all windows is exactly the roster one big :func:`synthetic_roster` call
+  would produce, and seeding each course by ``(seed, course id)`` — so the
+  stream is reproducible and independent of the window size;
+* a JSONL on-disk layout (:func:`save_courses_jsonl` /
+  :func:`iter_course_records`): a one-line envelope header followed by one
+  course object per line, readable without ever holding two courses in
+  memory at once;
+* :func:`ingest_stream` pipes any record iterator through
+  :func:`repro.corpus.ingest.ingest_courses` (record-level validation) and
+  ``repo.ingest`` (repository-level validation) in bounded chunks,
+  keeping the PR-5 exclusion accounting — every dropped record still gets
+  an :class:`~repro.materials.ingest.ExcludedRecord` with a stable reason
+  — while retaining only course *ids*, never the parsed courses, so the
+  report stays O(corpus) in ids rather than in materials.
+
+Duplicate course ids are caught at either distance: inside one chunk by
+``ingest_courses``'s batch-local seen-set, across chunks by the
+repository's own id check — both report ``duplicate-course-id``, so the
+split is identical to a single unchunked ingest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.corpus.generator import (
+    DEFAULT_CONFIG,
+    CorpusConfig,
+    _course_seed,
+    generate_course,
+    synthetic_roster,
+)
+from repro.corpus.ingest import ingest_courses
+from repro.io.json_io import FORMAT_VERSION, course_from_dict, course_to_dict
+from repro.materials.course import Course
+from repro.materials.ingest import ExcludedRecord
+from repro.ontology.tree import GuidelineTree
+from repro.runtime.metrics import metrics
+from repro.util.rng import as_rng
+
+#: JSONL envelope marker — same format family/version as the array layout
+#: of :mod:`repro.io.json_io`, distinguished by ``layout``.
+_LAYOUT_JSONL = "jsonl"
+
+
+# -- streamed generation -----------------------------------------------------
+
+
+def generate_stream(
+    tree: GuidelineTree,
+    *,
+    seed: int = 0,
+    n_courses: int | None = None,
+    n_materials: int | None = None,
+    config: CorpusConfig = DEFAULT_CONFIG,
+    pdc_tree: GuidelineTree | None = None,
+    batch: int = 256,
+) -> Iterator[Course]:
+    """Yield synthetic courses until a course or material cap is reached.
+
+    Exactly one of ``n_courses`` / ``n_materials`` must be set.  With
+    ``n_materials``, generation stops after the course that crosses the
+    cap (the total may overshoot by at most one course's materials).
+    ``batch`` is the roster window size — an internal memory knob that
+    does not affect which courses are produced.
+    """
+    if (n_courses is None) == (n_materials is None):
+        raise ValueError("exactly one of n_courses/n_materials must be set")
+    if n_courses is not None and n_courses < 1:
+        raise ValueError(f"n_courses must be >= 1, got {n_courses}")
+    if n_materials is not None and n_materials < 1:
+        raise ValueError(f"n_materials must be >= 1, got {n_materials}")
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    roster_rng = as_rng(seed)
+    materials_out = 0
+    courses_out = 0
+    start = 0
+    while True:
+        window = synthetic_roster(batch, seed=roster_rng, start=start)
+        start += batch
+        for entry in window:
+            course = generate_course(
+                entry,
+                tree,
+                pdc_tree=pdc_tree,
+                seed=_course_seed(seed, entry.id),
+                config=config,
+            )
+            yield course
+            courses_out += 1
+            materials_out += len(course.materials)
+            if n_courses is not None and courses_out >= n_courses:
+                return
+            if n_materials is not None and materials_out >= n_materials:
+                return
+
+
+# -- JSONL layout ------------------------------------------------------------
+
+
+def save_courses_jsonl(courses: Iterable[Course], path: str | Path) -> int:
+    """Write courses as JSONL (header line + one course per line).
+
+    Accepts any iterable — in particular :func:`generate_stream` — and
+    never holds more than one course in memory.  Returns the number of
+    courses written.
+    """
+    header = {
+        "format": "repro-courses",
+        "version": FORMAT_VERSION,
+        "layout": _LAYOUT_JSONL,
+    }
+    n = 0
+    with Path(path).open("w") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for course in courses:
+            fh.write(json.dumps(course_to_dict(course)) + "\n")
+            n += 1
+    return n
+
+
+def iter_course_records(path: str | Path) -> Iterator[Any]:
+    """Yield raw course records from a JSONL corpus, one line at a time.
+
+    Envelope problems (missing/invalid header, wrong format/version/
+    layout) raise — those are caller errors, as in
+    :func:`repro.corpus.ingest.load_courses_tolerant`.  A malformed *body*
+    line is corpus noise: it is yielded as the raw string so the tolerant
+    ingest path records it as ``unparsable`` instead of aborting the load.
+    """
+    with Path(path).open() as fh:
+        first = fh.readline()
+        if not first.strip():
+            raise ValueError(f"{path}: empty file, expected a JSONL header")
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: invalid JSONL header: {exc}") from None
+        if not isinstance(header, dict) or header.get("format") != "repro-courses":
+            raise ValueError(f"{path}: not a repro course file")
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported version {header.get('version')} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        if header.get("layout") != _LAYOUT_JSONL:
+            raise ValueError(
+                f"{path}: unsupported layout {header.get('layout')!r} "
+                f"(expected {_LAYOUT_JSONL!r})"
+            )
+        for line in fh:
+            if not line.strip():
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                yield line  # tolerant ingest will exclude it as unparsable
+
+
+def load_courses_jsonl(path: str | Path) -> list[Course]:
+    """Strict JSONL loader (every record must parse); for round-trips."""
+    return [course_from_dict(record) for record in iter_course_records(path)]
+
+
+# -- chunked streaming ingestion ---------------------------------------------
+
+
+@dataclass
+class StreamIngestReport:
+    """Bounded-memory ingest accounting: ids and reasons, never courses.
+
+    The streamed sibling of :class:`~repro.materials.ingest.IngestReport`:
+    same split semantics and reason vocabulary, but retained courses are
+    recorded by id only (they already live in the repository), plus
+    per-chunk counters for monotonicity checks.
+    """
+
+    retained_ids: list[str] = field(default_factory=list)
+    excluded: list[ExcludedRecord] = field(default_factory=list)
+    chunks: list[dict[str, int]] = field(default_factory=list)
+
+    @property
+    def n_retained(self) -> int:
+        return len(self.retained_ids)
+
+    @property
+    def n_excluded(self) -> int:
+        return len(self.excluded)
+
+    @property
+    def n_seen(self) -> int:
+        return self.n_retained + self.n_excluded
+
+    @property
+    def reasons(self) -> dict[str, int]:
+        """Exclusion-reason histogram."""
+        out: dict[str, int] = {}
+        for rec in self.excluded:
+            out[rec.reason] = out.get(rec.reason, 0) + 1
+        return out
+
+    def raise_if_excluded(self) -> None:
+        """The ``strict=`` escape hatch: fail loudly instead of splitting."""
+        if self.excluded:
+            listing = "; ".join(str(r) for r in self.excluded)
+            raise ValueError(
+                f"{self.n_excluded} of {self.n_seen} record(s) malformed: "
+                f"{listing}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n_seen": self.n_seen,
+            "n_retained": self.n_retained,
+            "n_excluded": self.n_excluded,
+            "n_chunks": len(self.chunks),
+            "retained": list(self.retained_ids),
+            "excluded": [r.to_dict() for r in self.excluded],
+            "reasons": self.reasons,
+            "chunks": [dict(c) for c in self.chunks],
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary(self) -> str:
+        lines = [
+            f"retained {self.n_retained} of {self.n_seen} course(s) in "
+            f"{len(self.chunks)} chunk(s), excluded {self.n_excluded}"
+        ]
+        for rec in self.excluded:
+            lines.append(f"  - {rec}")
+        return "\n".join(lines)
+
+
+def _chunked(records: Iterable[Any], size: int) -> Iterator[list[Any]]:
+    chunk: list[Any] = []
+    for raw in records:
+        chunk.append(raw)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def ingest_stream(
+    repo,
+    records: Iterable[Any],
+    *,
+    trees: Sequence[GuidelineTree] = (),
+    chunk_size: int = 512,
+    strict: bool = False,
+) -> StreamIngestReport:
+    """Commit raw course records to ``repo`` in bounded-memory chunks.
+
+    ``repo`` is any repository with the ``ingest`` contract — flat
+    :class:`~repro.materials.repository.MaterialRepository` or
+    :class:`~repro.materials.sharding.ShardedMaterialRepository`.  Each
+    chunk is validated record-by-record (``ingest_courses``, with the
+    unknown-tag check when ``trees`` are supplied), the survivors are
+    committed, and the parsed courses are dropped before the next chunk
+    is read.  The resulting split is identical to a single unchunked
+    tolerant ingest of the same records, for any ``chunk_size``.
+
+    ``strict=True`` raises after the full stream, naming every excluded
+    record — by which point the retained courses are already committed
+    (streaming cannot roll back earlier chunks).
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    report = StreamIngestReport()
+    for chunk in _chunked(records, chunk_size):
+        corpus_report = ingest_courses(chunk, trees=trees)
+        repo_report = repo.ingest(corpus_report.retained)
+        report.retained_ids.extend(c.id for c in repo_report.retained)
+        report.excluded.extend(corpus_report.excluded)
+        report.excluded.extend(repo_report.excluded)
+        report.chunks.append(
+            {
+                "seen": len(chunk),
+                "retained": repo_report.n_retained,
+                "excluded": corpus_report.n_excluded + repo_report.n_excluded,
+            }
+        )
+        metrics.inc("corpus.stream.chunks")
+    if strict:
+        report.raise_if_excluded()
+    return report

@@ -19,6 +19,11 @@ is self-contained:
 
 from repro.factorization.nmf import NMF, nndsvd_init
 from repro.factorization.kernels import batched_nmf_fits, sparse_fit_single
+from repro.factorization.outofcore import (
+    outofcore_nmf_fits,
+    row_blocks,
+    write_incidence_memmap,
+)
 from repro.factorization.pca import PCA
 from repro.factorization.mds import MDSResult, classical_mds, smacof, stress
 from repro.factorization.kmeans import KMeans
@@ -34,7 +39,10 @@ __all__ = [
     "NMF",
     "batched_nmf_fits",
     "nndsvd_init",
+    "outofcore_nmf_fits",
+    "row_blocks",
     "sparse_fit_single",
+    "write_incidence_memmap",
     "PCA",
     "MDSResult",
     "classical_mds",

@@ -1,0 +1,279 @@
+"""Out-of-core online NMF: chunked multiplicative updates over row blocks.
+
+The serial and batched kernels need the full dense ``A`` (and a dense
+residual) in RAM.  At 100k+ materials × the CS2013 tag universe that is
+hundreds of megabytes per copy — and at 1M rows it simply does not fit.
+This module factorizes ``A`` streamed from a memory-mapped ``.npy`` file
+(or any dense array) without ever materializing more than one row block:
+
+* every GEMM of the MU update decomposes over row blocks —
+  ``W.T @ A = Σ_b W_b.T @ A_b`` and ``W.T @ W = Σ_b W_b.T @ W_b`` for the
+  H update, and the W update touches each ``W_b`` with only ``A_b`` and
+  the shared ``H @ H.T``;
+* the Frobenius objective accumulates per-block squared residuals;
+* after each block the mapped pages are dropped
+  (``madvise(MADV_DONTNEED)``), so resident memory stays O(block +
+  factors), not O(A), even mid-pass.
+
+**Bit-identity contract.**  When ``A`` fits in one block (its element
+count is within :func:`block_budget`), the solve runs the *exact*
+serial :meth:`repro.factorization.nmf.NMF._solve_mu` operation order —
+same GEMMs, same ``np.linalg.norm`` objective, same convergence
+schedule — so results are bit-identical to the in-memory kernels and the
+content-addressed cache stays strategy-oblivious.  With multiple blocks
+the update is the same mathematical fixed point computed in a different
+summation order; results agree to within float accumulation error
+(``allclose``), and the cache keys are unchanged — pick a budget per
+deployment, not per call, if bit-stable caches matter.
+
+Wired as ``kernel="online"`` behind
+:func:`repro.runtime.executor.run_nmf_fits`.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+import scipy.sparse
+
+from repro.factorization.nmf import _EPS, NMF
+from repro.runtime.metrics import metrics
+
+#: Default block budget: elements of ``A`` resident per block (~30 MB of
+#: float64).  Overridable via ``REPRO_OOC_BUDGET``.
+_DEFAULT_BUDGET = 4_000_000
+
+
+def block_budget() -> int:
+    """Effective per-block element budget (``REPRO_OOC_BUDGET`` or default)."""
+    raw = os.environ.get("REPRO_OOC_BUDGET", "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            return _DEFAULT_BUDGET
+        if value >= 1:
+            return value
+    return _DEFAULT_BUDGET
+
+
+def row_blocks(
+    n_rows: int, n_cols: int, budget: int | None = None
+) -> list[tuple[int, int]]:
+    """``[start, end)`` row ranges holding ≤ ``budget`` elements each."""
+    if budget is None:
+        budget = block_budget()
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    if n_rows == 0:
+        return []
+    per_block = max(budget // max(n_cols, 1), 1)
+    return [
+        (b0, min(b0 + per_block, n_rows)) for b0 in range(0, n_rows, per_block)
+    ]
+
+
+def _drop_pages(a: np.ndarray) -> None:
+    """Release a memmap's resident pages; no-op for in-RAM arrays."""
+    mm = getattr(a, "_mmap", None)
+    advice = getattr(mmap, "MADV_DONTNEED", None)
+    if mm is None or advice is None:
+        return
+    try:
+        mm.madvise(advice)
+    except (ValueError, OSError):  # pragma: no cover - platform quirks
+        pass
+
+
+def _blocked_error(
+    a: np.ndarray, w: np.ndarray, h: np.ndarray, blocks: list[tuple[int, int]]
+) -> float:
+    """Frobenius error over row blocks (multi-block accumulation order)."""
+    acc = 0.0
+    for b0, b1 in blocks:
+        resid = np.asarray(a[b0:b1]) - w[b0:b1] @ h
+        flat = resid.ravel()
+        acc += float(np.dot(flat, flat))
+        _drop_pages(a)
+    return float(np.sqrt(acc))
+
+
+def _ooc_mu_frobenius(
+    a: np.ndarray,
+    model: NMF,
+    w: np.ndarray,
+    h: np.ndarray,
+    blocks: list[tuple[int, int]],
+) -> tuple[np.ndarray, np.ndarray, float | None, int, bool]:
+    """Blocked MU solve; single-block replays ``_solve_mu`` exactly."""
+    single = len(blocks) == 1
+    l2, l1 = model.l2_reg, model.l1_reg
+    if single:
+        err_init = float(np.linalg.norm(a - w @ h))
+    else:
+        err_init = _blocked_error(a, w, h, blocks)
+        _drop_pages(a)
+    err_prev = err_init
+    last_err: float | None = None
+    converged = False
+    n_iter = 0
+    k = w.shape[1]
+    for it in range(1, model.max_iter + 1):
+        if single:
+            # Exact serial op order (see NMF._solve_mu): bit-identical.
+            h *= (w.T @ a) / (w.T @ w @ h + l2 * h + l1 + _EPS)
+            w *= (a @ h.T) / (w @ (h @ h.T) + l2 * w + l1 + _EPS)
+        else:
+            wta = np.zeros((k, h.shape[1]))
+            wtw = np.zeros((k, k))
+            for b0, b1 in blocks:
+                a_blk = np.asarray(a[b0:b1])
+                w_blk = w[b0:b1]
+                wta += w_blk.T @ a_blk
+                wtw += w_blk.T @ w_blk
+                # Drop after every *block*, not every pass: resident pages
+                # of ``a`` stay O(block) even while a pass walks the whole
+                # file (clean pages re-fault from the page cache for free).
+                _drop_pages(a)
+            h *= wta / (wtw @ h + l2 * h + l1 + _EPS)
+            hht = h @ h.T
+            for b0, b1 in blocks:
+                a_blk = np.asarray(a[b0:b1])
+                w_blk = w[b0:b1]
+                w_blk *= (a_blk @ h.T) / (w_blk @ hht + l2 * w_blk + l1 + _EPS)
+                _drop_pages(a)
+        n_iter = it
+        if model.tol > 0 and it % model.check_every == 0:
+            if single:
+                err = float(np.linalg.norm(a - w @ h))
+            else:
+                err = _blocked_error(a, w, h, blocks)
+                _drop_pages(a)
+            if (err_prev - err) / max(err_init, _EPS) < model.tol:
+                converged = True
+                last_err = err
+                break
+            err_prev = err
+    return w, h, last_err, n_iter, converged
+
+
+def _check_blocked(a: np.ndarray, blocks: list[tuple[int, int]]) -> None:
+    """Blocked counterpart of the serial path's finite/non-negative checks."""
+    if not isinstance(a, np.ndarray) or a.ndim != 2:
+        raise ValueError("A must be a 2-D array")
+    for b0, b1 in blocks:
+        blk = np.asarray(a[b0:b1])
+        if not np.isfinite(blk).all():
+            raise ValueError("A must not contain NaN or infinite entries")
+        if np.any(blk < 0):
+            raise ValueError("A must be non-negative")
+        _drop_pages(a)
+
+
+def outofcore_nmf_fits(
+    a: np.ndarray,
+    specs: Sequence[Mapping[str, Any]],
+    *,
+    budget: int | None = None,
+) -> list[dict[str, np.ndarray]]:
+    """Fit NMF specs against ``a`` streamed in row blocks.
+
+    ``a`` is a dense 2-D float array — typically an ``np.memmap`` over a
+    ``.npy`` file (see :func:`write_incidence_memmap`) whose dense size
+    exceeds RAM.  Specs use the :func:`repro.runtime.run_nmf_fits`
+    format and must be fully deterministic: ``solver="mu"``,
+    ``loss="frobenius"``, and ``init="custom"`` with pre-drawn ``W0`` /
+    ``H0`` (data-dependent inits would need their own out-of-core pass).
+    Returns bundles shaped exactly like the other kernels' (``w``, ``h``,
+    ``err``, ``n_iter``, ``converged``).
+    """
+    if scipy.sparse.issparse(a):
+        raise TypeError(
+            "outofcore_nmf_fits expects a dense (optionally memory-mapped) "
+            "array; sparse input already fits through the sparse kernels"
+        )
+    blocks = row_blocks(a.shape[0], a.shape[1], budget)
+    _check_blocked(a, blocks)
+    out: list[dict[str, np.ndarray]] = []
+    for spec in specs:
+        params = {key: v for key, v in spec.items() if key not in ("W0", "H0")}
+        model = NMF(**params)
+        if model.solver != "mu" or model.loss != "frobenius":
+            raise ValueError(
+                "out-of-core kernel supports solver='mu' with "
+                "loss='frobenius' only"
+            )
+        if model.init != "custom":
+            raise ValueError(
+                "out-of-core kernel requires init='custom' with pre-drawn "
+                "W0/H0"
+            )
+        with metrics.timer("oocnmf.fit"):
+            w, h = model._initialize(a, spec.get("W0"), spec.get("H0"))
+            w, h, last_err, n_iter, converged = _ooc_mu_frobenius(
+                a, model, w, h, blocks
+            )
+            if last_err is not None:
+                err = last_err
+            elif len(blocks) == 1:
+                err = float(np.linalg.norm(a - w @ h))
+            else:
+                err = _blocked_error(a, w, h, blocks)
+                _drop_pages(a)
+        metrics.inc("oocnmf.fits")
+        metrics.inc("oocnmf.blocks", len(blocks))
+        out.append(
+            {
+                "w": w,
+                "h": h,
+                "err": np.float64(err),
+                "n_iter": np.int64(n_iter),
+                "converged": np.bool_(converged),
+            }
+        )
+    return out
+
+
+def write_incidence_memmap(
+    repo, path, *, block_rows: int = 8192
+) -> tuple[np.memmap, list[str]]:
+    """Stream a repository's material × tag incidence to a ``.npy`` memmap.
+
+    Works with the flat and sharded repositories alike (anything with
+    ``materials()`` / ``n_materials``).  Columns are the sorted tag
+    universe — the same convention as
+    :func:`repro.materials.similarity.incidence_matrix` — so the file is
+    reproducible for a given corpus regardless of shard layout.  Rows are
+    written in insertion order, ``block_rows`` at a time.  Returns the
+    writable memmap (flushed) and the universe; reopen with
+    ``np.load(path, mmap_mode="r")`` for read-only streaming.
+    """
+    if block_rows < 1:
+        raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+    universe = sorted({t for m in repo.materials() for t in m.mappings})
+    tag_col = {t: j for j, t in enumerate(universe)}
+    n = repo.n_materials
+    shape = (n, max(len(universe), 1))
+    out = np.lib.format.open_memmap(
+        path, mode="w+", dtype=np.float64, shape=shape
+    )
+    block = np.zeros((min(block_rows, max(n, 1)), shape[1]))
+    filled = 0
+    base = 0
+    for m in repo.materials():
+        for t in m.mappings:
+            block[filled, tag_col[t]] = 1.0
+        filled += 1
+        if filled == block.shape[0]:
+            out[base : base + filled] = block[:filled]
+            base += filled
+            filled = 0
+            block[:] = 0.0
+    if filled:
+        out[base : base + filled] = block[:filled]
+    out.flush()
+    _drop_pages(out)
+    return out, universe

@@ -15,9 +15,15 @@ incrementally as materials are added:
   programming language (casefolded keys);
 * precomputed **casefolded haystacks** for the ``text`` / ``author`` /
   ``dataset`` substring filters, so residual predicates never re-casefold;
-* a lazily built, dirty-flagged **binary incidence matrix** (materials ×
-  tag universe) shared by search ranking, ``find_similar`` top-k, and
-  ``similarity_matrix`` — one BLAS matvec instead of n Python Jaccards;
+* an incrementally maintained **sparse (CSR) incidence matrix**
+  (materials × tag universe) shared by search ranking, ``find_similar``
+  top-k, and ``similarity_matrix`` — one sparse matvec instead of n
+  Python Jaccards.  Since PR 7 the matrix is never rebuilt from scratch:
+  ``add`` appends the new row's nonzeros to growable CSR buffers
+  (amortized O(|mappings|)), and a stale snapshot is refreshed by
+  re-wrapping the buffers (``repo.index.partial_update``) rather than by
+  a full O(n·t) dense rebuild, so a steady ``add_course`` stream stays
+  sub-linear per query at 100k+ materials;
 * per-tree memos for guideline-tag expansion and mastery/Bloom row masks,
   so level filters become one boolean gather instead of a tree walk per
   material.
@@ -41,6 +47,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
+import scipy.sparse
 
 from repro.materials.material import Material, MaterialType
 from repro.ontology.node import Bloom, Mastery
@@ -55,6 +62,18 @@ _BLOOM_RANK = {Bloom.KNOW: 1, Bloom.COMPREHEND: 2, Bloom.APPLY: 3}
 
 #: Cap on memoized tag expansions per tree (cleared wholesale on overflow).
 _EXPAND_MEMO_LIMIT = 1024
+
+
+def _grown(arr: np.ndarray, need: int) -> np.ndarray:
+    """``arr`` copied into a capacity-doubled buffer holding ≥ ``need``.
+
+    Live snapshots keep views over the *old* buffer, whose filled prefix is
+    never rewritten — growth copies, appends go to the new buffer only.
+    """
+    cap = max(2 * len(arr), need)
+    out = np.empty(cap, dtype=arr.dtype)
+    out[: len(arr)] = arr
+    return out
 
 
 @dataclass
@@ -84,11 +103,19 @@ class QueryPlan:
 
 @dataclass
 class _Incidence:
-    """The lazily built dense view over the tag universe."""
+    """An immutable snapshot of the incidence matrix over the tag universe.
 
-    x: np.ndarray                  # (n, max(t, 1)) float64 binary incidence
+    ``x`` is a CSR binary matrix; all ranking math on it (intersection
+    counts, Jaccard unions) produces exact small integers in float64, so
+    results are bit-identical to the dense sorted-universe matrix the
+    pre-PR-7 index built — column order does not enter any dot product.
+    ``universe`` lists tags in *column* (first-seen) order, no longer
+    sorted; consumers must go through ``tag_col``, never assume order.
+    """
+
+    x: scipy.sparse.csr_array      # (n, max(t, 1)) float64 binary incidence
     sizes: np.ndarray              # (n,) float64 — |mappings| per row
-    universe: list[str]            # sorted tag ids
+    universe: list[str]            # tag ids in column order (first-seen)
     tag_col: dict[str, int]        # tag id -> column
     title_order: np.ndarray        # rows sorted by (title, id)
     title_rank: np.ndarray         # row -> rank in (title, id) order
@@ -115,6 +142,25 @@ class RepositoryIndex:
         self._incidence: _Incidence | None = None
         self._dirty = False
         self._version = 0
+        # Growable CSR buffers for the incidence matrix.  ``add`` appends the
+        # new row's nonzeros here (amortized O(|mappings|), capacity-doubled);
+        # a snapshot just wraps read-only views over the filled prefixes.
+        # Columns are assigned first-seen (new tags of a material in sorted
+        # order, for cross-process determinism); since column order never
+        # enters a dot product, scores stay bit-identical to the old dense
+        # sorted-universe matrix.
+        self._tag_col: dict[str, int] = {}
+        self._universe: list[str] = []
+        self._inc_indptr = np.zeros(16, dtype=np.int32)  # indptr[0] == 0
+        self._inc_cols = np.empty(16, dtype=np.int32)
+        self._inc_ones = np.empty(16, dtype=np.float64)
+        self._inc_sizes = np.empty(16, dtype=np.float64)
+        self._inc_nnz = 0
+        # (title, id, row) keys: a sorted run plus unsorted recent appends.
+        # ``title_rank`` merges the pending run in (timsort sees two sorted
+        # runs → O(n) comparisons) instead of re-sorting from scratch.
+        self._title_keys: list[tuple[str, str, int]] = []
+        self._title_pending: list[tuple[str, str, int]] = []
         # Posting lists are Python lists (cheap appends); queries want numpy
         # arrays.  Converted arrays are cached per (table, key) and reused
         # until the underlying list grows.
@@ -161,16 +207,67 @@ class RepositoryIndex:
         self._dataset_haystacks.append(
             tuple(d.casefold() for d in material.datasets)
         )
+        self._append_incidence_row(row, material)
+        self._title_pending.append((material.title, material.id, row))
         self._version += 1
         if self._incidence is not None and not self._dirty:
             metrics.inc("repo.index.invalidations")
         self._dirty = True
+
+    def _append_incidence_row(self, row: int, material: Material) -> None:
+        """Append one row's nonzeros to the growable CSR buffers."""
+        k = len(material.mappings)
+        nnz = self._inc_nnz
+        if nnz + k > len(self._inc_cols):
+            self._inc_cols = _grown(self._inc_cols, nnz + k)
+            self._inc_ones = _grown(self._inc_ones, nnz + k)
+        cols = []
+        for tag in sorted(material.mappings):
+            col = self._tag_col.get(tag)
+            if col is None:
+                col = len(self._universe)
+                self._tag_col[tag] = col
+                self._universe.append(tag)
+            cols.append(col)
+        cols.sort()  # CSR wants column indices ascending within the row
+        self._inc_cols[nnz : nnz + k] = cols
+        self._inc_ones[nnz : nnz + k] = 1.0
+        self._inc_nnz = nnz + k
+        if row + 2 > len(self._inc_indptr):
+            self._inc_indptr = _grown(self._inc_indptr, row + 2)
+        if row + 1 > len(self._inc_sizes):
+            self._inc_sizes = _grown(self._inc_sizes, row + 1)
+        self._inc_indptr[row + 1] = self._inc_nnz
+        self._inc_sizes[row] = float(k)
 
     def material_at(self, row: int) -> Material:
         return self._rows[row]
 
     def row_of(self, material_id: str) -> int:
         return self._row_of[material_id]
+
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Drop weak memos and derived caches so shards can cross a pool.
+
+        ``weakref.WeakKeyDictionary`` cannot be pickled; every dropped
+        structure is a pure cache rebuilt on demand from the buffers that
+        *are* carried.
+        """
+        state = self.__dict__.copy()
+        state["_expand_memo"] = None
+        state["_mask_memo"] = None
+        state["_array_cache"] = {}
+        state["_incidence"] = None
+        state["_sizes_cache"] = None
+        state["_title_rank_cache"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._expand_memo = weakref.WeakKeyDictionary()
+        self._mask_memo = weakref.WeakKeyDictionary()
 
     def _posting_array(self, table: dict, key: object) -> np.ndarray:
         """Cached ``np.intp`` view of one posting list (sorted, unique)."""
@@ -188,10 +285,8 @@ class RepositoryIndex:
     def mapping_sizes(self) -> np.ndarray:
         """|mappings| per row as an int64 array (cached until rows grow)."""
         if self._sizes_cache is None or len(self._sizes_cache) != len(self._rows):
-            self._sizes_cache = np.fromiter(
-                (len(m.mappings) for m in self._rows),
-                dtype=np.int64,
-                count=len(self._rows),
+            self._sizes_cache = self._inc_sizes[: len(self._rows)].astype(
+                np.int64
             )
         return self._sizes_cache
 
@@ -208,41 +303,62 @@ class RepositoryIndex:
         if self._title_rank_cache is None or len(self._title_rank_cache) != len(
             self._rows
         ):
+            if self._title_pending:
+                merged = self._title_keys + sorted(self._title_pending)
+                merged.sort()  # two sorted runs — timsort merges in O(n)
+                self._title_keys = merged
+                self._title_pending.clear()
             n = len(self._rows)
-            order = sorted(
-                range(n), key=lambda r: (self._rows[r].title, self._rows[r].id)
+            order = np.asarray(
+                [key[2] for key in self._title_keys], dtype=np.intp
             )
             rank = np.empty(n, dtype=np.intp)
-            rank[np.asarray(order, dtype=np.intp)] = np.arange(n, dtype=np.intp)
+            rank[order] = np.arange(n, dtype=np.intp)
             self._title_rank_cache = rank
         return self._title_rank_cache
 
     # -- incidence matrix ----------------------------------------------------
 
     def incidence(self) -> _Incidence:
-        """The binary (materials × tag universe) matrix, rebuilt if stale."""
+        """The binary (materials × tag universe) matrix, refreshed if stale.
+
+        The first call builds a snapshot (``repo.index.builds``); later
+        calls after ``add`` re-wrap the already-maintained CSR buffers
+        (``repo.index.partial_update``) — O(nnz) for the data copy the
+        CSR constructor makes, never the old O(n·t) dense fill.
+        """
         if self._incidence is None or self._dirty:
+            first = self._incidence is None
             with metrics.timer("repo.index.build"):
-                self._incidence = self._build_incidence()
-            metrics.inc("repo.index.builds")
+                self._incidence = self._snapshot_incidence()
+            if first:
+                metrics.inc("repo.index.builds")
+            else:
+                metrics.inc("repo.index.partial_update")
             self._dirty = False
         return self._incidence
 
-    def _build_incidence(self) -> _Incidence:
+    def _snapshot_incidence(self) -> _Incidence:
         n = len(self._rows)
-        universe = sorted(self._tag_postings)
-        tag_col = {t: j for j, t in enumerate(universe)}
-        x = np.zeros((n, max(len(universe), 1)))
-        for tag, rows in self._tag_postings.items():
-            x[rows, tag_col[tag]] = 1.0
-        sizes = x.sum(axis=1)
+        t = len(self._universe)
+        x = scipy.sparse.csr_array(
+            (
+                self._inc_ones[: self._inc_nnz],
+                self._inc_cols[: self._inc_nnz],
+                self._inc_indptr[: n + 1],
+            ),
+            shape=(n, max(t, 1)),
+        )
+        # Rows were appended with ascending column indices and no duplicates.
+        x.has_sorted_indices = True
+        x.has_canonical_format = True
         title_rank = self.title_rank()
         title_order = np.argsort(title_rank)
         return _Incidence(
             x=x,
-            sizes=sizes,
-            universe=universe,
-            tag_col=tag_col,
+            sizes=self._inc_sizes[:n],
+            universe=list(self._universe),
+            tag_col=dict(self._tag_col),
             title_order=title_order,
             title_rank=title_rank,
         )

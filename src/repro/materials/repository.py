@@ -294,7 +294,12 @@ class MaterialRepository:
             metrics.inc("repo.find_similar.queries")
             inc = self._index.incidence()
             ref_row = self._index.row_of(material_id)
-            inter = inc.x @ inc.x[ref_row]
+            # Dense query vector over the tag universe (every mapped tag has
+            # a column); sparse × dense-vector is one BLAS-free CSR matvec.
+            ref_vec = np.zeros(inc.x.shape[1])
+            for t in ref.mappings:
+                ref_vec[inc.tag_col[t]] = 1.0
+            inter = inc.x @ ref_vec
             union = inc.sizes + inc.sizes[ref_row] - inter
             scores = np.where(union > 0, inter / np.maximum(union, 1.0), 1.0)
             rows = np.delete(np.arange(len(inc.sizes), dtype=np.intp), ref_row)

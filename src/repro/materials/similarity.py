@@ -12,6 +12,7 @@ from typing import Sequence
 
 import networkx as nx
 import numpy as np
+import scipy.sparse
 
 from repro.factorization.mds import MDSResult, smacof
 from repro.materials.material import Material
@@ -60,12 +61,18 @@ def similarity_from_incidence(x: np.ndarray, *, metric: str = "jaccard") -> np.n
 
     All pairwise intersections come from one ``X @ X.T`` — the difference
     between O(n^2) Python set operations and a single BLAS call matters at
-    CS-Materials scale (~1700 materials).
+    CS-Materials scale (~1700 materials).  ``x`` may be dense or
+    scipy.sparse (the repository index hands a CSR matrix here); both paths
+    produce the same exact integer counts, so results are bit-identical.
     """
     if metric not in _METRICS:
         raise ValueError(f"unknown metric {metric!r}; choose from {sorted(_METRICS)}")
-    inter = x @ x.T
-    sizes = x.sum(axis=1)
+    if scipy.sparse.issparse(x):
+        inter = (x @ x.T).toarray()
+        sizes = np.asarray(x.sum(axis=1)).reshape(-1)
+    else:
+        inter = x @ x.T
+        sizes = x.sum(axis=1)
     if metric == "jaccard":
         union = sizes[:, None] + sizes[None, :] - inter
         s = np.where(union > 0, inter / np.maximum(union, 1e-12), 1.0)

@@ -93,6 +93,17 @@ def _local_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> frozenset[str]:
     return frozenset(names)
 
 
+def _receiver_root(expr: ast.expr) -> ast.Name | None:
+    """The base ``Name`` under a ``Subscript``/``Attribute`` chain.
+
+    ``shards[i].search`` → ``shards``; ``self.pool.workers[0].run`` →
+    ``self``.  ``None`` when the chain bottoms out in a call or literal.
+    """
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    return expr if isinstance(expr, ast.Name) else None
+
+
 def _nested_def_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> frozenset[str]:
     """Names of ``def``s declared anywhere inside ``fn`` (depth-agnostic)."""
     return frozenset(
@@ -140,6 +151,22 @@ def check_pool_payloads(ctx: FileContext) -> Iterator[Finding]:
                     f"bound method {target.value.id}.{target.attr} of a "
                     "function-local object is pickled with its whole "
                     "instance; use a module-level function",
+                ))
+            elif isinstance(target, ast.Attribute) and (
+                root := _receiver_root(target.value)
+            ) is not None and any(
+                root.id in _local_names(fn) for fn in stack
+            ):
+                # Shard-query idiom: parallel_map(shards[i].search, ...) —
+                # the receiver hides behind subscripts/attribute chains but
+                # is still a bound method of a function-local object.
+                findings.append(make_finding(
+                    "RPR201", ctx.path, target,
+                    f"bound method .{target.attr} of an object reached "
+                    f"through function-local {root.id!r} (subscript/"
+                    "attribute chain) is pickled with its whole instance; "
+                    "use a module-level function taking the shard as an "
+                    "argument",
                 ))
         for child in ast.iter_child_nodes(node):
             if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):

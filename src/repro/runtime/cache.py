@@ -67,13 +67,31 @@ NMF_KEY_PARAMS: tuple[str, ...] = (
 )
 
 
+#: Slab size for streaming digests; bounds digest memory for memmaps.
+_DIGEST_CHUNK_BYTES = 16 * 2**20
+
+
 def array_digest(a: np.ndarray) -> str:
-    """SHA-256 hex digest of an array's dtype, shape, and raw bytes."""
-    arr = np.ascontiguousarray(a)
+    """SHA-256 hex digest of an array's dtype, shape, and raw bytes.
+
+    Large arrays are hashed in bounded slabs, so a memory-mapped corpus
+    matrix digests without ever materializing in RAM.  Hashing
+    consecutive slabs of a C-contiguous buffer feeds SHA-256 exactly the
+    bytes one whole ``tobytes()`` would, so digests are identical across
+    slab boundaries and across mmap-backed vs in-RAM inputs — identical
+    content means identical cache key either way.
+    """
+    arr = np.ascontiguousarray(a)  # no-copy view when already contiguous
     h = hashlib.sha256()
     h.update(str(arr.dtype).encode())
     h.update(repr(arr.shape).encode())
-    h.update(arr.tobytes())
+    if arr.nbytes <= _DIGEST_CHUNK_BYTES:
+        h.update(arr.tobytes())
+    else:
+        flat = arr.reshape(-1)
+        step = max(_DIGEST_CHUNK_BYTES // max(arr.itemsize, 1), 1)
+        for start in range(0, flat.size, step):
+            h.update(flat[start : start + step].tobytes())
     return h.hexdigest()
 
 

@@ -708,7 +708,7 @@ def _collect(
 
 
 #: Valid NMF kernel strategies (see :func:`run_nmf_fits`).
-NMF_KERNELS = ("auto", "batched", "serial")
+NMF_KERNELS = ("auto", "batched", "serial", "online")
 
 #: Kernel strategy set via :func:`repro.runtime.configure`.
 _configured_nmf_kernel: str | None = None
@@ -848,6 +848,10 @@ def run_nmf_fits(
       through :func:`repro.factorization.kernels.batched_nmf_fits`;
     * ``"serial"`` — the legacy one-fit-at-a-time loop (or process pool
       when ``workers > 1``);
+    * ``"online"`` — out-of-core chunked MU over row blocks
+      (:func:`repro.factorization.outofcore.outofcore_nmf_fits`), for
+      dense/memory-mapped matrices too large for RAM; never chosen by
+      ``auto``;
     * ``"auto"`` (default) — the pool for large dense matrices when
       ``workers > 1``, the batched engine otherwise.
 
@@ -889,6 +893,13 @@ def run_nmf_fits(
 
                 metrics.inc("runtime.nmf_strategy.batched")
                 fresh = batched_nmf_fits(
+                    a, [dict(p[1], W0=p[2], H0=p[3]) for _, _, p in pending]
+                )
+            elif strategy == "online":
+                from repro.factorization.outofcore import outofcore_nmf_fits
+
+                metrics.inc("runtime.nmf_strategy.online")
+                fresh = outofcore_nmf_fits(
                     a, [dict(p[1], W0=p[2], H0=p[3]) for _, _, p in pending]
                 )
             else:

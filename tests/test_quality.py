@@ -131,6 +131,32 @@ class TestRPR201UnpicklablePoolPayload:
             """})
         assert result.findings == []
 
+    def test_subscripted_receiver_chain_fires(self, tmp_path):
+        # The shard-query idiom: the bound method's receiver hides behind
+        # a subscript (shards[i].search) or a longer attribute chain.
+        result = lint_sources(tmp_path, {"mod.py": """\
+            def fan_out(shards, queries, parallel_map):
+                planner = object()
+                for i in range(len(shards)):
+                    parallel_map(shards[i].search, queries)
+                parallel_map(planner.pool[0].run, queries)
+            """})
+        assert codes(result) == ["RPR201"] * 2
+        assert [f.line for f in result.findings] == [4, 5]
+        assert "'shards'" in result.findings[0].message
+        assert "'planner'" in result.findings[1].message
+
+    def test_module_level_receiver_chain_is_silent(self, tmp_path):
+        # A chain rooted at a module-level name is not a function-local
+        # instance; the existing bound-method heuristic leaves it alone.
+        result = lint_sources(tmp_path, {"mod.py": """\
+            REGISTRY = {"a": object()}
+
+            def dispatch(parallel_map, queries):
+                parallel_map(REGISTRY["a"].search, queries)
+            """})
+        assert result.findings == []
+
 
 class TestRPR202CacheKeyCompleteness:
     NMF_BAD = """\

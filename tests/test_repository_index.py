@@ -285,6 +285,37 @@ class TestIndexMaintenance:
         repo.search(q, tree=cs2013)
         assert metrics.get("repo.level_mask.misses") == 2
 
+    def test_incidence_partial_update_no_full_rebuilds(self):
+        # Appending materials must never trigger a second full build: the
+        # CSR incidence grows by row appends, and each post-add refresh is
+        # an O(nnz) snapshot counted as repo.index.partial_update.
+        metrics.reset()
+        repo = _repo(_random_corpus(8, n=30))
+        repo.similarity_matrix()  # first (and only) full build
+        assert metrics.get("repo.index.builds") == 1
+        refreshes = 0
+        for batch in range(5):
+            for j in range(4):
+                repo.add_material(Material(
+                    f"x{batch}-{j}", f"Batch {batch}", MaterialType.QUIZ,
+                    frozenset({f"t/{j:03d}", f"fresh/{batch}"}),
+                ))
+            # One refresh per batch of adds, regardless of batch size.
+            hits = repo.search_many(
+                [SearchQuery(tags=frozenset({f"fresh/{batch}"}))]
+            )[0]
+            assert {h.material.id for h in hits} >= {
+                f"x{batch}-{j}" for j in range(4)
+            }
+            refreshes += 1
+        assert metrics.get("repo.index.builds") == 1
+        assert metrics.get("repo.index.partial_update") == refreshes
+        # The incrementally-grown matrix still matches the from-scratch one.
+        assert np.array_equal(
+            repo.similarity_matrix(),
+            similarity_matrix(list(repo.materials())),
+        )
+
     def test_query_metrics_reported(self):
         metrics.reset()
         repo = _repo(_random_corpus(7, n=10))
