@@ -1,0 +1,289 @@
+"""Performance P8 — analysis-as-a-service: broker coalescing, resident shards.
+
+The service layer (PR 8) must pay for itself: a long-lived server with a
+request-coalescing broker has to beat the same server answering each
+request by itself.  Four phases, streamed into ``BENCH_service.json``:
+
+* **identity** — served ``/typing``, ``/flavors``, ``/coverage``,
+  ``/search``, ``/similar`` responses are asserted byte-equal (JSON
+  round-trip) to direct library calls on the same corpus.  Coalescing
+  must be a pure throughput lever.
+* **coalescing** — the headline floor: a closed-loop load of NMF-bearing
+  requests (distinct seeds, so the result cache never hides a solve) at
+  ``CONCURRENCY`` clients against a ``coalesce=False`` baseline server
+  and a coalescing one.  Each server runs in its **own process** (booted
+  through ``repro serve``, stopped with SIGINT) so client-side CPU never
+  shares the GIL with the measured server.  Best-of-``REPEATS``
+  throughput must differ by ``SPEEDUP_FLOOR``; mean broker batch size
+  (scraped from ``/metrics``) is recorded as evidence the win comes from
+  micro-batching.
+* **mixed** — the default endpoint mix at 8 clients against a subprocess
+  server: client-observed per-endpoint p50/p99, zero errors.
+* **resident** — worker-resident shard evidence: after a query burst,
+  ``shard.resident.bytes_shipped`` must stay far below even one pickled
+  shard, i.e. queries ship queries, not repository state.
+
+``--smoke`` shrinks durations and skips the speedup floor (CI boxes are
+too noisy to gate on); the committed JSON comes from a full run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import pathlib
+import pickle
+import re
+import signal
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import repro.runtime as runtime
+from repro.runtime import metrics
+from repro.service import ReproService, ServiceConfig, ServiceState, run_load
+from repro.service.client import ServiceClient
+
+CONCURRENCY = 32
+MAX_BATCH = 24  # below the cohort: windows close on count, never on time
+WINDOW_S = 0.01
+NMF_RESTARTS = 2
+DURATION_S = 6.0
+REPEATS = 3  # best-of, alternating baseline/coalesced
+SPEEDUP_FLOOR = 2.0  # coalesced vs per-request req/s, NMF-bearing mix
+N_SHARDS = 3
+
+_RESULTS: dict[str, dict] = {}
+_OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _flush() -> None:
+    _OUT.write_text(json.dumps(
+        {
+            "bench": "service",
+            "numpy": np.__version__,
+            "concurrency": CONCURRENCY,
+            "max_batch": MAX_BATCH,
+            "window_s": WINDOW_S,
+            "nmf_restarts": NMF_RESTARTS,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "phases": _RESULTS,
+        },
+        indent=2,
+        sort_keys=True,
+    ) + "\n")
+
+
+def _config(*, coalesce: bool) -> ServiceConfig:
+    return ServiceConfig(
+        n_shards=N_SHARDS,
+        coalesce=coalesce,
+        window_s=WINDOW_S,
+        max_batch=MAX_BATCH,
+    )
+
+
+def _roundtrip(doc):
+    return json.loads(json.dumps(doc, sort_keys=True))
+
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@contextlib.contextmanager
+def _spawned_server(*extra_args: str):
+    """Boot ``repro serve`` in its own process; yield (host, port).
+
+    The serve command prints ``... on http://host:port`` once the corpus
+    is warm, so reading that line doubles as the readiness gate.  SIGINT
+    on exit exercises the graceful drain every single run.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.pop("REPRO_CACHE_DIR", None)  # memory-only cache: no run-to-run reuse
+    cmd = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--port", "0",
+        "--window-ms", str(WINDOW_S * 1e3),
+        "--max-batch", str(MAX_BATCH),
+        "--shards", str(N_SHARDS),
+        *extra_args,
+    ]
+    proc = subprocess.Popen(cmd, stderr=subprocess.PIPE, text=True, env=env)
+    try:
+        line = proc.stderr.readline()
+        m = re.search(r"on http://([\d.]+):(\d+)", line)
+        assert m, f"server did not report an address: {line!r}"
+        yield m.group(1), int(m.group(2))
+    finally:
+        proc.send_signal(signal.SIGINT)
+        proc.wait(timeout=30)
+
+
+@pytest.fixture(scope="module")
+def corpus(dataset):
+    tree, courses, _ = dataset
+    return tree, courses
+
+
+def test_served_bit_identity(corpus):
+    """Every served response == the same computation called directly."""
+    tree, courses = corpus
+    runtime.reset()
+    direct = ServiceState(tree, courses, config=_config(coalesce=True))
+    state = ServiceState(tree, courses, config=_config(coalesce=True))
+    checked: list[str] = []
+    with ReproService(state) as svc, ServiceClient(*svc.address) as client:
+        # NMF-bearing endpoints: run the job's specs through the library
+        # kernel by hand, finish by hand, compare to the served JSON.
+        for path, job_of in (
+            ("/typing", direct.typing_job),
+            ("/flavors", direct.flavors_job),
+        ):
+            params = {"k": 4, "seed": 901, "n_restarts": NMF_RESTARTS}
+            job = job_of(params)
+            bundles = runtime.run_nmf_fits(
+                job.matrix, job.specs, kernel="batched"
+            )
+            want = job.finish(bundles)
+            status, got = client.post(path, params)
+            assert status == 200
+            assert _roundtrip(got) == _roundtrip(want), path
+            checked.append(path)
+        # Search: one batched search_many against the direct state's repo.
+        queries = [{"tags": [t]} for t in sorted(tree.tag_ids())[:4]]
+        job = direct.search_job({"queries": queries, "limit": 10})
+        want = job.finish([
+            r for r in direct.repo.search_many(
+                job.queries, tree=tree, limit=10
+            )
+        ])
+        status, got = client.post("/search", {"queries": queries, "limit": 10})
+        assert status == 200
+        assert _roundtrip(got) == _roundtrip(want)
+        checked.append("/search")
+        # Stateless endpoints.
+        for path, fn in (("/coverage", direct.coverage),
+                         ("/similar", direct.similar)):
+            params = {"course_id": courses[0].id}
+            if path == "/similar":
+                mid = sorted(m.id for c in courses for m in c.materials)[0]
+                params = {"material_id": mid}
+            status, got = client.post(path, params)
+            assert status == 200
+            assert _roundtrip(got) == _roundtrip(fn(params)), path
+            checked.append(path)
+    direct.close()
+    _RESULTS["identity"] = {"bit_identical": True, "endpoints": checked}
+    _flush()
+
+
+def test_coalescing_throughput(smoke):
+    """Coalesced NMF-bearing throughput >= SPEEDUP_FLOOR x per-request."""
+    duration = 1.5 if smoke else DURATION_S
+    repeats = 1 if smoke else REPEATS
+    runs: dict[str, list[dict]] = {"baseline": [], "coalesced": []}
+    batch_sizes: list[dict] = []
+    seed_base = 0
+
+    def one(coalesce: bool) -> dict:
+        nonlocal seed_base
+        seed_base += 100_000_000  # distinct seeds: no cache hit ever repeats
+        extra = () if coalesce else ("--no-coalesce",)
+        with _spawned_server(*extra) as (host, port):
+            rep = run_load(
+                host, port,
+                concurrency=CONCURRENCY,
+                duration_s=duration,
+                mix="typing=1",
+                seed=2,
+                nmf_restarts=NMF_RESTARTS,
+                nmf_seed_base=seed_base,
+            )
+            if coalesce:
+                with ServiceClient(host, port) as probe:
+                    status, doc = probe.get("/metrics")
+                assert status == 200
+                hist = doc["histograms"].get("broker.nmf.batch_size")
+                if hist:
+                    batch_sizes.append(
+                        {"mean": hist["mean"], "count": hist["count"]}
+                    )
+        assert rep.total_errors == 0, rep.error_samples
+        return rep.to_dict()
+
+    for _ in range(repeats):
+        runs["baseline"].append(one(False))
+        runs["coalesced"].append(one(True))
+
+    best = {
+        k: max(r["requests_per_s"] for r in v) for k, v in runs.items()
+    }
+    speedup = best["coalesced"] / best["baseline"]
+    _RESULTS["coalescing"] = {
+        "server": "subprocess",
+        "duration_s": duration,
+        "repeats": repeats,
+        "best_requests_per_s": best,
+        "speedup": speedup,
+        "mean_batch_size": batch_sizes,
+        "runs": runs,
+    }
+    _flush()
+    assert all(b["mean"] > 2.0 for b in batch_sizes)  # coalescing happened
+    if not smoke:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"coalesced {best['coalesced']:.1f} req/s vs baseline "
+            f"{best['baseline']:.1f} req/s = {speedup:.2f}x "
+            f"< floor {SPEEDUP_FLOOR}x"
+        )
+
+
+def test_mixed_workload_latency(smoke):
+    """Default endpoint mix at 8 clients: per-endpoint p50/p99, 0 errors."""
+    with _spawned_server() as (host, port):
+        rep = run_load(
+            host, port,
+            concurrency=8,
+            duration_s=1.5 if smoke else DURATION_S,
+            seed=5,
+            nmf_restarts=NMF_RESTARTS,
+            nmf_seed_base=900_000_000,
+        )
+    assert rep.total_errors == 0, rep.error_samples
+    _RESULTS["mixed"] = {"server": "subprocess", **rep.to_dict()}
+    _flush()
+
+
+def test_resident_no_repickling(corpus, smoke):
+    """Queries ship queries, not shards: bytes_shipped << one shard."""
+    tree, courses = corpus
+    runtime.reset()
+    state = ServiceState(tree, courses, config=_config(coalesce=True))
+    shard_pickle = len(pickle.dumps(state.repo.shards[0]))
+    with ReproService(state) as svc, ServiceClient(*svc.address) as client:
+        n_requests = 5 if smoke else 40
+        tags = sorted(tree.tag_ids())
+        for i in range(n_requests):
+            status, _ = client.post(
+                "/search", {"query": {"tags": [tags[i % len(tags)]]}}
+            )
+            assert status == 200
+        shipped = metrics.get("shard.resident.bytes_shipped")
+        served = metrics.get("shard.resident.queries")
+    assert 0 < shipped < shard_pickle, (
+        f"shipped {shipped} bytes vs one shard pickled {shard_pickle}"
+    )
+    _RESULTS["resident"] = {
+        "search_requests": n_requests,
+        "bytes_shipped": int(shipped),
+        "resident_queries": int(served),
+        "one_shard_pickled_bytes": shard_pickle,
+        "bytes_shipped_per_request": shipped / n_requests,
+    }
+    _flush()

@@ -20,8 +20,18 @@ from repro.analysis.agreement import (
     agreement_counts,
     agreement_tree,
 )
-from repro.analysis.typing import CourseTyping, type_courses
-from repro.analysis.flavors import FlavorAnalysis, TypeProfile, analyze_flavors
+from repro.analysis.typing import (
+    CourseTyping,
+    type_courses,
+    typing_from_bundles,
+    typing_specs,
+)
+from repro.analysis.flavors import (
+    FlavorAnalysis,
+    TypeProfile,
+    analyze_flavors,
+    flavors_from_typing,
+)
 from repro.analysis.mastery import (
     ExpectationProfile,
     compare_expectations,
@@ -47,9 +57,12 @@ __all__ = [
     "agreement_tree",
     "CourseTyping",
     "type_courses",
+    "typing_from_bundles",
+    "typing_specs",
     "FlavorAnalysis",
     "TypeProfile",
     "analyze_flavors",
+    "flavors_from_typing",
     "ExpectationProfile",
     "compare_expectations",
     "expectation_profile",

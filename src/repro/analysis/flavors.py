@@ -124,10 +124,29 @@ def analyze_flavors(
         matrix, k, seed=seed, solver=solver, init=init,
         n_restarts=n_restarts, workers=workers,
     )
+    return flavors_from_typing(
+        typing, tree, top_n=top_n, membership_threshold=membership_threshold
+    )
+
+
+def flavors_from_typing(
+    typing: CourseTyping,
+    tree: GuidelineTree,
+    *,
+    top_n: int = 15,
+    membership_threshold: float = 0.25,
+) -> FlavorAnalysis:
+    """Interpret an already-fit :class:`CourseTyping` (the H/W reading).
+
+    The pure-interpretation half of :func:`analyze_flavors`, split out so
+    the service's request broker can coalesce the NMF solves of many
+    concurrent flavor requests and finish each one here.
+    """
+    matrix = typing.matrix
     metrics.inc("flavors.analyses")
     h, w_n = typing.h, typing.w_normalized
     profiles = []
-    for t in range(k):
+    for t in range(typing.k):
         row = h[t]
         mass = float(row.sum())
         area_mass: dict[str, float] = {}

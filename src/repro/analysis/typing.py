@@ -115,6 +115,47 @@ class CourseTyping:
         return assigned
 
 
+def typing_specs(
+    matrix: CourseMatrix,
+    k: int = 4,
+    *,
+    seed: RngLike = None,
+    solver: str = "hals",
+    init: str = "random",
+    n_restarts: int = 4,
+) -> list[dict]:
+    """The fully deterministic NMF specs behind :func:`type_courses`.
+
+    Split out so a batching layer (the service's request broker) can
+    gather specs from many concurrent requests, run them through
+    :func:`repro.runtime.run_nmf_fits` in one call, and finish each
+    request with :func:`typing_from_bundles` — same results, one kernel
+    dispatch.
+    """
+    return nmf_restart_specs(
+        matrix.matrix, k, seed=seed, solver=solver, init=init,
+        n_restarts=n_restarts,
+    )
+
+
+def typing_from_bundles(
+    matrix: CourseMatrix, bundles: Sequence[dict]
+) -> CourseTyping:
+    """Pick the lowest-reconstruction-error restart (first wins ties)."""
+    best: CourseTyping | None = None
+    for bundle in bundles:
+        cand = CourseTyping(
+            matrix=matrix,
+            w=bundle["w"],
+            h=bundle["h"],
+            reconstruction_err=float(bundle["err"]),
+        )
+        if best is None or cand.reconstruction_err < best.reconstruction_err:
+            best = cand
+    assert best is not None
+    return best
+
+
 def type_courses(
     matrix: CourseMatrix,
     k: int = 4,
@@ -139,19 +180,8 @@ def type_courses(
     processes, and repeated identical fits are served from the result
     cache.
     """
-    specs = nmf_restart_specs(
-        matrix.matrix, k, seed=seed, solver=solver, init=init, n_restarts=n_restarts
+    specs = typing_specs(
+        matrix, k, seed=seed, solver=solver, init=init, n_restarts=n_restarts
     )
     results = run_nmf_fits(matrix.matrix, specs, workers=workers)
-    best: CourseTyping | None = None
-    for bundle in results:
-        cand = CourseTyping(
-            matrix=matrix,
-            w=bundle["w"],
-            h=bundle["h"],
-            reconstruction_err=float(bundle["err"]),
-        )
-        if best is None or cand.reconstruction_err < best.reconstruction_err:
-            best = cand
-    assert best is not None
-    return best
+    return typing_from_bundles(matrix, results)

@@ -515,6 +515,76 @@ def cmd_faults(args) -> int:
     return 0 if identical else 1
 
 
+def _service_state(args):
+    from repro.service import ServiceConfig, ServiceState
+
+    if args.courses:
+        courses = _load(args.courses)
+        tree = load_cs2013()
+    else:
+        tree, courses, _ = load_canonical_dataset()
+    config = ServiceConfig(
+        n_shards=args.shards,
+        resident=not args.no_resident,
+        coalesce=not args.no_coalesce,
+        window_s=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+    )
+    return ServiceState(tree, courses, config=config)
+
+
+def cmd_serve(args) -> int:
+    from repro.service import ReproService, serve_forever
+
+    state = _service_state(args)
+    service = ReproService(state, host=args.host, port=args.port)
+    host, port = service.start()
+    excluded = len(state.ingest_report.excluded)
+    print(
+        f"serving {state.repo.n_courses} courses / "
+        f"{state.repo.n_materials} materials "
+        f"({excluded} excluded) on http://{host}:{port}",
+        file=sys.stderr,
+    )
+    print(
+        f"  shards={state.repo.n_shards} "
+        f"resident={'on' if state.config.resident else 'off'} "
+        f"coalesce={'on' if state.config.coalesce else 'off'} "
+        f"window={state.config.window_s * 1e3:.0f}ms",
+        file=sys.stderr,
+    )
+    serve_forever(service)
+    print("drained and stopped", file=sys.stderr)
+    return 0
+
+
+def cmd_loadtest(args) -> int:
+    import json as _json
+
+    from repro.service import DEFAULT_MIX, run_load
+
+    try:
+        report = run_load(
+            args.host,
+            args.port,
+            concurrency=args.concurrency,
+            duration_s=None if args.requests else args.duration,
+            requests_per_worker=args.requests,
+            mix=args.mix or DEFAULT_MIX,
+            seed=args.seed,
+            nmf_restarts=args.restarts,
+        )
+    except (ConnectionError, OSError, RuntimeError, ValueError) as exc:
+        raise SystemExit(f"load test failed: {exc}") from None
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            _json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote report to {args.json_out}", file=sys.stderr)
+    print(report.summary())
+    return 0 if report.total_errors == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -767,6 +837,59 @@ def build_parser() -> argparse.ArgumentParser:
     fa.add_argument("--report-out", default=None, metavar="PATH",
                     help="write the FailureReport JSON here")
     fa.set_defaults(func=cmd_faults)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the analysis service: a threaded JSON API with "
+             "request coalescing and worker-resident shards",
+    )
+    sv.add_argument("courses", nargs="?", default=None,
+                    help="JSON corpus to serve (default: the canonical "
+                         "20-course dataset)")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=_nonneg_int, default=8750,
+                    help="listen port; 0 picks a free one (default: 8750)")
+    sv.add_argument("--shards", type=_positive_int, default=4,
+                    help="material shard count (default: 4)")
+    sv.add_argument("--window-ms", type=_positive_float, default=10.0,
+                    help="request-coalescing window in milliseconds "
+                         "(default: 10)")
+    sv.add_argument("--max-batch", type=_positive_int, default=32,
+                    help="dispatch a batch early once this many requests "
+                         "are queued (default: 32)")
+    sv.add_argument("--no-coalesce", action="store_true",
+                    help="dispatch every request individually (the "
+                         "load-test baseline)")
+    sv.add_argument("--no-resident", action="store_true",
+                    help="disable the worker-resident shard pool "
+                         "(ship-the-shard fan-out instead)")
+    sv.set_defaults(func=cmd_serve)
+
+    lt = sub.add_parser(
+        "loadtest",
+        help="closed-loop load generator against a running service",
+    )
+    lt.add_argument("--host", default="127.0.0.1")
+    lt.add_argument("--port", type=_positive_int, default=8750)
+    lt.add_argument("--concurrency", type=_positive_int, default=8,
+                    help="closed-loop client threads (default: 8)")
+    lt.add_argument("--duration", type=_positive_float, default=10.0,
+                    help="seconds to run (default: 10)")
+    lt.add_argument("--requests", type=_positive_int, default=None,
+                    metavar="N",
+                    help="issue exactly N requests per worker instead of "
+                         "running for --duration")
+    lt.add_argument("--mix", default=None,
+                    help="endpoint weights, e.g. 'search=4,typing=1' "
+                         "(default: the standard mixed workload)")
+    lt.add_argument("--seed", type=int, default=0,
+                    help="workload RNG seed (default: 0)")
+    lt.add_argument("--restarts", type=_positive_int, default=2,
+                    help="NMF restarts per typing/flavors/anchors request "
+                         "(default: 2)")
+    lt.add_argument("--json-out", default=None, metavar="PATH",
+                    help="also write the full report as JSON")
+    lt.set_defaults(func=cmd_loadtest)
 
     return p
 

@@ -22,6 +22,7 @@ from repro.factorization.kernels import batched_nmf_fits, sparse_fit_single
 from repro.factorization.outofcore import (
     outofcore_nmf_fits,
     row_blocks,
+    stream_incidence_memmap,
     write_incidence_memmap,
 )
 from repro.factorization.pca import PCA
@@ -42,6 +43,7 @@ __all__ = [
     "outofcore_nmf_fits",
     "row_blocks",
     "sparse_fit_single",
+    "stream_incidence_memmap",
     "write_incidence_memmap",
     "PCA",
     "MDSResult",

@@ -277,3 +277,95 @@ def write_incidence_memmap(
     out.flush()
     _drop_pages(out)
     return out, universe
+
+
+def _iter_jsonl_materials(corpus_path) -> "Any":
+    """Yield ``(material_id, mappings)`` pairs from a JSONL corpus file.
+
+    First occurrence of an id wins (mirroring ingestion's duplicate
+    exclusion); malformed body lines and malformed material records are
+    skipped — the tolerant-ingest convention, applied to the incidence
+    path.  Yields pairs in file order.
+    """
+    from repro.corpus.stream import iter_course_records
+
+    seen: set[str] = set()
+    for record in iter_course_records(corpus_path):
+        if not isinstance(record, Mapping):
+            metrics.inc("oocnmf.incidence.skipped_lines")
+            continue
+        materials = record.get("materials", ())
+        if not isinstance(materials, (list, tuple)):
+            metrics.inc("oocnmf.incidence.skipped_lines")
+            continue
+        for mdict in materials:
+            if not isinstance(mdict, Mapping) or not mdict.get("id"):
+                metrics.inc("oocnmf.incidence.skipped_materials")
+                continue
+            mid = str(mdict["id"])
+            if mid in seen:
+                metrics.inc("oocnmf.incidence.skipped_materials")
+                continue
+            seen.add(mid)
+            mappings = mdict.get("mappings", ())
+            if isinstance(mappings, str) or not isinstance(
+                mappings, (list, tuple)
+            ):
+                mappings = ()
+            yield mid, [str(t) for t in mappings]
+
+
+def stream_incidence_memmap(
+    corpus_path, path, *, block_rows: int = 8192
+) -> tuple[np.memmap, list[str]]:
+    """Stream a JSONL corpus file straight into an incidence ``.npy`` memmap.
+
+    The ingest-then-export pipeline (load → repository →
+    :func:`write_incidence_memmap`) materializes every :class:`Material` object
+    before the first row is written — at 1M materials, gigabytes of
+    intermediary just to produce a 0/1 matrix.  This variant reads the
+    JSONL corpus twice and holds only ids and tag strings:
+
+    * pass 1 collects the tag universe and counts rows;
+    * pass 2 fills ``block_rows``-row blocks and flushes each to the
+      memmap.
+
+    Columns are the **sorted** tag universe — the same convention as
+    :func:`write_incidence_memmap` — so for a duplicate-free corpus the
+    two functions produce the same column layout; rows follow file order
+    (which for a flat-ingested corpus is insertion order).  Duplicate
+    material ids keep their first occurrence, matching ingestion's
+    exclusion of re-registered ids.
+    """
+    if block_rows < 1:
+        raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+    universe_set: set[str] = set()
+    n = 0
+    for _, mappings in _iter_jsonl_materials(corpus_path):
+        universe_set.update(mappings)
+        n += 1
+    universe = sorted(universe_set)
+    tag_col = {t: j for j, t in enumerate(universe)}
+    shape = (n, max(len(universe), 1))
+    out = np.lib.format.open_memmap(
+        path, mode="w+", dtype=np.float64, shape=shape
+    )
+    block = np.zeros((min(block_rows, max(n, 1)), shape[1]))
+    filled = 0
+    base = 0
+    with metrics.timer("oocnmf.incidence.stream"):
+        for _, mappings in _iter_jsonl_materials(corpus_path):
+            for t in mappings:
+                block[filled, tag_col[t]] = 1.0
+            filled += 1
+            if filled == block.shape[0]:
+                out[base : base + filled] = block[:filled]
+                base += filled
+                filled = 0
+                block[:] = 0.0
+        if filled:
+            out[base : base + filled] = block[:filled]
+    out.flush()
+    _drop_pages(out)
+    metrics.inc("oocnmf.incidence.stream_rows", n)
+    return out, universe

@@ -32,6 +32,8 @@ retained/excluded split is preserved under sharding.
 from __future__ import annotations
 
 import hashlib
+import pickle
+import threading
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -51,7 +53,11 @@ from repro.materials.repository import (
 )
 from repro.materials.similarity import similarity_matrix
 from repro.ontology.tree import GuidelineTree
-from repro.runtime.executor import parallel_map
+from repro.runtime.executor import (
+    ResidentUnavailable,
+    ResidentWorker,
+    parallel_map,
+)
 from repro.runtime.metrics import metrics
 
 
@@ -126,6 +132,235 @@ def _merge_ranked(
     return merged[:limit] if limit is not None else merged
 
 
+# -- worker-resident shards --------------------------------------------------
+#
+# The parallel_map fan-out above re-pickles the *entire shard repository*
+# into the pool on every query — fine for one-shot CLI runs, ruinous for
+# a long-lived server.  A ResidentShardPool instead pins each shard into
+# a dedicated :class:`~repro.runtime.executor.ResidentWorker` at startup
+# (the pool initializer installs the shard as process-global state keyed
+# by shard id) and ships only the query payload per call.  The worker's
+# rebuild path re-runs the initializer, so a crashed worker re-hydrates
+# its shard without caller involvement.
+
+#: Worker-process globals: the shard pinned into this process and any
+#: guideline trees registered at pool startup (keyed by parent-side
+#: tokens).  Populated by the pool initializer, never by callers.
+_RESIDENT_SHARDS: dict[int, MaterialRepository] = {}
+_RESIDENT_TREES: dict[str, GuidelineTree] = {}
+
+
+def _install_resident_shard(
+    shard_id: int,
+    shard: MaterialRepository,
+    trees: dict[str, GuidelineTree],
+) -> None:
+    """Pool initializer: pin one shard (and known trees) into this process."""
+    _RESIDENT_SHARDS.clear()
+    _RESIDENT_SHARDS[shard_id] = shard
+    _RESIDENT_TREES.clear()
+    _RESIDENT_TREES.update(trees)
+    # Build the shard's query index once, at install time, so the first
+    # query after a (re)start doesn't pay the indexing cost.
+    shard.index  # noqa: B018 - intentional attribute access
+
+
+def _resolve_resident_tree(token) -> GuidelineTree | None:
+    """Worker-side tree lookup: registered reference or inline-shipped.
+
+    Inline trees are *not* cached worker-side: the token key is a
+    parent-side ``id()``, which the parent may reuse for a different
+    tree once the original is garbage collected.
+    """
+    if token is None:
+        return None
+    if token[0] == "inline":
+        return token[2]
+    return _RESIDENT_TREES[token[1]]
+
+
+def _resident_search(payload) -> list[SearchResult]:
+    shard_id, query, token, limit = payload
+    return _RESIDENT_SHARDS[shard_id].search(
+        query, tree=_resolve_resident_tree(token), limit=limit
+    )
+
+
+def _resident_search_many(payload) -> list[list[SearchResult]]:
+    shard_id, queries, token, limit = payload
+    return _RESIDENT_SHARDS[shard_id].search_many(
+        queries, tree=_resolve_resident_tree(token), limit=limit
+    )
+
+
+def _resident_similar(payload) -> list[SearchResult]:
+    shard_id, tags, exclude_id, k = payload
+    return _similar_task((_RESIDENT_SHARDS[shard_id], tags, exclude_id, k))
+
+
+class ResidentShardPool:
+    """One :class:`ResidentWorker` per shard; queries ship payloads only.
+
+    ``trees`` registers guideline trees at startup so queries can refer
+    to them by token instead of shipping them per call; a query against
+    an unregistered tree still works (the tree travels inline, counted
+    under ``shard.resident.tree_inline``).
+
+    Mutations on the owning repository mark the affected shard *stale*;
+    the next query first recycles that shard's worker with the updated
+    state (``reconfigure`` → re-run initializer), so resident results
+    never lag the parent's view.  If a worker exhausts its retry budget,
+    the query falls back to the parent's own shard copy
+    (``shard.resident.local_fallback``) — bit-identical, just slower.
+    """
+
+    def __init__(
+        self,
+        repo: "ShardedMaterialRepository",
+        *,
+        trees: Iterable[GuidelineTree | None] = (),
+        task_timeout: float | None = None,
+        task_retries: int | None = None,
+    ) -> None:
+        self._repo = repo
+        self._trees: dict[str, GuidelineTree] = {}
+        for tree in trees:
+            if tree is not None:
+                self._trees[self._tree_key(tree)] = tree
+        self._workers = [
+            ResidentWorker(
+                _install_resident_shard,
+                (sid, shard, dict(self._trees)),
+                name=f"shard-{sid}",
+                task_timeout=task_timeout,
+                task_retries=task_retries,
+            )
+            for sid, shard in enumerate(repo.shards)
+        ]
+        self._stale: set[int] = set()
+        self._stale_lock = threading.Lock()
+
+    @staticmethod
+    def _tree_key(tree: GuidelineTree) -> str:
+        # Registered trees are strongly referenced by the pool, so their
+        # ids are stable for its whole lifetime.
+        return f"tree-{id(tree):x}"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> list[int]:
+        """Boot every worker (install shards) and return their pids."""
+        with metrics.timer("shard.resident.startup"):
+            pids = [worker.probe() for worker in self._workers]
+        metrics.inc("shard.resident.workers", len(pids))
+        return pids
+
+    def pids(self) -> list[int | None]:
+        """Worker pids from the last probe (``None`` if never started)."""
+        return [worker.pid for worker in self._workers]
+
+    def mark_stale(self, shard_id: int) -> None:
+        """Record that ``shard_id`` mutated; its worker recycles lazily."""
+        with self._stale_lock:
+            self._stale.add(shard_id)
+
+    def _refresh_stale(self) -> None:
+        with self._stale_lock:
+            stale, self._stale = self._stale, set()
+        for sid in sorted(stale):
+            metrics.inc("shard.resident.refresh")
+            self._workers[sid].reconfigure(
+                (sid, self._repo.shards[sid], dict(self._trees))
+            )
+
+    def close(self, *, force: bool = False) -> None:
+        """Shut down and reap every worker."""
+        for worker in self._workers:
+            worker.close(force=force)
+
+    # -- queries -------------------------------------------------------------
+
+    def _tree_token(self, tree: GuidelineTree | None):
+        if tree is None:
+            return None
+        key = self._tree_key(tree)
+        if key in self._trees:
+            return ("ref", key)
+        metrics.inc("shard.resident.tree_inline")
+        return ("inline", key, tree)
+
+    def _fan_out(self, fn, payloads: list, local) -> list:
+        """One resident call per shard; parent-local fallback per shard.
+
+        ``local(sid)`` recomputes shard ``sid``'s answer on the parent's
+        own copy — the bit-identical escape hatch when a worker is
+        unavailable past its retry budget.
+        """
+        self._refresh_stale()
+        calls = []
+        for worker, payload in zip(self._workers, payloads):
+            metrics.inc(
+                "shard.resident.bytes_shipped", len(pickle.dumps(payload))
+            )
+            metrics.inc("shard.resident.queries")
+            calls.append(worker.submit(fn, payload))
+        out = []
+        for sid, call in enumerate(calls):
+            try:
+                out.append(call.result())
+            except ResidentUnavailable:
+                metrics.inc("shard.resident.local_fallback")
+                out.append(local(sid))
+        return out
+
+    def search(
+        self,
+        query: SearchQuery,
+        tree: GuidelineTree | None,
+        limit: int | None,
+    ) -> list[list[SearchResult]]:
+        token = self._tree_token(tree)
+        return self._fan_out(
+            _resident_search,
+            [(sid, query, token, limit) for sid in range(len(self._workers))],
+            lambda sid: self._repo.shards[sid].search(
+                query, tree=tree, limit=limit
+            ),
+        )
+
+    def search_many(
+        self,
+        queries: list[SearchQuery],
+        tree: GuidelineTree | None,
+        limit: int | None,
+    ) -> list[list[list[SearchResult]]]:
+        token = self._tree_token(tree)
+        return self._fan_out(
+            _resident_search_many,
+            [
+                (sid, queries, token, limit)
+                for sid in range(len(self._workers))
+            ],
+            lambda sid: self._repo.shards[sid].search_many(
+                queries, tree=tree, limit=limit
+            ),
+        )
+
+    def find_similar(
+        self, tags: frozenset, exclude_id: str, limit: int
+    ) -> list[list[SearchResult]]:
+        return self._fan_out(
+            _resident_similar,
+            [
+                (sid, tags, exclude_id, limit)
+                for sid in range(len(self._workers))
+            ],
+            lambda sid: _similar_task(
+                (self._repo.shards[sid], tags, exclude_id, limit)
+            ),
+        )
+
+
 class ShardedMaterialRepository:
     """``n_shards`` flat repositories behind the flat repository's API.
 
@@ -135,7 +370,9 @@ class ShardedMaterialRepository:
     with results bit-identical to a flat repository fed the same corpus in
     the same order.  ``workers`` controls query fan-out: 1 (default) runs
     shards serially in-process; >1 dispatches shard queries through the
-    fault-tolerant process pool.
+    fault-tolerant process pool.  :meth:`start_resident` switches queries
+    to a worker-resident pool (shards pinned into long-lived workers, no
+    per-query shard pickling) — the serving-layer configuration.
     """
 
     def __init__(self, n_shards: int = 4, *, workers: int | None = 1) -> None:
@@ -147,6 +384,7 @@ class ShardedMaterialRepository:
         self._courses: dict[str, Course] = {}
         self._material_shard: dict[str, int] = {}
         self._order: list[str] = []  # material ids in global insertion order
+        self._resident: ResidentShardPool | None = None
 
     # -- layout ---------------------------------------------------------------
 
@@ -163,6 +401,46 @@ class ShardedMaterialRepository:
         """Materials per shard — the balance of the hash partition."""
         return [shard.n_materials for shard in self._shards]
 
+    # -- resident pool --------------------------------------------------------
+
+    @property
+    def resident(self) -> ResidentShardPool | None:
+        """The attached worker-resident pool, if :meth:`start_resident` ran."""
+        return self._resident
+
+    def start_resident(
+        self,
+        *,
+        trees: Iterable[GuidelineTree | None] = (),
+        task_timeout: float | None = None,
+        task_retries: int | None = None,
+    ) -> list[int]:
+        """Pin each shard into a dedicated worker; return the worker pids.
+
+        After this, ``search``/``search_many``/``find_similar`` ship only
+        query payloads to the resident workers instead of re-pickling
+        shard state per query.  Register the guideline trees queries will
+        use via ``trees`` so they too stay resident.  Results remain
+        bit-identical to the fan-out and flat paths.
+        """
+        if self._resident is not None:
+            raise RuntimeError("resident shard pool already attached")
+        pool = ResidentShardPool(
+            self,
+            trees=trees,
+            task_timeout=task_timeout,
+            task_retries=task_retries,
+        )
+        pids = pool.start()
+        self._resident = pool
+        return pids
+
+    def close_resident(self, *, force: bool = False) -> None:
+        """Detach and shut down the resident pool (no-op when absent)."""
+        pool, self._resident = self._resident, None
+        if pool is not None:
+            pool.close(force=force)
+
     # -- ingestion -------------------------------------------------------------
 
     def add_material(self, material: Material) -> None:
@@ -175,6 +453,8 @@ class ShardedMaterialRepository:
         self._shards[s].add_material(material)
         self._material_shard[material.id] = s
         self._order.append(material.id)
+        if self._resident is not None:
+            self._resident.mark_stale(s)
 
     def add_course(self, course: Course) -> None:
         """Register ``course``; its materials scatter to their hash shards.
@@ -283,10 +563,15 @@ class ShardedMaterialRepository:
         MaterialRepository._validate_level_filters(query, tree)
         with metrics.timer("shard.search"):
             metrics.inc("shard.search.queries")
-            payloads = [(shard, query, tree, limit) for shard in self._shards]
-            per_shard = parallel_map(
-                _search_task, payloads, workers=self._workers
-            )
+            if self._resident is not None:
+                per_shard = self._resident.search(query, tree, limit)
+            else:
+                payloads = [
+                    (shard, query, tree, limit) for shard in self._shards
+                ]
+                per_shard = parallel_map(
+                    _search_task, payloads, workers=self._workers
+                )
             return _merge_ranked(per_shard, limit)
 
     def search_many(
@@ -304,12 +589,18 @@ class ShardedMaterialRepository:
             return []
         with metrics.timer("shard.search_many"):
             metrics.inc("shard.search_many.queries", len(queries))
-            payloads = [
-                (shard, list(queries), tree, limit) for shard in self._shards
-            ]
-            per_shard = parallel_map(
-                _search_many_task, payloads, workers=self._workers
-            )
+            if self._resident is not None:
+                per_shard = self._resident.search_many(
+                    list(queries), tree, limit
+                )
+            else:
+                payloads = [
+                    (shard, list(queries), tree, limit)
+                    for shard in self._shards
+                ]
+                per_shard = parallel_map(
+                    _search_many_task, payloads, workers=self._workers
+                )
             return [
                 _merge_ranked([hits[qi] for hits in per_shard], limit)
                 for qi in range(len(queries))
@@ -324,13 +615,18 @@ class ShardedMaterialRepository:
         ref = self.material(material_id)
         with metrics.timer("shard.find_similar"):
             metrics.inc("shard.find_similar.queries")
-            payloads = [
-                (shard, ref.mappings, material_id, limit)
-                for shard in self._shards
-            ]
-            per_shard = parallel_map(
-                _similar_task, payloads, workers=self._workers
-            )
+            if self._resident is not None:
+                per_shard = self._resident.find_similar(
+                    ref.mappings, material_id, limit
+                )
+            else:
+                payloads = [
+                    (shard, ref.mappings, material_id, limit)
+                    for shard in self._shards
+                ]
+                per_shard = parallel_map(
+                    _similar_task, payloads, workers=self._workers
+                )
             return _merge_ranked(per_shard, limit)
 
     def similarity_matrix(self, *, metric: str = "jaccard") -> np.ndarray:

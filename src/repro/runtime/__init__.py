@@ -44,6 +44,8 @@ from repro.runtime.executor import (
     NMF_KERNELS,
     FailureEvent,
     FailureReport,
+    ResidentUnavailable,
+    ResidentWorker,
     TaskError,
     failure_report,
     nmf_kernel_from_env,
@@ -72,7 +74,12 @@ from repro.runtime.faults import (
     parse_fault_plan,
     set_fault_plan,
 )
-from repro.runtime.metrics import MetricsRegistry, TimerStat, metrics
+from repro.runtime.metrics import (
+    HistogramStat,
+    MetricsRegistry,
+    TimerStat,
+    metrics,
+)
 
 __all__ = [
     "CacheStats",
@@ -80,10 +87,13 @@ __all__ = [
     "FailureEvent",
     "FailureReport",
     "FaultPlan",
+    "HistogramStat",
     "InjectedTaskError",
     "MetricsRegistry",
     "NMF_KERNELS",
     "NMF_KEY_PARAMS",
+    "ResidentUnavailable",
+    "ResidentWorker",
     "ResultCache",
     "TaskError",
     "TimerStat",

@@ -35,6 +35,7 @@ import hashlib
 import os
 import pathlib
 import tempfile
+import threading
 import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -181,6 +182,13 @@ class ResultCache:
     A *bundle* is a ``dict[str, np.ndarray]`` — e.g. ``{"w": W, "h": H,
     "err": np.float64(...)}`` for an NMF fit.  Scalars travel as 0-d
     arrays so one serialization path (``np.savez``) covers everything.
+
+    Thread-safe: the memory LRU, the stats counters, and reconfiguration
+    are guarded by one re-entrant lock (the threaded service shares this
+    cache across handler threads).  Disk I/O runs outside the lock — the
+    tmp-write + ``os.replace`` protocol already makes concurrent writers
+    of one key safe across threads *and* processes (last rename wins,
+    readers only ever see a complete file).
     """
 
     def __init__(
@@ -197,6 +205,7 @@ class ResultCache:
         self.cache_dir = pathlib.Path(cache_dir).expanduser() if cache_dir else None
         self.stats = CacheStats()
         self._mem: OrderedDict[str, dict[str, np.ndarray]] = OrderedDict()
+        self._lock = threading.RLock()
 
     # -- configuration -------------------------------------------------------
 
@@ -208,15 +217,20 @@ class ResultCache:
         enabled: bool | None = None,
     ) -> None:
         """Reconfigure in place (the global cache is shared by reference)."""
-        if max_entries is not None:
-            if max_entries < 1:
-                raise ValueError(f"max_entries must be >= 1, got {max_entries}")
-            self.max_entries = max_entries
-            self._shrink()
-        if cache_dir is not ...:
-            self.cache_dir = pathlib.Path(cache_dir).expanduser() if cache_dir else None
-        if enabled is not None:
-            self.enabled = enabled
+        with self._lock:
+            if max_entries is not None:
+                if max_entries < 1:
+                    raise ValueError(
+                        f"max_entries must be >= 1, got {max_entries}"
+                    )
+                self.max_entries = max_entries
+                self._shrink()
+            if cache_dir is not ...:
+                self.cache_dir = (
+                    pathlib.Path(cache_dir).expanduser() if cache_dir else None
+                )
+            if enabled is not None:
+                self.enabled = enabled
 
     # -- core API ------------------------------------------------------------
 
@@ -224,23 +238,25 @@ class ResultCache:
         """Look ``key`` up in memory, then on disk; ``None`` on miss."""
         if not self.enabled:
             return None
-        bundle = self._mem.get(key)
-        if bundle is not None:
-            self._mem.move_to_end(key)
-            self.stats.hits += 1
-            metrics.inc("cache.hit")
-            return {k: v.copy() for k, v in bundle.items()}
-        bundle = self._disk_get(key)
-        if bundle is not None:
-            self.stats.hits += 1
-            self.stats.disk_hits += 1
-            metrics.inc("cache.hit")
-            metrics.inc("cache.disk_hit")
-            self._mem_put(key, bundle)
-            return {k: v.copy() for k, v in bundle.items()}
-        self.stats.misses += 1
-        metrics.inc("cache.miss")
-        return None
+        with self._lock:
+            bundle = self._mem.get(key)
+            if bundle is not None:
+                self._mem.move_to_end(key)
+                self.stats.hits += 1
+                metrics.inc("cache.hit")
+                return {k: v.copy() for k, v in bundle.items()}
+        bundle = self._disk_get(key)  # I/O outside the lock
+        with self._lock:
+            if bundle is not None:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                metrics.inc("cache.hit")
+                metrics.inc("cache.disk_hit")
+                self._mem_put(key, bundle)
+                return {k: v.copy() for k, v in bundle.items()}
+            self.stats.misses += 1
+            metrics.inc("cache.miss")
+            return None
 
     def put(self, key: str, bundle: Mapping[str, np.ndarray]) -> None:
         """Store a bundle under ``key`` in both layers.
@@ -256,7 +272,8 @@ class ResultCache:
                 f"bundle keys {reserved} are reserved for cache metadata"
             )
         copied = {k: np.asarray(v).copy() for k, v in bundle.items()}
-        self._mem_put(key, copied)
+        with self._lock:
+            self._mem_put(key, copied)
         self._disk_put(key, copied)
 
     def clear(self, *, disk: bool = False) -> None:
@@ -265,7 +282,8 @@ class ResultCache:
         ``disk=True`` also sweeps orphaned ``.tmp-*.npz`` files left by
         interrupted writes and everything under ``quarantine/``.
         """
-        self._mem.clear()
+        with self._lock:
+            self._mem.clear()
         if disk and self.cache_dir is not None and self.cache_dir.is_dir():
             doomed = list(self.cache_dir.glob("*.npz"))
             doomed += list(self.cache_dir.glob(".tmp-*.npz"))
@@ -279,11 +297,13 @@ class ResultCache:
                     pass
 
     def __len__(self) -> int:
-        return len(self._mem)
+        with self._lock:
+            return len(self._mem)
 
     def __contains__(self, key: str) -> bool:
-        if key in self._mem:
-            return True
+        with self._lock:
+            if key in self._mem:
+                return True
         if self.cache_dir is None:
             return False        # no disk layer: never probe the CWD
         return self._disk_path(key).is_file()
@@ -324,7 +344,8 @@ class ResultCache:
                 path.unlink()
             except OSError:
                 pass
-        self.stats.quarantined += 1
+        with self._lock:
+            self.stats.quarantined += 1
         metrics.inc("cache.quarantined")
         from repro.runtime.executor import failure_report
 

@@ -15,11 +15,92 @@ the parent so parallel runs still produce a meaningful report.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
+
+#: Histogram bucket geometry: bucket 0 holds values ≤ ``_HIST_MIN``;
+#: bucket ``i`` (i ≥ 1) holds ``(_HIST_MIN * r^(i-1), _HIST_MIN * r^i]``
+#: with ratio ``r = 2^0.25`` (~19% wide), so quantile estimates carry at
+#: most ~9% relative error while a full latency range (1µs .. minutes)
+#: needs only ~110 sparse buckets.
+_HIST_MIN = 1e-6
+_HIST_RATIO = 2.0 ** 0.25
+_HIST_LOG_RATIO = math.log(_HIST_RATIO)
+
+
+@dataclass
+class HistogramStat:
+    """Log-bucketed distribution of one named quantity (typically seconds).
+
+    Buckets are geometric and stored sparsely, so memory stays bounded
+    under unbounded request streams while p50/p99 remain accurate to the
+    bucket width.  Exact min/max/total are tracked alongside, and
+    quantile estimates are clamped into ``[min, max]`` so single-sample
+    histograms report the exact value.
+    """
+
+    counts: dict[int, int] = field(default_factory=dict)
+    count: int = 0
+    total: float = 0.0
+    min_value: float = math.inf
+    max_value: float = 0.0
+
+    @staticmethod
+    def bucket_of(value: float) -> int:
+        if value <= _HIST_MIN:
+            return 0
+        return int(math.log(value / _HIST_MIN) / _HIST_LOG_RATIO) + 1
+
+    def add(self, value: float) -> None:
+        if value < 0.0:
+            value = 0.0
+        idx = self.bucket_of(value)
+        self.counts[idx] = self.counts.get(idx, 0) + 1
+        self.count += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``) from bucket midpoints."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = max(math.ceil(q * self.count), 1)
+        running = 0
+        for idx in sorted(self.counts):
+            running += self.counts[idx]
+            if running >= rank:
+                if idx == 0:
+                    est = _HIST_MIN
+                else:
+                    # Geometric midpoint of the bucket's bounds.
+                    est = _HIST_MIN * _HIST_RATIO ** (idx - 0.5)
+                return min(max(est, self.min_value), self.max_value)
+        return self.max_value  # pragma: no cover - counts always sum to count
+
+    def to_dict(self) -> dict[str, float | int]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min_value if self.count else 0.0,
+            "max": self.max_value,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
 
 
 @dataclass
@@ -43,10 +124,11 @@ class TimerStat:
 
 @dataclass
 class MetricsRegistry:
-    """Thread-safe registry of named counters and timers."""
+    """Thread-safe registry of named counters, timers, and histograms."""
 
     counters: dict[str, int] = field(default_factory=dict)
     timers: dict[str, TimerStat] = field(default_factory=dict)
+    histograms: dict[str, HistogramStat] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     # -- counters ------------------------------------------------------------
@@ -77,10 +159,45 @@ class MetricsRegistry:
         finally:
             self.record_time(name, time.perf_counter() - t0)
 
+    # -- histograms ----------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold one sample into histogram ``name`` (creating it empty).
+
+        The service layer records per-endpoint request latencies here;
+        the broker records batch sizes.  Values are unit-agnostic —
+        latencies are seconds by convention (``*.latency`` names).
+        """
+        with self._lock:
+            self.histograms.setdefault(name, HistogramStat()).add(value)
+
+    @contextmanager
+    def latency(self, name: str) -> Iterator[None]:
+        """``with metrics.latency("service.search"): ...`` histogram timing."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - t0)
+
+    def histogram(self, name: str) -> HistogramStat:
+        """Copy of histogram ``name`` (empty if never observed)."""
+        with self._lock:
+            stat = self.histograms.get(name)
+            if stat is None:
+                return HistogramStat()
+            return HistogramStat(
+                counts=dict(stat.counts),
+                count=stat.count,
+                total=stat.total,
+                min_value=stat.min_value,
+                max_value=stat.max_value,
+            )
+
     # -- reporting -----------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Plain-dict copy of all metrics (counters + timer stats)."""
+        """Plain-dict copy of all metrics (counters + timers + histograms)."""
         with self._lock:
             return {
                 "counters": dict(self.counters),
@@ -92,6 +209,9 @@ class MetricsRegistry:
                         "max_s": v.max_s,
                     }
                     for k, v in self.timers.items()
+                },
+                "histograms": {
+                    k: v.to_dict() for k, v in self.histograms.items()
                 },
             }
 
@@ -136,6 +256,14 @@ class MetricsRegistry:
                     f"  {name:<32s} total {t['total_s']:8.3f}s  "
                     f"n={t['count']:<6d} mean {t['mean_s'] * 1e3:8.2f}ms"
                 )
+        if snap["histograms"]:
+            lines.append("histograms:")
+            for name in sorted(snap["histograms"]):
+                h = snap["histograms"][name]
+                lines.append(
+                    f"  {name:<32s} n={h['count']:<6d} "
+                    f"p50 {h['p50'] * 1e3:8.2f}ms  p99 {h['p99'] * 1e3:8.2f}ms"
+                )
         cs = self.cache_stats()
         if cs["hits"] or cs["misses"]:
             lines.append(
@@ -147,10 +275,11 @@ class MetricsRegistry:
         return "\n".join(lines)
 
     def reset(self) -> None:
-        """Drop every counter and timer (tests and benchmark isolation)."""
+        """Drop every metric (tests and benchmark isolation)."""
         with self._lock:
             self.counters.clear()
             self.timers.clear()
+            self.histograms.clear()
 
 
 #: The process-global registry every library component records into.

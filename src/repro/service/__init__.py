@@ -1,0 +1,60 @@
+"""Analysis-as-a-service: the long-lived server over the repro library.
+
+Layers, bottom up:
+
+* :mod:`~repro.service.broker` — request coalescing: concurrent
+  NMF-bearing requests micro-batch into single
+  :func:`repro.runtime.run_nmf_fits` calls, concurrent searches into
+  single ``search_many`` calls, behind per-request futures.
+* :mod:`~repro.service.state` — the warm corpus (sharded repository
+  with worker-resident shards, cached family matrices) and the
+  endpoint logic, HTTP-free.
+* :mod:`~repro.service.server` — the threaded stdlib HTTP JSON front
+  end with graceful request draining.
+* :mod:`~repro.service.client` / :mod:`~repro.service.loadgen` — a
+  keep-alive client and the closed-loop load generator behind
+  ``BENCH_service.json`` and the CI smoke job.
+"""
+
+from repro.service.broker import (
+    BrokerClosed,
+    NmfJob,
+    PendingResult,
+    RequestBroker,
+    SearchJob,
+)
+from repro.service.client import ServiceClient
+from repro.service.loadgen import (
+    DEFAULT_MIX,
+    LoadReport,
+    RequestFactory,
+    parse_mix,
+    run_load,
+)
+from repro.service.server import ReproService, serve_forever
+from repro.service.state import (
+    ServiceConfig,
+    ServiceError,
+    ServiceState,
+    parse_query,
+)
+
+__all__ = [
+    "BrokerClosed",
+    "NmfJob",
+    "PendingResult",
+    "RequestBroker",
+    "SearchJob",
+    "ServiceClient",
+    "DEFAULT_MIX",
+    "LoadReport",
+    "RequestFactory",
+    "parse_mix",
+    "run_load",
+    "ReproService",
+    "serve_forever",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceState",
+    "parse_query",
+]

@@ -1,0 +1,336 @@
+"""Request broker: micro-batching for the analysis service.
+
+Every concurrent request that reaches an NMF-bearing endpoint (typing,
+flavors, anchors) ultimately calls :func:`repro.runtime.run_nmf_fits`
+with a handful of specs; every search request ultimately calls
+``search_many`` with a handful of queries.  Served one request at a
+time, none of the batched-kernel amortization built in PR 3 is
+reachable.  The broker restores it:
+
+* requests enter a **lane** (one per request family) and wait out a
+  bounded *coalescing window* — the window opens at the first arrival
+  and closes ``window_s`` later, or immediately once ``max_batch``
+  requests are queued;
+* the whole batch dispatches as **one** kernel call — NMF jobs grouped
+  by matrix are concatenated into a single ``run_nmf_fits`` (identical
+  jobs dedupe to one solve), search jobs grouped by (tree, limit) are
+  flattened into a single ``search_many``;
+* each request's *finish* continuation slices its share of the batch
+  result and builds its response.  The lane thread resolves futures with
+  the **raw** slice only; ``finish`` runs lazily on the thread that
+  waits on the :class:`PendingResult`, so response building for a batch
+  of N parallelizes across N handler threads instead of serializing on
+  the dispatcher.
+
+Because ``run_nmf_fits`` is bit-identical across batch compositions and
+shares the content-addressed cache, a coalesced response is byte-equal
+to the response the same request would get alone — batching is purely a
+throughput lever.
+
+``coalesce=False`` routes every request through the *same* dispatch
+code inline on its caller thread (batch of one): the measurable
+no-batching baseline for ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Sequence
+
+from repro.runtime.executor import run_nmf_fits
+from repro.runtime.metrics import metrics
+
+
+class BrokerClosed(RuntimeError):
+    """Raised for requests submitted to a broker that is shutting down."""
+
+
+@dataclass
+class NmfJob:
+    """One request's share of a coalesced NMF batch.
+
+    ``matrix`` is the kernel input (dense or sparse); ``group`` keys
+    which jobs may share a kernel call (same matrix object).  ``specs``
+    are fully deterministic (pre-drawn inits), so slicing them out of a
+    larger batch cannot change their results.  ``dedup_key`` (optional)
+    marks jobs whose (matrix, specs) are identical: they share one solve
+    and each still runs its own ``finish`` (on its own waiting thread —
+    ``finish`` must therefore not mutate the raw bundles it receives).
+    """
+
+    matrix: Any
+    group: Hashable
+    specs: list
+    finish: Callable[[Sequence[dict]], Any]
+    dedup_key: Hashable | None = None
+
+
+@dataclass
+class SearchJob:
+    """One request's share of a coalesced ``search_many`` batch."""
+
+    queries: list
+    tree: Any
+    limit: int | None
+    finish: Callable[[Sequence[list]], Any]
+
+
+class PendingResult:
+    """A coalesced request's handle: raw batch slice + lazy ``finish``.
+
+    The dispatcher resolves the inner future with the request's raw
+    result slice; ``result()`` then runs the job's ``finish`` on the
+    *calling* thread (memoized, so repeated calls are safe).  A batch
+    failure or a ``finish`` error raises here — the request fails, never
+    its batch siblings.
+    """
+
+    __slots__ = ("_fut", "_finish", "_lock", "_done", "_value", "_exc")
+
+    def __init__(self, fut: Future, finish: Callable) -> None:
+        self._fut = fut
+        self._finish = finish
+        self._lock = threading.Lock()
+        self._done = False
+        self._value: Any = None
+        self._exc: BaseException | None = None
+
+    def result(self, timeout: float | None = None):
+        raw = self._fut.result(timeout)
+        with self._lock:
+            if not self._done:
+                try:
+                    self._value = self._finish(raw)
+                except BaseException as exc:
+                    self._exc = exc
+                self._done = True
+            if self._exc is not None:
+                raise self._exc
+            return self._value
+
+
+def _resolve(fut: Future, result_slice) -> None:
+    if not fut.done():
+        fut.set_result(result_slice)
+
+
+def _fail(batch: list[tuple[Any, Future]], exc: BaseException) -> None:
+    for _, fut in batch:
+        if not fut.done():
+            fut.set_exception(exc)
+
+
+class _Lane:
+    """One coalescing queue with a dispatcher thread.
+
+    States: *idle* (queue empty, dispatcher waiting) → *collecting*
+    (first arrival opened the window; dispatcher sleeps until
+    first-arrival + ``window_s``, waking early if ``max_batch`` is
+    reached or the broker starts draining) → *dispatching* (batch handed
+    to the dispatch callable; new arrivals start the next window).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dispatch: Callable[[list], None],
+        window_s: float,
+        max_batch: int,
+    ) -> None:
+        self.name = name
+        self._dispatch = dispatch
+        self._window_s = window_s
+        self._max_batch = max_batch
+        self._cond = threading.Condition()
+        self._queue: list[tuple[Any, Future]] = []
+        self._closing = False
+        self._thread = threading.Thread(
+            target=self._run, name=f"broker-{name}", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, job) -> Future:
+        fut: Future = Future()
+        with self._cond:
+            if self._closing:
+                raise BrokerClosed(f"broker lane {self.name!r} is closed")
+            self._queue.append((job, fut))
+            self._cond.notify_all()
+        return fut
+
+    def close(self) -> None:
+        """Drain: queued and in-window jobs dispatch, then the thread exits."""
+        with self._cond:
+            self._closing = True
+            self._cond.notify_all()
+        self._thread.join()
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closing:
+                    self._cond.wait()
+                if not self._queue:  # closing and fully drained
+                    return
+                # Collecting: window opened by the batch's first arrival.
+                deadline = time.perf_counter() + self._window_s
+                while len(self._queue) < self._max_batch and not self._closing:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+                batch = self._queue[: self._max_batch]
+                del self._queue[: self._max_batch]
+            _run_batch(self.name, self._dispatch, batch)
+
+
+def _run_batch(
+    name: str, dispatch: Callable[[list], None], batch: list
+) -> None:
+    if name == "nmf":
+        metrics.inc("broker.nmf.batches")
+        metrics.inc("broker.nmf.requests", len(batch))
+        metrics.observe("broker.nmf.batch_size", float(len(batch)))
+        timer = metrics.timer("broker.nmf.dispatch")
+    else:
+        metrics.inc("broker.search.batches")
+        metrics.inc("broker.search.requests", len(batch))
+        metrics.observe("broker.search.batch_size", float(len(batch)))
+        timer = metrics.timer("broker.search.dispatch")
+    with timer:
+        try:
+            dispatch(batch)
+        except BaseException as exc:  # defensive: dispatch itself failed
+            _fail(batch, exc)
+
+
+class RequestBroker:
+    """Two coalescing lanes — ``nmf`` and ``search`` — over the runtime.
+
+    ``search_many`` is the batched query callable (typically the sharded
+    repository's bound method).  ``kernel`` pins the NMF strategy for
+    coalesced batches (the batched engine is the point of coalescing).
+    """
+
+    def __init__(
+        self,
+        *,
+        search_many: Callable | None = None,
+        window_s: float = 0.01,
+        max_batch: int = 32,
+        coalesce: bool = True,
+        kernel: str | None = "batched",
+        workers: int | None = None,
+    ) -> None:
+        if window_s < 0:
+            raise ValueError(f"window_s must be >= 0, got {window_s}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._search_many = search_many
+        self._kernel = kernel
+        self._workers = workers
+        self.coalesce = coalesce
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self._closed = False
+        self._nmf_lane: _Lane | None = None
+        self._search_lane: _Lane | None = None
+        if coalesce:
+            self._nmf_lane = _Lane(
+                "nmf", self._dispatch_nmf, window_s, max_batch
+            )
+            self._search_lane = _Lane(
+                "search", self._dispatch_search, window_s, max_batch
+            )
+
+    # -- submission ----------------------------------------------------------
+
+    def submit_nmf(self, job: NmfJob) -> PendingResult:
+        if self._nmf_lane is not None:
+            return PendingResult(self._nmf_lane.submit(job), job.finish)
+        return self._inline("nmf", self._dispatch_nmf, job)
+
+    def submit_search(self, job: SearchJob) -> PendingResult:
+        if self._search_lane is not None:
+            return PendingResult(self._search_lane.submit(job), job.finish)
+        return self._inline("search", self._dispatch_search, job)
+
+    def _inline(self, name: str, dispatch, job) -> PendingResult:
+        """No-coalescing mode: same dispatch path, batch of exactly one."""
+        if self._closed:
+            raise BrokerClosed(f"broker lane {name!r} is closed")
+        fut: Future = Future()
+        _run_batch(name, dispatch, [(job, fut)])
+        return PendingResult(fut, job.finish)
+
+    def close(self) -> None:
+        """Drain both lanes; afterwards submissions raise BrokerClosed."""
+        self._closed = True
+        for lane in (self._nmf_lane, self._search_lane):
+            if lane is not None:
+                lane.close()
+
+    # -- dispatchers ---------------------------------------------------------
+
+    def _dispatch_nmf(self, batch: list[tuple[NmfJob, Future]]) -> None:
+        groups: dict[Hashable, list[tuple[NmfJob, Future]]] = {}
+        for job, fut in batch:
+            groups.setdefault(job.group, []).append((job, fut))
+        for group_jobs in groups.values():
+            # Dedup identical (matrix, specs) requests: one solve, many
+            # finishes.  Jobs without a dedup key never alias.
+            unique: dict[Hashable, list[tuple[NmfJob, Future]]] = {}
+            order: list[Hashable] = []
+            for job, fut in group_jobs:
+                key = job.dedup_key if job.dedup_key is not None else object()
+                if key not in unique:
+                    unique[key] = []
+                    order.append(key)
+                unique[key].append((job, fut))
+            deduped = len(group_jobs) - len(order)
+            if deduped:
+                metrics.inc("broker.nmf.deduped", deduped)
+            specs: list = []
+            slices: dict[Hashable, tuple[int, int]] = {}
+            for key in order:
+                rep = unique[key][0][0]
+                slices[key] = (len(specs), len(specs) + len(rep.specs))
+                specs.extend(rep.specs)
+            matrix = unique[order[0]][0][0].matrix
+            try:
+                bundles = run_nmf_fits(
+                    matrix, specs, kernel=self._kernel, workers=self._workers
+                )
+            except BaseException as exc:
+                _fail(group_jobs, exc)
+                continue
+            for key in order:
+                lo, hi = slices[key]
+                for _job, fut in unique[key]:
+                    _resolve(fut, bundles[lo:hi])
+
+    def _dispatch_search(self, batch: list[tuple[SearchJob, Future]]) -> None:
+        if self._search_many is None:
+            _fail(batch, RuntimeError("broker has no search_many callable"))
+            return
+        groups: dict[tuple, list[tuple[SearchJob, Future]]] = {}
+        for job, fut in batch:
+            groups.setdefault((id(job.tree), job.limit), []).append((job, fut))
+        for group_jobs in groups.values():
+            tree = group_jobs[0][0].tree
+            limit = group_jobs[0][0].limit
+            flat: list = []
+            spans: list[tuple[int, int]] = []
+            for job, _ in group_jobs:
+                spans.append((len(flat), len(flat) + len(job.queries)))
+                flat.extend(job.queries)
+            try:
+                results = self._search_many(flat, tree=tree, limit=limit)
+            except BaseException as exc:
+                _fail(group_jobs, exc)
+                continue
+            for (_job, fut), (lo, hi) in zip(group_jobs, spans):
+                _resolve(fut, results[lo:hi])

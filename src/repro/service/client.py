@@ -1,0 +1,87 @@
+"""Minimal keep-alive JSON client for the analysis service.
+
+Stdlib :mod:`http.client` only.  One :class:`ServiceClient` owns one
+persistent HTTP/1.1 connection — exactly what a closed-loop load-test
+worker wants (no per-request TCP handshake in the measured latency).
+Not thread-safe; give each thread its own client.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any
+
+
+class ServiceClient:
+    """One persistent connection to a :class:`ReproService`."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+            self._conn.connect()
+            # Small request/response pairs on a keep-alive connection hit
+            # the Nagle/delayed-ACK stall (~40ms each) without this.
+            self._conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        return self._conn
+
+    def request(
+        self, method: str, path: str, body: Any | None = None
+    ) -> tuple[int, dict]:
+        """Issue one request; returns ``(status, parsed-JSON-document)``.
+
+        A dropped keep-alive connection (server restarted, idle timeout)
+        is retried once on a fresh connection; real errors propagate.
+        """
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                status = response.status
+                data = response.read()
+                if response.getheader("Connection", "").lower() == "close":
+                    self.close()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            doc = json.loads(data) if data else {}
+        except ValueError:
+            doc = {"error": data.decode("utf-8", errors="replace")}
+        return status, doc
+
+    def get(self, path: str) -> tuple[int, dict]:
+        return self.request("GET", path)
+
+    def post(self, path: str, body: dict) -> tuple[int, dict]:
+        return self.request("POST", path, body)
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

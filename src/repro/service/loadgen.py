@@ -1,0 +1,331 @@
+"""Closed-loop load generator for the analysis service.
+
+Locust-style but stdlib-only: ``concurrency`` worker threads each own a
+keep-alive :class:`~repro.service.client.ServiceClient` and issue
+requests back-to-back (closed loop — a worker's next request starts when
+its previous response lands).  The request mix is a weighted endpoint
+distribution; request parameters are drawn from the served corpus
+(``GET /corpus``) with a seeded per-worker RNG, so a run is
+reproducible.
+
+NMF-bearing requests draw from a disjoint seed range per run
+(``nmf_seed_base``) — with varying seeds every request is a distinct
+solve, so measured throughput is kernel throughput, not cache-hit
+throughput.  Set ``vary_nmf_seeds=False`` to measure the cached regime
+instead.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.service.client import ServiceClient
+
+DEFAULT_MIX = "search=4,similar=2,coverage=2,typing=1,flavors=1,anchors=1"
+
+_ENDPOINTS = (
+    "search", "similar", "coverage", "typing", "flavors", "anchors", "healthz",
+)
+
+
+def parse_mix(spec: str) -> dict[str, float]:
+    """Parse ``"search=4,typing=1"`` into endpoint weights."""
+    mix: dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, raw = part.partition("=")
+        name = name.strip()
+        if name not in _ENDPOINTS:
+            raise ValueError(
+                f"unknown endpoint {name!r}; choose from {_ENDPOINTS}"
+            )
+        try:
+            weight = float(raw) if raw else 1.0
+        except ValueError:
+            raise ValueError(f"bad weight in mix part {part!r}") from None
+        if weight < 0:
+            raise ValueError(f"negative weight in mix part {part!r}")
+        if weight > 0:
+            mix[name] = mix.get(name, 0.0) + weight
+    if not mix:
+        raise ValueError(f"empty request mix {spec!r}")
+    return mix
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    """Exact nearest-rank quantile of a pre-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(int(math.ceil(q * len(sorted_values))), 1)
+    return sorted_values[rank - 1]
+
+
+@dataclass
+class _EndpointStats:
+    latencies_s: list[float] = field(default_factory=list)
+    errors: int = 0
+
+    def to_dict(self) -> dict:
+        values = sorted(self.latencies_s)
+        count = len(values)
+        return {
+            "count": count,
+            "errors": self.errors,
+            "mean_s": (sum(values) / count) if count else 0.0,
+            "p50_s": _quantile(values, 0.50),
+            "p90_s": _quantile(values, 0.90),
+            "p99_s": _quantile(values, 0.99),
+            "max_s": values[-1] if count else 0.0,
+        }
+
+
+@dataclass
+class LoadReport:
+    """Aggregate result of one load-generation run."""
+
+    concurrency: int
+    duration_s: float
+    total_requests: int
+    total_errors: int
+    requests_per_s: float
+    endpoints: dict[str, dict]
+    error_samples: list[str]
+
+    def to_dict(self) -> dict:
+        return {
+            "concurrency": self.concurrency,
+            "duration_s": self.duration_s,
+            "total_requests": self.total_requests,
+            "total_errors": self.total_errors,
+            "requests_per_s": self.requests_per_s,
+            "endpoints": dict(sorted(self.endpoints.items())),
+            "error_samples": self.error_samples[:10],
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.total_requests} requests over {self.duration_s:.2f}s "
+            f"at concurrency {self.concurrency} — "
+            f"{self.requests_per_s:.1f} req/s, {self.total_errors} errors"
+        ]
+        for name, stats in sorted(self.endpoints.items()):
+            lines.append(
+                f"  {name:<9} n={stats['count']:<5} "
+                f"p50={stats['p50_s'] * 1e3:8.2f}ms "
+                f"p99={stats['p99_s'] * 1e3:8.2f}ms "
+                f"errors={stats['errors']}"
+            )
+        return "\n".join(lines)
+
+
+class RequestFactory:
+    """Deterministic request construction over a served corpus."""
+
+    def __init__(
+        self,
+        corpus: dict,
+        *,
+        nmf_k: int = 4,
+        nmf_restarts: int = 2,
+        vary_nmf_seeds: bool = True,
+        nmf_seed_base: int = 0,
+    ) -> None:
+        self.course_ids = list(corpus.get("course_ids", ()))
+        self.material_ids = list(corpus.get("material_ids", ()))
+        self.tag_ids = list(corpus.get("tag_ids", ()))
+        if not self.course_ids or not self.material_ids:
+            raise ValueError("served corpus has no courses or materials")
+        self.nmf_k = nmf_k
+        self.nmf_restarts = nmf_restarts
+        self.vary_nmf_seeds = vary_nmf_seeds
+        self.nmf_seed_base = nmf_seed_base
+
+    def _nmf_seed(self, request_index: int) -> int:
+        if not self.vary_nmf_seeds:
+            return self.nmf_seed_base
+        return self.nmf_seed_base + request_index
+
+    def make(
+        self, rng: random.Random, endpoint: str, request_index: int
+    ) -> tuple[str, str, dict | None]:
+        """Build ``(method, path, body)`` for one request."""
+        if endpoint == "healthz":
+            return "GET", "/healthz", None
+        if endpoint == "search":
+            n_tags = rng.randint(1, min(3, len(self.tag_ids)) or 1)
+            tags = rng.sample(self.tag_ids, n_tags) if self.tag_ids else []
+            return "POST", "/search", {
+                "queries": [{"tags": tags}],
+                "limit": 10,
+            }
+        if endpoint == "similar":
+            return "POST", "/similar", {
+                "material_id": rng.choice(self.material_ids),
+                "limit": 10,
+            }
+        if endpoint == "coverage":
+            return "POST", "/coverage", {
+                "course_id": rng.choice(self.course_ids),
+            }
+        if endpoint == "typing":
+            return "POST", "/typing", {
+                "k": self.nmf_k,
+                "seed": self._nmf_seed(request_index),
+                "n_restarts": self.nmf_restarts,
+            }
+        if endpoint == "flavors":
+            return "POST", "/flavors", {
+                "k": 3,
+                "seed": self._nmf_seed(request_index),
+                "n_restarts": self.nmf_restarts,
+            }
+        if endpoint == "anchors":
+            return "POST", "/anchors", {
+                "course_id": rng.choice(self.course_ids),
+                "seed": self._nmf_seed(request_index),
+                "n_restarts": self.nmf_restarts,
+            }
+        raise ValueError(f"unknown endpoint {endpoint!r}")
+
+
+def _pick(rng: random.Random, names: list[str], cumulative: list[float]) -> str:
+    x = rng.random() * cumulative[-1]
+    for name, edge in zip(names, cumulative):
+        if x < edge:
+            return name
+    return names[-1]
+
+
+def run_load(
+    host: str,
+    port: int,
+    *,
+    concurrency: int = 8,
+    duration_s: float | None = 5.0,
+    requests_per_worker: int | None = None,
+    mix: str | dict[str, float] = DEFAULT_MIX,
+    seed: int = 0,
+    nmf_k: int = 4,
+    nmf_restarts: int = 2,
+    vary_nmf_seeds: bool = True,
+    nmf_seed_base: int = 0,
+    timeout: float = 120.0,
+) -> LoadReport:
+    """Drive the service with a closed-loop thread-per-client workload.
+
+    Stops after ``duration_s`` seconds (workers finish their in-flight
+    request) or, if ``requests_per_worker`` is given, after exactly that
+    many requests per worker — the deterministic mode CI smoke uses.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    if duration_s is None and requests_per_worker is None:
+        raise ValueError("need duration_s or requests_per_worker")
+    weights = parse_mix(mix) if isinstance(mix, str) else dict(mix)
+    names = sorted(weights)
+    cumulative: list[float] = []
+    running = 0.0
+    for name in names:
+        running += weights[name]
+        cumulative.append(running)
+
+    probe = ServiceClient(host, port, timeout=timeout)
+    try:
+        status, corpus = probe.get("/corpus")
+        if status != 200:
+            raise RuntimeError(f"GET /corpus failed with {status}: {corpus}")
+    finally:
+        probe.close()
+    factory = RequestFactory(
+        corpus,
+        nmf_k=nmf_k,
+        nmf_restarts=nmf_restarts,
+        vary_nmf_seeds=vary_nmf_seeds,
+        nmf_seed_base=nmf_seed_base,
+    )
+
+    per_worker_stats: list[dict[str, _EndpointStats]] = [
+        {} for _ in range(concurrency)
+    ]
+    error_samples: list[str] = []
+    samples_lock = threading.Lock()
+    start_gate = threading.Event()
+    deadline_holder: list[float] = []
+
+    def worker(widx: int) -> None:
+        rng = random.Random(seed * 1_000_003 + widx)
+        stats = per_worker_stats[widx]
+        client = ServiceClient(host, port, timeout=timeout)
+        start_gate.wait()
+        request_index = widx * 1_000_000  # disjoint per-worker NMF seed ranges
+        issued = 0
+        try:
+            while True:
+                if requests_per_worker is not None and issued >= requests_per_worker:
+                    break
+                if deadline_holder and time.perf_counter() >= deadline_holder[0]:
+                    break
+                endpoint = _pick(rng, names, cumulative)
+                method, path, body = factory.make(rng, endpoint, request_index)
+                request_index += 1
+                issued += 1
+                bucket = stats.setdefault(endpoint, _EndpointStats())
+                t0 = time.perf_counter()
+                try:
+                    status, doc = client.request(method, path, body)
+                except Exception as exc:  # noqa: BLE001 — record, keep looping
+                    bucket.errors += 1
+                    with samples_lock:
+                        error_samples.append(f"{endpoint}: {exc}")
+                    continue
+                if status != 200:
+                    bucket.errors += 1
+                    with samples_lock:
+                        error_samples.append(
+                            f"{endpoint}: HTTP {status} {doc.get('error')}"
+                        )
+                else:
+                    bucket.latencies_s.append(time.perf_counter() - t0)
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(w,), name=f"loadgen-{w}")
+        for w in range(concurrency)
+    ]
+    for t in threads:
+        t.start()
+    t_start = time.perf_counter()
+    if duration_s is not None:
+        deadline_holder.append(t_start + duration_s)
+    start_gate.set()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t_start
+
+    merged: dict[str, _EndpointStats] = {}
+    for stats in per_worker_stats:
+        for name, bucket in stats.items():
+            agg = merged.setdefault(name, _EndpointStats())
+            agg.latencies_s.extend(bucket.latencies_s)
+            agg.errors += bucket.errors
+    total_requests = sum(
+        len(b.latencies_s) + b.errors for b in merged.values()
+    )
+    total_errors = sum(b.errors for b in merged.values())
+    return LoadReport(
+        concurrency=concurrency,
+        duration_s=elapsed,
+        total_requests=total_requests,
+        total_errors=total_errors,
+        requests_per_s=(total_requests / elapsed) if elapsed > 0 else 0.0,
+        endpoints={name: b.to_dict() for name, b in merged.items()},
+        error_samples=error_samples,
+    )

@@ -1,0 +1,287 @@
+"""Analysis-as-a-service: a threaded stdlib HTTP JSON API.
+
+``ReproService`` wraps a :class:`~repro.service.state.ServiceState` and a
+:class:`~repro.service.broker.RequestBroker` behind a
+:class:`~http.server.ThreadingHTTPServer`.  Handler threads do the cheap
+per-request work (parse, validate, serialize); anything touching an NMF
+kernel or the shard fan-out is expressed as a broker job, so concurrent
+requests coalesce into single kernel calls while each handler blocks on
+its own future.
+
+Endpoints (all JSON; POST bodies are JSON objects, GET uses query
+strings):
+
+====================  ======================================================
+``GET /healthz``      liveness + corpus/worker counts
+``GET /metrics``      runtime metrics snapshot (counters, timers,
+                      latency histograms, cache stats, failure report)
+``GET /corpus``       served ids (courses, sample of materials, tags) —
+                      what a load generator needs to form requests
+``POST /search``      one or many :class:`SearchQuery` documents
+``POST /similar``     Jaccard neighbours of a material
+``POST /coverage``    guideline coverage report for a course
+``POST /typing``      corpus/family NNMF course typing (Figure 2)
+``POST /flavors``     family flavor analysis (Figures 5/7)
+``POST /anchors``     anchor-point module recommendations (§5)
+====================  ======================================================
+
+Shutdown drains: the accept loop stops, in-flight handlers run to
+completion (handler threads are joined), queued broker batches flush,
+then the resident shard pool is reaped.  During draining new requests
+get 503 with ``Connection: close``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.runtime.executor import failure_report
+from repro.runtime.metrics import metrics
+from repro.service.broker import BrokerClosed, RequestBroker
+from repro.service.state import ServiceError, ServiceState
+
+_MAX_BODY = 8 * 1024 * 1024
+
+
+class _Server(ThreadingHTTPServer):
+    # ThreadingHTTPServer defaults to daemon handler threads, which are
+    # *not* tracked or joined — the opposite of draining.  Non-daemon
+    # threads are appended to ``_threads`` and joined by server_close().
+    daemon_threads = False
+    block_on_close = True
+    # The socketserver default backlog (5) drops connections when a
+    # client cohort dials in simultaneously; size it for load tests.
+    request_queue_size = 128
+    service: "ReproService"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    # Idle keep-alive connections would otherwise block the drain join
+    # forever; a read timeout closes them.
+    timeout = 5.0
+    # Nagle + delayed ACK costs ~40ms per small keep-alive response.
+    disable_nagle_algorithm = True
+
+    server: _Server
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # metrics, not stderr lines
+
+    def do_GET(self) -> None:
+        self._handle(is_post=False)
+
+    def do_POST(self) -> None:
+        self._handle(is_post=True)
+
+    def _read_params(self, is_post: bool) -> dict:
+        if not is_post:
+            query = urlsplit(self.path).query
+            return dict(parse_qsl(query))
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY:
+            raise ServiceError(413, f"body too large ({length} bytes)")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            doc = json.loads(raw)
+        except ValueError as exc:
+            raise ServiceError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(doc, dict):
+            raise ServiceError(400, "body must be a JSON object")
+        return doc
+
+    def _handle(self, *, is_post: bool) -> None:
+        service = self.server.service
+        path = urlsplit(self.path).path.rstrip("/") or "/"
+        name = path.lstrip("/").split("/", 1)[0] or "root"
+        t0 = time.perf_counter()
+        try:
+            if service.draining:
+                raise ServiceError(503, "service is shutting down")
+            params = self._read_params(is_post)
+            doc = service.route(path, params)
+            status = 200
+        except ServiceError as exc:
+            status, doc = exc.status, {"error": exc.message}
+        except BrokerClosed:
+            status, doc = 503, {"error": "service is shutting down"}
+        except Exception as exc:  # noqa: BLE001 — a request must not kill its thread
+            status, doc = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        elapsed = time.perf_counter() - t0
+        metrics.observe(f"service.latency.{name}", elapsed)
+        metrics.inc("service.requests")
+        if status >= 400:
+            metrics.inc("service.errors")
+            if status == 400:
+                metrics.inc("service.errors.400")
+            elif status == 404:
+                metrics.inc("service.errors.404")
+            elif status == 413:
+                metrics.inc("service.errors.413")
+            elif status == 503:
+                metrics.inc("service.errors.503")
+            else:
+                metrics.inc("service.errors.500")
+        payload = json.dumps(doc).encode("utf-8")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            if service.draining:
+                self.send_header("Connection", "close")
+                self.close_connection = True
+            self.end_headers()
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):
+            metrics.inc("service.client_disconnects")
+            self.close_connection = True
+
+
+class ReproService:
+    """One server: state + broker + HTTP front end.
+
+    Usable as a context manager::
+
+        with ReproService(state) as service:
+            host, port = service.address
+            ...
+
+    ``close()`` is the graceful-drain sequence; ``final_metrics`` holds
+    the metrics snapshot taken after the drain completed.
+    """
+
+    def __init__(
+        self,
+        state: ServiceState,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.state = state
+        config = state.config
+        self.broker = RequestBroker(
+            search_many=self._search_many,
+            window_s=config.window_s,
+            max_batch=config.max_batch,
+            coalesce=config.coalesce,
+            kernel=config.nmf_kernel,
+        )
+        self._host = host
+        self._port = port
+        self._httpd: _Server | None = None
+        self._thread: threading.Thread | None = None
+        self._t0 = 0.0
+        self.draining = False
+        self.final_metrics: dict | None = None
+
+    # RPR201-safe: bound method handed to the broker thread in-process,
+    # never pickled to a pool.
+    def _search_many(self, queries, *, tree, limit):
+        return self.state.repo.search_many(queries, tree=tree, limit=limit)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._host, self._port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self._port}"
+
+    def start(self) -> tuple[str, int]:
+        if self._httpd is not None:
+            return self.address
+        self.state.start()
+        self._httpd = _Server((self._host, self._port), _Handler)
+        self._httpd.service = self
+        self._port = self._httpd.server_address[1]
+        self._t0 = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-service",
+            daemon=True,
+        )
+        self._thread.start()
+        metrics.inc("service.starts")
+        return self.address
+
+    def close(self, *, force: bool = False) -> dict:
+        """Drain and stop; idempotent.  Returns the final metrics snapshot.
+
+        Order matters: stop accepting, join in-flight handler threads
+        (they may still be blocked on broker futures — the broker is
+        alive), flush the broker's queued batches, then tear down the
+        resident shard pool.
+        """
+        if self._httpd is None:
+            return self.final_metrics or metrics.snapshot()
+        self.draining = True
+        self._httpd.shutdown()  # stop the accept loop
+        self._httpd.server_close()  # joins non-daemon handler threads
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self.broker.close()  # flush queued/coalescing batches
+        self.state.close(force=force)
+        metrics.inc("service.shutdowns")
+        self.final_metrics = metrics.snapshot()
+        self._httpd = None
+        self._thread = None
+        return self.final_metrics
+
+    def __enter__(self) -> "ReproService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- routing -------------------------------------------------------------
+
+    def route(self, path: str, params: dict) -> dict:
+        state = self.state
+        if path == "/healthz":
+            return state.healthz(params)
+        if path == "/metrics":
+            return self.metrics_doc()
+        if path == "/corpus":
+            return state.corpus_info(params)
+        if path == "/coverage":
+            return state.coverage(params)
+        if path == "/similar":
+            return state.similar(params)
+        if path == "/search":
+            return self.broker.submit_search(state.search_job(params)).result()
+        if path == "/typing":
+            return self.broker.submit_nmf(state.typing_job(params)).result()
+        if path == "/flavors":
+            return self.broker.submit_nmf(state.flavors_job(params)).result()
+        if path == "/anchors":
+            job = state.anchors_job(params)
+            if isinstance(job, dict):
+                return job
+            return self.broker.submit_nmf(job).result()
+        raise ServiceError(404, f"no route {path!r}")
+
+    def metrics_doc(self) -> dict:
+        doc = metrics.snapshot()
+        doc["uptime_s"] = time.perf_counter() - self._t0
+        doc["failures"] = dict(failure_report().counts)
+        return doc
+
+
+def serve_forever(service: ReproService) -> None:
+    """Run until interrupted, then drain (the ``repro serve`` loop)."""
+    host, port = service.start()
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()

@@ -28,6 +28,7 @@ from repro.corpus.stream import (
 from repro.factorization import (
     outofcore_nmf_fits,
     row_blocks,
+    stream_incidence_memmap,
     write_incidence_memmap,
 )
 from repro.factorization.nmf import nmf_restart_specs
@@ -246,3 +247,59 @@ class TestWriteIncidenceMemmap:
             write_incidence_memmap(
                 MaterialRepository(), tmp_path / "x.npy", block_rows=0
             )
+
+
+class TestStreamIncidenceMemmap:
+    """JSONL → memmap without a repository in between (PR 8)."""
+
+    def test_matches_repository_export(self, tmp_path, stream_courses):
+        jsonl = tmp_path / "corpus.jsonl"
+        save_courses_jsonl(stream_courses, jsonl)
+        repo = MaterialRepository()
+        for c in stream_courses:
+            repo.add_course(c)
+        via_repo, u_repo = write_incidence_memmap(repo, tmp_path / "a.npy")
+        via_jsonl, u_jsonl = stream_incidence_memmap(
+            jsonl, tmp_path / "b.npy", block_rows=13
+        )
+        assert u_jsonl == u_repo
+        assert np.array_equal(np.asarray(via_jsonl), np.asarray(via_repo))
+
+    def test_duplicates_keep_first_occurrence(self, tmp_path, stream_courses):
+        # a re-serialized duplicate course contributes no extra rows
+        doubled = list(stream_courses[:4]) + [stream_courses[0]]
+        jsonl = tmp_path / "doubled.jsonl"
+        save_courses_jsonl(doubled, jsonl)
+        out, universe = stream_incidence_memmap(jsonl, tmp_path / "c.npy")
+        n_unique = sum(len(c.materials) for c in stream_courses[:4])
+        assert out.shape[0] == n_unique
+
+    def test_malformed_lines_are_skipped(self, tmp_path, stream_courses):
+        jsonl = tmp_path / "noisy.jsonl"
+        save_courses_jsonl(stream_courses[:3], jsonl)
+        with open(jsonl, "a") as fh:
+            fh.write("{not json\n")
+            fh.write(json.dumps({"id": "no-materials"}) + "\n")
+        metrics.reset()
+        out, _ = stream_incidence_memmap(jsonl, tmp_path / "d.npy")
+        assert out.shape[0] == sum(len(c.materials) for c in stream_courses[:3])
+        assert metrics.get("oocnmf.incidence.skipped_lines") >= 1
+
+    def test_feeds_outofcore_nmf(self, tmp_path, stream_courses):
+        """The paper pipeline end to end: JSONL corpus → streamed
+        incidence → out-of-core NMF, equal to the in-memory solve."""
+        jsonl = tmp_path / "corpus.jsonl"
+        save_courses_jsonl(stream_courses[:6], jsonl)
+        out, _ = stream_incidence_memmap(jsonl, tmp_path / "a.npy")
+        a = np.asarray(out)
+        specs = nmf_restart_specs(a, 2, seed=3, solver="mu", n_restarts=1)
+        mapped = np.load(tmp_path / "a.npy", mmap_mode="r")
+        ooc = outofcore_nmf_fits(mapped, specs)
+        dense = run_nmf_fits(a, specs, kernel="serial", use_cache=False)
+        assert np.allclose(ooc[0]["w"], dense[0]["w"])
+        assert np.allclose(ooc[0]["h"], dense[0]["h"])
+
+    def test_bad_block_rows(self, tmp_path):
+        with pytest.raises(ValueError, match=">= 1"):
+            stream_incidence_memmap("whatever.jsonl", tmp_path / "x.npy",
+                                    block_rows=0)

@@ -354,7 +354,9 @@ class TestMetrics:
     def test_reset(self, a):
         run_nmf_fits(a, nmf_restart_specs(a, 2, seed=0, n_restarts=1))
         runtime.reset()
-        assert runtime.metrics.snapshot() == {"counters": {}, "timers": {}}
+        assert runtime.metrics.snapshot() == {
+            "counters": {}, "timers": {}, "histograms": {},
+        }
         assert runtime.summary().endswith("(nothing recorded)")
 
 
@@ -378,3 +380,161 @@ class TestConfigure:
             runtime.configure(workers=0)
         with pytest.raises(ValueError):
             ResultCache(max_entries=0)
+
+
+# -- latency histograms (PR 8) ----------------------------------------------
+
+
+class TestHistograms:
+    def test_observe_and_quantiles(self):
+        m = MetricsRegistry()
+        for v in [0.001] * 50 + [0.010] * 40 + [0.100] * 9 + [1.0]:
+            m.observe("lat", v)
+        hist = m.histogram("lat")
+        assert hist.count == 100
+        assert hist.min_value == 0.001 and hist.max_value == 1.0
+        # log-bucketed quantiles: within one bucket (~19%) of the truth
+        assert hist.quantile(0.5) == pytest.approx(0.001, rel=0.25)
+        assert hist.quantile(0.9) == pytest.approx(0.010, rel=0.25)
+        assert hist.quantile(1.0) == pytest.approx(1.0, rel=0.25)
+        assert hist.quantile(1.0) <= hist.max_value
+        assert hist.mean == pytest.approx(
+            (0.001 * 50 + 0.010 * 40 + 0.100 * 9 + 1.0) / 100
+        )
+
+    def test_snapshot_and_summary_include_histograms(self):
+        m = MetricsRegistry()
+        m.observe("lat", 0.5)
+        snap = m.snapshot()
+        doc = snap["histograms"]["lat"]
+        assert doc["count"] == 1
+        assert {"p50", "p90", "p99", "mean", "min", "max"} <= set(doc)
+        assert "lat" in m.summary() and "p50" in m.summary()
+
+    def test_latency_contextmanager(self):
+        m = MetricsRegistry()
+        with m.latency("op"):
+            pass
+        hist = m.histogram("op")
+        assert hist.count == 1 and hist.max_value > 0
+
+    def test_negative_values_clamp_to_floor(self):
+        m = MetricsRegistry()
+        m.observe("x", -3.0)
+        hist = m.histogram("x")
+        assert hist.count == 1 and hist.quantile(0.5) >= 0
+
+    def test_histogram_returns_copy_and_reset_clears(self):
+        m = MetricsRegistry()
+        m.observe("x", 1.0)
+        m.histogram("x").counts.clear()  # mutating the copy is harmless
+        assert m.histogram("x").count == 1
+        m.reset()
+        assert m.histogram("x").count == 0
+        assert m.snapshot()["histograms"] == {}
+
+    def test_thread_safety_under_contention(self):
+        import threading as _threading
+
+        m = MetricsRegistry()
+
+        def pound():
+            for i in range(500):
+                m.observe("shared", 0.001 * (1 + i % 7))
+
+        threads = [_threading.Thread(target=pound) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert m.histogram("shared").count == 4000
+
+
+# -- cross-process cache writers (PR 8) --------------------------------------
+
+
+def _stress_bundle():
+    return {
+        "w": np.full((16, 3), 7.0),
+        "h": np.arange(48.0).reshape(3, 16),
+    }
+
+
+def _cache_writer_proc(args):
+    """Hammer one disk key from this process; report any wrong read."""
+    cache_dir, key, n = args
+    writer = ResultCache(max_entries=4, cache_dir=cache_dir)
+    reader = ResultCache(max_entries=4, cache_dir=cache_dir)
+    bundle = _stress_bundle()
+    for _ in range(n):
+        writer.put(key, bundle)
+        reader.clear()  # drop the memory layer: force a disk read
+        got = reader.get(key)
+        if got is not None and not (
+            np.array_equal(got["w"], bundle["w"])
+            and np.array_equal(got["h"], bundle["h"])
+        ):
+            return "wrong-data"
+    if reader.stats.quarantined or writer.stats.quarantined:
+        return "quarantined"
+    return "ok"
+
+
+class TestCacheConcurrency:
+    def test_cross_process_writers_of_one_key(self, tmp_path):
+        """Many processes writing the *same* key concurrently: every read
+        sees either a miss or the full checksummed bundle — never torn
+        data, never a quarantine (tmp-write + atomic rename)."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        key = "stress-key"
+        args = [(str(tmp_path), key, 30)] * 4
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            verdicts = list(pool.map(_cache_writer_proc, args))
+        assert verdicts == ["ok"] * 4
+        final = ResultCache(cache_dir=tmp_path)
+        got = final.get(key)
+        bundle = _stress_bundle()
+        assert got is not None
+        assert np.array_equal(got["w"], bundle["w"])
+        assert np.array_equal(got["h"], bundle["h"])
+        assert final.stats.quarantined == 0
+        # exactly one committed file for the key; no leaked tmp files
+        assert len(list(tmp_path.glob("*.npz"))) == 1
+        assert not list(tmp_path.glob(".tmp-*.npz"))
+
+    def test_same_instance_thread_stress(self, tmp_path):
+        """One ResultCache shared by threads (the service configuration):
+        mixed put/get/contains/len under contention stays consistent."""
+        import threading as _threading
+
+        cache = ResultCache(max_entries=8, cache_dir=tmp_path)
+        bundle = _stress_bundle()
+        errors = []
+
+        def pound(widx):
+            try:
+                for i in range(150):
+                    key = f"k{(widx + i) % 12}"
+                    cache.put(key, bundle)
+                    got = cache.get(key)
+                    if got is not None and not np.array_equal(
+                        got["w"], bundle["w"]
+                    ):
+                        errors.append("wrong-data")
+                    key in cache
+                    len(cache)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(repr(exc))
+
+        threads = [
+            _threading.Thread(target=pound, args=(w,)) for w in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(cache) <= 8
+        hits = cache.stats.hits + cache.stats.disk_hits
+        assert hits > 0 and cache.stats.quarantined == 0

@@ -1,0 +1,546 @@
+"""Service-layer suite (PR 8).
+
+Three contracts under test:
+
+* **coalescing** — concurrent requests micro-batch into single kernel
+  calls (batch sizes > 1, dedup, one ``search_many`` per burst) and the
+  ``coalesce=False`` baseline flows through the same dispatch code;
+* **bit-identity** — every served JSON document equals the one computed
+  by direct library calls (floats survive JSON via repr round-trip);
+* **draining** — in-flight requests complete during shutdown, queued
+  broker batches flush, and no resident shard worker outlives the
+  service.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+import repro.runtime as runtime
+from repro.analysis import analyze_flavors, build_course_matrix, type_courses
+from repro.anchors.recommender import recommend_for_course
+from repro.factorization.nmf import nmf_restart_specs
+from repro.materials import CourseLabel, coverage
+from repro.runtime import run_nmf_fits
+from repro.runtime.metrics import metrics
+from repro.service import (
+    BrokerClosed,
+    NmfJob,
+    ReproService,
+    RequestBroker,
+    SearchJob,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceState,
+    parse_mix,
+    parse_query,
+    run_load,
+)
+from repro.service.loadgen import _quantile
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runtime():
+    runtime.reset()
+    yield
+    runtime.reset()
+
+
+@pytest.fixture(scope="module")
+def service(dataset):
+    tree, courses, _ = dataset
+    state = ServiceState(
+        tree, courses,
+        config=ServiceConfig(n_shards=3, window_s=0.005),
+    )
+    with ReproService(state) as svc:
+        yield svc
+
+
+@pytest.fixture()
+def client(service):
+    host, port = service.address
+    with ServiceClient(host, port) as c:
+        yield c
+
+
+def _json_roundtrip(doc):
+    return json.loads(json.dumps(doc))
+
+
+# -- broker ------------------------------------------------------------------
+
+
+def _err_specs(a, seed, n=2):
+    return nmf_restart_specs(a, 2, seed=seed, n_restarts=n)
+
+
+def _errs_job(a, seed):
+    return NmfJob(
+        matrix=a,
+        group=id(a),
+        specs=_err_specs(a, seed),
+        finish=lambda bundles: [float(b["err"]) for b in bundles],
+        dedup_key=("t", seed),
+    )
+
+
+class TestBroker:
+    @pytest.fixture()
+    def a(self):
+        rng = np.random.default_rng(3)
+        return np.abs(rng.normal(size=(18, 12)))
+
+    def test_concurrent_requests_coalesce_and_match_direct(self, a):
+        broker = RequestBroker(window_s=0.05, max_batch=32)
+        try:
+            seeds = list(range(6))
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                futs = list(pool.map(
+                    lambda s: broker.submit_nmf(_errs_job(a, s)), seeds
+                ))
+                got = [f.result(timeout=60) for f in futs]
+        finally:
+            broker.close()
+        for seed, errs in zip(seeds, got):
+            direct = [
+                float(b["err"])
+                for b in run_nmf_fits(a, _err_specs(a, seed))
+            ]
+            assert errs == direct
+        hist = metrics.histogram("broker.nmf.batch_size")
+        assert hist is not None and hist.max_value > 1.0
+
+    def test_identical_requests_dedupe_to_one_solve(self, a):
+        broker = RequestBroker(window_s=0.05)
+        try:
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                futs = list(pool.map(
+                    lambda _: broker.submit_nmf(_errs_job(a, 9)), range(4)
+                ))
+                got = [f.result(timeout=60) for f in futs]
+        finally:
+            broker.close()
+        assert got[0] == got[1] == got[2] == got[3]
+        snap = metrics.snapshot()["counters"]
+        assert snap.get("broker.nmf.deduped", 0) >= 1
+
+    def test_inline_baseline_matches_coalesced(self, a):
+        coalesced = RequestBroker(window_s=0.05)
+        inline = RequestBroker(coalesce=False)
+        try:
+            lhs = coalesced.submit_nmf(_errs_job(a, 4)).result(timeout=60)
+            rhs = inline.submit_nmf(_errs_job(a, 4)).result(timeout=60)
+        finally:
+            coalesced.close()
+            inline.close()
+        assert lhs == rhs
+
+    def test_search_burst_is_one_backend_call(self):
+        calls = []
+
+        def search_many(queries, *, tree, limit):
+            calls.append(len(queries))
+            return [[(q, limit)] for q in queries]
+
+        broker = RequestBroker(search_many=search_many, window_s=0.05)
+        try:
+            def job(i):
+                return SearchJob(
+                    queries=[f"q{i}", f"r{i}"], tree=None, limit=7,
+                    finish=lambda per_query: list(per_query),
+                )
+
+            with ThreadPoolExecutor(max_workers=5) as pool:
+                futs = list(pool.map(
+                    lambda i: broker.submit_search(job(i)), range(5)
+                ))
+                got = [f.result(timeout=30) for f in futs]
+        finally:
+            broker.close()
+        assert calls == [10]  # one flattened backend call for the burst
+        for i, per_query in enumerate(got):
+            assert per_query == [[(f"q{i}", 7)], [(f"r{i}", 7)]]
+
+    def test_request_failure_does_not_poison_batch(self, a):
+        broker = RequestBroker(window_s=0.05)
+        bad = NmfJob(
+            matrix=a, group=id(a), specs=_err_specs(a, 1),
+            finish=lambda bundles: 1 / 0,
+        )
+        try:
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                f_bad = pool.submit(broker.submit_nmf, bad).result()
+                f_ok = pool.submit(broker.submit_nmf, _errs_job(a, 2)).result()
+            with pytest.raises(ZeroDivisionError):
+                f_bad.result(timeout=60)
+            assert f_ok.result(timeout=60)  # sibling request unharmed
+        finally:
+            broker.close()
+
+    def test_close_drains_queued_jobs_then_rejects(self, a):
+        broker = RequestBroker(window_s=5.0)  # window longer than the test
+        fut = broker.submit_nmf(_errs_job(a, 5))
+        broker.close()  # must flush the in-window batch, not drop it
+        assert fut.result(timeout=60)
+        with pytest.raises(BrokerClosed):
+            broker.submit_nmf(_errs_job(a, 6))
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError, match="window_s"):
+            RequestBroker(window_s=-0.1)
+        with pytest.raises(ValueError, match="max_batch"):
+            RequestBroker(max_batch=0)
+
+
+# -- bit-identity ------------------------------------------------------------
+
+
+class TestBitIdentity:
+    def test_typing_matches_direct_library_call(self, service, client, dataset):
+        _, courses, matrix = dataset
+        status, doc = client.post(
+            "/typing", {"k": 4, "seed": 11, "n_restarts": 2}
+        )
+        assert status == 200
+        direct = type_courses(
+            service.state.matrix, 4, seed=11, n_restarts=2
+        )
+        assert doc["reconstruction_err"] == direct.reconstruction_err
+        assert doc["w"] == _json_roundtrip(direct.w.tolist())
+        assert doc["course_ids"] == list(direct.matrix.course_ids)
+        assert doc["dominant_types"] == {
+            cid: direct.dominant_type(cid)
+            for cid in direct.matrix.course_ids
+        }
+
+    def test_flavors_matches_direct_library_call(self, service, client, dataset):
+        tree, courses, _ = dataset
+        status, doc = client.post(
+            "/flavors", {"k": 3, "seed": 2, "n_restarts": 2, "label": "CS1"},
+        )
+        assert status == 200
+        family = build_course_matrix(
+            list(courses), tree=tree, label=CourseLabel.CS1
+        )
+        direct = analyze_flavors(family, tree, 3, seed=2, n_restarts=2)
+        assert doc["reconstruction_err"] == direct.typing.reconstruction_err
+        assert doc["strongest_courses"] == [
+            direct.strongest_course(t) for t in range(direct.k)
+        ]
+        for served, prof in zip(doc["profiles"], direct.profiles):
+            assert served["describe"] == prof.describe()
+            assert served["area_mass"] == _json_roundtrip(
+                dict(sorted(prof.area_mass.items()))
+            )
+            assert served["top_tags"] == _json_roundtrip(
+                [[t, v] for t, v in prof.top_tags]
+            )
+
+    def test_anchors_explicit_flavors_matches_recommender(
+        self, service, client, dataset
+    ):
+        _, courses, _ = dataset
+        course = courses[0]
+        status, doc = client.post(
+            "/anchors",
+            {"course_id": course.id, "flavors": ["cs1-algorithmic"], "top": 4},
+        )
+        assert status == 200 and doc["discovered"] is False
+        direct = recommend_for_course(course, flavors=["cs1-algorithmic"])
+        assert len(doc["recommendations"]) == min(4, len(direct.recommendations))
+        for served, rec in zip(doc["recommendations"], direct.top(4)):
+            assert served["module"] == rec.module.id
+            assert served["score"] == rec.score
+            assert served["anchor_coverage"] == rec.anchor_coverage
+            assert served["missing_anchors"] == list(rec.missing_anchors)
+
+    def test_anchors_discovery_rides_the_nmf_lane(self, service, client):
+        course_id = service.state.matrix.course_ids[0]
+        status, doc = client.post(
+            "/anchors", {"course_id": course_id, "seed": 3, "n_restarts": 2}
+        )
+        assert status == 200 and doc["discovered"] is True
+        assert doc["exemplar"] in service.state.matrix.course_ids
+        # the discovered flavor must be the exemplar's dominant archetype
+        mixture = service.state._mixtures.get(doc["exemplar"])
+        if mixture:
+            assert doc["flavors"] == [max(mixture, key=lambda a: mixture[a])]
+
+    def test_coverage_matches_direct(self, service, client, dataset):
+        tree, courses, _ = dataset
+        course = courses[3]
+        status, doc = client.post("/coverage", {"course_id": course.id})
+        assert status == 200
+        direct = coverage(course, tree)
+        assert doc["fraction"] == direct.fraction
+        assert doc["core1"] == [direct.core1_covered, direct.core1_total]
+        assert doc["by_area"] == _json_roundtrip(
+            {a: list(v) for a, v in sorted(direct.by_area.items())}
+        )
+        assert doc["meets_core_requirements"] == direct.meets_core_requirements()
+
+    def test_search_matches_repository(self, service, client):
+        tags = list(service.state.matrix.tag_ids[:2])
+        status, doc = client.post(
+            "/search", {"queries": [{"tags": tags}, {"text": "lab"}], "limit": 5},
+        )
+        assert status == 200
+        direct = service.state.repo.search_many(
+            [parse_query({"tags": tags}), parse_query({"text": "lab"})],
+            tree=service.state.tree,
+            limit=5,
+        )
+        assert doc["results"] == [
+            [{"id": r.material.id, "score": r.score} for r in hits]
+            for hits in direct
+        ]
+
+    def test_similar_matches_repository(self, service, client):
+        material_id = next(service.state.repo.materials()).id
+        status, doc = client.post(
+            "/similar", {"material_id": material_id, "limit": 4}
+        )
+        assert status == 200
+        direct = service.state.repo.find_similar(material_id, limit=4)
+        assert doc["results"] == [
+            {"id": r.material.id, "score": r.score} for r in direct
+        ]
+
+    def test_concurrent_mixed_seeds_each_match_direct(self, service):
+        """Coalesced batches slice correctly: every request in a concurrent
+        burst gets exactly the solve its own parameters demand."""
+        host, port = service.address
+        seeds = list(range(8))
+
+        def fetch(seed):
+            with ServiceClient(host, port) as c:
+                return c.post(
+                    "/typing", {"k": 4, "seed": seed, "n_restarts": 2}
+                )
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            got = list(pool.map(fetch, seeds))
+        for seed, (status, doc) in zip(seeds, got):
+            assert status == 200
+            direct = type_courses(
+                service.state.matrix, 4, seed=seed, n_restarts=2
+            )
+            assert doc["reconstruction_err"] == direct.reconstruction_err
+            assert doc["w"] == _json_roundtrip(direct.w.tolist())
+
+
+# -- HTTP surface ------------------------------------------------------------
+
+
+class TestHttpSurface:
+    def test_healthz_and_metrics(self, service, client):
+        status, doc = client.get("/healthz")
+        assert status == 200 and doc["status"] == "ok"
+        assert doc["resident_workers"] == service.state.repo.n_shards
+        status, doc = client.get("/metrics")
+        assert status == 200
+        assert {"counters", "timers", "histograms", "failures"} <= set(doc)
+
+    def test_corpus_lists_what_loadgen_needs(self, service, client):
+        status, doc = client.get("/corpus")
+        assert status == 200
+        assert doc["course_ids"] and doc["material_ids"] and doc["tag_ids"]
+        assert doc["n_materials"] == service.state.repo.n_materials
+
+    def test_get_with_query_string(self, service, client):
+        course_id = service.state.matrix.course_ids[0]
+        status, doc = client.get(f"/coverage?course_id={course_id}")
+        assert status == 200 and doc["course_id"] == course_id
+
+    @pytest.mark.parametrize(
+        "path,body,status,fragment",
+        [
+            ("/nosuch", {}, 404, "no route"),
+            ("/typing", {"k": "wat"}, 400, "k must be an integer"),
+            ("/typing", {"k": 0}, 400, "k must be >= 1"),
+            ("/typing", {"label": "Quantum"}, 400, "label must be one of"),
+            ("/coverage", {}, 400, "course_id is required"),
+            ("/coverage", {"course_id": "ghost"}, 404, "no course"),
+            ("/similar", {"material_id": "ghost"}, 404, "no material"),
+            ("/search", {}, 400, "provide 'query' or 'queries'"),
+            ("/search", {"queries": [{"tags": "oops"}]}, 400, "list of strings"),
+            ("/search", {"queries": [{"nope": 1}]}, 400, "unknown query fields"),
+            ("/anchors", {"course_id": "ghost"}, 404, "no course"),
+        ],
+    )
+    def test_request_errors(self, client, path, body, status, fragment):
+        got_status, doc = client.post(path, body)
+        assert got_status == status
+        assert fragment in doc["error"]
+
+    def test_invalid_json_body_is_400(self, service):
+        import http.client as hc
+
+        host, port = service.address
+        conn = hc.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.request(
+                "POST", "/typing", body=b"{nope",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            doc = json.loads(response.read())
+            assert response.status == 400
+            assert "invalid JSON body" in doc["error"]
+        finally:
+            conn.close()
+
+    def test_latency_histograms_recorded(self, service, client):
+        client.get("/healthz")
+        status, doc = client.get("/metrics")
+        assert status == 200
+        hist = doc["histograms"].get("service.latency.healthz")
+        assert hist is not None and hist["count"] >= 1
+        assert hist["p99"] >= hist["p50"] > 0
+
+
+# -- draining and shutdown ---------------------------------------------------
+
+
+class TestDraining:
+    def test_close_completes_inflight_and_reaps_workers(self, dataset):
+        tree, courses, _ = dataset
+        state = ServiceState(
+            tree, courses,
+            config=ServiceConfig(n_shards=2, window_s=0.2, max_batch=64),
+        )
+        service = ReproService(state)
+        host, port = service.start()
+        pids = state.repo.resident.pids()
+        assert len(pids) == 2 and all(p for p in pids)
+
+        results = {}
+
+        def slow_request():
+            with ServiceClient(host, port) as c:
+                # lands in a 200ms coalescing window, so close() must
+                # wait for both the handler thread and the broker flush
+                results["typing"] = c.post(
+                    "/typing", {"k": 3, "seed": 41, "n_restarts": 2}
+                )
+
+        t = threading.Thread(target=slow_request)
+        t.start()
+        time.sleep(0.05)  # request is in flight / in window
+        final = service.close()
+        t.join(timeout=30)
+        assert not t.is_alive()
+        status, doc = results["typing"]
+        assert status == 200 and doc["k"] == 3
+
+        # resident shard workers are reaped, not orphaned
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+        # this service's broker lane threads are gone (other services'
+        # lanes may coexist in the process)
+        for lane in (service.broker._nmf_lane, service.broker._search_lane):
+            assert lane is not None and not lane._thread.is_alive()
+        assert final is service.final_metrics
+        assert final["counters"].get("service.shutdowns") == 1
+
+        # new connections are refused after close
+        with pytest.raises(OSError):
+            with ServiceClient(host, port, timeout=2) as c:
+                c.get("/healthz")
+
+    def test_close_is_idempotent(self, dataset):
+        tree, courses, _ = dataset
+        state = ServiceState(
+            tree, courses, config=ServiceConfig(n_shards=2, resident=False)
+        )
+        service = ReproService(state)
+        service.start()
+        first = service.close()
+        assert service.close() is first
+
+
+# -- state validation and config ---------------------------------------------
+
+
+class TestState:
+    def test_family_matrix_cached_and_stable(self, service):
+        lhs = service.state.family_matrix("CS1")
+        rhs = service.state.family_matrix("CS1")
+        assert lhs is rhs  # stable object => stable broker group token
+
+    def test_family_matrix_unknown_label(self, service):
+        with pytest.raises(ServiceError) as err:
+            service.state.family_matrix("Quantum")
+        assert err.value.status == 400
+
+    def test_parse_query_roundtrips_filters(self):
+        q = parse_query({
+            "tags": ["t1", "t2"], "text": "x", "type": "lab",
+            "min_mastery": "usage", "min_bloom": "apply",
+        })
+        assert q.tags == frozenset({"t1", "t2"})
+        assert q.mtype is not None and q.mtype.value == "lab"
+        with pytest.raises(ServiceError):
+            parse_query({"type": "hologram"})
+        with pytest.raises(ServiceError):
+            parse_query("not-a-dict")
+
+
+# -- load generator ----------------------------------------------------------
+
+
+class TestLoadgen:
+    def test_parse_mix(self):
+        assert parse_mix("search=4,typing=1") == {"search": 4.0, "typing": 1.0}
+        assert parse_mix("coverage") == {"coverage": 1.0}
+        with pytest.raises(ValueError, match="unknown endpoint"):
+            parse_mix("teleport=1")
+        with pytest.raises(ValueError, match="empty"):
+            parse_mix("search=0")
+
+    def test_quantile_exact(self):
+        values = sorted(float(v) for v in range(1, 101))
+        assert _quantile(values, 0.50) == 50.0
+        assert _quantile(values, 0.99) == 99.0
+        assert _quantile([], 0.5) == 0.0
+
+    def test_closed_loop_run_has_zero_errors(self, service):
+        host, port = service.address
+        report = run_load(
+            host, port,
+            concurrency=4,
+            duration_s=None,
+            requests_per_worker=6,
+            seed=5,
+            nmf_restarts=2,
+        )
+        assert report.total_requests == 24
+        assert report.total_errors == 0
+        assert report.requests_per_s > 0
+        for stats in report.endpoints.values():
+            assert stats["errors"] == 0
+            assert stats["p99_s"] >= stats["p50_s"] > 0
+        assert "0 errors" in report.summary()
+
+    def test_reproducible_workload(self, service):
+        host, port = service.address
+        kwargs = dict(
+            concurrency=2, duration_s=None, requests_per_worker=5,
+            seed=9, nmf_restarts=2,
+        )
+        lhs = run_load(host, port, **kwargs)
+        rhs = run_load(host, port, **kwargs)
+        assert (
+            {k: v["count"] for k, v in lhs.endpoints.items()}
+            == {k: v["count"] for k, v in rhs.endpoints.items()}
+        )
