@@ -257,7 +257,14 @@ def cmd_lint_code(args) -> int:
 
     try:
         report, status = run_lint_code(
-            args.paths, fmt=args.format, fail_on=args.fail_on, select=args.select
+            args.paths,
+            fmt=args.format,
+            fail_on=args.fail_on,
+            select=args.select,
+            jobs=args.jobs,
+            baseline=args.baseline,
+            write_baseline_to=args.write_baseline,
+            lock_graph_out=args.lock_graph_out,
         )
     except (FileNotFoundError, ValueError) as exc:
         raise SystemExit(str(exc)) from None
@@ -554,6 +561,13 @@ def cmd_serve(args) -> int:
         file=sys.stderr,
     )
     serve_forever(service)
+    from repro.runtime import sanitize
+
+    if sanitize.enabled():
+        san = sanitize.sanitizer()
+        print(f"sanitizer: {san.n_violations} violation(s)", file=sys.stderr)
+        for violation in san.violations():
+            print(f"  {violation.kind}: {violation.detail}", file=sys.stderr)
     print("drained and stopped", file=sys.stderr)
     return 0
 
@@ -707,8 +721,22 @@ def build_parser() -> argparse.ArgumentParser:
     lc.add_argument("--fail-on", choices=("error", "warning"), default="error",
                     help="exit non-zero when findings at/above this severity "
                          "exist (default: error)")
-    lc.add_argument("--select", action="append", metavar="RPRnnn", default=None,
-                    help="run only the named rule(s); repeatable")
+    lc.add_argument("--select", action="append",
+                    metavar="RPRnnn[,RPRnnn...]", default=None,
+                    help="run only the named rule(s); repeatable, comma "
+                         "lists accepted")
+    lc.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="analyze files in N parallel worker processes "
+                         "(default: 1, serial)")
+    lc.add_argument("--baseline", metavar="FILE", default=None,
+                    help="subtract findings acknowledged in this baseline "
+                         "JSON file")
+    lc.add_argument("--write-baseline", metavar="FILE", default=None,
+                    dest="write_baseline",
+                    help="record every current finding into FILE and exit 0")
+    lc.add_argument("--lock-graph-out", metavar="FILE", default=None,
+                    dest="lock_graph_out",
+                    help="also export the RPR504 lock-ordering graph as JSON")
     lc.set_defaults(func=cmd_lint_code)
 
     mp = sub.add_parser("map", help="2-D MDS map of whole courses")

@@ -33,7 +33,6 @@ from __future__ import annotations
 
 import hashlib
 import pickle
-import threading
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -59,6 +58,7 @@ from repro.runtime.executor import (
     parallel_map,
 )
 from repro.runtime.metrics import metrics
+from repro.runtime.sanitize import make_lock
 
 
 def shard_of(material_id: str, n_shards: int) -> int:
@@ -238,7 +238,7 @@ class ResidentShardPool:
             for sid, shard in enumerate(repo.shards)
         ]
         self._stale: set[int] = set()
-        self._stale_lock = threading.Lock()
+        self._stale_lock = make_lock("shard.stale")
 
     @staticmethod
     def _tree_key(tree: GuidelineTree) -> str:

@@ -4,10 +4,11 @@
 Figure 1 gate screened courses; this package applies the same
 discipline to the *code*.  The runtime's guarantees — bit-identical
 results under any worker count, a content-addressed cache that never
-aliases, a groupable metrics report — are invariants that one unseeded
-``np.random`` call or one forgotten cache-key field silently destroys.
-The rule engine (:mod:`~repro.quality.engine`) walks the AST of a file
-set and enforces them:
+aliases, a groupable metrics report, a threaded service that cannot
+race or deadlock — are invariants that one unseeded ``np.random`` call,
+one forgotten cache-key field, or one unguarded write silently
+destroys.  The rule engine (:mod:`~repro.quality.engine`) walks the AST
+of a file set and enforces them:
 
 ========  ========================================================
 code      rule
@@ -18,18 +19,28 @@ RPR201    unpicklable callables handed to the process pool
 RPR202    NMF fields missing from the cache-key parameter list
 RPR301    metric names that are not dotted-lowercase literals
 RPR401    curriculum-table invariants (ids, links, crosswalk)
+RPR501    field written both under a held lock and without one
+RPR502    ``lock.acquire()`` without ``with`` / try-finally release
+RPR503    blocking call made while holding a lock
+RPR504    lock-acquisition-order cycle across files (deadlock risk)
 RPR000    (reserved) file the engine could not parse
 ========  ========================================================
 
 Run it as ``repro lint-code [paths]`` or ``python -m repro.quality``;
-suppress a finding inline with ``# repro: noqa[RPRnnn]``.  The
-codebase gates itself: ``tests/test_quality.py`` asserts the engine
-finds nothing in ``src/repro``.
+``--jobs N`` fans file analysis out over the runtime's own process
+pool, ``--baseline``/``--write-baseline`` manage a versioned set of
+acknowledged findings, and ``--lock-graph-out`` exports the RPR504
+lock-ordering graph as JSON.  Suppress a finding inline with
+``# repro: noqa[RPRnnn]``.  The codebase gates itself:
+``tests/test_quality.py`` asserts the engine finds nothing in
+``src/repro``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+from pathlib import Path
 from typing import Sequence
 
 from repro.quality.engine import (
@@ -51,6 +62,15 @@ from repro.quality.engine import (
 from repro.quality import rules_determinism  # noqa: F401  (registration)
 from repro.quality import rules_runtime  # noqa: F401  (registration)
 from repro.quality import rules_data  # noqa: F401  (registration)
+from repro.quality import rules_concurrency  # noqa: F401  (registration)
+from repro.quality.baseline import (
+    BASELINE_VERSION,
+    apply_baseline,
+    baseline_key,
+    load_baseline,
+    write_baseline,
+)
+from repro.quality.concurrency import build_lock_graph
 from repro.quality.report import (
     FAIL_ON,
     Record,
@@ -62,6 +82,7 @@ from repro.quality.report import (
 
 __all__ = [
     "AnalysisResult",
+    "BASELINE_VERSION",
     "FAIL_ON",
     "FileContext",
     "Finding",
@@ -73,15 +94,30 @@ __all__ = [
     "Rule",
     "Severity",
     "analyze_paths",
+    "apply_baseline",
+    "baseline_key",
+    "build_lock_graph",
     "discover",
     "fails_threshold",
+    "load_baseline",
     "main",
     "record_from_finding",
     "render_json",
     "render_text",
     "rule",
     "run_lint_code",
+    "write_baseline",
 ]
+
+
+def split_select(select: Sequence[str] | None) -> list[str] | None:
+    """Normalize ``--select`` values: each may be one code or a comma list."""
+    if select is None:
+        return None
+    codes: list[str] = []
+    for raw in select:
+        codes.extend(c.strip().upper() for c in str(raw).split(",") if c.strip())
+    return codes
 
 
 def run_lint_code(
@@ -90,20 +126,46 @@ def run_lint_code(
     fmt: str = "text",
     fail_on: str = "error",
     select: Sequence[str] | None = None,
+    jobs: int | None = None,
+    baseline: str | None = None,
+    write_baseline_to: str | None = None,
+    lock_graph_out: str | None = None,
 ) -> tuple[str, int]:
     """Analyze ``paths`` and return ``(rendered report, exit status)``.
 
     Shared by ``repro lint-code`` and ``python -m repro.quality`` so the
-    two entry points cannot drift.
+    two entry points cannot drift.  ``baseline`` subtracts acknowledged
+    findings before rendering and thresholding;
+    ``write_baseline_to`` records the current findings and exits clean;
+    ``lock_graph_out`` additionally dumps the RPR504 lock-ordering
+    graph to a JSON file.
     """
     if fmt not in ("text", "json"):
         raise ValueError(f"fmt must be 'text' or 'json', got {fmt!r}")
-    result = analyze_paths(paths, select=select)
-    records = [record_from_finding(f) for f in result.findings]
+    result = analyze_paths(paths, select=split_select(select), jobs=jobs)
+    if lock_graph_out:
+        doc = build_lock_graph(ProjectContext(result.contexts)).to_doc()
+        Path(lock_graph_out).write_text(
+            json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+        )
+    if write_baseline_to:
+        n = write_baseline(write_baseline_to, result.findings)
+        return (
+            f"wrote baseline {write_baseline_to}: {n} finding(s) "
+            f"across {len(result.files)} file(s)",
+            0,
+        )
+    findings = result.findings
+    n_baselined = 0
+    if baseline:
+        findings, n_baselined = apply_baseline(findings, load_baseline(baseline))
+    records = [record_from_finding(f) for f in findings]
     if fmt == "json":
         report = render_json(records, tool="repro.quality", n_files=len(result.files))
     else:
         report = render_text(records, n_files=len(result.files))
+        if n_baselined:
+            report += f"\n{n_baselined} finding(s) matched the baseline"
     status = 1 if fails_threshold(records, fail_on) else 0
     return report, status
 
@@ -113,7 +175,7 @@ def build_arg_parser(prog: str = "repro.quality") -> argparse.ArgumentParser:
         prog=prog,
         description="AST-based static analysis of the repro codebase "
                     "(determinism, pool safety, cache-key integrity, "
-                    "curriculum-data invariants).",
+                    "curriculum-data invariants, concurrency correctness).",
     )
     p.add_argument(
         "paths", nargs="*", default=["src"],
@@ -129,8 +191,25 @@ def build_arg_parser(prog: str = "repro.quality") -> argparse.ArgumentParser:
              "(default: error)",
     )
     p.add_argument(
-        "--select", action="append", metavar="RPRnnn", default=None,
-        help="run only the named rule(s); repeatable",
+        "--select", action="append", metavar="RPRnnn[,RPRnnn...]", default=None,
+        help="run only the named rule(s); repeatable, comma lists accepted",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="analyze files in N parallel worker processes via the "
+             "runtime's own parallel_map (default: 1, serial)",
+    )
+    p.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="subtract findings acknowledged in this baseline JSON file",
+    )
+    p.add_argument(
+        "--write-baseline", metavar="FILE", default=None, dest="write_baseline",
+        help="record every current finding into FILE and exit 0",
+    )
+    p.add_argument(
+        "--lock-graph-out", metavar="FILE", default=None, dest="lock_graph_out",
+        help="also export the RPR504 lock-ordering graph as JSON",
     )
     return p
 
@@ -140,7 +219,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
     try:
         report, status = run_lint_code(
-            args.paths, fmt=args.fmt, fail_on=args.fail_on, select=args.select
+            args.paths,
+            fmt=args.fmt,
+            fail_on=args.fail_on,
+            select=args.select,
+            jobs=args.jobs,
+            baseline=args.baseline,
+            write_baseline_to=args.write_baseline,
+            lock_graph_out=args.lock_graph_out,
         )
     except (FileNotFoundError, ValueError) as exc:
         raise SystemExit(str(exc)) from None

@@ -1,0 +1,96 @@
+"""Versioned finding baselines: acknowledge today's findings, gate new ones.
+
+A baseline lets a new rule family land strictly — ``src/repro`` stays
+fail-on-error — while third-party-style or vendored code keeps building:
+``repro lint-code --write-baseline lint-baseline.json <paths>`` records
+every current finding; later runs with ``--baseline lint-baseline.json``
+subtract the acknowledged set and fail only on *new* findings.
+
+Matching deliberately ignores line and column: editing a file must not
+un-acknowledge its known findings.  The key is ``(code, path, message)``
+with multiset semantics — a file with three acknowledged RPR101s fails
+again when a fourth appears.  The file format is versioned JSON with
+sorted entries, so baselines diff cleanly in review.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.quality.engine import Finding
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+BaselineKey = tuple[str, str, str]
+
+
+def baseline_key(finding: Finding) -> BaselineKey:
+    """Line-insensitive identity of a finding."""
+    return (finding.code, Path(finding.path).as_posix(), finding.message)
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> int:
+    """Write all ``findings`` as the acknowledged set; returns entry count."""
+    counts = Counter(baseline_key(f) for f in findings)
+    entries = [
+        {"code": code, "path": fpath, "message": message, "count": n}
+        for (code, fpath, message), n in sorted(counts.items())
+    ]
+    doc = {
+        "version": BASELINE_VERSION,
+        "tool": "repro.quality",
+        "entries": entries,
+    }
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return sum(counts.values())
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Read a baseline file back into a key → count multiset."""
+    try:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from None
+    if not isinstance(doc, dict) or "entries" not in doc:
+        raise ValueError(f"baseline {path} is not a repro.quality baseline")
+    version = doc.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {version!r}; "
+            f"this build reads version {BASELINE_VERSION}"
+        )
+    counts: Counter = Counter()
+    for entry in doc["entries"]:
+        key = (
+            str(entry["code"]),
+            str(entry["path"]),
+            str(entry["message"]),
+        )
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Counter
+) -> tuple[list[Finding], int]:
+    """Drop acknowledged findings; returns ``(kept, n_baselined)``.
+
+    Findings are consumed against the multiset in order, so ``k``
+    acknowledged occurrences silence the first ``k`` and any extras
+    still fail the run.
+    """
+    remaining = Counter(baseline)
+    kept: list[Finding] = []
+    n_baselined = 0
+    for finding in findings:
+        key = baseline_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            n_baselined += 1
+            continue
+        kept.append(finding)
+    return kept, n_baselined

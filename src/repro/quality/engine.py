@@ -16,9 +16,12 @@ Rule codes are stable and namespaced by concern:
 * ``RPR4xx`` — curriculum-data invariants,
 * ``RPR000`` — reserved: a file the engine could not parse.
 
-Suppression is per line: a trailing ``# repro: noqa[RPR101]`` comment
-(comma-separated codes, or bare ``# repro: noqa`` for any code) silences
-findings anchored to that line.
+Suppression is per statement: a trailing ``# repro: noqa[RPR101]``
+comment (comma-separated codes, or bare ``# repro: noqa`` for any code)
+silences findings anchored to any line of the simple statement it sits
+on — a noqa on the first line of a multi-line call also covers findings
+anchored to the continuation lines.  On a compound statement (``with``,
+``if``, ``def``…) it covers the header only, never the body.
 """
 
 from __future__ import annotations
@@ -141,7 +144,7 @@ class FileContext:
             source=source,
             tree=tree,
             imports=ImportMap.of(tree),
-            noqa=_collect_noqa(source),
+            noqa=_expand_noqa(_collect_noqa(source), tree),
         )
 
     def suppressed(self, line: int, code: str) -> bool:
@@ -186,6 +189,56 @@ def _collect_noqa(source: str) -> dict[int, frozenset[str] | None]:
                 out[tok.start[0]] = None if prev is None else prev | codes
     except (tokenize.TokenError, IndentationError, SyntaxError):
         pass
+    return out
+
+
+def _statement_extents(tree: ast.Module) -> list[tuple[int, int]]:
+    """Line spans a noqa comment should cover, smallest-last for lookup.
+
+    Simple statements span their full ``lineno..end_lineno`` (a noqa on
+    the first line of a multi-line call covers the continuation lines
+    the finding may anchor to).  Compound statements cover only their
+    header — ``lineno`` up to the line before their first body
+    statement — so a noqa on ``with lock:`` never silences the body.
+    """
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        end = getattr(node, "end_lineno", None) or node.lineno
+        body = getattr(node, "body", None)
+        if body and isinstance(body, list) and isinstance(body[0], ast.stmt):
+            end = min(end, body[0].lineno - 1)
+        if end > node.lineno:
+            spans.append((node.lineno, end))
+    # Smallest span last so the innermost statement wins the lookup.
+    spans.sort(key=lambda s: (s[1] - s[0]), reverse=True)
+    return spans
+
+
+def _expand_noqa(
+    noqa: dict[int, frozenset[str] | None], tree: ast.Module
+) -> dict[int, frozenset[str] | None]:
+    """Spread each noqa line across its enclosing statement's extent."""
+    if not noqa:
+        return noqa
+    spans = _statement_extents(tree)
+    if not spans:
+        return noqa
+    out = dict(noqa)
+    for line, codes in noqa.items():
+        extent: tuple[int, int] | None = None
+        for span in spans:
+            if span[0] <= line <= span[1]:
+                extent = span  # innermost (smallest) span sorts last
+        if extent is None:
+            continue
+        for covered in range(extent[0], extent[1] + 1):
+            prev = out.get(covered, frozenset())
+            if codes is None or prev is None:
+                out[covered] = None
+            else:
+                out[covered] = prev | codes
     return out
 
 
@@ -290,6 +343,8 @@ class AnalysisResult:
     findings: list[Finding]
     files: list[str]
     n_suppressed: int = 0
+    #: Parsed contexts, kept for post-analysis consumers (lock-graph export).
+    contexts: list[FileContext] = field(default_factory=list)
 
     def count(self, severity: Severity) -> int:
         return sum(1 for f in self.findings if f.severity is severity)
@@ -303,17 +358,83 @@ class AnalysisResult:
         return self.count(Severity.WARNING)
 
 
+def _parse_one(path: str) -> tuple[FileContext | None, Finding | None]:
+    try:
+        source = Path(path).read_text(encoding="utf-8")
+        return FileContext.parse(path, source), None
+    except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+        line = getattr(exc, "lineno", 1) or 1
+        return None, Finding(
+            code=PARSE_ERROR_CODE, severity=Severity.ERROR, path=path,
+            line=line, col=0, message=f"cannot analyze file: {exc}",
+        )
+
+
+def _analyze_chunk(
+    payload: tuple[list[str], tuple[str, ...] | None],
+) -> tuple[list[FileContext], list[Finding]]:
+    """Parse one chunk of files and run the file-scope rules on them.
+
+    Module-level on purpose: this is the picklable task ``--jobs``
+    hands to :func:`repro.runtime.executor.parallel_map` (RPR201).
+    Suppression and sorting are *not* applied here — the parent applies
+    them centrally over the merged results, so parallel runs are
+    byte-identical to serial ones.
+    """
+    import repro.quality  # noqa: F401  (rule registration in the worker)
+
+    paths, select = payload
+    selected = set(select) if select is not None else None
+    contexts: list[FileContext] = []
+    findings: list[Finding] = []
+    for path in paths:
+        ctx, parse_error = _parse_one(path)
+        if ctx is not None:
+            contexts.append(ctx)
+        if parse_error is not None:
+            findings.append(parse_error)
+    for r in RULES.values():
+        if r.scope != "file":
+            continue
+        if selected is not None and r.code not in selected:
+            continue
+        for ctx in contexts:
+            findings.extend(r.check(ctx))
+    for ctx in contexts:
+        # Drop rule-attached caches (e.g. the concurrency model) before
+        # pickling the contexts back to the parent.
+        ctx.__dict__.pop("_concurrency_model", None)
+    return contexts, findings
+
+
+def _chunked(files: list[str], n: int) -> list[list[str]]:
+    """Split into ``n`` contiguous, nearly equal chunks (no empties)."""
+    n = max(1, min(n, len(files)))
+    size, extra = divmod(len(files), n)
+    chunks: list[list[str]] = []
+    start = 0
+    for i in range(n):
+        stop = start + size + (1 if i < extra else 0)
+        chunks.append(files[start:stop])
+        start = stop
+    return [c for c in chunks if c]
+
+
 def analyze_paths(
     paths: Sequence[str | Path],
     *,
     select: Sequence[str] | None = None,
+    jobs: int | None = None,
 ) -> AnalysisResult:
     """Run every registered rule over ``paths``.
 
     ``select`` restricts the run to the named codes (the parse check
-    always runs).  Findings come back sorted by ``(path, line, col,
-    code)``; suppressed findings are dropped and counted in
-    ``n_suppressed``.
+    always runs).  ``jobs`` > 1 parses and file-scope-checks chunks of
+    files in parallel via the runtime's own :func:`parallel_map`;
+    project-scope rules, suppression, and ordering always run centrally
+    in the parent, so results are byte-identical to a serial run.
+    Findings come back sorted by ``(path, line, col, code)``;
+    suppressed findings are dropped and counted in ``n_suppressed``.
     """
     # Import for the registration side effect: the rule modules populate
     # RULES when the package loads, but analyze_paths must also work when
@@ -329,36 +450,59 @@ def analyze_paths(
     metrics.inc("quality.files", len(files))
     findings: list[Finding] = []
     contexts: list[FileContext] = []
+    n_jobs = int(jobs) if jobs else 1
     with metrics.timer("quality.analyze"):
-        for path in files:
-            try:
-                source = Path(path).read_text(encoding="utf-8")
-                contexts.append(FileContext.parse(path, source))
-            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
-                line = getattr(exc, "lineno", 1) or 1
-                findings.append(Finding(
-                    code=PARSE_ERROR_CODE, severity=Severity.ERROR, path=path,
-                    line=line, col=0, message=f"cannot analyze file: {exc}",
-                ))
-        active = [
-            r for r in RULES.values()
-            if selected is None or r.code in selected
-        ]
+        if n_jobs > 1 and len(files) > 1:
+            from repro.runtime.executor import parallel_map
+
+            select_key = tuple(sorted(selected)) if selected is not None else None
+            chunks = _chunked(files, n_jobs)
+            results = parallel_map(
+                _analyze_chunk,
+                [(chunk, select_key) for chunk in chunks],
+                workers=n_jobs,
+            )
+            # Chunks are contiguous slices of the sorted file list, so
+            # concatenation restores exactly the serial context order.
+            for chunk_contexts, chunk_findings in results:
+                contexts.extend(chunk_contexts)
+                findings.extend(chunk_findings)
+            active = [
+                r for r in RULES.values()
+                if (selected is None or r.code in selected)
+                and r.scope == "project"
+            ]
+        else:
+            for path in files:
+                ctx, parse_error = _parse_one(path)
+                if ctx is not None:
+                    contexts.append(ctx)
+                if parse_error is not None:
+                    findings.append(parse_error)
+            active = [
+                r for r in RULES.values()
+                if selected is None or r.code in selected
+            ]
         by_path = {ctx.path: ctx for ctx in contexts}
         project = ProjectContext(contexts)
+        raw = findings
+        findings = []
         n_suppressed = 0
         for r in active:
             if r.scope == "file":
-                produced = (f for ctx in contexts for f in r.check(ctx))
+                raw.extend(f for ctx in contexts for f in r.check(ctx))
             else:
-                produced = iter(r.check(project))
-            for f in produced:
-                ctx = by_path.get(f.path)
-                if ctx is not None and ctx.suppressed(f.line, f.code):
-                    n_suppressed += 1
-                    continue
-                findings.append(f)
+                raw.extend(r.check(project))
+        for f in raw:
+            ctx = by_path.get(f.path)
+            if ctx is not None and ctx.suppressed(f.line, f.code):
+                n_suppressed += 1
+                continue
+            findings.append(f)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     metrics.inc("quality.findings", len(findings))
     metrics.inc("quality.suppressed", n_suppressed)
-    return AnalysisResult(findings=findings, files=files, n_suppressed=n_suppressed)
+    return AnalysisResult(
+        findings=findings, files=files, n_suppressed=n_suppressed,
+        contexts=contexts,
+    )

@@ -80,6 +80,16 @@ from repro.runtime.metrics import (
     TimerStat,
     metrics,
 )
+from repro.runtime.sanitize import (
+    LockSanitizer,
+    LockViolation,
+    make_condition,
+    make_lock,
+    make_rlock,
+    sanitizer,
+    set_sanitize,
+)
+from repro.runtime import sanitize as _sanitize
 
 __all__ = [
     "CacheStats",
@@ -105,6 +115,13 @@ __all__ = [
     "failure_report",
     "fault_plan_from_env",
     "faults_active",
+    "LockSanitizer",
+    "LockViolation",
+    "make_condition",
+    "make_lock",
+    "make_rlock",
+    "sanitizer",
+    "set_sanitize",
     "matrix_digest",
     "metrics",
     "nmf_kernel_from_env",
@@ -140,6 +157,7 @@ def configure(
     task_timeout: float | None | object = ...,
     task_retries: int | None = None,
     fault_plan: FaultPlan | str | None | object = ...,
+    sanitize: bool | str | None | object = ...,
 ) -> None:
     """Configure the process-global runtime in one call.
 
@@ -152,7 +170,11 @@ def configure(
     ``task_retries`` bounds per-task recovery attempts (0 disables
     retries); ``fault_plan`` arms fault injection (a :class:`FaultPlan`
     or ``REPRO_FAULTS``-syntax string; ``None`` disarms, deferring to
-    the environment).  Omitted keywords keep their current values.
+    the environment); ``sanitize`` arms the lock sanitizer for locks
+    created *afterwards* (``"locks"``/``True`` on, ``False`` off,
+    ``None`` defers to ``REPRO_SANITIZE`` — enable before building the
+    service stack, or via the environment to cover module-global
+    locks).  Omitted keywords keep their current values.
     """
     if workers is not None:
         set_default_workers(workers)
@@ -164,6 +186,8 @@ def configure(
         set_default_task_retries(task_retries)
     if fault_plan is not ...:
         set_fault_plan(fault_plan)  # type: ignore[arg-type]
+    if sanitize is not ...:
+        set_sanitize(sanitize)  # type: ignore[arg-type]
     result_cache.configure(
         cache_dir=cache_dir,
         enabled=cache_enabled,
@@ -172,16 +196,22 @@ def configure(
 
 
 def summary() -> str:
-    """The metrics/cache report, plus failure events when any occurred."""
+    """Metrics/cache report, plus failure events and sanitizer findings."""
+    parts = [metrics.summary()]
     report = failure_report()
-    if not report:
-        return metrics.summary()
-    return metrics.summary() + "\n" + report.summary()
+    if report:
+        parts.append(report.summary())
+    counters = sanitizer().counters()
+    if counters:
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+        parts.append(f"sanitizer: {pairs}")
+    return "\n".join(parts)
 
 
 def reset() -> None:
-    """Reset metrics, the in-memory cache layer, and the failure report."""
+    """Reset metrics, the memory cache, the failure report, the sanitizer."""
     metrics.reset()
     result_cache.clear()
     result_cache.stats = CacheStats()
     failure_report().clear()
+    _sanitize.reset()

@@ -35,9 +35,10 @@ import hashlib
 import os
 import pathlib
 import tempfile
-import threading
 import zipfile
 from collections import OrderedDict
+
+from repro.runtime.sanitize import make_rlock
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -205,7 +206,7 @@ class ResultCache:
         self.cache_dir = pathlib.Path(cache_dir).expanduser() if cache_dir else None
         self.stats = CacheStats()
         self._mem: OrderedDict[str, dict[str, np.ndarray]] = OrderedDict()
-        self._lock = threading.RLock()
+        self._lock = make_rlock("cache.result")
 
     # -- configuration -------------------------------------------------------
 

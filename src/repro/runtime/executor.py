@@ -85,6 +85,7 @@ from repro.runtime.faults import (
     apply_task_faults,
 )
 from repro.runtime.metrics import metrics
+from repro.runtime.sanitize import lock_factory, make_lock
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -262,7 +263,8 @@ class FailureReport:
 
     events: list[FailureEvent] = field(default_factory=list)
     _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
+        default_factory=lock_factory("executor.failure_report"),
+        repr=False, compare=False,
     )
 
     def add(
@@ -994,7 +996,7 @@ class ResidentWorker:
         self._name = name
         self._task_timeout = task_timeout
         self._task_retries = task_retries
-        self._lock = threading.Lock()
+        self._lock = make_lock("executor.resident")
         self._pool: ProcessPoolExecutor | None = None
         self._generation = 0
         self._rebuilds = 0

@@ -22,6 +22,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.runtime.sanitize import lock_factory
+
 #: Histogram bucket geometry: bucket 0 holds values ≤ ``_HIST_MIN``;
 #: bucket ``i`` (i ≥ 1) holds ``(_HIST_MIN * r^(i-1), _HIST_MIN * r^i]``
 #: with ratio ``r = 2^0.25`` (~19% wide), so quantile estimates carry at
@@ -129,7 +131,9 @@ class MetricsRegistry:
     counters: dict[str, int] = field(default_factory=dict)
     timers: dict[str, TimerStat] = field(default_factory=dict)
     histograms: dict[str, HistogramStat] = field(default_factory=dict)
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=lock_factory("metrics.registry"), repr=False
+    )
 
     # -- counters ------------------------------------------------------------
 

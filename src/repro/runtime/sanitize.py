@@ -1,0 +1,429 @@
+"""Runtime lock sanitizer: instrumented locks that police themselves.
+
+The static RPR5xx rules (:mod:`repro.quality.rules_concurrency`) prove
+properties about lock *syntax* — what the code could do.  This module
+checks what a live process actually does: every lock built through the
+factories here can be swapped, opt-in, for an instrumented wrapper that
+maintains a per-thread stack of held locks and checks two properties on
+every acquisition:
+
+* **order inversions** — the first time thread ``A`` acquires lock
+  ``b`` while holding ``a``, the edge ``a → b`` is recorded in a
+  process-global order graph; any later acquisition that would use the
+  reverse edge ``b → a`` is a potential deadlock (two threads can each
+  hold one lock and wait for the other) and is reported, with both
+  acquisition sites;
+* **long holds** — a lock held longer than ``REPRO_SANITIZE_HOLD_S``
+  seconds (default 1.0) when released is reported: under the coalescing
+  broker a long-held lock serializes every handler thread behind it.
+
+Lock *names* identify roles, not instances: every ``_Lane`` condition
+is ``broker.lane``, every ``PendingResult`` lock is ``broker.pending``.
+Edges between same-named locks are excluded from the inversion check —
+two instances of one class legitimately interleave — so name locks by
+role and give genuinely ordered locks distinct names.
+
+Enablement is decided when a lock is *created*: set
+``REPRO_SANITIZE=locks`` in the environment before the process starts
+(covers module-global locks like the metrics registry's), or call
+:func:`repro.runtime.configure` with ``sanitize="locks"`` before
+building the service stack.  Disabled, the factories return plain
+``threading`` primitives — zero overhead on the hot path.
+
+Violations are never raised into application code: they are recorded
+here (``sanitizer.*`` counters, capped violation list), folded into
+:func:`repro.runtime.summary` and the failure report, and surfaced by
+``repro serve``'s drain line so CI can assert on zero.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import traceback
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable
+
+#: Default long-hold threshold, seconds (override: ``REPRO_SANITIZE_HOLD_S``).
+DEFAULT_HOLD_S = 1.0
+
+#: Violation list cap — sanitizer memory stays bounded under a pathological
+#: workload; counters keep the true totals.
+_MAX_VIOLATIONS = 200
+
+
+def _env_enabled() -> bool:
+    raw = os.environ.get("REPRO_SANITIZE", "")
+    modes = {part.strip().lower() for part in raw.split(",") if part.strip()}
+    return "locks" in modes or "all" in modes
+
+
+def _hold_threshold_from_env() -> float:
+    raw = os.environ.get("REPRO_SANITIZE_HOLD_S", "")
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_HOLD_S
+    return value if value > 0 else DEFAULT_HOLD_S
+
+
+@dataclass(frozen=True)
+class LockViolation:
+    """One detected violation, with enough context to find both sites."""
+
+    kind: str             # "order_inversion" | "long_hold"
+    lock: str             # lock name at the detection site
+    other: str            # the other lock (inversions) or "" (long holds)
+    thread: str
+    site: str             # "file:line" of the offending acquisition/release
+    prior_site: str       # where the forward edge / acquisition was recorded
+    detail: str
+    stack: str            # formatted stack captured at detection
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "lock": self.lock,
+            "other": self.other,
+            "thread": self.thread,
+            "site": self.site,
+            "prior_site": self.prior_site,
+            "detail": self.detail,
+        }
+
+
+def _call_site(depth: int) -> str:
+    """``file:line`` of the frame ``depth`` levels up (cheap, no stack walk)."""
+    try:
+        frame = sys._getframe(depth)
+    except ValueError:  # pragma: no cover - shallow stacks in embedded use
+        return "<unknown>"
+    return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+
+class LockSanitizer:
+    """Process-global order graph, held-lock stacks, and violation log.
+
+    All shared state is guarded by one plain (never instrumented)
+    internal lock; per-thread held stacks live in a ``threading.local``
+    and need no locking.  A thread-local ``in_hook`` flag makes the
+    bookkeeping re-entrancy-safe: any lock the sanitizer's own reporting
+    path acquires (metrics, the failure report) is not itself recorded.
+    """
+
+    def __init__(self, *, hold_threshold_s: float | None = None) -> None:
+        self.hold_threshold_s = (
+            hold_threshold_s if hold_threshold_s is not None
+            else _hold_threshold_from_env()
+        )
+        self._meta = threading.Lock()
+        #: (held_name, acquired_name) → "file:line" of first observation.
+        self._edges: dict[tuple[str, str], str] = {}
+        self._reported_pairs: set[frozenset[str]] = set()
+        self._violations: list[LockViolation] = []
+        self._counters: dict[str, int] = {}
+        self._tls = threading.local()
+
+    # -- per-thread state ----------------------------------------------------
+
+    def _held(self) -> list:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = self._tls.held = []
+        return held
+
+    # -- hooks (called by the wrappers) --------------------------------------
+
+    def on_acquire(self, wrapper: "_SanitizedLock", *, site_depth: int = 3) -> None:
+        if getattr(self._tls, "in_hook", False):
+            return
+        self._tls.in_hook = True
+        try:
+            held = self._held()
+            if wrapper.reentrant:
+                for entry in held:
+                    if entry[0] is wrapper:
+                        entry[2] += 1
+                        return
+            site = _call_site(site_depth)
+            new_edges = [
+                (entry[0].name, wrapper.name, site)
+                for entry in held
+                if entry[0].name != wrapper.name
+            ]
+            held.append([wrapper, perf_counter(), 1, site])
+            with self._meta:
+                self._counters["acquisitions"] = (
+                    self._counters.get("acquisitions", 0) + 1
+                )
+                for before, after, at in new_edges:
+                    self._edges.setdefault((before, after), at)
+                    reverse = self._edges.get((after, before))
+                    if reverse is not None:
+                        self._record_inversion(before, after, at, reverse)
+        finally:
+            self._tls.in_hook = False
+
+    def on_release(self, wrapper: "_SanitizedLock") -> None:
+        if getattr(self._tls, "in_hook", False):
+            return
+        self._tls.in_hook = True
+        try:
+            held = self._held()
+            for i in range(len(held) - 1, -1, -1):
+                entry = held[i]
+                if entry[0] is wrapper:
+                    entry[2] -= 1
+                    if entry[2] > 0:
+                        return
+                    del held[i]
+                    elapsed = perf_counter() - entry[1]
+                    if elapsed > self.hold_threshold_s:
+                        self._record_long_hold(wrapper.name, entry[3], elapsed)
+                    return
+            # Release of a lock this thread never (visibly) acquired —
+            # tolerated: the wrapper may have been handed across threads
+            # (Condition internals never do this; user code could).
+        finally:
+            self._tls.in_hook = False
+
+    # -- violation recording (thread-local hook flag is already set) ---------
+
+    def _record_inversion(
+        self, before: str, after: str, site: str, reverse_site: str
+    ) -> None:
+        pair = frozenset((before, after))
+        if pair in self._reported_pairs:
+            self._bump("violations.order_inversion")
+            self._bump("violations")
+            return
+        self._reported_pairs.add(pair)
+        violation = LockViolation(
+            kind="order_inversion",
+            lock=after,
+            other=before,
+            thread=threading.current_thread().name,
+            site=site,
+            prior_site=reverse_site,
+            detail=(
+                f"acquired {after!r} while holding {before!r}, but the "
+                f"opposite order was observed at {reverse_site} — two "
+                "threads taking both paths can deadlock"
+            ),
+            stack="".join(traceback.format_stack(sys._getframe(3), limit=12)),
+        )
+        self._append_violation(violation, "violations.order_inversion")
+
+    def _record_long_hold(self, name: str, site: str, elapsed: float) -> None:
+        with self._meta:
+            violation = LockViolation(
+                kind="long_hold",
+                lock=name,
+                other="",
+                thread=threading.current_thread().name,
+                site=site,
+                prior_site="",
+                detail=(
+                    f"held {name!r} for {elapsed:.3f}s "
+                    f"(threshold {self.hold_threshold_s:.3f}s); long holds "
+                    "serialize every thread contending for it"
+                ),
+                stack="".join(
+                    traceback.format_stack(sys._getframe(3), limit=12)
+                ),
+            )
+            self._append_violation(violation, "violations.long_hold")
+
+    def _append_violation(self, violation: LockViolation, counter: str) -> None:
+        # Caller holds self._meta.
+        self._bump(counter)
+        self._bump("violations")
+        if len(self._violations) < _MAX_VIOLATIONS:
+            self._violations.append(violation)
+        self._notify(violation)
+
+    def _bump(self, name: str) -> None:
+        self._counters[name] = self._counters.get(name, 0) + 1
+
+    @staticmethod
+    def _notify(violation: LockViolation) -> None:
+        """Fold the violation into metrics + the failure report.
+
+        Imported lazily — :mod:`repro.runtime.executor` imports this
+        module for its lock factories, so a top-level import would be
+        circular.  The thread-local ``in_hook`` flag is set here, so the
+        locks these sinks take are not themselves sanitized.
+        """
+        from repro.runtime.executor import failure_report
+        from repro.runtime.metrics import metrics
+
+        if violation.kind == "order_inversion":
+            metrics.inc("sanitizer.order_inversion")
+        else:
+            metrics.inc("sanitizer.long_hold")
+        failure_report().add(
+            f"sanitizer.{violation.kind}",
+            error=violation.detail,
+            detail=f"{violation.site} (prior: {violation.prior_site})",
+        )
+
+    # -- reporting -----------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """``sanitizer.*``-prefixed counters (stable names for reports)."""
+        with self._meta:
+            return {
+                f"sanitizer.{k}": v
+                for k, v in sorted(self._counters.items())
+            }
+
+    def violations(self) -> list[LockViolation]:
+        with self._meta:
+            return list(self._violations)
+
+    @property
+    def n_violations(self) -> int:
+        with self._meta:
+            return self._counters.get("violations", 0)
+
+    def to_dict(self) -> dict:
+        with self._meta:
+            return {
+                "enabled": enabled(),
+                "hold_threshold_s": self.hold_threshold_s,
+                "counters": {
+                    f"sanitizer.{k}": v
+                    for k, v in sorted(self._counters.items())
+                },
+                "n_edges": len(self._edges),
+                "n_violations": self._counters.get("violations", 0),
+                "violations": [v.to_dict() for v in self._violations],
+            }
+
+    def reset(self) -> None:
+        with self._meta:
+            self._edges.clear()
+            self._reported_pairs.clear()
+            self._violations.clear()
+            self._counters.clear()
+
+
+class _SanitizedLock:
+    """Drop-in ``Lock``/``RLock`` wrapper reporting to the sanitizer.
+
+    Implements the full lock protocol (``acquire``/``release``/context
+    manager/``locked``), so ``threading.Condition`` accepts it as its
+    underlying lock — ``wait()`` releases and reacquires *through* the
+    wrapper, keeping the held-stack accurate across waits.
+    """
+
+    __slots__ = ("_inner", "name", "reentrant", "_san")
+
+    def __init__(self, inner, name: str, reentrant: bool, san: LockSanitizer):
+        self._inner = inner
+        self.name = name
+        self.reentrant = reentrant
+        self._san = san
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._san.on_acquire(self)
+        return got
+
+    def release(self) -> None:
+        self._san.on_release(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        got = self._inner.acquire()
+        if got:
+            self._san.on_acquire(self)
+        return got
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<sanitized {'RLock' if self.reentrant else 'Lock'} {self.name!r}>"
+
+
+#: Process-global sanitizer all instrumented locks report to.
+_sanitizer = LockSanitizer()
+
+#: Whether factories instrument; seeded from ``REPRO_SANITIZE`` at import.
+_enabled = _env_enabled()
+
+
+def sanitizer() -> LockSanitizer:
+    """The process-global :class:`LockSanitizer`."""
+    return _sanitizer
+
+
+def enabled() -> bool:
+    """Whether locks created *now* would be instrumented."""
+    return _enabled
+
+
+def set_sanitize(mode: bool | str | None) -> None:
+    """Enable/disable instrumentation for locks created afterwards.
+
+    ``True`` or ``"locks"``/``"all"`` enables; ``False`` or ``""``
+    disables; ``None`` defers back to ``REPRO_SANITIZE``.  Locks that
+    already exist keep whatever they were built as — enable *before*
+    constructing the service stack (or via the environment, which also
+    covers module-global locks created at import time).
+    """
+    global _enabled
+    if mode is None:
+        _enabled = _env_enabled()
+    elif isinstance(mode, str):
+        modes = {part.strip().lower() for part in mode.split(",") if part.strip()}
+        _enabled = "locks" in modes or "all" in modes
+    else:
+        _enabled = bool(mode)
+
+
+def make_lock(name: str) -> threading.Lock:
+    """A ``threading.Lock``, instrumented when the sanitizer is enabled."""
+    if _enabled:
+        return _SanitizedLock(threading.Lock(), name, False, _sanitizer)
+    return threading.Lock()
+
+
+def make_rlock(name: str) -> threading.RLock:
+    """A ``threading.RLock``, instrumented when the sanitizer is enabled."""
+    if _enabled:
+        return _SanitizedLock(threading.RLock(), name, True, _sanitizer)
+    return threading.RLock()
+
+
+def make_condition(name: str) -> threading.Condition:
+    """A ``threading.Condition`` over a (possibly instrumented) lock.
+
+    ``Condition`` drives its lock purely through ``acquire``/``release``,
+    so ``wait()`` correctly pops and re-pushes the held-stack entry.
+    """
+    return threading.Condition(make_lock(name))
+
+
+def lock_factory(name: str) -> Callable[[], threading.Lock]:
+    """Zero-arg factory for dataclass ``field(default_factory=...)`` use."""
+    def factory() -> threading.Lock:
+        return make_lock(name)
+    return factory
+
+
+def report_doc() -> dict:
+    """JSON-ready sanitizer report (the ``/metrics`` ``sanitizer`` section)."""
+    return _sanitizer.to_dict()
+
+
+def reset() -> None:
+    """Drop recorded edges, violations, and counters (test isolation)."""
+    _sanitizer.reset()

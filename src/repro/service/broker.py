@@ -42,6 +42,7 @@ from typing import Any, Callable, Hashable, Sequence
 
 from repro.runtime.executor import run_nmf_fits
 from repro.runtime.metrics import metrics
+from repro.runtime.sanitize import make_condition, make_lock
 
 
 class BrokerClosed(RuntimeError):
@@ -93,7 +94,7 @@ class PendingResult:
     def __init__(self, fut: Future, finish: Callable) -> None:
         self._fut = fut
         self._finish = finish
-        self._lock = threading.Lock()
+        self._lock = make_lock("broker.pending")
         self._done = False
         self._value: Any = None
         self._exc: BaseException | None = None
@@ -144,7 +145,7 @@ class _Lane:
         self._dispatch = dispatch
         self._window_s = window_s
         self._max_batch = max_batch
-        self._cond = threading.Condition()
+        self._cond = make_condition("broker.lane")
         self._queue: list[tuple[Any, Future]] = []
         self._closing = False
         self._thread = threading.Thread(

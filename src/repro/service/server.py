@@ -39,6 +39,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qsl, urlsplit
 
+from repro.runtime import sanitize
 from repro.runtime.executor import failure_report
 from repro.runtime.metrics import metrics
 from repro.service.broker import BrokerClosed, RequestBroker
@@ -272,6 +273,8 @@ class ReproService:
         doc = metrics.snapshot()
         doc["uptime_s"] = time.perf_counter() - self._t0
         doc["failures"] = dict(failure_report().counts)
+        if sanitize.enabled():
+            doc["sanitizer"] = sanitize.report_doc()
         return doc
 
 

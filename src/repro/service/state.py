@@ -23,7 +23,6 @@ without sockets in the loop.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
@@ -49,6 +48,7 @@ from repro.materials import (
 from repro.ontology.node import Bloom, Mastery
 from repro.ontology.tree import GuidelineTree
 from repro.runtime.metrics import metrics
+from repro.runtime.sanitize import make_lock
 from repro.service.broker import NmfJob, SearchJob
 
 
@@ -174,7 +174,7 @@ class ServiceState:
         self._retained: tuple[Course, ...] = tuple(self.ingest_report.retained)
         self.courses_by_id = {c.id: c for c in self._retained}
         self.matrix: CourseMatrix = build_course_matrix(self._retained, tree=tree)
-        self._family_lock = threading.Lock()
+        self._family_lock = make_lock("service.family")
         self._family: dict[str | None, CourseMatrix] = {None: self.matrix}
         self._mixtures: dict[str, dict[str, float]] = {
             entry.id: dict(entry.mixture) for entry in ROSTER

@@ -334,6 +334,45 @@ class TestSuppression:
         assert codes(result) == ["RPR101"]
         assert result.n_suppressed == 0
 
+    def test_noqa_covers_multiline_statement(self, tmp_path):
+        """A noqa on any physical line of a statement covers the whole
+        statement — findings anchor to the line of the offending *node*,
+        which for a wrapped call is not necessarily the comment's line."""
+        result = lint_sources(tmp_path, {"mod.py": """\
+            import numpy as np
+
+            x = np.random.normal(  # repro: noqa[RPR101]
+                0.0,
+                1.0,
+                size=(3, 3),
+            )
+            """})
+        assert result.findings == []
+        assert result.n_suppressed == 1
+
+    def test_noqa_on_last_line_of_statement(self, tmp_path):
+        result = lint_sources(tmp_path, {"mod.py": """\
+            import numpy as np
+
+            x = np.random.normal(
+                0.0,
+                1.0,
+            )  # repro: noqa[RPR101]
+            """})
+        assert result.findings == []
+        assert result.n_suppressed == 1
+
+    def test_noqa_in_compound_header_does_not_leak_to_body(self, tmp_path):
+        """A noqa on a ``with``/``def`` header suppresses only the header
+        line(s), never the whole suite underneath."""
+        result = lint_sources(tmp_path, {"mod.py": """\
+            import numpy as np
+
+            def f():  # repro: noqa[RPR101]
+                return np.random.rand(3)
+            """})
+        assert codes(result) == ["RPR101"]
+
 
 class TestEngine:
     def test_unparseable_file_yields_rpr000(self, tmp_path):
@@ -358,6 +397,7 @@ class TestEngine:
     def test_findings_sorted_and_registry_complete(self, tmp_path):
         assert set(RULES) == {
             "RPR101", "RPR102", "RPR201", "RPR202", "RPR301", "RPR401",
+            "RPR501", "RPR502", "RPR503", "RPR504",
         }
         result = lint_sources(tmp_path, {
             "b.py": "import numpy as np\nx = np.random.rand()\n",
@@ -439,6 +479,89 @@ class TestCLI:
         assert payload["findings"][0]["code"] == "RPR101"
 
 
+class TestBaseline:
+    BAD = "import numpy as np\nx = np.random.rand()\ny = np.random.rand()\n"
+
+    def test_write_then_apply_silences_known_findings(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        bad = tmp_path / "mod.py"
+        bad.write_text(self.BAD)
+        baseline = tmp_path / "baseline.json"
+        assert cli_main([
+            "lint-code", str(bad), "--write-baseline", str(baseline),
+        ]) == 0
+        capsys.readouterr()
+        doc = json.loads(baseline.read_text())
+        assert doc["version"] == 1
+        assert doc["entries"][0]["count"] == 2
+        assert cli_main([
+            "lint-code", str(bad), "--baseline", str(baseline),
+        ]) == 0
+        assert "2 finding(s) matched the baseline" in capsys.readouterr().out
+
+    def test_new_findings_still_fail(self, tmp_path):
+        from repro.quality import write_baseline
+        from repro.quality.engine import analyze_paths as ap
+
+        bad = tmp_path / "mod.py"
+        bad.write_text(self.BAD)
+        write_baseline(tmp_path / "b.json", ap([str(bad)]).findings)
+        bad.write_text(self.BAD + "z = np.random.rand()\n")
+        _, status = run_lint_code(
+            [str(bad)], baseline=str(tmp_path / "b.json")
+        )
+        assert status == 1
+
+    def test_line_edits_do_not_unacknowledge(self, tmp_path):
+        from repro.quality import write_baseline
+        from repro.quality.engine import analyze_paths as ap
+
+        bad = tmp_path / "mod.py"
+        bad.write_text(self.BAD)
+        write_baseline(tmp_path / "b.json", ap([str(bad)]).findings)
+        bad.write_text("import numpy as np\n\n\n" + self.BAD.split("\n", 1)[1])
+        _, status = run_lint_code(
+            [str(bad)], baseline=str(tmp_path / "b.json")
+        )
+        assert status == 0
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        from repro.quality import load_baseline
+
+        stale = tmp_path / "b.json"
+        stale.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(stale)
+
+
+class TestParallelJobs:
+    def test_jobs_matches_serial_byte_for_byte(self):
+        """``--jobs N`` must be a pure perf knob: identical report text."""
+        package_root = Path(repro.__file__).parent
+        serial, s_status = run_lint_code([str(package_root)], fmt="json")
+        para, p_status = run_lint_code([str(package_root)], fmt="json", jobs=2)
+        assert serial == para
+        assert s_status == p_status == 0
+
+    def test_jobs_sees_findings_and_suppressions(self, tmp_path):
+        files = {
+            f"m{i}.py": "import numpy as np\nx = np.random.rand()\n"
+            for i in range(5)
+        }
+        files["ok.py"] = (
+            "import numpy as np\nx = np.random.rand()  # repro: noqa\n"
+        )
+        for name, source in files.items():
+            (tmp_path / name).write_text(source)
+        serial = analyze_paths([str(tmp_path)])
+        parallel = analyze_paths([str(tmp_path)], jobs=3)
+        assert [str(f) for f in parallel.findings] == [
+            str(f) for f in serial.findings
+        ]
+        assert parallel.n_suppressed == serial.n_suppressed == 1
+
+
 class TestSelfGate:
     def test_src_repro_is_clean(self):
         """The codebase passes its own linter — zero findings, no noqa debt."""
@@ -446,3 +569,23 @@ class TestSelfGate:
         result = analyze_paths([str(package_root)])
         assert result.findings == [], "\n".join(str(f) for f in result.findings)
         assert len(result.files) > 50  # sanity: the walk actually saw the tree
+
+    def test_lock_graph_export_is_meaningful(self, tmp_path):
+        """The RPR504 graph over src/repro names the real locks and has
+        no cycles — the artifact CI uploads is not an empty stub."""
+        from repro.cli import main as cli_main
+
+        package_root = Path(repro.__file__).parent
+        out = tmp_path / "lock-graph.json"
+        status = cli_main([
+            "lint-code", str(package_root),
+            "--select", "RPR504", "--lock-graph-out", str(out),
+        ])
+        assert status == 0
+        doc = json.loads(out.read_text())
+        assert doc["version"] == 1
+        nodes = {n["id"] for n in doc["nodes"]}
+        assert any("MetricsRegistry" in n for n in nodes)
+        assert any("LockSanitizer" in n for n in nodes)
+        assert doc["cycles"] == []
+        assert len(doc["edges"]) >= 1

@@ -1,0 +1,266 @@
+"""Tests for repro.runtime.sanitize — the dynamic lock sanitizer.
+
+The static RPR5xx rules prove ordering discipline about code the
+analyzer can see; the sanitizer checks the same properties on live
+acquisitions.  These tests drive the wrappers directly: inversions are
+detectable from one thread (the order graph is global, not per-thread),
+long holds from a lowered threshold, and the whole thing must stay
+invisible when disabled.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import runtime
+from repro.runtime import sanitize
+from repro.runtime.executor import failure_report
+from repro.runtime.metrics import metrics
+from repro.runtime.sanitize import (
+    LockSanitizer,
+    _SanitizedLock,
+    enabled,
+    make_condition,
+    make_lock,
+    make_rlock,
+    set_sanitize,
+)
+
+
+@pytest.fixture
+def sanitized():
+    """Enable instrumentation, hand out the global sanitizer, clean up."""
+    set_sanitize("locks")
+    sanitize.reset()
+    metrics.reset()
+    failure_report().clear()
+    yield sanitize.sanitizer()
+    sanitize.reset()
+    set_sanitize(None)
+    metrics.reset()
+    failure_report().clear()
+
+
+class TestGating:
+    def test_disabled_returns_plain_locks(self):
+        set_sanitize(False)
+        try:
+            assert not enabled()
+            assert not isinstance(make_lock("x"), _SanitizedLock)
+            assert not isinstance(make_rlock("x"), _SanitizedLock)
+        finally:
+            set_sanitize(None)
+
+    def test_enabled_wraps(self, sanitized):
+        lock = make_lock("t.wrapped")
+        assert isinstance(lock, _SanitizedLock)
+        assert not lock.reentrant
+        assert make_rlock("t.r").reentrant
+
+    def test_string_modes(self):
+        try:
+            set_sanitize("locks")
+            assert enabled()
+            set_sanitize("all")
+            assert enabled()
+            set_sanitize("other,locks")
+            assert enabled()
+            set_sanitize("")
+            assert not enabled()
+        finally:
+            set_sanitize(None)
+
+    def test_none_defers_to_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "locks")
+        set_sanitize(None)
+        assert enabled()
+        monkeypatch.delenv("REPRO_SANITIZE")
+        set_sanitize(None)
+        assert not enabled()
+
+    def test_configure_threads_through(self, sanitized):
+        runtime.configure(sanitize=False)
+        try:
+            assert not enabled()
+        finally:
+            runtime.configure(sanitize="locks")
+        assert enabled()
+
+
+class TestLockProtocol:
+    def test_context_manager_and_locked(self, sanitized):
+        lock = make_lock("t.cm")
+        assert not lock.locked()
+        with lock:
+            assert lock.locked()
+        assert not lock.locked()
+
+    def test_rlock_reentrancy(self, sanitized):
+        lock = make_rlock("t.re")
+        with lock:
+            with lock:
+                pass
+        # The nested acquire is a recursion bump, not a new acquisition.
+        assert sanitized.counters()["sanitizer.acquisitions"] == 1
+        assert sanitized.n_violations == 0
+
+    def test_condition_wait_releases_through_wrapper(self, sanitized):
+        cond = make_condition("t.cond")
+        with cond:
+            cond.wait(timeout=0.01)
+        # acquire, wait's release/reacquire, final release — and the
+        # held stack ends empty with nothing flagged.
+        assert sanitized.counters()["sanitizer.acquisitions"] >= 2
+        assert sanitized.n_violations == 0
+
+    def test_try_acquire_failure_not_recorded(self, sanitized):
+        lock = make_lock("t.try")
+        lock.acquire()
+        grabbed = []
+        t = threading.Thread(
+            target=lambda: grabbed.append(lock.acquire(blocking=False))
+        )
+        t.start()
+        t.join()
+        assert grabbed == [False]
+        lock.release()
+        assert sanitized.counters()["sanitizer.acquisitions"] == 1
+
+
+class TestInversions:
+    def test_opposite_nesting_orders_flagged(self, sanitized):
+        a, b = make_lock("t.a"), make_lock("t.b")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        assert sanitized.n_violations == 1
+        v = sanitized.violations()[0]
+        assert v.kind == "order_inversion"
+        assert {v.lock, v.other} == {"t.a", "t.b"}
+        assert "deadlock" in v.detail
+
+    def test_cross_thread_inversion(self, sanitized):
+        a, b = make_lock("t.a"), make_lock("t.b")
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        t = threading.Thread(target=forward)
+        t.start()
+        t.join()
+        with b:
+            with a:
+                pass
+        assert sanitized.n_violations == 1
+
+    def test_consistent_order_is_clean(self, sanitized):
+        a, b = make_lock("t.a"), make_lock("t.b")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert sanitized.n_violations == 0
+        assert sanitized.counters()["sanitizer.acquisitions"] == 6
+
+    def test_same_name_pairs_excluded(self, sanitized):
+        """Names are roles shared by every instance of a class; two
+        lanes of one broker nesting each other's locks is striping, not
+        an ordering bug the name-level graph can judge."""
+        a, b = make_lock("t.lane"), make_lock("t.lane")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        assert sanitized.n_violations == 0
+
+    def test_repeat_inversion_reported_once_counted_each(self, sanitized):
+        a, b = make_lock("t.a"), make_lock("t.b")
+        with a:
+            with b:
+                pass
+        for _ in range(3):
+            with b:
+                with a:
+                    pass
+        assert len(sanitized.violations()) == 1
+        assert sanitized.counters()["sanitizer.violations.order_inversion"] == 3
+        assert sanitized.counters()["sanitizer.violations"] == 3
+
+    def test_violation_feeds_metrics_and_failure_report(self, sanitized):
+        a, b = make_lock("t.a"), make_lock("t.b")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        assert metrics.get("sanitizer.order_inversion") == 1
+        assert failure_report().counts.get("sanitizer.order_inversion") == 1
+        assert "sanitizer:" in runtime.summary()
+
+
+class TestLongHold:
+    def test_hold_past_threshold_flagged(self, sanitized):
+        san = LockSanitizer(hold_threshold_s=0.01)
+        lock = _SanitizedLock(threading.Lock(), "t.slow", False, san)
+        with lock:
+            time.sleep(0.03)
+        assert san.n_violations == 1
+        v = san.violations()[0]
+        assert v.kind == "long_hold"
+        assert v.lock == "t.slow"
+
+    def test_fast_hold_is_clean(self, sanitized):
+        san = LockSanitizer(hold_threshold_s=0.5)
+        lock = _SanitizedLock(threading.Lock(), "t.fast", False, san)
+        with lock:
+            pass
+        assert san.n_violations == 0
+
+    def test_threshold_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE_HOLD_S", "2.5")
+        assert LockSanitizer().hold_threshold_s == 2.5
+
+
+class TestReporting:
+    def test_report_doc_shape(self, sanitized):
+        a, b = make_lock("t.a"), make_lock("t.b")
+        with a:
+            with b:
+                pass
+        doc = sanitize.report_doc()
+        assert doc["enabled"] is True
+        assert doc["n_edges"] == 1
+        assert doc["n_violations"] == 0
+        assert doc["counters"]["sanitizer.acquisitions"] == 2
+        assert doc["violations"] == []
+
+    def test_reset_clears_everything(self, sanitized):
+        a, b = make_lock("t.a"), make_lock("t.b")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        assert sanitized.n_violations == 1
+        sanitize.reset()
+        assert sanitized.n_violations == 0
+        assert sanitized.counters() == {}
+        assert sanitized.violations() == []
+
+    def test_runtime_reset_resets_sanitizer(self, sanitized):
+        a, b = make_lock("t.a"), make_lock("t.b")
+        with a:
+            with b:
+                pass
+        runtime.reset()
+        assert sanitized.counters() == {}
