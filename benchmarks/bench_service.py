@@ -22,9 +22,19 @@ request by itself.  Four phases, streamed into ``BENCH_service.json``:
 * **resident** — worker-resident shard evidence: after a query burst,
   ``shard.resident.bytes_shipped`` must stay far below even one pickled
   shard, i.e. queries ship queries, not repository state.
+* **chaos** (PR 10) — the 3-phase overload/chaos scenario from
+  :func:`repro.service.run_chaos_load` against a ``--chaos-ops`` server:
+  baseline, burst-with-deadlines, breaker-trip + worker-kill.  Asserted:
+  zero hung clients, zero unclassified errors, every response one of
+  success / 503-shed / 504-deadline / degraded-from-cache, and admitted
+  p99 within ``P99_BUDGET`` of unloaded p99.
+* **persistence** (PR 10) — ``--state-dir`` round trip: a cold boot
+  persists the corpus, a warm boot reloads it and must serve
+  byte-identical documents; both boot-to-ready times are recorded.
 
-``--smoke`` shrinks durations and skips the speedup floor (CI boxes are
-too noisy to gate on); the committed JSON comes from a full run.
+``--smoke`` shrinks durations and skips the speedup and p99 floors (CI
+boxes are too noisy to gate on); the committed JSON comes from a full
+run.
 """
 
 from __future__ import annotations
@@ -38,13 +48,20 @@ import re
 import signal
 import subprocess
 import sys
+import time
 
 import numpy as np
 import pytest
 
 import repro.runtime as runtime
 from repro.runtime import metrics
-from repro.service import ReproService, ServiceConfig, ServiceState, run_load
+from repro.service import (
+    ReproService,
+    ServiceConfig,
+    ServiceState,
+    run_chaos_load,
+    run_load,
+)
 from repro.service.client import ServiceClient
 
 CONCURRENCY = 32
@@ -94,12 +111,14 @@ _ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 @contextlib.contextmanager
-def _spawned_server(*extra_args: str):
+def _spawned_server(*extra_args: str, banner: list[str] | None = None):
     """Boot ``repro serve`` in its own process; yield (host, port).
 
     The serve command prints ``... on http://host:port`` once the corpus
-    is warm, so reading that line doubles as the readiness gate.  SIGINT
-    on exit exercises the graceful drain every single run.
+    is warm, so reading up to that line doubles as the readiness gate
+    (``--state-dir`` boots print a persistence line first; all startup
+    lines are appended to ``banner`` when given).  SIGINT on exit
+    exercises the graceful drain every single run.
     """
     env = dict(os.environ)
     env["PYTHONPATH"] = str(_ROOT / "src") + (
@@ -116,8 +135,14 @@ def _spawned_server(*extra_args: str):
     ]
     proc = subprocess.Popen(cmd, stderr=subprocess.PIPE, text=True, env=env)
     try:
-        line = proc.stderr.readline()
-        m = re.search(r"on http://([\d.]+):(\d+)", line)
+        m = None
+        for _ in range(10):
+            line = proc.stderr.readline()
+            if banner is not None:
+                banner.append(line)
+            m = re.search(r"on http://([\d.]+):(\d+)", line)
+            if m or not line:
+                break
         assert m, f"server did not report an address: {line!r}"
         yield m.group(1), int(m.group(2))
     finally:
@@ -194,7 +219,15 @@ def test_coalescing_throughput(smoke):
     def one(coalesce: bool) -> dict:
         nonlocal seed_base
         seed_base += 100_000_000  # distinct seeds: no cache hit ever repeats
-        extra = () if coalesce else ("--no-coalesce",)
+        # Admission must not be the binding constraint here: the phase
+        # measures coalescing, so the heavy gate admits the whole cohort
+        # (the default in-flight ceiling of 8 would cap batches at 8).
+        extra = (
+            "--max-inflight-heavy", str(CONCURRENCY),
+            "--max-queue-heavy", str(2 * CONCURRENCY),
+        )
+        if not coalesce:
+            extra = ("--no-coalesce", *extra)
         with _spawned_server(*extra) as (host, port):
             rep = run_load(
                 host, port,
@@ -285,5 +318,70 @@ def test_resident_no_repickling(corpus, smoke):
         "resident_queries": int(served),
         "one_shard_pickled_bytes": shard_pickle,
         "bytes_shipped_per_request": shipped / n_requests,
+    }
+    _flush()
+
+
+P99_BUDGET = 3.0  # admitted p99 under chaos <= 3x the unloaded p99
+
+
+def test_overload_chaos(smoke):
+    """3-phase overload/chaos: every response classified, no hung client."""
+    with _spawned_server("--chaos-ops") as (host, port):
+        report = run_chaos_load(
+            host, port,
+            concurrency=3 if smoke else 6,
+            requests_per_worker=8 if smoke else 25,
+            seed=7,
+            deadline_ms=2000.0,
+            nmf_restarts=NMF_RESTARTS,
+            kill_workers=1,
+            trip_breaker=True,
+            p99_budget=1e9 if smoke else P99_BUDGET,
+        )
+    assert report.ok, report.violations
+    assert report.deadline_violations == 0  # no client blocked past budget
+    assert report.degraded > 0  # the tripped breaker served from cache
+    _RESULTS["chaos"] = report.to_dict()
+    _flush()
+
+
+def test_warm_restart_persistence(smoke, tmp_path):
+    """--state-dir round trip: warm boot serves byte-identical documents."""
+    state_dir = str(tmp_path / "state")
+    typing_params = {"k": 4, "seed": 913, "n_restarts": NMF_RESTARTS}
+    search_params = {"query": {"text": "lecture"}, "limit": 10}
+
+    def probe(host, port):
+        with ServiceClient(host, port) as client:
+            status, typing = client.post("/typing", typing_params)
+            assert status == 200
+            status, search = client.post("/search", search_params)
+            assert status == 200
+        return _roundtrip(typing), _roundtrip(search)
+
+    boots = {}
+    cold_banner: list[str] = []
+    t0 = time.perf_counter()
+    with _spawned_server(
+        "--state-dir", state_dir, banner=cold_banner
+    ) as (host, port):
+        boots["cold_boot_s"] = time.perf_counter() - t0
+        cold = probe(host, port)
+    assert any("state persisted" in line for line in cold_banner), cold_banner
+
+    warm_banner: list[str] = []
+    t0 = time.perf_counter()
+    with _spawned_server(
+        "--state-dir", state_dir, banner=warm_banner
+    ) as (host, port):
+        boots["warm_boot_s"] = time.perf_counter() - t0
+        warm = probe(host, port)
+    assert any("warm restart" in line for line in warm_banner), warm_banner
+    assert warm == cold  # byte-identical across the restart
+    _RESULTS["persistence"] = {
+        "bit_identical_across_restart": True,
+        "endpoints": ["/typing", "/search"],
+        **{k: round(v, 3) for k, v in boots.items()},
     }
     _flush()

@@ -67,6 +67,13 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _nonneg_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -523,30 +530,65 @@ def cmd_faults(args) -> int:
 
 
 def _service_state(args):
+    from repro.materials.persist import (
+        has_state,
+        load_repository,
+        save_repository,
+    )
     from repro.service import ServiceConfig, ServiceState
 
-    if args.courses:
-        courses = _load(args.courses)
-        tree = load_cs2013()
-    else:
-        tree, courses, _ = load_canonical_dataset()
     config = ServiceConfig(
         n_shards=args.shards,
         resident=not args.no_resident,
         coalesce=not args.no_coalesce,
         window_s=args.window_ms / 1000.0,
         max_batch=args.max_batch,
+        max_inflight_cheap=args.max_inflight_cheap,
+        max_queue_cheap=args.max_queue_cheap,
+        max_inflight_heavy=args.max_inflight_heavy,
+        max_queue_heavy=args.max_queue_heavy,
+        default_deadline_s=(
+            args.deadline_ms / 1000.0 if args.deadline_ms else None
+        ),
+        breaker_threshold=args.breaker_threshold,
+        breaker_recovery_s=args.breaker_recovery,
+        chaos_ops=args.chaos_ops,
     )
-    return ServiceState(tree, courses, config=config)
+    if args.state_dir and has_state(args.state_dir):
+        repo, load_report = load_repository(args.state_dir)
+        tree = load_cs2013()
+        state = ServiceState(tree, None, config=config, repo=repo)
+        return state, load_report
+    if args.courses:
+        courses = _load(args.courses)
+        tree = load_cs2013()
+    else:
+        tree, courses, _ = load_canonical_dataset()
+    state = ServiceState(tree, courses, config=config)
+    if args.state_dir:
+        save_repository(state.repo, args.state_dir)
+    return state, None
 
 
 def cmd_serve(args) -> int:
     from repro.service import ReproService, serve_forever
 
-    state = _service_state(args)
+    state, load_report = _service_state(args)
     service = ReproService(state, host=args.host, port=args.port)
     host, port = service.start()
-    excluded = len(state.ingest_report.excluded)
+    if load_report is not None:
+        rebuilt = load_report.get("rebuilt_shards", [])
+        print(
+            f"warm restart from {args.state_dir} "
+            f"({len(rebuilt)} shard(s) rebuilt from JSONL)"
+            + (f": {rebuilt}" if rebuilt else ""),
+            file=sys.stderr,
+        )
+        excluded = 0
+    else:
+        excluded = len(state.ingest_report.excluded)
+        if args.state_dir:
+            print(f"state persisted to {args.state_dir}", file=sys.stderr)
     print(
         f"serving {state.repo.n_courses} courses / "
         f"{state.repo.n_materials} materials "
@@ -557,7 +599,9 @@ def cmd_serve(args) -> int:
         f"  shards={state.repo.n_shards} "
         f"resident={'on' if state.config.resident else 'off'} "
         f"coalesce={'on' if state.config.coalesce else 'off'} "
-        f"window={state.config.window_s * 1e3:.0f}ms",
+        f"window={state.config.window_s * 1e3:.0f}ms "
+        f"deadline={args.deadline_ms:.0f}ms "
+        f"chaos_ops={'on' if state.config.chaos_ops else 'off'}",
         file=sys.stderr,
     )
     serve_forever(service)
@@ -575,19 +619,36 @@ def cmd_serve(args) -> int:
 def cmd_loadtest(args) -> int:
     import json as _json
 
-    from repro.service import DEFAULT_MIX, run_load
+    from repro.service import CHAOS_MIX, DEFAULT_MIX, run_chaos_load, run_load
 
     try:
-        report = run_load(
-            args.host,
-            args.port,
-            concurrency=args.concurrency,
-            duration_s=None if args.requests else args.duration,
-            requests_per_worker=args.requests,
-            mix=args.mix or DEFAULT_MIX,
-            seed=args.seed,
-            nmf_restarts=args.restarts,
-        )
+        if args.chaos:
+            report = run_chaos_load(
+                args.host,
+                args.port,
+                concurrency=args.concurrency,
+                burst_concurrency=args.burst_concurrency,
+                requests_per_worker=args.requests or 25,
+                mix=args.mix or CHAOS_MIX,
+                seed=args.seed,
+                nmf_restarts=args.restarts,
+                deadline_ms=args.deadline_ms or 2000.0,
+                kill_workers=args.kill_workers,
+            )
+            ok = report.ok
+        else:
+            report = run_load(
+                args.host,
+                args.port,
+                concurrency=args.concurrency,
+                duration_s=None if args.requests else args.duration,
+                requests_per_worker=args.requests,
+                mix=args.mix or DEFAULT_MIX,
+                seed=args.seed,
+                nmf_restarts=args.restarts,
+                deadline_ms=args.deadline_ms if args.deadline_ms else None,
+            )
+            ok = report.total_errors == 0
     except (ConnectionError, OSError, RuntimeError, ValueError) as exc:
         raise SystemExit(f"load test failed: {exc}") from None
     if args.json_out:
@@ -596,7 +657,7 @@ def cmd_loadtest(args) -> int:
             fh.write("\n")
         print(f"wrote report to {args.json_out}", file=sys.stderr)
     print(report.summary())
-    return 0 if report.total_errors == 0 else 1
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -891,6 +952,34 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--no-resident", action="store_true",
                     help="disable the worker-resident shard pool "
                          "(ship-the-shard fan-out instead)")
+    sv.add_argument("--state-dir", default=None, metavar="DIR",
+                    help="persist the ingested corpus under DIR "
+                         "(checksummed per-shard bundles + JSONL); a "
+                         "restart with the same DIR boots warm from it")
+    sv.add_argument("--deadline-ms", type=_nonneg_float, default=30000.0,
+                    help="default per-request budget when the client "
+                         "sends no deadline_ms; 0 = unbounded "
+                         "(default: 30000)")
+    sv.add_argument("--max-inflight-cheap", type=_positive_int, default=64,
+                    help="admission: concurrent cheap reads (default: 64)")
+    sv.add_argument("--max-queue-cheap", type=_nonneg_int, default=128,
+                    help="admission: queued cheap reads before shedding "
+                         "(default: 128)")
+    sv.add_argument("--max-inflight-heavy", type=_positive_int, default=8,
+                    help="admission: concurrent NMF-bearing requests "
+                         "(default: 8)")
+    sv.add_argument("--max-queue-heavy", type=_nonneg_int, default=32,
+                    help="admission: queued NMF-bearing requests before "
+                         "shedding (default: 32)")
+    sv.add_argument("--breaker-threshold", type=_positive_int, default=5,
+                    help="consecutive lane failures that open the circuit "
+                         "breaker (default: 5)")
+    sv.add_argument("--breaker-recovery", type=_positive_float, default=2.0,
+                    help="seconds an open breaker waits before its "
+                         "half-open probe (default: 2)")
+    sv.add_argument("--chaos-ops", action="store_true",
+                    help="enable POST /chaos fault injection (load tests "
+                         "only — never on a real deployment)")
     sv.set_defaults(func=cmd_serve)
 
     lt = sub.add_parser(
@@ -917,6 +1006,19 @@ def build_parser() -> argparse.ArgumentParser:
                          "(default: 2)")
     lt.add_argument("--json-out", default=None, metavar="PATH",
                     help="also write the full report as JSON")
+    lt.add_argument("--deadline-ms", type=_nonneg_float, default=0.0,
+                    help="attach this per-request budget (X-Deadline-Ms); "
+                         "0 = none (chaos mode defaults to 2000)")
+    lt.add_argument("--chaos", action="store_true",
+                    help="run the 3-phase overload/chaos scenario "
+                         "(baseline, burst, breaker-trip) and assert the "
+                         "overload invariants; exit 1 on any violation")
+    lt.add_argument("--burst-concurrency", type=_positive_int, default=None,
+                    help="chaos: overload-phase client threads "
+                         "(default: 4x --concurrency)")
+    lt.add_argument("--kill-workers", type=_nonneg_int, default=0,
+                    help="chaos: SIGKILL this many resident shard workers "
+                         "via POST /chaos (server needs --chaos-ops)")
     lt.set_defaults(func=cmd_loadtest)
 
     return p

@@ -1,0 +1,251 @@
+"""Crash-safe persistence for the sharded repository.
+
+``repro serve --state-dir DIR`` must restart *warm*: reloading the
+corpus from DIR has to reproduce the exact repository the previous
+process served from — same shard contents, same global material order,
+same search results bit for bit — even if the previous process died
+mid-save or a shard bundle rotted on disk.  Three rules get us there:
+
+* **Atomic writes.**  Every file is written to a ``*.tmp`` sibling and
+  ``os.replace``-d into place (atomic on POSIX), and the manifest is
+  written *last* — it is the commit point.  A crash mid-save leaves
+  either the old complete state or the new complete state, never a torn
+  mix the loader would trust.
+* **Checksummed bundles.**  Each shard is one pickled
+  :class:`~repro.materials.repository.MaterialRepository` whose sha256
+  is recorded in the manifest.  The loader verifies before unpickling;
+  a mismatch, unpickle failure, or count mismatch **quarantines** the
+  bundle (moved into ``DIR/quarantine/``) instead of crashing the boot.
+* **JSONL as source of truth.**  ``courses.jsonl`` (the streamed corpus
+  layout from :mod:`repro.corpus.stream`) holds every retained course.
+  A quarantined shard is *rebuilt* from it by replaying the original
+  ingest order filtered to that shard's hash partition — bit-identical
+  to the lost bundle, because shard placement (``shard_of``) and
+  per-shard insertion order are both pure functions of the course
+  sequence.
+
+Layout of a state directory::
+
+    DIR/
+      manifest.json     # commit point: format, shard checksums, order
+      courses.jsonl     # retained courses, original ingest order
+      shard-0000.pkl    # one checksummed bundle per shard
+      ...
+      quarantine/       # corrupt bundles land here for post-mortems
+
+Only the checksum of ``courses.jsonl`` itself has no recovery path: it
+is the source of truth, so its corruption raises :class:`StateCorrupt`
+(re-ingest from the original corpus instead).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any
+
+from repro.corpus.stream import load_courses_jsonl, save_courses_jsonl
+from repro.materials.course import Course
+from repro.materials.repository import MaterialRepository
+from repro.materials.sharding import ShardedMaterialRepository, shard_of
+from repro.runtime.metrics import metrics
+
+STATE_FORMAT = "repro-state"
+STATE_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+COURSES_NAME = "courses.jsonl"
+QUARANTINE_DIR = "quarantine"
+
+
+class StateCorrupt(RuntimeError):
+    """The persisted state is unusable beyond per-shard recovery."""
+
+
+# -- small atomic-write helpers ----------------------------------------------
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def _quarantine(state_dir: Path, path: Path) -> Path:
+    qdir = state_dir / QUARANTINE_DIR
+    qdir.mkdir(exist_ok=True)
+    target = qdir / path.name
+    os.replace(path, target)
+    metrics.inc("persist.shard_quarantined")
+    return target
+
+
+# -- save ---------------------------------------------------------------------
+
+
+def has_state(state_dir: str | Path) -> bool:
+    """Whether ``state_dir`` holds a committed state (manifest present)."""
+    return (Path(state_dir) / MANIFEST_NAME).exists()
+
+
+def save_repository(
+    repo: ShardedMaterialRepository, state_dir: str | Path
+) -> dict[str, Any]:
+    """Persist ``repo`` into ``state_dir``; returns the manifest.
+
+    Safe to call over an existing state: each file is replaced
+    atomically and the manifest commits last, so a reader (or a crash)
+    mid-save observes only complete states.
+    """
+    state_dir = Path(state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    with metrics.timer("persist.save"):
+        courses = list(repo.courses())
+        courses_path = state_dir / COURSES_NAME
+        tmp = courses_path.with_name(courses_path.name + ".tmp")
+        save_courses_jsonl(courses, tmp)
+        os.replace(tmp, courses_path)
+        shard_entries = []
+        for sid, shard in enumerate(repo.shards):
+            name = f"shard-{sid:04d}.pkl"
+            data = pickle.dumps(shard, protocol=pickle.HIGHEST_PROTOCOL)
+            _atomic_write_bytes(state_dir / name, data)
+            shard_entries.append({
+                "file": name,
+                "sha256": hashlib.sha256(data).hexdigest(),
+                "n_materials": shard.n_materials,
+            })
+        manifest = {
+            "format": STATE_FORMAT,
+            "version": STATE_VERSION,
+            "n_shards": repo.n_shards,
+            "n_courses": repo.n_courses,
+            "n_materials": repo.n_materials,
+            "order": [m.id for m in repo.materials()],
+            "courses_sha256": _sha256_file(courses_path),
+            "shards": shard_entries,
+        }
+        _atomic_write_bytes(
+            state_dir / MANIFEST_NAME,
+            json.dumps(manifest, indent=2).encode("utf-8"),
+        )
+    metrics.inc("persist.saves")
+    return manifest
+
+
+# -- load ---------------------------------------------------------------------
+
+
+def _rebuild_shard(
+    courses: list[Course], sid: int, n_shards: int
+) -> MaterialRepository:
+    """Replay the ingest order filtered to one hash partition.
+
+    Reproduces the lost shard bit for bit: ``shard_of`` is a pure
+    function of the material id, and a shard's insertion order is the
+    first-occurrence order of its materials in the course sequence —
+    exactly what ``ingest`` produced originally.
+    """
+    shard = MaterialRepository()
+    seen: set[str] = set()
+    for course in courses:
+        for material in course.materials:
+            if material.id in seen:
+                continue
+            seen.add(material.id)
+            if shard_of(material.id, n_shards) == sid:
+                shard.add_material(material)
+    metrics.inc("persist.shard_rebuilt")
+    return shard
+
+
+def _load_shard(
+    path: Path, entry: dict[str, Any]
+) -> tuple[MaterialRepository | None, str | None]:
+    """One bundle → (shard, None) or (None, reason) when unusable."""
+    if not path.exists():
+        return None, "missing"
+    if _sha256_file(path) != entry.get("sha256"):
+        return None, "checksum_mismatch"
+    try:
+        with path.open("rb") as fh:
+            shard = pickle.load(fh)
+    except Exception:  # noqa: BLE001 — any unpickle failure is corruption
+        return None, "unpicklable"
+    if not isinstance(shard, MaterialRepository):
+        return None, "wrong_type"
+    if shard.n_materials != entry.get("n_materials"):
+        return None, "count_mismatch"
+    return shard, None
+
+
+def load_repository(
+    state_dir: str | Path,
+) -> tuple[ShardedMaterialRepository, dict[str, Any]]:
+    """Load a committed state; returns ``(repo, report)``.
+
+    ``report`` lists what recovery did: ``quarantined`` (bundle file →
+    reason) and ``rebuilt_shards`` (shard ids replayed from the JSONL
+    source of truth).  A clean load has both empty.  Raises
+    :class:`StateCorrupt` only when the manifest or ``courses.jsonl``
+    themselves are unusable — per-shard damage is always recoverable.
+    """
+    state_dir = Path(state_dir)
+    manifest_path = state_dir / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise StateCorrupt(f"{state_dir}: no {MANIFEST_NAME} (nothing committed)")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, ValueError) as exc:
+        raise StateCorrupt(f"{manifest_path}: unreadable manifest: {exc}") from exc
+    if (
+        not isinstance(manifest, dict)
+        or manifest.get("format") != STATE_FORMAT
+    ):
+        raise StateCorrupt(f"{manifest_path}: not a {STATE_FORMAT} manifest")
+    if manifest.get("version") != STATE_VERSION:
+        raise StateCorrupt(
+            f"{manifest_path}: unsupported version {manifest.get('version')}"
+            f" (expected {STATE_VERSION})"
+        )
+    with metrics.timer("persist.load"):
+        courses_path = state_dir / COURSES_NAME
+        if not courses_path.exists():
+            raise StateCorrupt(f"{courses_path}: missing source of truth")
+        if _sha256_file(courses_path) != manifest.get("courses_sha256"):
+            raise StateCorrupt(
+                f"{courses_path}: checksum mismatch — the source of truth "
+                "is corrupt; re-ingest from the original corpus"
+            )
+        courses = load_courses_jsonl(courses_path)
+        n_shards = int(manifest["n_shards"])
+        report: dict[str, Any] = {"quarantined": {}, "rebuilt_shards": []}
+        shards: list[MaterialRepository] = []
+        for sid, entry in enumerate(manifest["shards"]):
+            path = state_dir / str(entry["file"])
+            shard, reason = _load_shard(path, entry)
+            if shard is None:
+                if path.exists():
+                    _quarantine(state_dir, path)
+                report["quarantined"][path.name] = reason
+                shard = _rebuild_shard(courses, sid, n_shards)
+                report["rebuilt_shards"].append(sid)
+            shards.append(shard)
+        repo = ShardedMaterialRepository.from_parts(
+            shards, courses, [str(mid) for mid in manifest["order"]]
+        )
+    metrics.inc("persist.loads")
+    return repo, report

@@ -150,19 +150,26 @@ _RESIDENT_SHARDS: dict[int, MaterialRepository] = {}
 _RESIDENT_TREES: dict[str, GuidelineTree] = {}
 
 
-def _install_resident_shard(
-    shard_id: int,
-    shard: MaterialRepository,
+def _install_resident_shards(
+    shard_map: dict[int, MaterialRepository],
     trees: dict[str, GuidelineTree],
 ) -> None:
-    """Pool initializer: pin one shard (and known trees) into this process."""
+    """Pool initializer: pin this worker's shards (and trees) in-process.
+
+    Normally ``shard_map`` holds exactly one shard; after a rebalance a
+    survivor worker adopts the shards of a dead peer, so its map grows.
+    Because the map travels in the worker's *initargs*, a crashed
+    survivor re-hydrates every shard it owns — adopted ones included —
+    without caller involvement.
+    """
     _RESIDENT_SHARDS.clear()
-    _RESIDENT_SHARDS[shard_id] = shard
+    _RESIDENT_SHARDS.update(shard_map)
     _RESIDENT_TREES.clear()
     _RESIDENT_TREES.update(trees)
-    # Build the shard's query index once, at install time, so the first
+    # Build each shard's query index once, at install time, so the first
     # query after a (re)start doesn't pay the indexing cost.
-    shard.index  # noqa: B018 - intentional attribute access
+    for shard in shard_map.values():
+        shard.index  # noqa: B018 - intentional attribute access
 
 
 def _resolve_resident_tree(token) -> GuidelineTree | None:
@@ -212,6 +219,16 @@ class ResidentShardPool:
     never lag the parent's view.  If a worker exhausts its retry budget,
     the query falls back to the parent's own shard copy
     (``shard.resident.local_fallback``) — bit-identical, just slower.
+
+    **Rebalancing**: a worker that raises
+    :class:`~repro.runtime.executor.ResidentUnavailable` (crashed past
+    its retry budget, or closed) is marked dead and its shards are
+    reassigned round-robin to the surviving workers
+    (``shard.resident.rebalance``); the failed query retries once on
+    the new owner before the parent-local fallback.  Survivors adopt
+    shards via ``reconfigure``, so the enlarged shard map lives in
+    their initargs and survives further crashes.  Results stay
+    bit-identical throughout — only placement changes.
     """
 
     def __init__(
@@ -229,8 +246,8 @@ class ResidentShardPool:
                 self._trees[self._tree_key(tree)] = tree
         self._workers = [
             ResidentWorker(
-                _install_resident_shard,
-                (sid, shard, dict(self._trees)),
+                _install_resident_shards,
+                ({sid: shard}, dict(self._trees)),
                 name=f"shard-{sid}",
                 task_timeout=task_timeout,
                 task_retries=task_retries,
@@ -239,6 +256,11 @@ class ResidentShardPool:
         ]
         self._stale: set[int] = set()
         self._stale_lock = make_lock("shard.stale")
+        # shard id -> worker index; mutated only by _mark_dead under
+        # _assign_lock.  _dead holds worker indices out of rotation.
+        self._assign_lock = make_lock("shard.assign")
+        self._assignment: list[int] = list(range(len(self._workers)))
+        self._dead: set[int] = set()
 
     @staticmethod
     def _tree_key(tree: GuidelineTree) -> str:
@@ -264,14 +286,95 @@ class ResidentShardPool:
         with self._stale_lock:
             self._stale.add(shard_id)
 
+    def _shard_map_locked(self, worker_index: int) -> dict[int, MaterialRepository]:
+        # Caller holds _assign_lock.
+        return {
+            sid: self._repo.shards[sid]
+            for sid, owner in enumerate(self._assignment)
+            if owner == worker_index
+        }
+
     def _refresh_stale(self) -> None:
         with self._stale_lock:
             stale, self._stale = self._stale, set()
-        for sid in sorted(stale):
+        if not stale:
+            return
+        with self._assign_lock:
+            owners = sorted({
+                self._assignment[sid]
+                for sid in stale
+                if self._assignment[sid] not in self._dead
+            })
+            maps = [(w, self._shard_map_locked(w)) for w in owners]
+        for worker_index, shard_map in maps:
             metrics.inc("shard.resident.refresh")
-            self._workers[sid].reconfigure(
-                (sid, self._repo.shards[sid], dict(self._trees))
+            self._workers[worker_index].reconfigure(
+                (shard_map, dict(self._trees))
             )
+
+    # -- failure handling / rebalancing --------------------------------------
+
+    def assignment(self) -> dict[int, int]:
+        """Current shard → worker-index placement (a snapshot copy)."""
+        with self._assign_lock:
+            return dict(enumerate(self._assignment))
+
+    def dead_workers(self) -> list[int]:
+        """Worker indices taken out of rotation by :meth:`_mark_dead`."""
+        with self._assign_lock:
+            return sorted(self._dead)
+
+    def _mark_dead(self, dead_index: int) -> None:
+        """Take a worker out of rotation; survivors adopt its shards.
+
+        Idempotent per worker.  The adopted shards enter the survivors'
+        *initargs* (via ``reconfigure``), so a survivor that later
+        crashes re-hydrates its whole enlarged map.  With no survivors
+        left every query degrades to the parent-local fallback.
+        """
+        with self._assign_lock:
+            if dead_index in self._dead:
+                return
+            self._dead.add(dead_index)
+            metrics.inc("shard.resident.worker_dead")
+            survivors = [
+                w for w in range(len(self._workers)) if w not in self._dead
+            ]
+            moved = [
+                sid
+                for sid, w in enumerate(self._assignment)
+                if w == dead_index
+            ]
+            if not survivors or not moved:
+                return
+            for n, sid in enumerate(moved):
+                self._assignment[sid] = survivors[n % len(survivors)]
+            metrics.inc("shard.resident.rebalance", len(moved))
+            adopters = sorted({self._assignment[sid] for sid in moved})
+            maps = [(w, self._shard_map_locked(w)) for w in adopters]
+        # reconfigure blocks on the worker's old pool draining — never
+        # do that while holding the assignment lock.
+        for worker_index, shard_map in maps:
+            self._workers[worker_index].reconfigure(
+                (shard_map, dict(self._trees))
+            )
+
+    def _retry_on_survivor(self, fn, payload, sid: int, dead_index: int):
+        """After ``dead_index`` failed: rebalance, retry once on the new owner.
+
+        Returns a 1-tuple with the result, or ``None`` when the caller
+        should use its parent-local fallback.
+        """
+        self._mark_dead(dead_index)
+        with self._assign_lock:
+            owner = self._assignment[sid]
+            unavailable = owner in self._dead
+        if unavailable:
+            return None
+        try:
+            return (self._workers[owner].submit(fn, payload).result(),)
+        except ResidentUnavailable:
+            return None
 
     def close(self, *, force: bool = False) -> None:
         """Shut down and reap every worker."""
@@ -297,20 +400,37 @@ class ResidentShardPool:
         unavailable past its retry budget.
         """
         self._refresh_stale()
-        calls = []
-        for worker, payload in zip(self._workers, payloads):
+        with self._assign_lock:
+            owners = list(self._assignment)
+        calls: list[tuple] = []
+        for sid, payload in enumerate(payloads):
             metrics.inc(
                 "shard.resident.bytes_shipped", len(pickle.dumps(payload))
             )
             metrics.inc("shard.resident.queries")
-            calls.append(worker.submit(fn, payload))
-        out = []
-        for sid, call in enumerate(calls):
             try:
+                calls.append(
+                    (self._workers[owners[sid]].submit(fn, payload), owners[sid])
+                )
+            except ResidentUnavailable:
+                # Dead-at-submit (e.g. a closed worker): resolve below
+                # through the rebalance-and-retry path.
+                calls.append((None, owners[sid]))
+        out = []
+        for sid, (call, owner) in enumerate(calls):
+            try:
+                if call is None:
+                    raise ResidentUnavailable(
+                        f"worker {owner} refused shard {sid} at submit"
+                    )
                 out.append(call.result())
             except ResidentUnavailable:
-                metrics.inc("shard.resident.local_fallback")
-                out.append(local(sid))
+                retried = self._retry_on_survivor(fn, payloads[sid], sid, owner)
+                if retried is not None:
+                    out.append(retried[0])
+                else:
+                    metrics.inc("shard.resident.local_fallback")
+                    out.append(local(sid))
         return out
 
     def search(
@@ -385,6 +505,30 @@ class ShardedMaterialRepository:
         self._material_shard: dict[str, int] = {}
         self._order: list[str] = []  # material ids in global insertion order
         self._resident: ResidentShardPool | None = None
+
+    @classmethod
+    def from_parts(
+        cls,
+        shards: Sequence[MaterialRepository],
+        courses: Iterable[Course],
+        order: Sequence[str],
+    ) -> "ShardedMaterialRepository":
+        """Reassemble a repository from persisted parts.
+
+        Used by :mod:`repro.materials.persist` on warm restart: ``shards``
+        are the per-shard repositories (loaded or rebuilt), ``courses``
+        the retained courses in their original ingest order, ``order``
+        the global material insertion order from the manifest — together
+        they restore a repository bit-identical to the one saved.
+        """
+        repo = cls(n_shards=len(shards))
+        repo._shards = list(shards)
+        repo._courses = {course.id: course for course in courses}
+        repo._material_shard = {
+            mid: shard_of(mid, len(shards)) for mid in order
+        }
+        repo._order = list(order)
+        return repo
 
     # -- layout ---------------------------------------------------------------
 

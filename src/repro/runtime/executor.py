@@ -922,6 +922,38 @@ def run_nmf_fits(
     return results  # type: ignore[return-value]
 
 
+def cached_nmf_fits(
+    a: np.ndarray,
+    specs: Sequence[Mapping[str, Any]],
+    *,
+    cache: ResultCache | None = None,
+) -> list[dict[str, np.ndarray]] | None:
+    """Cache-only variant of :func:`run_nmf_fits`: never computes.
+
+    Returns the bundles for ``specs`` if **every** spec hits the
+    content-addressed :class:`ResultCache` (memory LRU or on-disk
+    ``.npz``), else ``None``.  This is the degraded-mode backend for the
+    service layer: when a broker lane is open or a request's deadline is
+    too tight for a cold fit, a previously computed factorization can
+    still be served — flagged degraded — without touching a kernel.
+    Keys are the same as :func:`run_nmf_fits`'s, so anything a normal
+    request computed is servable here bit for bit.
+    """
+    store = cache if cache is not None else result_cache
+    if not scipy.sparse.issparse(a):
+        a = np.ascontiguousarray(a, dtype=float)
+    a_digest = matrix_digest(a)
+    out: list[dict[str, np.ndarray]] = []
+    for spec in specs:
+        hit = store.get(_spec_key(a_digest, spec))
+        if hit is None:
+            metrics.inc("runtime.nmf_degraded_miss")
+            return None
+        out.append(hit)
+    metrics.inc("runtime.nmf_degraded_hits", len(out))
+    return out
+
+
 # -- resident workers --------------------------------------------------------
 #
 # parallel_map ships every task's full payload into a throwaway pool; a
@@ -1015,18 +1047,35 @@ class ResidentWorker:
                 raise ResidentUnavailable(
                     f"resident worker {self._name!r} is closed"
                 )
-            if self._pool is None:
-                self._pool = ProcessPoolExecutor(
-                    max_workers=1,
-                    initializer=self._initializer,
-                    initargs=self._initargs,
-                )
-                if self._started:
-                    metrics.inc("executor.resident.rehydrate")
-                else:
-                    metrics.inc("executor.resident.start")
-                    self._started = True
-            return self._pool.submit(fn, payload), self._generation
+            last_error: BaseException | None = None
+            for _ in range(2):
+                if self._pool is None:
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=1,
+                        initializer=self._initializer,
+                        initargs=self._initargs,
+                    )
+                    if self._started:
+                        metrics.inc("executor.resident.rehydrate")
+                    else:
+                        metrics.inc("executor.resident.start")
+                        self._started = True
+                try:
+                    return self._pool.submit(fn, payload), self._generation
+                except BrokenProcessPool as exc:
+                    # A worker death discovered before anyone awaited a
+                    # result breaks the pool at *submit* time.  Recycle
+                    # inline and resubmit to a fresh pool — the rerun
+                    # initializer re-hydrates the resident state.
+                    last_error = exc
+                    _teardown_pool(self._pool)
+                    self._pool = None
+                    self._generation += 1
+                    metrics.inc("executor.pool_rebuild")
+            raise ResidentUnavailable(
+                f"resident worker {self._name!r} broke at submit:"
+                f" {last_error!r}"
+            ) from last_error
 
     def reconfigure(self, initargs: Sequence[Any]) -> None:
         """Swap the resident state; the worker recycles on the next call.

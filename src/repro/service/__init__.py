@@ -9,13 +9,29 @@ Layers, bottom up:
 * :mod:`~repro.service.state` — the warm corpus (sharded repository
   with worker-resident shards, cached family matrices) and the
   endpoint logic, HTTP-free.
+* :mod:`~repro.service.admission` — the overload controls: bounded
+  admission gates per endpoint class, monotonic request deadlines,
+  and circuit breakers around the broker lanes.
 * :mod:`~repro.service.server` — the threaded stdlib HTTP JSON front
   end with graceful request draining.
 * :mod:`~repro.service.client` / :mod:`~repro.service.loadgen` — a
-  keep-alive client and the closed-loop load generator behind
-  ``BENCH_service.json`` and the CI smoke job.
+  keep-alive client (GET-only reconnect retry, pooled connections)
+  and the closed-loop load generator — including the 3-phase
+  overload/chaos scenario — behind ``BENCH_service.json`` and the CI
+  smoke job.
 """
 
+from repro.service.admission import (
+    CHEAP,
+    HEAVY,
+    NO_DEADLINE,
+    AdmissionGate,
+    AdmissionShed,
+    BreakerOpen,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+)
 from repro.service.broker import (
     BrokerClosed,
     NmfJob,
@@ -23,12 +39,15 @@ from repro.service.broker import (
     RequestBroker,
     SearchJob,
 )
-from repro.service.client import ServiceClient
+from repro.service.client import ClientPool, ServiceClient
 from repro.service.loadgen import (
+    CHAOS_MIX,
     DEFAULT_MIX,
+    ChaosReport,
     LoadReport,
     RequestFactory,
     parse_mix,
+    run_chaos_load,
     run_load,
 )
 from repro.service.server import ReproService, serve_forever
@@ -40,16 +59,29 @@ from repro.service.state import (
 )
 
 __all__ = [
+    "CHEAP",
+    "HEAVY",
+    "NO_DEADLINE",
+    "AdmissionGate",
+    "AdmissionShed",
+    "BreakerOpen",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
     "BrokerClosed",
     "NmfJob",
     "PendingResult",
     "RequestBroker",
     "SearchJob",
+    "ClientPool",
     "ServiceClient",
+    "CHAOS_MIX",
     "DEFAULT_MIX",
+    "ChaosReport",
     "LoadReport",
     "RequestFactory",
     "parse_mix",
+    "run_chaos_load",
     "run_load",
     "ReproService",
     "serve_forever",

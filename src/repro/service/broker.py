@@ -43,6 +43,12 @@ from typing import Any, Callable, Hashable, Sequence
 from repro.runtime.executor import run_nmf_fits
 from repro.runtime.metrics import metrics
 from repro.runtime.sanitize import make_condition, make_lock
+from repro.service.admission import (
+    BreakerOpen,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+)
 
 
 class BrokerClosed(RuntimeError):
@@ -60,6 +66,8 @@ class NmfJob:
     marks jobs whose (matrix, specs) are identical: they share one solve
     and each still runs its own ``finish`` (on its own waiting thread —
     ``finish`` must therefore not mutate the raw bundles it receives).
+    ``deadline`` (optional) lets the dispatcher drop the job with
+    :class:`DeadlineExceeded` if it expires while still queued.
     """
 
     matrix: Any
@@ -67,6 +75,7 @@ class NmfJob:
     specs: list
     finish: Callable[[Sequence[dict]], Any]
     dedup_key: Hashable | None = None
+    deadline: Deadline | None = None
 
 
 @dataclass
@@ -77,6 +86,7 @@ class SearchJob:
     tree: Any
     limit: int | None
     finish: Callable[[Sequence[list]], Any]
+    deadline: Deadline | None = None
 
 
 class PendingResult:
@@ -140,11 +150,13 @@ class _Lane:
         dispatch: Callable[[list], None],
         window_s: float,
         max_batch: int,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self.name = name
         self._dispatch = dispatch
         self._window_s = window_s
         self._max_batch = max_batch
+        self._breaker = breaker
         self._cond = make_condition("broker.lane")
         self._queue: list[tuple[Any, Future]] = []
         self._closing = False
@@ -185,27 +197,63 @@ class _Lane:
                     self._cond.wait(timeout=remaining)
                 batch = self._queue[: self._max_batch]
                 del self._queue[: self._max_batch]
-            _run_batch(self.name, self._dispatch, batch)
+            _run_batch(self.name, self._dispatch, batch, self._breaker)
 
 
 def _run_batch(
-    name: str, dispatch: Callable[[list], None], batch: list
+    name: str,
+    dispatch: Callable[[list], None],
+    batch: list,
+    breaker: CircuitBreaker | None = None,
 ) -> None:
+    # Requests whose deadline expired while queued never reach the
+    # backend: they fail with DeadlineExceeded here, before dispatch,
+    # so a wedged lane cannot also waste kernel time on dead requests.
+    live: list = []
+    expired: list = []
+    for job, fut in batch:
+        deadline = job.deadline
+        if deadline is not None and deadline.expired():
+            expired.append((job, fut))
+        else:
+            live.append((job, fut))
     if name == "nmf":
+        if expired:
+            metrics.inc("broker.nmf.expired", len(expired))
         metrics.inc("broker.nmf.batches")
-        metrics.inc("broker.nmf.requests", len(batch))
-        metrics.observe("broker.nmf.batch_size", float(len(batch)))
+        metrics.inc("broker.nmf.requests", len(live))
+        metrics.observe("broker.nmf.batch_size", float(len(live)))
         timer = metrics.timer("broker.nmf.dispatch")
     else:
+        if expired:
+            metrics.inc("broker.search.expired", len(expired))
         metrics.inc("broker.search.batches")
-        metrics.inc("broker.search.requests", len(batch))
-        metrics.observe("broker.search.batch_size", float(len(batch)))
+        metrics.inc("broker.search.requests", len(live))
+        metrics.observe("broker.search.batch_size", float(len(live)))
         timer = metrics.timer("broker.search.dispatch")
+    if expired:
+        _fail(
+            expired,
+            DeadlineExceeded(
+                f"deadline expired in the {name!r} queue before dispatch"
+            ),
+        )
+    if not live:
+        return
+    if breaker is not None:
+        # Claim the half-open probe (or fail fast) on the dispatcher
+        # thread — the same thread that records the outcome below, so a
+        # claimed probe can never leak.
+        try:
+            breaker.allow()
+        except BreakerOpen as exc:
+            _fail(live, exc)
+            return
     with timer:
         try:
-            dispatch(batch)
+            dispatch(live)
         except BaseException as exc:  # defensive: dispatch itself failed
-            _fail(batch, exc)
+            _fail(live, exc)
 
 
 class RequestBroker:
@@ -214,6 +262,13 @@ class RequestBroker:
     ``search_many`` is the batched query callable (typically the sharded
     repository's bound method).  ``kernel`` pins the NMF strategy for
     coalesced batches (the batched engine is the point of coalescing).
+
+    Each lane is guarded by a :class:`CircuitBreaker`:
+    ``breaker_threshold`` consecutive backend failures open it, after
+    which submissions fail fast with :class:`BreakerOpen` until a
+    half-open probe (first dispatch after ``breaker_recovery_s``)
+    succeeds.  Deadline-expired and fast-failed requests do not count as
+    backend failures — only the dispatched call's own outcome does.
     """
 
     def __init__(
@@ -225,6 +280,8 @@ class RequestBroker:
         coalesce: bool = True,
         kernel: str | None = "batched",
         workers: int | None = None,
+        breaker_threshold: int = 5,
+        breaker_recovery_s: float = 2.0,
     ) -> None:
         if window_s < 0:
             raise ValueError(f"window_s must be >= 0, got {window_s}")
@@ -236,25 +293,43 @@ class RequestBroker:
         self.coalesce = coalesce
         self.window_s = window_s
         self.max_batch = max_batch
+        self.breakers: dict[str, CircuitBreaker] = {
+            "nmf": CircuitBreaker(
+                "nmf", threshold=breaker_threshold,
+                recovery_s=breaker_recovery_s,
+            ),
+            "search": CircuitBreaker(
+                "search", threshold=breaker_threshold,
+                recovery_s=breaker_recovery_s,
+            ),
+        }
         self._closed = False
         self._nmf_lane: _Lane | None = None
         self._search_lane: _Lane | None = None
         if coalesce:
             self._nmf_lane = _Lane(
-                "nmf", self._dispatch_nmf, window_s, max_batch
+                "nmf", self._dispatch_nmf, window_s, max_batch,
+                self.breakers["nmf"],
             )
             self._search_lane = _Lane(
-                "search", self._dispatch_search, window_s, max_batch
+                "search", self._dispatch_search, window_s, max_batch,
+                self.breakers["search"],
             )
 
     # -- submission ----------------------------------------------------------
 
+    def breaker(self, name: str) -> CircuitBreaker:
+        """The lane breaker (``"nmf"`` or ``"search"``)."""
+        return self.breakers[name]
+
     def submit_nmf(self, job: NmfJob) -> PendingResult:
+        self.breakers["nmf"].check()
         if self._nmf_lane is not None:
             return PendingResult(self._nmf_lane.submit(job), job.finish)
         return self._inline("nmf", self._dispatch_nmf, job)
 
     def submit_search(self, job: SearchJob) -> PendingResult:
+        self.breakers["search"].check()
         if self._search_lane is not None:
             return PendingResult(self._search_lane.submit(job), job.finish)
         return self._inline("search", self._dispatch_search, job)
@@ -264,7 +339,7 @@ class RequestBroker:
         if self._closed:
             raise BrokerClosed(f"broker lane {name!r} is closed")
         fut: Future = Future()
-        _run_batch(name, dispatch, [(job, fut)])
+        _run_batch(name, dispatch, [(job, fut)], self.breakers[name])
         return PendingResult(fut, job.finish)
 
     def close(self) -> None:
@@ -306,8 +381,10 @@ class RequestBroker:
                     matrix, specs, kernel=self._kernel, workers=self._workers
                 )
             except BaseException as exc:
+                self.breakers["nmf"].record_failure(exc)
                 _fail(group_jobs, exc)
                 continue
+            self.breakers["nmf"].record_success()
             for key in order:
                 lo, hi = slices[key]
                 for _job, fut in unique[key]:
@@ -331,7 +408,9 @@ class RequestBroker:
             try:
                 results = self._search_many(flat, tree=tree, limit=limit)
             except BaseException as exc:
+                self.breakers["search"].record_failure(exc)
                 _fail(group_jobs, exc)
                 continue
+            self.breakers["search"].record_success()
             for (_job, fut), (lo, hi) in zip(group_jobs, spans):
                 _resolve(fut, results[lo:hi])

@@ -3,7 +3,17 @@
 Stdlib :mod:`http.client` only.  One :class:`ServiceClient` owns one
 persistent HTTP/1.1 connection — exactly what a closed-loop load-test
 worker wants (no per-request TCP handshake in the measured latency).
-Not thread-safe; give each thread its own client.
+Not thread-safe; give each thread its own client (or a
+:class:`ClientPool` slot).
+
+Retry policy: a dropped keep-alive connection (server restarted, idle
+timeout reaped it) is transparently retried on a fresh connection
+**only for GETs** — they are idempotent, so a replay is safe even when
+the first attempt reached the server.  A POST that dies mid-flight may
+already have executed (and for this service may have burned kernel
+time); replaying it silently would double work and skew load-test
+accounting, so the error propagates to the caller instead.  Retries
+never extend past the request's ``deadline_ms``.
 """
 
 from __future__ import annotations
@@ -11,6 +21,8 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import threading
+import time
 from typing import Any
 
 
@@ -37,18 +49,29 @@ class ServiceClient:
         return self._conn
 
     def request(
-        self, method: str, path: str, body: Any | None = None
+        self,
+        method: str,
+        path: str,
+        body: Any | None = None,
+        *,
+        deadline_ms: float | None = None,
     ) -> tuple[int, dict]:
         """Issue one request; returns ``(status, parsed-JSON-document)``.
 
-        A dropped keep-alive connection (server restarted, idle timeout)
-        is retried once on a fresh connection; real errors propagate.
+        ``deadline_ms`` rides to the server as ``X-Deadline-Ms`` (the
+        per-request budget) and bounds the client's own reconnect
+        retry.  Only GETs are retried on a dropped connection — see the
+        module docstring for why POSTs are not.
         """
         payload = None
-        headers = {}
+        headers: dict[str, str] = {}
         if body is not None:
             payload = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if deadline_ms is not None:
+            headers["X-Deadline-Ms"] = f"{deadline_ms:g}"
+        retriable = method.upper() == "GET"
+        t0 = time.perf_counter()
         for attempt in (0, 1):
             conn = self._connection()
             try:
@@ -61,19 +84,27 @@ class ServiceClient:
                 break
             except (http.client.HTTPException, ConnectionError, OSError):
                 self.close()
-                if attempt:
+                if not retriable or attempt:
                     raise
+                if deadline_ms is not None:
+                    elapsed_ms = (time.perf_counter() - t0) * 1e3
+                    if elapsed_ms >= deadline_ms:
+                        raise  # budget spent; a retry could not finish
         try:
             doc = json.loads(data) if data else {}
         except ValueError:
             doc = {"error": data.decode("utf-8", errors="replace")}
         return status, doc
 
-    def get(self, path: str) -> tuple[int, dict]:
-        return self.request("GET", path)
+    def get(
+        self, path: str, *, deadline_ms: float | None = None
+    ) -> tuple[int, dict]:
+        return self.request("GET", path, deadline_ms=deadline_ms)
 
-    def post(self, path: str, body: dict) -> tuple[int, dict]:
-        return self.request("POST", path, body)
+    def post(
+        self, path: str, body: dict, *, deadline_ms: float | None = None
+    ) -> tuple[int, dict]:
+        return self.request("POST", path, body, deadline_ms=deadline_ms)
 
     def close(self) -> None:
         if self._conn is not None:
@@ -81,6 +112,47 @@ class ServiceClient:
             self._conn = None
 
     def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ClientPool:
+    """Numbered :class:`ServiceClient` slots, reusable across phases.
+
+    A multi-phase load test (baseline → overload → chaos) that builds a
+    fresh client cohort per phase measures TCP handshakes, not the
+    service.  A pool hands worker ``i`` the *same* keep-alive client in
+    every phase; a client whose connection died is replaced on next use
+    by the client's own lazy reconnect, so slots never go stale.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._clients: dict[int, ServiceClient] = {}
+        self._lock = threading.Lock()
+
+    def client(self, slot: int) -> ServiceClient:
+        """The persistent client for ``slot`` (created on first use)."""
+        with self._lock:
+            client = self._clients.get(slot)
+            if client is None:
+                client = ServiceClient(
+                    self._host, self._port, timeout=self._timeout
+                )
+                self._clients[slot] = client
+            return client
+
+    def close(self) -> None:
+        with self._lock:
+            clients, self._clients = list(self._clients.values()), {}
+        for client in clients:
+            client.close()
+
+    def __enter__(self) -> "ClientPool":
         return self
 
     def __exit__(self, *exc_info) -> None:

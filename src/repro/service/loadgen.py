@@ -24,9 +24,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.service.client import ServiceClient
+from repro.service.client import ClientPool, ServiceClient
 
 DEFAULT_MIX = "search=4,similar=2,coverage=2,typing=1,flavors=1,anchors=1"
+#: NMF-heavy mix for overload phases — pressure lands on the heavy gate.
+CHAOS_MIX = "search=2,similar=1,typing=2,flavors=1,anchors=1"
 
 _ENDPOINTS = (
     "search", "similar", "coverage", "typing", "flavors", "anchors", "healthz",
@@ -71,6 +73,11 @@ def _quantile(sorted_values: list[float], q: float) -> float:
 class _EndpointStats:
     latencies_s: list[float] = field(default_factory=list)
     errors: int = 0
+    shed: int = 0
+    breaker_open: int = 0
+    deadline_exceeded: int = 0
+    degraded: int = 0
+    deadline_violations: int = 0
 
     def to_dict(self) -> dict:
         values = sorted(self.latencies_s)
@@ -78,6 +85,11 @@ class _EndpointStats:
         return {
             "count": count,
             "errors": self.errors,
+            "shed": self.shed,
+            "breaker_open": self.breaker_open,
+            "deadline_exceeded": self.deadline_exceeded,
+            "degraded": self.degraded,
+            "deadline_violations": self.deadline_violations,
             "mean_s": (sum(values) / count) if count else 0.0,
             "p50_s": _quantile(values, 0.50),
             "p90_s": _quantile(values, 0.90),
@@ -88,7 +100,17 @@ class _EndpointStats:
 
 @dataclass
 class LoadReport:
-    """Aggregate result of one load-generation run."""
+    """Aggregate result of one load-generation run.
+
+    Every response lands in exactly one bucket: a latency sample
+    (HTTP 200 — ``degraded`` additionally counts the 200s served from
+    cache), ``shed`` (503 at the admission gate), ``breaker_open``
+    (503 fast-fail from an open lane breaker), ``deadline_exceeded``
+    (504), or ``errors`` (anything else).  ``deadline_violations``
+    counts responses — any bucket — that took longer than the request
+    deadline plus scheduling grace: the client-visible "did anyone
+    block past their deadline" check.
+    """
 
     concurrency: int
     duration_s: float
@@ -97,6 +119,12 @@ class LoadReport:
     requests_per_s: float
     endpoints: dict[str, dict]
     error_samples: list[str]
+    shed: int = 0
+    breaker_open: int = 0
+    deadline_exceeded: int = 0
+    degraded: int = 0
+    deadline_violations: int = 0
+    overall_p99_s: float = 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -105,6 +133,12 @@ class LoadReport:
             "total_requests": self.total_requests,
             "total_errors": self.total_errors,
             "requests_per_s": self.requests_per_s,
+            "shed": self.shed,
+            "breaker_open": self.breaker_open,
+            "deadline_exceeded": self.deadline_exceeded,
+            "degraded": self.degraded,
+            "deadline_violations": self.deadline_violations,
+            "overall_p99_s": self.overall_p99_s,
             "endpoints": dict(sorted(self.endpoints.items())),
             "error_samples": self.error_samples[:10],
         }
@@ -113,7 +147,9 @@ class LoadReport:
         lines = [
             f"{self.total_requests} requests over {self.duration_s:.2f}s "
             f"at concurrency {self.concurrency} — "
-            f"{self.requests_per_s:.1f} req/s, {self.total_errors} errors"
+            f"{self.requests_per_s:.1f} req/s, {self.total_errors} errors, "
+            f"{self.shed} shed, {self.deadline_exceeded} past-deadline, "
+            f"{self.degraded} degraded"
         ]
         for name, stats in sorted(self.endpoints.items()):
             lines.append(
@@ -203,6 +239,11 @@ def _pick(rng: random.Random, names: list[str], cumulative: list[float]) -> str:
     return names[-1]
 
 
+#: Client-side slack on top of the server deadline before a response
+#: counts as a violation: network + thread-scheduling noise, not policy.
+_DEADLINE_GRACE_S = 1.0
+
+
 def run_load(
     host: str,
     port: int,
@@ -217,12 +258,20 @@ def run_load(
     vary_nmf_seeds: bool = True,
     nmf_seed_base: int = 0,
     timeout: float = 120.0,
+    deadline_ms: float | None = None,
+    pool: ClientPool | None = None,
 ) -> LoadReport:
     """Drive the service with a closed-loop thread-per-client workload.
 
     Stops after ``duration_s`` seconds (workers finish their in-flight
     request) or, if ``requests_per_worker`` is given, after exactly that
     many requests per worker — the deterministic mode CI smoke uses.
+
+    ``deadline_ms`` attaches a budget to every request (and arms the
+    per-response deadline-violation check).  ``pool`` reuses an existing
+    :class:`ClientPool`'s keep-alive connections instead of building a
+    fresh cohort — pass the same pool across phases of a multi-phase
+    run so phase boundaries don't measure TCP handshakes.
     """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
@@ -258,11 +307,39 @@ def run_load(
     samples_lock = threading.Lock()
     start_gate = threading.Event()
     deadline_holder: list[float] = []
+    budget_s = (deadline_ms / 1e3) if deadline_ms is not None else None
+
+    def classify(
+        bucket: _EndpointStats, endpoint: str, status: int, doc: dict,
+        elapsed: float,
+    ) -> None:
+        if budget_s is not None and elapsed > budget_s + _DEADLINE_GRACE_S:
+            bucket.deadline_violations += 1
+        if status == 200:
+            bucket.latencies_s.append(elapsed)
+            if isinstance(doc, dict) and doc.get("degraded"):
+                bucket.degraded += 1
+        elif status == 503 and doc.get("shed"):
+            bucket.shed += 1
+        elif status == 503 and doc.get("breaker"):
+            bucket.breaker_open += 1
+        elif status == 504:
+            bucket.deadline_exceeded += 1
+        else:
+            bucket.errors += 1
+            with samples_lock:
+                error_samples.append(
+                    f"{endpoint}: HTTP {status} {doc.get('error')}"
+                )
 
     def worker(widx: int) -> None:
         rng = random.Random(seed * 1_000_003 + widx)
         stats = per_worker_stats[widx]
-        client = ServiceClient(host, port, timeout=timeout)
+        client = (
+            pool.client(widx)
+            if pool is not None
+            else ServiceClient(host, port, timeout=timeout)
+        )
         start_gate.wait()
         request_index = widx * 1_000_000  # disjoint per-worker NMF seed ranges
         issued = 0
@@ -279,22 +356,26 @@ def run_load(
                 bucket = stats.setdefault(endpoint, _EndpointStats())
                 t0 = time.perf_counter()
                 try:
-                    status, doc = client.request(method, path, body)
+                    status, doc = client.request(
+                        method, path, body, deadline_ms=deadline_ms
+                    )
                 except Exception as exc:  # noqa: BLE001 — record, keep looping
+                    elapsed = time.perf_counter() - t0
+                    if (
+                        budget_s is not None
+                        and elapsed > budget_s + _DEADLINE_GRACE_S
+                    ):
+                        bucket.deadline_violations += 1
                     bucket.errors += 1
                     with samples_lock:
                         error_samples.append(f"{endpoint}: {exc}")
                     continue
-                if status != 200:
-                    bucket.errors += 1
-                    with samples_lock:
-                        error_samples.append(
-                            f"{endpoint}: HTTP {status} {doc.get('error')}"
-                        )
-                else:
-                    bucket.latencies_s.append(time.perf_counter() - t0)
+                classify(
+                    bucket, endpoint, status, doc, time.perf_counter() - t0
+                )
         finally:
-            client.close()
+            if pool is None:
+                client.close()
 
     threads = [
         threading.Thread(target=worker, args=(w,), name=f"loadgen-{w}")
@@ -311,15 +392,25 @@ def run_load(
     elapsed = time.perf_counter() - t_start
 
     merged: dict[str, _EndpointStats] = {}
+    all_latencies: list[float] = []
     for stats in per_worker_stats:
         for name, bucket in stats.items():
             agg = merged.setdefault(name, _EndpointStats())
             agg.latencies_s.extend(bucket.latencies_s)
             agg.errors += bucket.errors
+            agg.shed += bucket.shed
+            agg.breaker_open += bucket.breaker_open
+            agg.deadline_exceeded += bucket.deadline_exceeded
+            agg.degraded += bucket.degraded
+            agg.deadline_violations += bucket.deadline_violations
+            all_latencies.extend(bucket.latencies_s)
     total_requests = sum(
-        len(b.latencies_s) + b.errors for b in merged.values()
+        len(b.latencies_s)
+        + b.errors + b.shed + b.breaker_open + b.deadline_exceeded
+        for b in merged.values()
     )
     total_errors = sum(b.errors for b in merged.values())
+    all_latencies.sort()
     return LoadReport(
         concurrency=concurrency,
         duration_s=elapsed,
@@ -328,4 +419,236 @@ def run_load(
         requests_per_s=(total_requests / elapsed) if elapsed > 0 else 0.0,
         endpoints={name: b.to_dict() for name, b in merged.items()},
         error_samples=error_samples,
+        shed=sum(b.shed for b in merged.values()),
+        breaker_open=sum(b.breaker_open for b in merged.values()),
+        deadline_exceeded=sum(
+            b.deadline_exceeded for b in merged.values()
+        ),
+        degraded=sum(b.degraded for b in merged.values()),
+        deadline_violations=sum(
+            b.deadline_violations for b in merged.values()
+        ),
+        overall_p99_s=_quantile(all_latencies, 0.99),
+    )
+
+
+# -- chaos / overload orchestration -------------------------------------------
+
+
+@dataclass
+class ChaosReport:
+    """Result of :func:`run_chaos_load`: three phases + invariant checks.
+
+    ``violations`` is empty when every overload invariant held: no
+    client blocked past its deadline (+grace), every response fell in a
+    known bucket (no 500s), overload produced shedding rather than
+    collapse, and the p99 of *admitted* requests stayed within
+    ``p99_budget``× the unloaded p99.
+    """
+
+    phases: dict[str, dict]
+    shed: int
+    breaker_open: int
+    deadline_exceeded: int
+    degraded: int
+    errors: int
+    deadline_violations: int
+    p99_ratio: float
+    violations: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "shed": self.shed,
+            "breaker_open": self.breaker_open,
+            "deadline_exceeded": self.deadline_exceeded,
+            "degraded": self.degraded,
+            "errors": self.errors,
+            "deadline_violations": self.deadline_violations,
+            "p99_ratio": self.p99_ratio,
+            "violations": list(self.violations),
+            "phases": dict(self.phases),
+        }
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else "VIOLATIONS"
+        lines = [
+            f"chaos loadtest: {verdict} — shed={self.shed} "
+            f"breaker_open={self.breaker_open} "
+            f"deadline_exceeded={self.deadline_exceeded} "
+            f"degraded={self.degraded} errors={self.errors} "
+            f"deadline_violations={self.deadline_violations} "
+            f"p99_ratio={self.p99_ratio:.2f}"
+        ]
+        lines.extend(f"  VIOLATION: {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def run_chaos_load(
+    host: str,
+    port: int,
+    *,
+    concurrency: int = 4,
+    burst_concurrency: int | None = None,
+    requests_per_worker: int = 25,
+    seed: int = 0,
+    deadline_ms: float = 2000.0,
+    mix: str | dict[str, float] = CHAOS_MIX,
+    nmf_k: int = 4,
+    nmf_restarts: int = 2,
+    kill_workers: int = 0,
+    trip_breaker: bool = True,
+    p99_budget: float = 3.0,
+    timeout: float = 120.0,
+) -> ChaosReport:
+    """Seeded overload/chaos scenario against a running service.
+
+    Three phases over one shared :class:`ClientPool` (connections are
+    reused across phase boundaries):
+
+    1. **baseline** — closed-loop at ``concurrency``, fixed NMF seeds
+       (warms the result cache and measures the unloaded p99);
+    2. **overload** — a burst at ``burst_concurrency`` (default
+       4×``concurrency``) with per-request deadlines: the admission
+       gates must shed the excess (503) and late requests must 504,
+       while admitted requests stay within ``p99_budget``× the
+       baseline p99;
+    3. **chaos** — with ``trip_breaker`` the NMF lane's breaker is
+       forced open via ``POST /chaos`` (requests hit the degraded
+       cached path warmed in phase 1); ``kill_workers`` resident
+       workers are SIGKILLed the same way (queries must keep
+       answering through rehydration/fallback).  Requires the server
+       to run with chaos ops enabled (``repro serve --chaos-ops``).
+
+    Returns a :class:`ChaosReport`; ``report.ok`` is the pass/fail the
+    CI smoke gate asserts on.
+    """
+    burst = burst_concurrency or concurrency * 4
+    phases: dict[str, dict] = {}
+    violations: list[str] = []
+    with ClientPool(host, port, timeout=timeout) as pool:
+        baseline = run_load(
+            host, port,
+            concurrency=concurrency,
+            duration_s=None,
+            requests_per_worker=requests_per_worker,
+            mix=mix,
+            seed=seed,
+            nmf_k=nmf_k,
+            nmf_restarts=nmf_restarts,
+            vary_nmf_seeds=False,
+            nmf_seed_base=seed,
+            timeout=timeout,
+            pool=pool,
+        )
+        phases["baseline"] = baseline.to_dict()
+
+        overload = run_load(
+            host, port,
+            concurrency=burst,
+            duration_s=None,
+            requests_per_worker=requests_per_worker,
+            mix=mix,
+            seed=seed + 1,
+            nmf_k=nmf_k,
+            nmf_restarts=nmf_restarts,
+            vary_nmf_seeds=False,
+            nmf_seed_base=seed,
+            timeout=timeout,
+            deadline_ms=deadline_ms,
+            pool=pool,
+        )
+        phases["overload"] = overload.to_dict()
+
+        chaos = None
+        if trip_breaker or kill_workers:
+            ops = pool.client(0)
+            if trip_breaker:
+                status, doc = ops.post(
+                    "/chaos", {"op": "trip_breaker", "lane": "nmf"}
+                )
+                if status != 200:
+                    violations.append(
+                        f"chaos op trip_breaker failed: HTTP {status} "
+                        f"{doc.get('error')} (serve with --chaos-ops?)"
+                    )
+            for i in range(kill_workers):
+                status, doc = ops.post(
+                    "/chaos", {"op": "kill_worker", "index": i}
+                )
+                if status != 200:
+                    violations.append(
+                        f"chaos op kill_worker failed: HTTP {status} "
+                        f"{doc.get('error')}"
+                    )
+            chaos = run_load(
+                host, port,
+                concurrency=concurrency,
+                duration_s=None,
+                requests_per_worker=requests_per_worker,
+                mix=mix,
+                seed=seed + 2,
+                nmf_k=nmf_k,
+                nmf_restarts=nmf_restarts,
+                vary_nmf_seeds=False,
+                nmf_seed_base=seed,
+                timeout=timeout,
+                deadline_ms=deadline_ms,
+                pool=pool,
+            )
+            phases["chaos"] = chaos.to_dict()
+
+    reports = [r for r in (baseline, overload, chaos) if r is not None]
+    shed = sum(r.shed for r in reports)
+    breaker_open = sum(r.breaker_open for r in reports)
+    deadline_exceeded = sum(r.deadline_exceeded for r in reports)
+    degraded = sum(r.degraded for r in reports)
+    errors = sum(r.total_errors for r in reports)
+    deadline_violations = sum(r.deadline_violations for r in reports)
+
+    if deadline_violations:
+        violations.append(
+            f"{deadline_violations} response(s) arrived later than "
+            f"deadline + {_DEADLINE_GRACE_S:.0f}s grace"
+        )
+    if errors:
+        samples = "; ".join(
+            s for r in reports for s in r.error_samples[:3]
+        )
+        violations.append(
+            f"{errors} unclassified error response(s): {samples}"
+        )
+    p99_ratio = 0.0
+    if baseline.overall_p99_s > 0 and overload.overall_p99_s > 0:
+        p99_ratio = overload.overall_p99_s / baseline.overall_p99_s
+        if p99_ratio > p99_budget:
+            violations.append(
+                f"admitted p99 under overload is {p99_ratio:.2f}x the "
+                f"unloaded p99 (budget {p99_budget:.1f}x) — admission "
+                "is letting queues build"
+            )
+    if trip_breaker and chaos is not None:
+        served_degraded_or_fast = (
+            chaos.degraded + chaos.breaker_open + chaos.shed
+        )
+        if served_degraded_or_fast == 0:
+            violations.append(
+                "breaker was tripped but the chaos phase saw no "
+                "degraded/fast-fail responses — the degrade path is dead"
+            )
+
+    return ChaosReport(
+        phases=phases,
+        shed=shed,
+        breaker_open=breaker_open,
+        deadline_exceeded=deadline_exceeded,
+        degraded=degraded,
+        errors=errors,
+        deadline_violations=deadline_violations,
+        p99_ratio=p99_ratio,
+        violations=violations,
     )

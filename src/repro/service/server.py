@@ -23,29 +23,61 @@ strings):
 ``POST /typing``      corpus/family NNMF course typing (Figure 2)
 ``POST /flavors``     family flavor analysis (Figures 5/7)
 ``POST /anchors``     anchor-point module recommendations (§5)
+``POST /chaos``       fault injection (only with ``chaos_ops=True``)
 ====================  ======================================================
 
-Shutdown drains: the accept loop stops, in-flight handlers run to
-completion (handler threads are joined), queued broker batches flush,
-then the resident shard pool is reaped.  During draining new requests
-get 503 with ``Connection: close``.
+Overload behaviour (see docs/ARCHITECTURE.md "Overload & recovery"):
+every data route passes an :class:`AdmissionGate` for its endpoint
+class — ``heavy`` for the NMF-bearing analyses, ``cheap`` for reads —
+and carries a monotonic :class:`Deadline` parsed from the
+``X-Deadline-Ms`` header / ``deadline_ms`` param (server default
+otherwise).  Shed requests answer 503 with ``Retry-After``; requests
+whose budget runs out answer 504; when the NMF lane's circuit breaker
+is open (or the budget is too tight for a cold fit) a cached
+factorization is served flagged ``"degraded": true``.
+
+Shutdown drains: the accept loop stops, queued admission waiters shed
+with a fast 503, in-flight handlers run to completion (handler threads
+are joined), queued broker batches flush, then the resident shard pool
+is reaped.  During draining new requests get 503 with ``Connection:
+close``.
 """
 
 from __future__ import annotations
 
 import json
+import math
+import os
+import signal
 import threading
 import time
+from concurrent.futures import TimeoutError as _FutureTimeout
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qsl, urlsplit
 
 from repro.runtime import sanitize
 from repro.runtime.executor import failure_report
 from repro.runtime.metrics import metrics
-from repro.service.broker import BrokerClosed, RequestBroker
+from repro.service.admission import (
+    CHEAP,
+    HEAVY,
+    AdmissionGate,
+    AdmissionShed,
+    BreakerOpen,
+    Deadline,
+    DeadlineExceeded,
+    NO_DEADLINE,
+)
+from repro.service.broker import BrokerClosed, NmfJob, RequestBroker
 from repro.service.state import ServiceError, ServiceState
 
 _MAX_BODY = 8 * 1024 * 1024
+
+#: NMF-bearing routes gated as the ``heavy`` endpoint class.
+_HEAVY_ROUTES = frozenset({"/typing", "/flavors", "/anchors"})
+#: Control-plane routes that bypass admission entirely (they must stay
+#: observable precisely when the gates are refusing everything else).
+_UNGATED_ROUTES = frozenset({"/healthz", "/metrics", "/chaos"})
 
 
 class _Server(ThreadingHTTPServer):
@@ -97,19 +129,57 @@ class _Handler(BaseHTTPRequestHandler):
             raise ServiceError(400, "body must be a JSON object")
         return doc
 
+    def _deadline(self, params: dict) -> Deadline:
+        """Per-request budget: header beats param beats server default."""
+        raw = self.headers.get("X-Deadline-Ms")
+        if raw is None:
+            raw = params.get("deadline_ms")
+        if raw is None:
+            budget = self.server.service.state.config.default_deadline_s
+            return Deadline.after(budget) if budget is not None else NO_DEADLINE
+        try:
+            ms = float(raw)
+        except (TypeError, ValueError):
+            raise ServiceError(
+                400, f"deadline_ms must be a number, got {raw!r}"
+            ) from None
+        if ms <= 0 or not math.isfinite(ms):
+            raise ServiceError(400, f"deadline_ms must be > 0, got {raw!r}")
+        return Deadline.after(ms / 1000.0)
+
     def _handle(self, *, is_post: bool) -> None:
         service = self.server.service
         path = urlsplit(self.path).path.rstrip("/") or "/"
         name = path.lstrip("/").split("/", 1)[0] or "root"
         t0 = time.perf_counter()
+        retry_after: float | None = None
         try:
             if service.draining:
                 raise ServiceError(503, "service is shutting down")
             params = self._read_params(is_post)
-            doc = service.route(path, params)
+            deadline = self._deadline(params)
+            gate = service.gate_for(path)
+            if gate is None:
+                doc = service.route(path, params, deadline)
+            else:
+                gate.admit(deadline)
+                try:
+                    doc = service.route(path, params, deadline)
+                finally:
+                    gate.release()
             status = 200
         except ServiceError as exc:
             status, doc = exc.status, {"error": exc.message}
+        except AdmissionShed as exc:
+            retry_after = exc.retry_after_s
+            status, doc = 503, {
+                "error": str(exc), "shed": True, "reason": exc.reason,
+            }
+        except BreakerOpen as exc:
+            retry_after = exc.retry_after_s
+            status, doc = 503, {"error": str(exc), "breaker": exc.name}
+        except DeadlineExceeded as exc:
+            status, doc = 504, {"error": str(exc), "deadline_exceeded": True}
         except BrokerClosed:
             status, doc = 503, {"error": "service is shutting down"}
         except Exception as exc:  # noqa: BLE001 — a request must not kill its thread
@@ -127,6 +197,8 @@ class _Handler(BaseHTTPRequestHandler):
                 metrics.inc("service.errors.413")
             elif status == 503:
                 metrics.inc("service.errors.503")
+            elif status == 504:
+                metrics.inc("service.errors.504")
             else:
                 metrics.inc("service.errors.500")
         payload = json.dumps(doc).encode("utf-8")
@@ -134,6 +206,10 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(payload)))
+            if retry_after is not None:
+                self.send_header(
+                    "Retry-After", str(max(1, math.ceil(retry_after)))
+                )
             if service.draining:
                 self.send_header("Connection", "close")
                 self.close_connection = True
@@ -172,7 +248,21 @@ class ReproService:
             max_batch=config.max_batch,
             coalesce=config.coalesce,
             kernel=config.nmf_kernel,
+            breaker_threshold=config.breaker_threshold,
+            breaker_recovery_s=config.breaker_recovery_s,
         )
+        self.gates: dict[str, AdmissionGate] = {
+            CHEAP: AdmissionGate(
+                CHEAP,
+                max_inflight=config.max_inflight_cheap,
+                max_queue=config.max_queue_cheap,
+            ),
+            HEAVY: AdmissionGate(
+                HEAVY,
+                max_inflight=config.max_inflight_heavy,
+                max_queue=config.max_queue_heavy,
+            ),
+        }
         self._host = host
         self._port = port
         self._httpd: _Server | None = None
@@ -215,14 +305,19 @@ class ReproService:
     def close(self, *, force: bool = False) -> dict:
         """Drain and stop; idempotent.  Returns the final metrics snapshot.
 
-        Order matters: stop accepting, join in-flight handler threads
-        (they may still be blocked on broker futures — the broker is
-        alive), flush the broker's queued batches, then tear down the
-        resident shard pool.
+        Order matters: stop accepting, shed the admission queues (a
+        request parked at a gate would otherwise hang the handler join
+        below — it holds a handler thread but will never get a slot
+        once traffic stops), join in-flight handler threads (they may
+        still be blocked on broker futures — the broker is alive),
+        flush the broker's queued batches, then tear down the resident
+        shard pool.
         """
         if self._httpd is None:
             return self.final_metrics or metrics.snapshot()
         self.draining = True
+        for gate in self.gates.values():
+            gate.drain()  # queued waiters wake and answer a fast 503
         self._httpd.shutdown()  # stop the accept loop
         self._httpd.server_close()  # joins non-daemon handler threads
         if self._thread is not None:
@@ -244,12 +339,31 @@ class ReproService:
 
     # -- routing -------------------------------------------------------------
 
-    def route(self, path: str, params: dict) -> dict:
+    def gate_for(self, path: str) -> AdmissionGate | None:
+        """The admission gate for ``path`` (``None`` = ungated)."""
+        if path in _UNGATED_ROUTES:
+            return None
+        return self.gates[HEAVY if path in _HEAVY_ROUTES else CHEAP]
+
+    def route(
+        self, path: str, params: dict, deadline: Deadline = NO_DEADLINE
+    ) -> dict:
         state = self.state
         if path == "/healthz":
-            return state.healthz(params)
+            doc = state.healthz(params)
+            doc["breakers"] = {
+                lane: b.state for lane, b in self.broker.breakers.items()
+            }
+            doc["admission"] = {
+                cls: gate.snapshot() for cls, gate in self.gates.items()
+            }
+            resident = state.repo.resident
+            doc["resident_pids"] = resident.pids() if resident else []
+            return doc
         if path == "/metrics":
             return self.metrics_doc()
+        if path == "/chaos":
+            return self._chaos(params)
         if path == "/corpus":
             return state.corpus_info(params)
         if path == "/coverage":
@@ -257,22 +371,122 @@ class ReproService:
         if path == "/similar":
             return state.similar(params)
         if path == "/search":
-            return self.broker.submit_search(state.search_job(params)).result()
+            job = state.search_job(params)
+            job.deadline = deadline
+            pending = self.broker.submit_search(job)
+            return self._await(pending, deadline)
         if path == "/typing":
-            return self.broker.submit_nmf(state.typing_job(params)).result()
+            return self._nmf_result(state.typing_job(params), deadline)
         if path == "/flavors":
-            return self.broker.submit_nmf(state.flavors_job(params)).result()
+            return self._nmf_result(state.flavors_job(params), deadline)
         if path == "/anchors":
             job = state.anchors_job(params)
             if isinstance(job, dict):
                 return job
-            return self.broker.submit_nmf(job).result()
+            return self._nmf_result(job, deadline)
         raise ServiceError(404, f"no route {path!r}")
+
+    def _await(self, pending, deadline: Deadline) -> dict:
+        """Wait for a broker result, bounded by the request's budget.
+
+        The wait expiring fails only *this* request — its coalesced
+        batch-mates keep their futures and their own budgets.
+        """
+        try:
+            return pending.result(timeout=deadline.remaining())
+        except _FutureTimeout:
+            metrics.inc("service.deadline.wait_expired")
+            raise DeadlineExceeded(
+                "deadline exceeded waiting for the batch result"
+            ) from None
+
+    def _nmf_result(self, job: NmfJob, deadline: Deadline) -> dict:
+        """Submit an NMF job with the degrade ladder around it.
+
+        Decision order: if the lane breaker is open or the remaining
+        budget is below ``degrade_floor_s`` (too tight for any cold
+        fit), try the cached-factorization path first; a live submit
+        that fails fast on the breaker falls back to it too; a live
+        wait that times out tries it before giving up with 504.
+        Degraded answers are bit-identical to live fits of the same
+        specs — they come from the same checksummed result cache.
+        """
+        state = self.state
+        breaker = self.broker.breaker("nmf")
+        remaining = deadline.remaining()
+        if breaker.is_open() or (
+            remaining is not None
+            and remaining < state.config.degrade_floor_s
+        ):
+            doc = state.degraded_nmf(job)
+            if doc is not None:
+                return doc
+        deadline.require()
+        job.deadline = deadline
+        try:
+            pending = self.broker.submit_nmf(job)
+        except BreakerOpen:
+            doc = state.degraded_nmf(job)
+            if doc is not None:
+                return doc
+            raise
+        try:
+            return self._await(pending, deadline)
+        except BreakerOpen:
+            # The batch hit the breaker after this job was queued.
+            doc = state.degraded_nmf(job)
+            if doc is not None:
+                return doc
+            raise
+        except DeadlineExceeded:
+            doc = state.degraded_nmf(job)
+            if doc is not None:
+                return doc
+            raise
+
+    # -- chaos ops (fault injection for load tests) --------------------------
+
+    def _chaos(self, params: dict) -> dict:
+        """``POST /chaos``: fault injection, enabled by ``chaos_ops``.
+
+        Ops: ``trip_breaker`` (force a lane breaker open) and
+        ``kill_worker`` (SIGKILL one resident shard worker) — the two
+        faults the chaos load test needs to exercise degraded-mode
+        serving and the rebalance path from outside the process.
+        """
+        if not self.state.config.chaos_ops:
+            raise ServiceError(404, "no route '/chaos'")
+        op = params.get("op")
+        if op == "trip_breaker":
+            lane = str(params.get("lane", "nmf"))
+            if lane not in self.broker.breakers:
+                raise ServiceError(400, f"unknown lane {lane!r}")
+            self.broker.breakers[lane].trip("chaos trip_breaker op")
+            metrics.inc("service.chaos.ops")
+            return {"ok": True, "op": op, "lane": lane}
+        if op == "kill_worker":
+            resident = self.state.repo.resident
+            pids = resident.pids() if resident else []
+            if not pids:
+                raise ServiceError(400, "no resident workers to kill")
+            index = int(params.get("index", 0)) % len(pids)
+            os.kill(pids[index], signal.SIGKILL)
+            metrics.inc("service.chaos.ops")
+            return {"ok": True, "op": op, "pid": pids[index]}
+        raise ServiceError(
+            400, f"op must be trip_breaker or kill_worker, got {op!r}"
+        )
 
     def metrics_doc(self) -> dict:
         doc = metrics.snapshot()
         doc["uptime_s"] = time.perf_counter() - self._t0
         doc["failures"] = dict(failure_report().counts)
+        doc["breakers"] = {
+            lane: b.snapshot() for lane, b in self.broker.breakers.items()
+        }
+        doc["admission"] = {
+            cls: gate.snapshot() for cls, gate in self.gates.items()
+        }
         if sanitize.enabled():
             doc["sanitizer"] = sanitize.report_doc()
         return doc

@@ -47,6 +47,7 @@ from repro.materials import (
 )
 from repro.ontology.node import Bloom, Mastery
 from repro.ontology.tree import GuidelineTree
+from repro.runtime.executor import cached_nmf_fits
 from repro.runtime.metrics import metrics
 from repro.runtime.sanitize import make_lock
 from repro.service.broker import NmfJob, SearchJob
@@ -68,6 +69,18 @@ class ServiceConfig:
     ``coalesce=False`` turns off micro-batching (requests still flow
     through the broker's dispatch code, one at a time) — the load-test
     baseline.  ``resident=False`` falls back to ship-the-shard fan-out.
+
+    Overload controls (see :mod:`repro.service.admission`): the
+    ``max_inflight_*`` / ``max_queue_*`` pairs bound each endpoint
+    class's admission gate (past the queue watermark requests shed with
+    503); ``default_deadline_s`` is the per-request budget when the
+    client sends no ``deadline_ms`` (``None`` = unbounded);
+    ``breaker_threshold`` / ``breaker_recovery_s`` configure the lane
+    circuit breakers; ``degrade_floor_s`` is the deadline remainder
+    below which a cold NMF fit is not attempted (a cached factorization
+    is served degraded instead, if one exists).  ``chaos_ops=True``
+    enables the ``POST /chaos`` fault-injection endpoint (load tests
+    only — never expose it on a real deployment).
     """
 
     n_shards: int = 4
@@ -79,6 +92,15 @@ class ServiceConfig:
     default_k: int = 4
     default_restarts: int = 4
     default_limit: int = 10
+    max_inflight_cheap: int = 64
+    max_queue_cheap: int = 128
+    max_inflight_heavy: int = 8
+    max_queue_heavy: int = 32
+    default_deadline_s: float | None = 30.0
+    breaker_threshold: int = 5
+    breaker_recovery_s: float = 2.0
+    degrade_floor_s: float = 0.05
+    chaos_ops: bool = False
 
 
 # -- parameter parsing -------------------------------------------------------
@@ -163,15 +185,26 @@ class ServiceState:
     def __init__(
         self,
         tree: GuidelineTree,
-        courses: Sequence[Course],
+        courses: Sequence[Course] | None,
         *,
         config: ServiceConfig | None = None,
+        repo: ShardedMaterialRepository | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.tree = tree
-        self.repo = ShardedMaterialRepository(n_shards=self.config.n_shards)
-        self.ingest_report = self.repo.ingest(courses)
-        self._retained: tuple[Course, ...] = tuple(self.ingest_report.retained)
+        if repo is not None:
+            # Warm restart: the repository was already rebuilt from
+            # persisted state (repro.materials.persist) — adopt it
+            # as-is instead of re-ingesting.
+            self.repo = repo
+            self.ingest_report = None
+            self._retained: tuple[Course, ...] = tuple(repo.courses())
+        else:
+            if courses is None:
+                raise ValueError("provide courses or a prebuilt repo")
+            self.repo = ShardedMaterialRepository(n_shards=self.config.n_shards)
+            self.ingest_report = self.repo.ingest(courses)
+            self._retained = tuple(self.ingest_report.retained)
         self.courses_by_id = {c.id: c for c in self._retained}
         self.matrix: CourseMatrix = build_course_matrix(self._retained, tree=tree)
         self._family_lock = make_lock("service.family")
@@ -444,6 +477,26 @@ class ServiceState:
             finish=finish,
             dedup_key=("nmf", label, k, seed, n_restarts),
         )
+
+    # -- degraded-mode serving -----------------------------------------------
+
+    def degraded_nmf(self, job: NmfJob) -> dict | None:
+        """Serve ``job`` from cached factorizations only, or ``None``.
+
+        Used when the NMF lane's circuit breaker is open or the request
+        deadline is too tight for a cold fit: if *every* spec in the job
+        already has a checksummed ``.npz`` bundle in the runtime result
+        cache, the response document is built from those bundles —
+        bit-identical to a live fit — and flagged ``"degraded": true``.
+        A single cache miss returns ``None`` (no partial answers).
+        """
+        bundles = cached_nmf_fits(job.matrix, job.specs)
+        if bundles is None:
+            return None
+        doc = job.finish(list(bundles))
+        doc["degraded"] = True
+        metrics.inc("service.degraded")
+        return doc
 
     # -- document builders ---------------------------------------------------
 

@@ -1,0 +1,222 @@
+"""Crash-safe shard persistence suite (PR 10).
+
+:mod:`repro.materials.persist` promises a warm restart is *invisible*:
+a repository loaded from a state directory answers every query bit for
+bit like the repository that was saved — including after a shard
+bundle is corrupted on disk, because the JSONL source of truth rebuilds
+the lost hash partition deterministically.  Covered here:
+
+* save → load round trip: search grid, ``search_many``,
+  ``find_similar``, global material order, and counts all bit-equal;
+* corruption recovery: a flipped byte / truncation / deletion
+  quarantines the bundle and rebuilds it — results still bit-equal;
+* the commit protocol: no manifest means nothing committed, a corrupt
+  manifest or ``courses.jsonl`` raises :class:`StateCorrupt` (no
+  recovery path past the source of truth).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+import repro.runtime as runtime
+from repro.corpus.stream import generate_stream
+from repro.materials import (
+    MaterialRepository,
+    SearchQuery,
+    ShardedMaterialRepository,
+)
+from repro.materials.persist import (
+    COURSES_NAME,
+    MANIFEST_NAME,
+    QUARANTINE_DIR,
+    StateCorrupt,
+    has_state,
+    load_repository,
+    save_repository,
+)
+from repro.runtime.metrics import metrics
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runtime():
+    runtime.reset()
+    yield
+    runtime.reset()
+
+
+@pytest.fixture(scope="module")
+def corpus(cs2013):
+    return list(generate_stream(cs2013, seed=17, n_materials=600))
+
+
+@pytest.fixture(scope="module")
+def repo(corpus):
+    r = ShardedMaterialRepository(3)
+    for c in corpus:
+        r.add_course(c)
+    return r
+
+
+def _key(hits):
+    return [(h.material.id, h.score) for h in hits]
+
+
+def _queries(cs2013):
+    tags = cs2013.tag_ids()
+    return [
+        SearchQuery(),
+        SearchQuery(text="lecture"),
+        SearchQuery(tags=frozenset({tags[0]})),
+        SearchQuery(tags=frozenset(tags[:3]), text="lab"),
+        SearchQuery(text="zzz-no-such-material"),
+    ]
+
+
+def _assert_bit_equal(a, b, cs2013):
+    assert b.n_shards == a.n_shards
+    assert b.n_courses == a.n_courses
+    assert b.n_materials == a.n_materials
+    assert [m.id for m in b.materials()] == [m.id for m in a.materials()]
+    assert [c.id for c in b.courses()] == [c.id for c in a.courses()]
+    for q in _queries(cs2013):
+        for limit in (None, 5):
+            assert _key(b.search(q, tree=cs2013, limit=limit)) == \
+                _key(a.search(q, tree=cs2013, limit=limit)), (q, limit)
+    qs = _queries(cs2013)
+    assert [_key(h) for h in b.search_many(qs, tree=cs2013, limit=6)] == \
+        [_key(h) for h in a.search_many(qs, tree=cs2013, limit=6)]
+    some_ids = [m.id for m in a.materials()][:8]
+    for mid in some_ids:
+        assert _key(b.find_similar(mid, limit=8)) == \
+            _key(a.find_similar(mid, limit=8)), mid
+
+
+class TestRoundTrip:
+    def test_save_load_bit_equal(self, repo, cs2013, tmp_path):
+        assert not has_state(tmp_path)
+        manifest = save_repository(repo, tmp_path)
+        assert has_state(tmp_path)
+        assert manifest["n_shards"] == repo.n_shards
+        assert manifest["n_materials"] == repo.n_materials
+        assert len(manifest["shards"]) == repo.n_shards
+        loaded, report = load_repository(tmp_path)
+        assert report == {"quarantined": {}, "rebuilt_shards": []}
+        _assert_bit_equal(repo, loaded, cs2013)
+
+    def test_resave_over_existing_state(self, repo, cs2013, tmp_path):
+        save_repository(repo, tmp_path)
+        save_repository(repo, tmp_path)  # idempotent overwrite
+        loaded, report = load_repository(tmp_path)
+        assert report["rebuilt_shards"] == []
+        _assert_bit_equal(repo, loaded, cs2013)
+
+    def test_no_tmp_litter_after_save(self, repo, tmp_path):
+        save_repository(repo, tmp_path)
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestCorruptionRecovery:
+    def _saved(self, repo, tmp_path):
+        save_repository(repo, tmp_path)
+        return sorted(tmp_path.glob("shard-*.pkl"))
+
+    def test_flipped_byte_quarantines_and_rebuilds(
+        self, repo, cs2013, tmp_path
+    ):
+        bundles = self._saved(repo, tmp_path)
+        data = bytearray(bundles[1].read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        bundles[1].write_bytes(bytes(data))
+        loaded, report = load_repository(tmp_path)
+        assert report["rebuilt_shards"] == [1]
+        assert report["quarantined"] == {
+            bundles[1].name: "checksum_mismatch"
+        }
+        assert (tmp_path / QUARANTINE_DIR / bundles[1].name).exists()
+        assert metrics.get("persist.shard_quarantined") == 1
+        assert metrics.get("persist.shard_rebuilt") == 1
+        _assert_bit_equal(repo, loaded, cs2013)
+
+    def test_missing_bundle_rebuilds(self, repo, cs2013, tmp_path):
+        bundles = self._saved(repo, tmp_path)
+        bundles[0].unlink()
+        loaded, report = load_repository(tmp_path)
+        assert report["rebuilt_shards"] == [0]
+        assert report["quarantined"] == {bundles[0].name: "missing"}
+        _assert_bit_equal(repo, loaded, cs2013)
+
+    def test_wrong_object_in_bundle_rebuilds(self, repo, cs2013, tmp_path):
+        bundles = self._saved(repo, tmp_path)
+        payload = pickle.dumps({"not": "a repository"})
+        bundles[2].write_bytes(payload)
+        # keep the checksum honest so the *type* check is what fires
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        import hashlib
+
+        manifest["shards"][2]["sha256"] = hashlib.sha256(payload).hexdigest()
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        loaded, report = load_repository(tmp_path)
+        assert report["quarantined"] == {bundles[2].name: "wrong_type"}
+        _assert_bit_equal(repo, loaded, cs2013)
+
+    def test_all_bundles_lost_full_rebuild(self, repo, cs2013, tmp_path):
+        for bundle in self._saved(repo, tmp_path):
+            bundle.unlink()
+        loaded, report = load_repository(tmp_path)
+        assert report["rebuilt_shards"] == [0, 1, 2]
+        _assert_bit_equal(repo, loaded, cs2013)
+
+
+class TestCommitProtocol:
+    def test_no_manifest_means_nothing_committed(self, repo, tmp_path):
+        save_repository(repo, tmp_path)
+        (tmp_path / MANIFEST_NAME).unlink()
+        assert not has_state(tmp_path)
+        with pytest.raises(StateCorrupt, match="nothing committed"):
+            load_repository(tmp_path)
+
+    def test_corrupt_manifest_raises(self, repo, tmp_path):
+        save_repository(repo, tmp_path)
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(StateCorrupt, match="unreadable"):
+            load_repository(tmp_path)
+
+    def test_foreign_manifest_raises(self, repo, tmp_path):
+        save_repository(repo, tmp_path)
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps({"format": "other"}))
+        with pytest.raises(StateCorrupt, match="not a repro-state"):
+            load_repository(tmp_path)
+
+    def test_future_version_raises(self, repo, tmp_path):
+        save_repository(repo, tmp_path)
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        manifest["version"] = 999
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(StateCorrupt, match="unsupported version"):
+            load_repository(tmp_path)
+
+    def test_corrupt_source_of_truth_raises(self, repo, tmp_path):
+        save_repository(repo, tmp_path)
+        courses_path = tmp_path / COURSES_NAME
+        courses_path.write_bytes(courses_path.read_bytes() + b"\ngarbage")
+        with pytest.raises(StateCorrupt, match="source of truth"):
+            load_repository(tmp_path)
+
+    def test_missing_source_of_truth_raises(self, repo, tmp_path):
+        save_repository(repo, tmp_path)
+        (tmp_path / COURSES_NAME).unlink()
+        with pytest.raises(StateCorrupt, match="missing source of truth"):
+            load_repository(tmp_path)
+
+
+class TestFlatRepositoryRejected:
+    def test_only_sharded_repositories_persist(self, corpus, tmp_path):
+        flat = MaterialRepository()
+        for c in corpus[:3]:
+            flat.add_course(c)
+        with pytest.raises(AttributeError):
+            save_repository(flat, tmp_path)

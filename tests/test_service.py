@@ -544,3 +544,197 @@ class TestLoadgen:
             {k: v["count"] for k, v in lhs.endpoints.items()}
             == {k: v["count"] for k, v in rhs.endpoints.items()}
         )
+
+
+# -- overload: admission, deadlines, breakers, degraded mode ------------------
+
+
+def _overload_service(dataset, **cfg):
+    """A dedicated service with overload knobs turned for the test."""
+    tree, courses, _ = dataset
+    cfg.setdefault("n_shards", 2)
+    cfg.setdefault("resident", False)
+    state = ServiceState(tree, courses, config=ServiceConfig(**cfg))
+    return ReproService(state)
+
+
+def _raw_response(host, port, method, path, body=None):
+    """One request via http.client so headers are observable."""
+    import http.client as hc
+
+    conn = hc.HTTPConnection(host, port, timeout=30)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        doc = json.loads(response.read() or b"{}")
+        return response.status, dict(response.getheaders()), doc
+    finally:
+        conn.close()
+
+
+class TestOverload:
+    def test_deadline_504_leaves_batch_mates_unaffected(self, dataset):
+        # Both requests land in one 250ms coalescing window; the tight
+        # deadline expires first.  Its 504 must not disturb the
+        # batch-mate, which rides the same dispatch to a 200.
+        with _overload_service(dataset, window_s=0.25) as svc:
+            host, port = svc.address
+            results = {}
+
+            def req(name, body, deadline_ms):
+                with ServiceClient(host, port) as c:
+                    results[name] = c.post(
+                        "/typing", body, deadline_ms=deadline_ms
+                    )
+
+            tight = threading.Thread(target=req, args=(
+                "tight", {"k": 3, "seed": 2101, "n_restarts": 2}, 100.0,
+            ))
+            roomy = threading.Thread(target=req, args=(
+                "roomy", {"k": 3, "seed": 2102, "n_restarts": 2}, None,
+            ))
+            tight.start()
+            roomy.start()
+            tight.join(timeout=30)
+            roomy.join(timeout=60)
+            status, doc = results["tight"]
+            assert status == 504 and doc["deadline_exceeded"] is True
+            status, doc = results["roomy"]
+            assert status == 200 and doc["k"] == 3
+            assert metrics.get("broker.nmf.expired") >= 1
+
+    def test_invalid_deadline_rejected(self, dataset):
+        with _overload_service(dataset, window_s=0.005) as svc:
+            host, port = svc.address
+            with ServiceClient(host, port) as c:
+                status, doc = c.post(
+                    "/typing", {"k": 2, "deadline_ms": "soon"}
+                )
+                assert status == 400 and "deadline_ms" in doc["error"]
+                status, doc = c.post(
+                    "/typing", {"k": 2, "deadline_ms": -5}
+                )
+                assert status == 400
+
+    def test_queue_full_sheds_503_with_retry_after(self, dataset):
+        with _overload_service(
+            dataset, window_s=0.3, max_inflight_heavy=1, max_queue_heavy=0,
+        ) as svc:
+            host, port = svc.address
+            done = {}
+
+            def occupy():
+                with ServiceClient(host, port) as c:
+                    done["slow"] = c.post(
+                        "/typing", {"k": 3, "seed": 2103, "n_restarts": 2}
+                    )
+
+            t = threading.Thread(target=occupy)
+            t.start()
+            gate = svc.gates["heavy"]
+            deadline = time.perf_counter() + 10.0
+            while gate.snapshot()["inflight"] == 0:
+                assert time.perf_counter() < deadline, "slot never claimed"
+                time.sleep(0.005)
+            status, headers, doc = _raw_response(
+                host, port, "POST", "/typing", {"k": 3, "seed": 2104},
+            )
+            assert status == 503
+            assert doc["shed"] is True and doc["reason"] == "queue_full"
+            assert int(headers["Retry-After"]) >= 1
+            assert metrics.get("service.shed.heavy") >= 1
+            t.join(timeout=60)
+            assert done["slow"][0] == 200  # the occupant was untouched
+
+    def test_breaker_trip_serves_degraded_from_cache(self, dataset):
+        with _overload_service(
+            dataset, window_s=0.005, chaos_ops=True,
+            breaker_recovery_s=60.0,
+        ) as svc:
+            host, port = svc.address
+            with ServiceClient(host, port) as c:
+                body = {"k": 3, "seed": 2105, "n_restarts": 2}
+                status, warm = c.post("/typing", body)
+                assert status == 200 and "degraded" not in warm
+
+                status, doc = c.post(
+                    "/chaos", {"op": "trip_breaker", "lane": "nmf"}
+                )
+                assert status == 200 and doc["ok"] is True
+                status, health = c.get("/healthz")
+                assert health["breakers"]["nmf"] == "open"
+
+                # cached spec: served degraded, bit-identical payload
+                status, degraded = c.post("/typing", body)
+                assert status == 200 and degraded.pop("degraded") is True
+                assert degraded == warm
+                assert metrics.get("service.degraded") >= 1
+
+                # uncached spec: fail-fast 503 naming the lane
+                status, doc = c.post(
+                    "/typing", {"k": 3, "seed": 2106, "n_restarts": 2}
+                )
+                assert status == 503 and doc["breaker"] == "nmf"
+
+    def test_chaos_endpoint_gated_off_by_default(self, service, client):
+        status, doc = client.post(
+            "/chaos", {"op": "trip_breaker", "lane": "nmf"}
+        )
+        assert status == 404
+
+    def test_drain_sheds_gate_queued_requests_fast(self, dataset):
+        # Regression: a request queued *behind the admission gate* at
+        # shutdown must get a fast 503, not hang the drain join.
+        with _overload_service(
+            dataset, window_s=0.3, max_inflight_heavy=1, max_queue_heavy=8,
+        ) as svc:
+            host, port = svc.address
+            results = {}
+
+            def occupant():
+                with ServiceClient(host, port) as c:
+                    results["occupant"] = c.post(
+                        "/typing", {"k": 3, "seed": 2107, "n_restarts": 2}
+                    )
+
+            def queued():
+                with ServiceClient(host, port) as c:
+                    results["queued"] = c.post(
+                        "/typing", {"k": 3, "seed": 2108, "n_restarts": 2}
+                    )
+
+            t1 = threading.Thread(target=occupant)
+            t1.start()
+            gate = svc.gates["heavy"]
+            deadline = time.perf_counter() + 10.0
+            while gate.snapshot()["inflight"] == 0:
+                assert time.perf_counter() < deadline
+                time.sleep(0.005)
+            t2 = threading.Thread(target=queued)
+            t2.start()
+            while gate.snapshot()["waiting"] == 0:
+                assert time.perf_counter() < deadline, "never queued"
+                time.sleep(0.005)
+
+            t0 = time.perf_counter()
+            svc.close()
+            drain_s = time.perf_counter() - t0
+            t1.join(timeout=30)
+            t2.join(timeout=30)
+            assert not t1.is_alive() and not t2.is_alive()
+            # the in-flight occupant finished; the queued one was shed
+            assert results["occupant"][0] == 200
+            status, doc = results["queued"]
+            assert status == 503 and doc["reason"] == "draining"
+            assert drain_s < 20.0
+
+    def test_healthz_metrics_expose_overload_state(self, service, client):
+        status, doc = client.get("/healthz")
+        assert status == 200
+        assert set(doc["breakers"]) == {"nmf", "search"}
+        assert doc["admission"]["heavy"]["max_inflight"] >= 1
+        status, doc = client.get("/metrics")
+        assert doc["breakers"]["nmf"]["state"] in ("closed", "open", "half_open")
+        assert "admission" in doc

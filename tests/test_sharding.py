@@ -338,3 +338,73 @@ class TestResidentPool:
             assert metrics.get("shard.resident.tree_inline") >= 1
         finally:
             sharded.close_resident()
+
+
+class TestRebalancing:
+    """Dead-worker rebalancing (PR 10): shards move, results do not.
+
+    A resident worker that is gone for good (closed, or crashed past
+    its retry budget) must not take its shards down with it: the pool
+    reassigns them round-robin to the survivors, the failed query
+    retries once on the new owner, and every result stays bit-identical
+    to the flat repository.
+    """
+
+    @pytest.fixture()
+    def resident_pair(self, corpus2k, cs2013):
+        flat, sharded = _pair(corpus2k, 3)
+        sharded.start_resident(trees=[cs2013])
+        try:
+            yield flat, sharded
+        finally:
+            sharded.close_resident()
+
+    def test_dead_worker_shards_served_by_survivors(
+        self, resident_pair, cs2013
+    ):
+        flat, sharded = resident_pair
+        pool = sharded.resident
+        q = SearchQuery(text="lecture")
+        want = _key(flat.search(q, tree=cs2013, limit=9))
+        assert _key(sharded.search(q, tree=cs2013, limit=9)) == want
+
+        # a force-closed worker is dead for good (no rehydration), so
+        # the next fan-out must rebalance instead of recovering it
+        pool._workers[0].close(force=True)
+        metrics.reset()
+        assert _key(sharded.search(q, tree=cs2013, limit=9)) == want
+        assert metrics.get("shard.resident.rebalance") >= 1
+        assert metrics.get("shard.resident.worker_dead") == 1
+        assert pool.dead_workers() == [0]
+        assignment = pool.assignment()
+        assert assignment[0] != 0  # shard 0 has a new owner
+        assert set(assignment.values()) <= {1, 2}
+
+        # steady state: queries keep flowing through the survivors
+        # with no further rebalancing and no parent-local fallback
+        metrics.reset()
+        for query in _queries(cs2013, seed=53)[:6]:
+            assert _key(sharded.search(query, tree=cs2013, limit=7)) == \
+                _key(flat.search(query, tree=cs2013, limit=7))
+        assert metrics.get("shard.resident.rebalance") == 0
+        assert metrics.get("shard.resident.local_fallback") == 0
+
+    def test_all_workers_dead_falls_back_to_parent(
+        self, resident_pair, cs2013
+    ):
+        flat, sharded = resident_pair
+        pool = sharded.resident
+        for worker in pool._workers:
+            worker.close(force=True)
+        q = SearchQuery(text="lab")
+        assert _key(sharded.search(q, tree=cs2013, limit=8)) == \
+            _key(flat.search(q, tree=cs2013, limit=8))
+        assert metrics.get("shard.resident.local_fallback") >= 1
+
+    def test_find_similar_survives_rebalance(self, resident_pair, cs2013):
+        flat, sharded = resident_pair
+        mid = next(m.id for m in flat.materials())
+        want = _key(flat.find_similar(mid, limit=8))
+        sharded.resident._workers[1].close(force=True)
+        assert _key(sharded.find_similar(mid, limit=8)) == want
+        assert sharded.resident.dead_workers() == [1]
